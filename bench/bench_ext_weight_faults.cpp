@@ -1,0 +1,65 @@
+// Extension bench (no paper counterpart — the hardware-fault twin of
+// Fig. 4's input-sensitivity panel): rank the network parameters by the
+// smallest exact perturbation that misclassifies a test sample, and
+// contrast parameter fragility with the input-noise tolerance.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/casestudy.hpp"
+#include "core/fannet.hpp"
+#include "core/faults.hpp"
+
+namespace {
+
+using namespace fannet;
+
+void print_weight_faults() {
+  const core::CaseStudy cs = core::build_case_study();
+
+  std::puts("=== Extension: weight-fault sensitivity (accelerator-reliability view) ===");
+  std::puts("Smallest exact perturbation w' = w*(100+p)/100 flipping any");
+  std::puts("correctly-classified test sample, per parameter:\n");
+
+  core::WeightFaultConfig scan;
+  scan.max_percent = 200;  // up to 3x the stored value / full sign flips
+  const core::WeightFaultReport report =
+      core::analyze_weight_faults(cs.qnet, cs.test_x, cs.test_y, scan);
+  std::fputs(core::format_weight_faults(report, 12).c_str(), stdout);
+
+  const core::Fannet fannet(cs.qnet);
+  core::ToleranceConfig config;
+  config.start_range = 50;
+  const auto tolerance = fannet.analyze_tolerance(cs.test_x, cs.test_y, config);
+  const auto fragile = core::most_fragile_weights(report, 1);
+  if (!fragile.empty()) {
+    std::printf("\nComparison: input-noise tolerance +/-%d%% vs most fragile "
+                "weight flipping at +/-%d%% — %s\n",
+                tolerance.noise_tolerance, *fragile[0].min_flip_percent,
+                *fragile[0].min_flip_percent < tolerance.noise_tolerance
+                    ? "parameter storage is the weaker link"
+                    : "inputs are the weaker link");
+  }
+  std::puts("");
+}
+
+void BM_WeightFaultScan(benchmark::State& state) {
+  const core::CaseStudy cs = core::build_case_study();
+  core::WeightFaultConfig config;
+  config.max_percent = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::analyze_weight_faults(cs.qnet, cs.test_x, cs.test_y, config)
+            .evaluations);
+  }
+}
+BENCHMARK(BM_WeightFaultScan)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_weight_faults();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces paper Fig. 3(b)/(c): state-space size of the network FSM
+// without noise (3 states / 6 transitions) and with noise (for 6 input
+// nodes and range [0,1]%: 65 states / 4160 transitions), plus the
+// exponential-growth sweep the paper calls out.  Counts come from the
+// explicit-state engine exploring the actual SMV models, and are checked
+// against the closed form 1+(delta+1)^nodes.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "core/translate.hpp"
+#include "mc/explicit.hpp"
+
+namespace {
+
+using namespace fannet;
+
+void print_fig3_tables() {
+  std::puts("=== Fig. 3(b): label FSM, no noise (paper: 3 states, 6 transitions) ===");
+  {
+    const smv::Module m = core::make_fig3_label_fsm();
+    const mc::ExplicitChecker checker(m);
+    const mc::ReachabilityStats stats = checker.explore();
+    core::TextTable t({"model", "states", "transitions", "paper"});
+    t.add_row({"label FSM", std::to_string(stats.num_states),
+               std::to_string(stats.num_transitions), "3 / 6"});
+    std::fputs(t.to_string().c_str(), stdout);
+  }
+
+  std::puts("\n=== Fig. 3(c): noise FSM, 6 input nodes, range [0,1]% "
+            "(paper: 65 states, 4160 transitions) ===");
+  {
+    const smv::Module m = core::make_fig3_noise_fsm(6, 1);
+    const mc::ExplicitChecker checker(m);
+    const mc::ReachabilityStats stats = checker.explore();
+    core::TextTable t({"model", "states", "transitions", "paper"});
+    t.add_row({"noise FSM [0,1]%", std::to_string(stats.num_states),
+               std::to_string(stats.num_transitions), "65 / 4160"});
+    std::fputs(t.to_string().c_str(), stdout);
+  }
+
+  std::puts("\n=== Fig. 3(c) sweep: exponential growth with the noise range ===");
+  core::TextTable t({"nodes", "range [0,d]%", "states", "transitions",
+                     "closed form 1+(d+1)^n"});
+  for (const auto& [nodes, delta] :
+       std::vector<std::pair<std::size_t, int>>{
+           {6, 0}, {6, 1}, {6, 2}, {4, 1}, {4, 3}, {5, 2}}) {
+    const smv::Module m = core::make_fig3_noise_fsm(nodes, delta);
+    const mc::ExplicitChecker checker(m);
+    const mc::ReachabilityStats stats = checker.explore();
+    std::uint64_t box = 1;
+    for (std::size_t i = 0; i < nodes; ++i) {
+      box *= static_cast<std::uint64_t>(delta + 1);
+    }
+    t.add_row({std::to_string(nodes), "[0," + std::to_string(delta) + "]",
+               std::to_string(stats.num_states),
+               std::to_string(stats.num_transitions),
+               std::to_string(1 + box)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::puts("");
+}
+
+/// Wall-clock of the Fig.-3(c) exploration itself (the 65/4160 model).
+void BM_ExploreNoiseFsm(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const int delta = static_cast<int>(state.range(1));
+  const smv::Module m = core::make_fig3_noise_fsm(nodes, delta);
+  for (auto _ : state) {
+    const mc::ExplicitChecker checker(m);
+    benchmark::DoNotOptimize(checker.explore().num_states);
+  }
+}
+BENCHMARK(BM_ExploreNoiseFsm)
+    ->Args({6, 1})
+    ->Args({6, 2})
+    ->Args({4, 3})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig3_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces paper Fig. 4 (noise-tolerance panels): the number of
+// misclassified test inputs as the noise range grows over +/-5, +/-10, ...,
+// +/-50 %, and the resulting noise tolerance (paper: no misclassification
+// at +/-11% or below).
+//
+// Counts derive from the per-sample minimal flipping ranges, each decided
+// exactly by the complete branch-and-bound engine.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/casestudy.hpp"
+#include "core/fannet.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+using namespace fannet;
+
+void print_fig4_tolerance() {
+  const core::CaseStudy cs = core::build_case_study();
+  const core::Fannet fannet(cs.qnet);
+
+  core::ToleranceConfig config;
+  config.start_range = 50;
+  config.engine = core::Engine::kBnB;
+  const core::ToleranceReport report =
+      fannet.analyze_tolerance(cs.test_x, cs.test_y, config);
+
+  std::puts("=== Fig. 4: misclassified inputs vs noise range "
+            "(paper: counts grow with the range; 0 at +/-11% and below) ===");
+  core::TextTable t({"noise range", "misclassified inputs", "of correct"});
+  std::size_t correct = 0;
+  for (const auto& st : report.per_sample) correct += st.correct_without_noise;
+  for (int range = 5; range <= 50; range += 5) {
+    std::size_t flipped = 0;
+    for (const auto& st : report.per_sample) {
+      flipped += st.min_flip_range.has_value() && *st.min_flip_range <= range;
+    }
+    t.add_row({"+/-" + std::to_string(range) + "%", std::to_string(flipped),
+               std::to_string(correct)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf("\nNoise tolerance: +/-%d%%   (paper: +/-11%%)\n",
+              report.noise_tolerance);
+  std::printf("Formal P2 queries issued: %llu\n\n",
+              static_cast<unsigned long long>(report.queries));
+}
+
+/// Time of one complete tolerance analysis (binary descent, B&B engine).
+void BM_ToleranceAnalysis(benchmark::State& state) {
+  const core::CaseStudy cs = core::build_case_study();
+  const core::Fannet fannet(cs.qnet);
+  core::ToleranceConfig config;
+  config.start_range = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fannet.analyze_tolerance(cs.test_x, cs.test_y, config).noise_tolerance);
+  }
+}
+BENCHMARK(BM_ToleranceAnalysis)->Arg(25)->Arg(50)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig4_tolerance();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

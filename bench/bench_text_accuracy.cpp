@@ -1,0 +1,69 @@
+// Reproduces the paper's Section V-A text numbers: cohort shape (72 x 7129,
+// 38 train / 34 test), the ~70%-L1 training imbalance, mRMR top-5 gene
+// selection, and the training outcome (paper: 100% train / 94.12% test).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/casestudy.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+using namespace fannet;
+
+void print_text_numbers() {
+  const core::CaseStudy cs = core::build_case_study();
+
+  std::puts("=== Paper §V-A: dataset and training numbers ===");
+  core::TextTable t({"quantity", "ours", "paper"});
+  t.add_row({"samples x genes",
+             std::to_string(cs.golub.dataset.size()) + " x " +
+                 std::to_string(cs.golub.dataset.num_features()),
+             "72 x 7129"});
+  t.add_row({"train / test",
+             std::to_string(cs.train_y.size()) + " / " +
+                 std::to_string(cs.test_y.size()),
+             "38 / 34"});
+  const auto l1 = static_cast<std::size_t>(
+      std::count(cs.train_y.begin(), cs.train_y.end(), 1));
+  t.add_row({"train class balance (L1)",
+             std::to_string(100 * l1 / cs.train_y.size()) + "%", "~70%"});
+  t.add_row({"genes selected (mRMR)", std::to_string(cs.selected_genes.size()),
+             "5"});
+  t.add_row({"architecture", "5-20-2 (ReLU + output maxpool)", "5-20-2"});
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f%%", 100.0 * cs.train_accuracy);
+  t.add_row({"train accuracy", buf, "100%"});
+  std::snprintf(buf, sizeof buf, "%.2f%%", 100.0 * cs.test_accuracy);
+  t.add_row({"test accuracy", buf, "94.12%"});
+  std::fputs(t.to_string().c_str(), stdout);
+  std::puts("");
+}
+
+void BM_FullCaseStudyPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_case_study().test_accuracy);
+  }
+}
+BENCHMARK(BM_FullCaseStudyPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_MrmrOver7129Genes(benchmark::State& state) {
+  const data::GolubData golub = data::generate_golub({});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        data::mrmr_select(golub.dataset, 5, data::MrmrScheme::kMID)
+            .selected.size());
+  }
+}
+BENCHMARK(BM_MrmrOver7129Genes)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_text_numbers();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,240 @@
+#include "bdd/bdd.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace fannet::bdd {
+
+Manager::Manager(unsigned num_vars) : num_vars_(num_vars) {
+  nodes_.push_back({kTerminalVar, 0, 0});  // id 0: false
+  nodes_.push_back({kTerminalVar, 1, 1});  // id 1: true
+}
+
+Bdd Manager::var(unsigned v) {
+  if (v >= num_vars_) throw InvalidArgument("Manager::var: index out of range");
+  return Bdd(make_node(v, 0, 1));
+}
+
+Bdd Manager::nvar(unsigned v) {
+  if (v >= num_vars_) throw InvalidArgument("Manager::nvar: index out of range");
+  return Bdd(make_node(v, 1, 0));
+}
+
+NodeId Manager::make_node(unsigned var, NodeId low, NodeId high) {
+  if (low == high) return low;  // reduction rule
+  const NodeKey key{var, low, high};
+  if (const auto it = unique_.find(key); it != unique_.end()) {
+    return it->second;
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back({var, low, high});
+  unique_.emplace(key, id);
+  return id;
+}
+
+unsigned Manager::top_var(NodeId f, NodeId g, NodeId h) const {
+  unsigned top = kTerminalVar;
+  for (const NodeId n : {f, g, h}) {
+    if (n > 1 && nodes_[n].var < top) top = nodes_[n].var;
+  }
+  return top;
+}
+
+NodeId Manager::cofactor(NodeId f, unsigned var, bool value) const {
+  if (f <= 1) return f;
+  const Node& n = nodes_[f];
+  if (n.var != var) return f;  // f does not depend on var at the top
+  return value ? n.high : n.low;
+}
+
+NodeId Manager::ite_rec(NodeId f, NodeId g, NodeId h) {
+  // Terminal cases.
+  if (f == 1) return g;
+  if (f == 0) return h;
+  if (g == h) return g;
+  if (g == 1 && h == 0) return f;
+
+  const IteKey key{f, g, h};
+  if (const auto it = ite_cache_.find(key); it != ite_cache_.end()) {
+    return it->second;
+  }
+  const unsigned v = top_var(f, g, h);
+  const NodeId lo =
+      ite_rec(cofactor(f, v, false), cofactor(g, v, false), cofactor(h, v, false));
+  const NodeId hi =
+      ite_rec(cofactor(f, v, true), cofactor(g, v, true), cofactor(h, v, true));
+  const NodeId r = make_node(v, lo, hi);
+  ite_cache_.emplace(key, r);
+  return r;
+}
+
+Bdd Manager::ite(Bdd f, Bdd g, Bdd h) {
+  return Bdd(ite_rec(f.id(), g.id(), h.id()));
+}
+
+Bdd Manager::restrict_var(Bdd f, unsigned v, bool value) {
+  if (v >= num_vars_) {
+    throw InvalidArgument("Manager::restrict_var: index out of range");
+  }
+  // Substitutes the constant for v by rebuilding the DAG above v's level.
+  struct Walker {
+    Manager& m;
+    unsigned v;
+    bool value;
+    std::unordered_map<NodeId, NodeId> memo;
+    NodeId walk(NodeId n) {
+      if (n <= 1) return n;
+      const Node node = m.nodes_[n];
+      if (node.var > v && node.var != kTerminalVar) return n;  // below v: unchanged
+      if (const auto it = memo.find(n); it != memo.end()) return it->second;
+      NodeId r;
+      if (node.var == v) {
+        r = value ? node.high : node.low;
+      } else {
+        r = m.make_node(node.var, walk(node.low), walk(node.high));
+      }
+      memo.emplace(n, r);
+      return r;
+    }
+  } walker{*this, v, value, {}};
+  return Bdd(walker.walk(f.id()));
+}
+
+Bdd Manager::exists(Bdd f, unsigned v) {
+  return lor(restrict_var(f, v, false), restrict_var(f, v, true));
+}
+
+Bdd Manager::exists(Bdd f, const std::vector<unsigned>& vars) {
+  Bdd r = f;
+  for (const unsigned v : vars) r = exists(r, v);
+  return r;
+}
+
+Bdd Manager::forall(Bdd f, unsigned v) {
+  return land(restrict_var(f, v, false), restrict_var(f, v, true));
+}
+
+Bdd Manager::rename(Bdd f, const std::vector<unsigned>& map) {
+  if (map.size() != num_vars_) {
+    throw InvalidArgument("Manager::rename: map size must equal num_vars");
+  }
+  // Compose bottom-up: rebuild the DAG substituting each variable.  Because
+  // the substitution is variable-to-variable the result may violate ordering
+  // locally, so rebuild via ite(new_var, high', low') which restores order.
+  struct Walker {
+    Manager& m;
+    const std::vector<unsigned>& map;
+    std::unordered_map<NodeId, NodeId> memo;
+    NodeId walk(NodeId n) {
+      if (n <= 1) return n;
+      if (const auto it = memo.find(n); it != memo.end()) return it->second;
+      const Node node = m.nodes_[n];
+      const NodeId lo = walk(node.low);
+      const NodeId hi = walk(node.high);
+      const NodeId v = m.make_node(map[node.var], 0, 1);
+      const NodeId r = m.ite_rec(v, hi, lo);
+      memo.emplace(n, r);
+      return r;
+    }
+  } walker{*this, map, {}};
+  return Bdd(walker.walk(f.id()));
+}
+
+double Manager::sat_count(Bdd f) {
+  struct Walker {
+    const Manager& m;
+    std::unordered_map<NodeId, double> memo;
+    // Returns count over variables [var(n), num_vars).
+    double walk(NodeId n) {
+      if (n == 0) return 0.0;
+      if (n == 1) return 1.0;
+      if (const auto it = memo.find(n); it != memo.end()) return it->second;
+      const Node& node = m.nodes_[n];
+      const auto skip = [&](NodeId child) {
+        const unsigned child_var =
+            child <= 1 ? m.num_vars_ : m.nodes_[child].var;
+        return static_cast<double>(child_var - node.var - 1);
+      };
+      const double r = std::ldexp(walk(node.low), static_cast<int>(skip(node.low))) +
+                       std::ldexp(walk(node.high), static_cast<int>(skip(node.high)));
+      memo.emplace(n, r);
+      return r;
+    }
+  } walker{*this, {}};
+  const NodeId root = f.id();
+  const unsigned root_var = root <= 1 ? num_vars_ : nodes_[root].var;
+  return std::ldexp(walker.walk(root), static_cast<int>(root_var));
+}
+
+std::vector<bool> Manager::any_sat(Bdd f) const {
+  if (f.id() == 0) {
+    throw InvalidArgument("Manager::any_sat: function is unsatisfiable");
+  }
+  std::vector<bool> assignment(num_vars_, false);
+  NodeId n = f.id();
+  while (n > 1) {
+    const Node& node = nodes_[n];
+    if (node.low != 0) {
+      assignment[node.var] = false;
+      n = node.low;
+    } else {
+      assignment[node.var] = true;
+      n = node.high;
+    }
+  }
+  return assignment;
+}
+
+bool Manager::eval(Bdd f, const std::vector<bool>& assignment) const {
+  if (assignment.size() != num_vars_) {
+    throw InvalidArgument("Manager::eval: assignment size mismatch");
+  }
+  NodeId n = f.id();
+  while (n > 1) {
+    const Node& node = nodes_[n];
+    n = assignment[node.var] ? node.high : node.low;
+  }
+  return n == 1;
+}
+
+std::size_t Manager::dag_size(Bdd f) const {
+  std::unordered_set<NodeId> visited;
+  std::vector<NodeId> stack{f.id()};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (n <= 1 || !visited.insert(n).second) continue;
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+  return visited.size() + (f.id() <= 1 ? 1 : 2);  // + terminals
+}
+
+std::string Manager::to_dot(Bdd f, const std::string& name) const {
+  std::ostringstream out;
+  out << "digraph \"" << name << "\" {\n";
+  out << "  t0 [label=\"0\", shape=box];\n  t1 [label=\"1\", shape=box];\n";
+  std::unordered_set<NodeId> visited;
+  std::vector<NodeId> stack{f.id()};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (n <= 1 || !visited.insert(n).second) continue;
+    const Node& node = nodes_[n];
+    const auto ref = [](NodeId id) {
+      return id <= 1 ? "t" + std::to_string(id) : "n" + std::to_string(id);
+    };
+    out << "  n" << n << " [label=\"x" << node.var << "\"];\n";
+    out << "  n" << n << " -> " << ref(node.low) << " [style=dashed];\n";
+    out << "  n" << n << " -> " << ref(node.high) << ";\n";
+    stack.push_back(node.low);
+    stack.push_back(node.high);
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace fannet::bdd

@@ -1,0 +1,67 @@
+#include "circuit/to_bdd.hpp"
+
+#include "util/error.hpp"
+
+namespace fannet::circuit {
+
+BddConverter::BddConverter(const Circuit& circuit, bdd::Manager& manager,
+                           std::vector<bdd::Bdd> input_functions)
+    : circuit_(circuit), manager_(manager), inputs_(std::move(input_functions)) {
+  if (inputs_.size() != circuit.num_inputs()) {
+    throw InvalidArgument("BddConverter: one BDD per circuit input required");
+  }
+  memo_.resize(circuit.num_nodes());
+  memo_valid_.assign(circuit.num_nodes(), 0);
+}
+
+bdd::Bdd BddConverter::convert(CLit l) {
+  if (circuit_.num_nodes() > memo_.size()) {
+    memo_.resize(circuit_.num_nodes());
+    memo_valid_.resize(circuit_.num_nodes(), 0);
+  }
+  std::vector<std::uint32_t> stack{l.node()};
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    if (memo_valid_[n]) {
+      stack.pop_back();
+      continue;
+    }
+    if (n == 0) {
+      memo_[n] = manager_.bdd_false();
+      memo_valid_[n] = 1;
+      stack.pop_back();
+      continue;
+    }
+    if (circuit_.is_input(n)) {
+      memo_[n] = inputs_[circuit_.input_ordinal(n)];
+      memo_valid_[n] = 1;
+      stack.pop_back();
+      continue;
+    }
+    const auto [a, b] = circuit_.fanins(n);
+    const bool need_a = !memo_valid_[a.node()];
+    const bool need_b = !memo_valid_[b.node()];
+    if (need_a) stack.push_back(a.node());
+    if (need_b) stack.push_back(b.node());
+    if (need_a || need_b) continue;
+
+    const bdd::Bdd fa =
+        a.complemented() ? manager_.lnot(memo_[a.node()]) : memo_[a.node()];
+    const bdd::Bdd fb =
+        b.complemented() ? manager_.lnot(memo_[b.node()]) : memo_[b.node()];
+    memo_[n] = manager_.land(fa, fb);
+    memo_valid_[n] = 1;
+    stack.pop_back();
+  }
+  const bdd::Bdd f = memo_[l.node()];
+  return l.complemented() ? manager_.lnot(f) : f;
+}
+
+std::vector<bdd::Bdd> BddConverter::convert_word(const Word& w) {
+  std::vector<bdd::Bdd> out;
+  out.reserve(w.size());
+  for (const CLit b : w) out.push_back(convert(b));
+  return out;
+}
+
+}  // namespace fannet::circuit

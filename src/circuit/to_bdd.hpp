@@ -1,0 +1,30 @@
+// Lowers a circuit cone to BDDs (the symbolic model-checking path).
+#pragma once
+
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "circuit/circuit.hpp"
+
+namespace fannet::circuit {
+
+/// Converts circuit literals to BDDs under a fixed mapping from circuit
+/// input ordinals to BDD functions (usually manager variables).  Conversion
+/// is memoized per instance, so share one converter per (circuit, mapping).
+class BddConverter {
+ public:
+  BddConverter(const Circuit& circuit, bdd::Manager& manager,
+               std::vector<bdd::Bdd> input_functions);
+
+  [[nodiscard]] bdd::Bdd convert(CLit l);
+  [[nodiscard]] std::vector<bdd::Bdd> convert_word(const Word& w);
+
+ private:
+  const Circuit& circuit_;
+  bdd::Manager& manager_;
+  std::vector<bdd::Bdd> inputs_;
+  std::vector<bdd::Bdd> memo_;       // per node
+  std::vector<char> memo_valid_;     // per node
+};
+
+}  // namespace fannet::circuit

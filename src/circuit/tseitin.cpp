@@ -1,0 +1,92 @@
+#include "circuit/tseitin.hpp"
+
+#include "util/error.hpp"
+
+namespace fannet::circuit {
+
+TseitinEncoder::TseitinEncoder(const Circuit& circuit, sat::Solver& solver)
+    : circuit_(circuit), solver_(solver) {
+  var_of_.assign(circuit.num_nodes(), sat::kUndefVar);
+}
+
+sat::Var TseitinEncoder::var_of_node(std::uint32_t root) {
+  if (root >= var_of_.size()) {
+    // The circuit may have grown since construction; track it.
+    var_of_.resize(circuit_.num_nodes(), sat::kUndefVar);
+  }
+  if (var_of_[root] != sat::kUndefVar) return var_of_[root];
+
+  // Iterative post-order over the unencoded cone (adder chains are deep
+  // enough to overflow the call stack on large models).
+  std::vector<std::uint32_t> stack{root};
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    if (var_of_[n] != sat::kUndefVar) {
+      stack.pop_back();
+      continue;
+    }
+    if (n == 0) {
+      // Constant-false node: a variable pinned to false.
+      const sat::Var v = solver_.new_var();
+      solver_.add_clause({sat::Lit(v, true)});
+      var_of_[n] = v;
+      stack.pop_back();
+      continue;
+    }
+    if (circuit_.is_input(n)) {
+      var_of_[n] = solver_.new_var();
+      stack.pop_back();
+      continue;
+    }
+    const auto [a, b] = circuit_.fanins(n);
+    const bool need_a = var_of_[a.node()] == sat::kUndefVar;
+    const bool need_b = var_of_[b.node()] == sat::kUndefVar;
+    if (need_a) stack.push_back(a.node());
+    if (need_b) stack.push_back(b.node());
+    if (need_a || need_b) continue;
+
+    const sat::Var v = solver_.new_var();
+    const sat::Lit n_lit(v, false);
+    const sat::Lit a_lit(var_of_[a.node()], a.complemented());
+    const sat::Lit b_lit(var_of_[b.node()], b.complemented());
+    // n <-> a & b
+    solver_.add_clause({~n_lit, a_lit});
+    solver_.add_clause({~n_lit, b_lit});
+    solver_.add_clause({n_lit, ~a_lit, ~b_lit});
+    var_of_[n] = v;
+    stack.pop_back();
+  }
+  return var_of_[root];
+}
+
+sat::Lit TseitinEncoder::lit(CLit l) {
+  const sat::Var v = var_of_node(l.node());
+  return sat::Lit(v, l.complemented());
+}
+
+void TseitinEncoder::assert_true(CLit l) { solver_.add_clause({lit(l)}); }
+
+std::vector<sat::Lit> TseitinEncoder::lits(const Word& w) {
+  std::vector<sat::Lit> out;
+  out.reserve(w.size());
+  for (const CLit b : w) out.push_back(lit(b));
+  return out;
+}
+
+sat::Lit TseitinEncoder::lit_if_encoded(CLit l) const {
+  if (l.node() >= var_of_.size() || var_of_[l.node()] == sat::kUndefVar) {
+    throw InvalidArgument("TseitinEncoder: literal not encoded");
+  }
+  return sat::Lit(var_of_[l.node()], l.complemented());
+}
+
+util::i64 TseitinEncoder::decode_word(const Word& w) const {
+  std::vector<bool> bits(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const sat::Lit l = lit_if_encoded(w[i]);
+    bits[i] = solver_.model_value(l);
+  }
+  return Circuit::decode(w, bits);
+}
+
+}  // namespace fannet::circuit

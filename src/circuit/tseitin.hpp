@@ -1,0 +1,46 @@
+// Tseitin encoding of circuit cones into the CDCL solver.
+//
+// Each AND node gets a solver variable constrained by the three standard
+// clauses; encoding is lazy and cone-restricted, so only logic reachable
+// from asserted/queried literals enters the CNF.  Complemented edges map to
+// negated solver literals for free.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "sat/solver.hpp"
+
+namespace fannet::circuit {
+
+class TseitinEncoder {
+ public:
+  /// Both referees must outlive the encoder.
+  TseitinEncoder(const Circuit& circuit, sat::Solver& solver);
+
+  /// Solver literal equisatisfiable with circuit literal `l` (encodes the
+  /// cone on first use).
+  [[nodiscard]] sat::Lit lit(CLit l);
+
+  /// Adds the unit clause making `l` true.
+  void assert_true(CLit l);
+
+  /// Solver literals for every bit of a word.
+  [[nodiscard]] std::vector<sat::Lit> lits(const Word& w);
+
+  /// Decodes a word from the solver's current model (call after kSat;
+  /// encodes any not-yet-encoded bits first — so call before solve).
+  [[nodiscard]] util::i64 decode_word(const Word& w) const;
+
+  /// Solver variable of an already-encoded literal (throws if not encoded).
+  [[nodiscard]] sat::Lit lit_if_encoded(CLit l) const;
+
+ private:
+  [[nodiscard]] sat::Var var_of_node(std::uint32_t node);
+
+  const Circuit& circuit_;
+  sat::Solver& solver_;
+  std::vector<sat::Var> var_of_;  // per circuit node; kUndefVar = unencoded
+};
+
+}  // namespace fannet::circuit

@@ -1,0 +1,179 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fannet::core {
+
+using util::i64;
+using verify::NoiseBox;
+using verify::Verdict;
+
+BiasReport analyze_bias(const std::vector<CorpusEntry>& corpus,
+                        std::size_t num_labels,
+                        const std::vector<int>& train_labels) {
+  if (num_labels == 0) throw InvalidArgument("analyze_bias: no labels");
+  BiasReport report;
+  report.direction.assign(num_labels,
+                          std::vector<std::uint64_t>(num_labels, 0));
+  report.train_class_counts.assign(num_labels, 0);
+
+  for (const int label : train_labels) {
+    if (label < 0 || static_cast<std::size_t>(label) >= num_labels) {
+      throw InvalidArgument("analyze_bias: train label out of range");
+    }
+    ++report.train_class_counts[static_cast<std::size_t>(label)];
+  }
+  if (!train_labels.empty()) {
+    std::size_t majority = 0;
+    for (std::size_t l = 1; l < num_labels; ++l) {
+      if (report.train_class_counts[l] > report.train_class_counts[majority]) {
+        majority = l;
+      }
+    }
+    report.train_majority_label = static_cast<int>(majority);
+    report.train_majority_fraction =
+        static_cast<double>(report.train_class_counts[majority]) /
+        static_cast<double>(train_labels.size());
+  }
+
+  std::vector<std::uint64_t> flips_to(num_labels, 0);
+  std::uint64_t total = 0;
+  for (const CorpusEntry& entry : corpus) {
+    const auto from = static_cast<std::size_t>(entry.true_label);
+    const auto to = static_cast<std::size_t>(entry.cex.mis_label);
+    if (from >= num_labels || to >= num_labels) {
+      throw InvalidArgument("analyze_bias: corpus label out of range");
+    }
+    ++report.direction[from][to];
+    ++flips_to[to];
+    ++total;
+  }
+  if (total > 0) {
+    std::size_t top = 0;
+    for (std::size_t l = 1; l < num_labels; ++l) {
+      if (flips_to[l] > flips_to[top]) top = l;
+    }
+    report.bias_toward = static_cast<int>(top);
+    report.bias_fraction =
+        static_cast<double>(flips_to[top]) / static_cast<double>(total);
+  }
+  return report;
+}
+
+NodeSensitivityReport analyze_sensitivity(
+    const Fannet& fannet, const la::Matrix<i64>& inputs,
+    const std::vector<int>& labels, int range,
+    const std::vector<CorpusEntry>& corpus) {
+  const std::size_t n = inputs.cols();
+  NodeSensitivityReport report;
+  report.positive.assign(n, 0);
+  report.negative.assign(n, 0);
+  report.zero.assign(n, 0);
+  report.min_delta.assign(n, 0);
+  report.max_delta.assign(n, 0);
+  report.positive_possible.assign(n, false);
+  report.negative_possible.assign(n, false);
+  report.solo_flip_range.assign(n, std::nullopt);
+
+  // Corpus histograms.
+  for (const CorpusEntry& entry : corpus) {
+    if (entry.cex.deltas.size() != n) {
+      throw InvalidArgument("analyze_sensitivity: corpus dimension mismatch");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const int d = entry.cex.deltas[i];
+      if (d > 0) ++report.positive[i];
+      else if (d < 0) ++report.negative[i];
+      else ++report.zero[i];
+      report.min_delta[i] = std::min(report.min_delta[i], d);
+      report.max_delta[i] = std::max(report.max_delta[i], d);
+    }
+  }
+
+  // Sound directional existence + Eq.-3 per-node tolerance, over the
+  // correctly classified samples.
+  const std::vector<std::size_t> bad = fannet.validate_p1(inputs, labels);
+  for (std::size_t s = 0; s < inputs.rows(); ++s) {
+    if (std::find(bad.begin(), bad.end(), s) != bad.end()) continue;
+    const auto row = inputs.row(s);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Directional: delta_i restricted to one sign, others full range.
+      if (!report.positive_possible[i]) {
+        NoiseBox box = NoiseBox::symmetric(n, range);
+        box.lo[i] = 1;
+        if (box.hi[i] >= box.lo[i] &&
+            fannet.check_sample_box(row, labels[s], box, Engine::kBnB)
+                    .verdict == Verdict::kVulnerable) {
+          report.positive_possible[i] = true;
+        }
+      }
+      if (!report.negative_possible[i]) {
+        NoiseBox box = NoiseBox::symmetric(n, range);
+        box.hi[i] = -1;
+        if (box.lo[i] <= box.hi[i] &&
+            fannet.check_sample_box(row, labels[s], box, Engine::kBnB)
+                    .verdict == Verdict::kVulnerable) {
+          report.negative_possible[i] = true;
+        }
+      }
+      // Eq. 3: only node i noised.
+      NoiseBox solo;
+      solo.lo.assign(n, 0);
+      solo.hi.assign(n, 0);
+      solo.lo[i] = -range;
+      solo.hi[i] = range;
+      const auto r =
+          fannet.check_sample_box(row, labels[s], solo, Engine::kBnB);
+      if (r.verdict == Verdict::kVulnerable) {
+        const int flip_at = std::max(std::abs(r.counterexample->deltas[i]), 1);
+        // Tighten: find the minimal |delta_i| that flips via bisection.
+        int lo = 1, hi = flip_at;
+        while (lo < hi) {
+          const int mid = lo + (hi - lo) / 2;
+          NoiseBox probe = solo;
+          probe.lo[i] = -mid;
+          probe.hi[i] = mid;
+          if (fannet.check_sample_box(row, labels[s], probe, Engine::kBnB)
+                  .verdict == Verdict::kVulnerable) {
+            hi = mid;
+          } else {
+            lo = mid + 1;
+          }
+        }
+        if (!report.solo_flip_range[i].has_value() ||
+            lo < *report.solo_flip_range[i]) {
+          report.solo_flip_range[i] = lo;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+BoundaryReport analyze_boundary(const ToleranceReport& tolerance,
+                                int bucket_width, int max_range) {
+  if (bucket_width < 1) {
+    throw InvalidArgument("analyze_boundary: bucket_width must be >= 1");
+  }
+  BoundaryReport report;
+  report.bucket_width = bucket_width;
+  report.histogram.assign(
+      static_cast<std::size_t>((max_range + bucket_width - 1) / bucket_width),
+      0);
+  for (const SampleTolerance& st : tolerance.per_sample) {
+    if (!st.correct_without_noise) continue;
+    report.rows.push_back({st.sample, st.true_label, st.min_flip_range});
+    if (st.min_flip_range.has_value()) {
+      const auto bucket = static_cast<std::size_t>(
+          std::min(*st.min_flip_range - 1, max_range - 1) / bucket_width);
+      ++report.histogram[bucket];
+    } else {
+      ++report.survivors;
+    }
+  }
+  return report;
+}
+
+}  // namespace fannet::core

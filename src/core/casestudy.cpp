@@ -1,0 +1,53 @@
+#include "core/casestudy.hpp"
+
+#include "util/error.hpp"
+
+namespace fannet::core {
+
+CaseStudy build_case_study(const CaseStudyConfig& config) {
+  CaseStudy cs;
+  cs.golub = data::generate_golub(config.golub);
+
+  // Stratified split: label 0 (AML) and label 1 (ALL) training counts.
+  const data::Split split = data::stratified_split(
+      cs.golub.dataset, {config.train_aml, config.train_all},
+      config.split_seed);
+
+  // mRMR on the full-dimensional *training* data only (no test leakage).
+  const data::MrmrResult mrmr =
+      data::mrmr_select(split.train, config.selected_genes, config.mrmr_scheme);
+  cs.selected_genes = mrmr.selected;
+
+  const data::Dataset train_sel = split.train.select_features(mrmr.selected);
+  const data::Dataset test_sel = split.test.select_features(mrmr.selected);
+
+  // Integer grid [1,100], fitted on the training set (paper: inputs i in Z).
+  const data::IntScaler scaler = data::IntScaler::fit(train_sel.features);
+  cs.train_x = scaler.transform(train_sel.features);
+  cs.test_x = scaler.transform(test_sel.features);
+  cs.train_y = train_sel.labels;
+  cs.test_y = test_sel.labels;
+
+  // Train on x/100 with the paper's learning-rate schedule.
+  const la::MatrixD train_norm = data::IntScaler::normalize(cs.train_x);
+  const la::MatrixD test_norm = data::IntScaler::normalize(cs.test_x);
+  cs.network = nn::Network::random(
+      {config.selected_genes, config.hidden_neurons, 2}, config.init_seed);
+  const nn::TrainResult tr =
+      nn::train(cs.network, train_norm, cs.train_y, config.train);
+  cs.train_accuracy = tr.train_accuracy;
+  cs.test_accuracy = nn::accuracy(cs.network, test_norm, cs.test_y);
+
+  // Quantize for the formal analysis (input_norm = 100: x -> x/100).
+  cs.qnet = nn::QuantizedNetwork::quantize(cs.network, data::IntScaler::kHi);
+  return cs;
+}
+
+CaseStudyConfig small_case_study_config() {
+  CaseStudyConfig config;
+  config.golub.num_genes = 300;
+  config.golub.num_informative = 20;
+  return config;
+}
+
+}  // namespace fannet::core

@@ -1,0 +1,52 @@
+// The paper's Section-V case study, end to end:
+// synthetic Golub cohort -> 38/34 stratified split (~70% L1 in training)
+// -> mRMR top-5 genes -> integer scaling -> MATLAB-schedule training
+// -> fixed-point quantization.  Every bench and example builds on this.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "data/golub.hpp"
+#include "data/mrmr.hpp"
+#include "nn/quantized.hpp"
+#include "nn/train.hpp"
+
+namespace fannet::core {
+
+struct CaseStudyConfig {
+  data::GolubConfig golub;            ///< 72 x 7129 cohort (paper §V-A)
+  std::size_t train_all = 27;         ///< L1 training samples (27/38 ≈ 71%)
+  std::size_t train_aml = 11;         ///< L0 training samples
+  std::size_t selected_genes = 5;     ///< mRMR picks (paper: top 5)
+  data::MrmrScheme mrmr_scheme = data::MrmrScheme::kMID;
+  std::size_t hidden_neurons = 20;    ///< paper architecture 5-20-2
+  nn::TrainConfig train;              ///< defaults to the paper's LR schedule
+  std::uint64_t split_seed = 7;
+  /// Calibrated jointly with GolubConfig::sample_noise_sd (see there).
+  std::uint64_t init_seed = 13;
+};
+
+struct CaseStudy {
+  data::GolubData golub;
+  std::vector<std::size_t> selected_genes;  ///< columns picked by mRMR
+
+  la::Matrix<util::i64> train_x;  ///< integer inputs in [1,100]
+  la::Matrix<util::i64> test_x;
+  std::vector<int> train_y;
+  std::vector<int> test_y;
+
+  nn::Network network;
+  nn::QuantizedNetwork qnet;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;   ///< paper: 94.12% (32/34)
+};
+
+/// Runs the full pipeline; deterministic for a given config.
+[[nodiscard]] CaseStudy build_case_study(const CaseStudyConfig& config = {});
+
+/// A small-cohort configuration for fast unit/integration tests (hundreds
+/// of genes instead of 7129; same code paths).
+[[nodiscard]] CaseStudyConfig small_case_study_config();
+
+}  // namespace fannet::core

@@ -1,0 +1,209 @@
+#include "core/fannet.hpp"
+
+#include <algorithm>
+
+#include "core/translate.hpp"
+#include "mc/bmc.hpp"
+#include "mc/explicit.hpp"
+#include "util/error.hpp"
+#include "verify/bnb.hpp"
+#include "verify/enumerate.hpp"
+
+namespace fannet::core {
+
+using util::i64;
+using verify::Counterexample;
+using verify::NoiseBox;
+using verify::Query;
+using verify::Verdict;
+using verify::VerifyResult;
+
+std::string to_string(Engine e) {
+  switch (e) {
+    case Engine::kEnumerate: return "enumerate";
+    case Engine::kBnB: return "bnb";
+    case Engine::kExplicitMc: return "explicit-mc";
+    case Engine::kBmc: return "bmc";
+  }
+  throw InvalidArgument("to_string(Engine): bad enum value");
+}
+
+Query Fannet::make_query(std::span<const i64> x, int true_label,
+                         const NoiseBox& box, bool bias_node) const {
+  Query q;
+  q.net = net_;
+  q.x.assign(x.begin(), x.end());
+  q.true_label = true_label;
+  q.box = box;
+  q.bias_node = bias_node;
+  q.validate();
+  return q;
+}
+
+std::vector<std::size_t> Fannet::validate_p1(
+    const la::Matrix<i64>& inputs, const std::vector<int>& labels) const {
+  if (inputs.rows() != labels.size()) {
+    throw InvalidArgument("validate_p1: inputs/labels size mismatch");
+  }
+  std::vector<std::size_t> misclassified;
+  for (std::size_t s = 0; s < inputs.rows(); ++s) {
+    const auto row = inputs.row(s);
+    if (net_->classify_noised(row, {}) != labels[s]) {
+      misclassified.push_back(s);
+    }
+  }
+  return misclassified;
+}
+
+VerifyResult Fannet::check_sample(std::span<const i64> x, int true_label,
+                                  int range, Engine engine,
+                                  bool bias_node) const {
+  const std::size_t dims = x.size() + (bias_node ? 1 : 0);
+  return check_sample_box(x, true_label, NoiseBox::symmetric(dims, range),
+                          engine, bias_node);
+}
+
+VerifyResult Fannet::check_sample_box(std::span<const i64> x, int true_label,
+                                      const NoiseBox& box, Engine engine,
+                                      bool bias_node) const {
+  const Query q = make_query(x, true_label, box, bias_node);
+  switch (engine) {
+    case Engine::kEnumerate:
+      return verify::enumerate_find_first(q);
+    case Engine::kBnB:
+      return verify::bnb_verify(q);
+    case Engine::kExplicitMc: {
+      const Translation t = translate_sample(q);
+      const mc::ExplicitChecker checker(t.module);
+      const mc::InvariantResult r = checker.check_invariant(t.module.specs().front().expr);
+      VerifyResult out;
+      out.work = r.states_explored;
+      if (r.holds) {
+        out.verdict = Verdict::kRobust;
+      } else {
+        out.verdict = Verdict::kVulnerable;
+        out.counterexample =
+            decode_counterexample(t, q, r.counterexample.states.back());
+      }
+      return out;
+    }
+    case Engine::kBmc: {
+      const Translation t = translate_sample(q);
+      mc::BmcChecker checker(t.module);
+      // Depth 1 reaches the first s_eval state; the noise is re-chosen
+      // every cycle, so deeper states add no new noise vectors.
+      const mc::BmcResult r =
+          checker.check_invariant(t.module.specs().front().expr, 1);
+      VerifyResult out;
+      out.work = 1;
+      if (r.verdict == sat::SolveResult::kSat) {
+        out.verdict = Verdict::kVulnerable;
+        out.counterexample =
+            decode_counterexample(t, q, r.counterexample.states.back());
+      } else if (r.verdict == sat::SolveResult::kUnsat) {
+        out.verdict = Verdict::kRobust;
+      } else {
+        out.verdict = Verdict::kUnknown;
+      }
+      return out;
+    }
+  }
+  throw InvalidArgument("check_sample_box: bad engine");
+}
+
+ToleranceReport Fannet::analyze_tolerance(const la::Matrix<i64>& inputs,
+                                          const std::vector<int>& labels,
+                                          const ToleranceConfig& config) const {
+  if (config.start_range < 1) {
+    throw InvalidArgument("analyze_tolerance: start_range must be >= 1");
+  }
+  ToleranceReport report;
+  const std::vector<std::size_t> bad = validate_p1(inputs, labels);
+
+  for (std::size_t s = 0; s < inputs.rows(); ++s) {
+    SampleTolerance st;
+    st.sample = s;
+    st.true_label = labels[s];
+    st.correct_without_noise =
+        std::find(bad.begin(), bad.end(), s) == bad.end();
+    if (!st.correct_without_noise) {
+      report.per_sample.push_back(std::move(st));
+      continue;  // the paper analyzes only correctly classified inputs
+    }
+    const auto row = inputs.row(s);
+    const auto flips_at = [&](int range) {
+      ++report.queries;
+      return check_sample(row, labels[s], range, config.engine,
+                          config.bias_node);
+    };
+    if (config.descent == ToleranceConfig::Descent::kBinary) {
+      // Monotone: a counterexample in ±R stays available in every ±R' > R.
+      VerifyResult at_max = flips_at(config.start_range);
+      if (at_max.verdict != Verdict::kVulnerable) {
+        report.per_sample.push_back(std::move(st));
+        continue;
+      }
+      int lo = 1, hi = config.start_range;
+      std::optional<Counterexample> witness = at_max.counterexample;
+      while (lo < hi) {
+        const int mid = lo + (hi - lo) / 2;
+        VerifyResult r = flips_at(mid);
+        if (r.verdict == Verdict::kVulnerable) {
+          witness = r.counterexample;
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      st.min_flip_range = lo;
+      st.witness = witness;
+    } else {
+      // The paper's loop: start large, reduce until no counterexample.
+      std::optional<int> min_flip;
+      std::optional<Counterexample> witness;
+      for (int range = config.start_range; range >= 1; --range) {
+        VerifyResult r = flips_at(range);
+        if (r.verdict != Verdict::kVulnerable) break;
+        min_flip = range;
+        witness = r.counterexample;
+      }
+      st.min_flip_range = min_flip;
+      st.witness = witness;
+    }
+    report.per_sample.push_back(std::move(st));
+  }
+
+  // Tolerance: largest range with no flip among correct samples.
+  int tolerance = config.start_range;
+  for (const SampleTolerance& st : report.per_sample) {
+    if (st.min_flip_range.has_value()) {
+      tolerance = std::min(tolerance, *st.min_flip_range - 1);
+    }
+  }
+  report.noise_tolerance = tolerance;
+  return report;
+}
+
+std::vector<CorpusEntry> Fannet::extract_corpus(const la::Matrix<i64>& inputs,
+                                                const std::vector<int>& labels,
+                                                int range,
+                                                std::size_t max_per_sample,
+                                                bool bias_node) const {
+  std::vector<CorpusEntry> corpus;
+  const std::vector<std::size_t> bad = validate_p1(inputs, labels);
+  for (std::size_t s = 0; s < inputs.rows(); ++s) {
+    if (std::find(bad.begin(), bad.end(), s) != bad.end()) continue;
+    const auto row = inputs.row(s);
+    const std::size_t dims = row.size() + (bias_node ? 1 : 0);
+    const Query q = make_query(row, labels[s],
+                               NoiseBox::symmetric(dims, range), bias_node);
+    // P3 loop: each new counterexample is blocked and the search resumes —
+    // bnb_stream does exactly this by construction (boxes are disjoint).
+    for (Counterexample& cex : verify::bnb_collect(q, max_per_sample)) {
+      corpus.push_back({s, labels[s], std::move(cex)});
+    }
+  }
+  return corpus;
+}
+
+}  // namespace fannet::core

@@ -1,0 +1,106 @@
+// The FANNet pipeline (paper Fig. 2): P1 validation, noise-tolerance
+// analysis, adversarial noise-vector extraction.
+//
+// The engine enum selects how the P2 query ("can any noise vector in ±R
+// flip this sample?") is decided; all engines are exact on the integer
+// grid and agree by construction (asserted by the property tests):
+//
+//   kEnumerate    exhaustive grid walk (reference oracle)
+//   kBnB          branch-and-bound with symbolic pruning (default)
+//   kExplicitMc   SMV translation + explicit-state model checker
+//   kBmc          SMV translation + bit-blasting + CDCL bounded MC
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "la/matrix.hpp"
+#include "nn/quantized.hpp"
+#include "verify/query.hpp"
+
+namespace fannet::core {
+
+enum class Engine : std::uint8_t { kEnumerate, kBnB, kExplicitMc, kBmc };
+
+[[nodiscard]] std::string to_string(Engine e);
+
+struct ToleranceConfig {
+  int start_range = 50;  ///< the paper's "large initial noise" (±50%)
+  Engine engine = Engine::kBnB;
+  bool bias_node = false;
+  /// kBinary: bisection on the per-sample minimal flipping range.
+  /// kLinear: the paper's iterative noise reduction (same result, slower).
+  enum class Descent : std::uint8_t { kBinary, kLinear } descent = Descent::kBinary;
+};
+
+struct SampleTolerance {
+  std::size_t sample = 0;
+  int true_label = 0;
+  bool correct_without_noise = false;
+  /// Smallest range ±R containing a counterexample; nullopt if none up to
+  /// the configured start_range (the sample survives even the largest noise).
+  std::optional<int> min_flip_range;
+  std::optional<verify::Counterexample> witness;
+};
+
+struct ToleranceReport {
+  /// The paper's headline number: the largest ±R with zero misclassified
+  /// correctly-classified inputs (their net: 11%).
+  int noise_tolerance = 0;
+  std::vector<SampleTolerance> per_sample;
+  std::uint64_t queries = 0;
+};
+
+/// One corpus row for the bias/sensitivity analyses.
+struct CorpusEntry {
+  std::size_t sample = 0;
+  int true_label = 0;
+  verify::Counterexample cex;
+};
+
+class Fannet {
+ public:
+  explicit Fannet(const nn::QuantizedNetwork& net) : net_(&net) {}
+
+  /// P1 (Fig. 2): functional validation of the translated model — returns
+  /// the indices of samples the network misclassifies without noise.  Only
+  /// samples outside this set enter the noise analysis (paper §V-C).
+  [[nodiscard]] std::vector<std::size_t> validate_p1(
+      const la::Matrix<util::i64>& inputs, const std::vector<int>& labels) const;
+
+  /// One P2 decision at range ±`range`.
+  [[nodiscard]] verify::VerifyResult check_sample(
+      std::span<const util::i64> x, int true_label, int range, Engine engine,
+      bool bias_node = false) const;
+
+  /// Directional/per-node variant with an explicit box.
+  [[nodiscard]] verify::VerifyResult check_sample_box(
+      std::span<const util::i64> x, int true_label,
+      const verify::NoiseBox& box, Engine engine,
+      bool bias_node = false) const;
+
+  /// Full noise-tolerance analysis over the (test) set.
+  [[nodiscard]] ToleranceReport analyze_tolerance(
+      const la::Matrix<util::i64>& inputs, const std::vector<int>& labels,
+      const ToleranceConfig& config) const;
+
+  /// P3 (Fig. 2): extract up to `max_per_sample` unique adversarial noise
+  /// vectors per correctly-classified sample at range ±`range`.
+  [[nodiscard]] std::vector<CorpusEntry> extract_corpus(
+      const la::Matrix<util::i64>& inputs, const std::vector<int>& labels,
+      int range, std::size_t max_per_sample, bool bias_node = false) const;
+
+  [[nodiscard]] const nn::QuantizedNetwork& net() const noexcept {
+    return *net_;
+  }
+
+ private:
+  [[nodiscard]] verify::Query make_query(std::span<const util::i64> x,
+                                         int true_label,
+                                         const verify::NoiseBox& box,
+                                         bool bias_node) const;
+
+  const nn::QuantizedNetwork* net_;
+};
+
+}  // namespace fannet::core

@@ -1,0 +1,106 @@
+#include "core/faults.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/report.hpp"
+#include "util/error.hpp"
+
+namespace fannet::core {
+
+using util::i64;
+
+WeightFaultReport analyze_weight_faults(const nn::QuantizedNetwork& net,
+                                        const la::Matrix<i64>& inputs,
+                                        const std::vector<int>& labels,
+                                        const WeightFaultConfig& config) {
+  if (inputs.rows() != labels.size()) {
+    throw InvalidArgument("analyze_weight_faults: inputs/labels mismatch");
+  }
+  if (config.max_percent < 1 || config.step < 1) {
+    throw InvalidArgument("analyze_weight_faults: bad scan parameters");
+  }
+
+  // Only correctly-classified samples count (as in the noise analyses).
+  std::vector<std::size_t> correct;
+  for (std::size_t s = 0; s < inputs.rows(); ++s) {
+    if (net.classify_noised(inputs.row(s), {}) == labels[s]) {
+      correct.push_back(s);
+    }
+  }
+
+  WeightFaultReport report;
+  for (std::size_t li = 0; li < net.depth(); ++li) {
+    const nn::QLayer& layer = net.layers()[li];
+    for (std::size_t row = 0; row < layer.out_dim(); ++row) {
+      for (std::size_t col = 0; col <= layer.in_dim(); ++col) {
+        WeightFault fault;
+        fault.layer = li;
+        fault.row = row;
+        fault.col = (col == layer.in_dim()) ? ~std::size_t{0} : col;
+
+        // Scan |p| ascending so the first hit is the minimal one.
+        for (int magnitude = config.step;
+             magnitude <= config.max_percent && !fault.min_flip_percent;
+             magnitude += config.step) {
+          for (const int sign : {+1, -1}) {
+            const nn::QuantizedNetwork mutated =
+                net.with_scaled_param(li, row, col, sign * magnitude);
+            for (const std::size_t s : correct) {
+              ++report.evaluations;
+              if (mutated.classify_noised(inputs.row(s), {}) != labels[s]) {
+                fault.min_flip_percent = magnitude;
+                fault.flip_sign = sign;
+                fault.flipped_sample = s;
+                break;
+              }
+            }
+            if (fault.min_flip_percent) break;
+          }
+        }
+        if (!fault.min_flip_percent) ++report.robust_weights;
+        report.faults.push_back(fault);
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<WeightFault> most_fragile_weights(const WeightFaultReport& report,
+                                              std::size_t count) {
+  std::vector<WeightFault> fragile;
+  for (const WeightFault& f : report.faults) {
+    if (f.min_flip_percent) fragile.push_back(f);
+  }
+  std::stable_sort(fragile.begin(), fragile.end(),
+                   [](const WeightFault& a, const WeightFault& b) {
+                     return *a.min_flip_percent < *b.min_flip_percent;
+                   });
+  if (fragile.size() > count) fragile.resize(count);
+  return fragile;
+}
+
+std::string format_weight_faults(const WeightFaultReport& report,
+                                 std::size_t top_count) {
+  TextTable t({"rank", "parameter", "min flip", "direction", "sample"});
+  const auto fragile = most_fragile_weights(report, top_count);
+  for (std::size_t i = 0; i < fragile.size(); ++i) {
+    const WeightFault& f = fragile[i];
+    std::ostringstream name;
+    name << "L" << f.layer << "[" << f.row << "]";
+    if (f.is_bias()) name << ".bias";
+    else name << "[" << f.col << "]";
+    t.add_row({std::to_string(i + 1), name.str(),
+               "+/-" + std::to_string(*f.min_flip_percent) + "%",
+               f.flip_sign > 0 ? "+" : "-",
+               std::to_string(f.flipped_sample)});
+  }
+  std::ostringstream out;
+  out << t.to_string();
+  out << "Parameters that never flip within the scanned range: "
+      << report.robust_weights << "/" << report.faults.size() << "  ("
+      << report.evaluations << " exact evaluations)\n";
+  return out.str();
+}
+
+}  // namespace fannet::core

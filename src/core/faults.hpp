@@ -1,0 +1,66 @@
+// Extension: weight-fault sensitivity (the hardware-reliability twin of
+// the paper's input-noise analysis).
+//
+// Input noise models sensor/acquisition error; perturbing a *weight*
+// models memory faults, quantization drift, or aging in a hardware NN
+// accelerator.  For every weight w of the quantized network this analysis
+// finds the smallest integer-percent perturbation p (w' = w*(100+p)/100,
+// exact fixed-point) that misclassifies at least one correctly-classified
+// test sample — ranking the parameters whose storage needs the strongest
+// protection, exactly how §V-C.4 ranks the input nodes that need precise
+// acquisition.
+//
+// The scan is exact: every candidate percentage is evaluated with the
+// integer evaluator (no bounds, no floats); completeness over the +/-100%
+// grid follows by exhaustion.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "nn/quantized.hpp"
+
+namespace fannet::core {
+
+struct WeightFault {
+  std::size_t layer = 0;
+  std::size_t row = 0;   ///< output neuron index
+  std::size_t col = 0;   ///< input index (== in_dim means the bias entry)
+  /// Smallest |p| (percent) whose application flips some sample; the sign
+  /// that achieves it.  nullopt = no perturbation up to max_percent flips
+  /// anything (a "don't-care" weight for this test set).
+  std::optional<int> min_flip_percent;
+  int flip_sign = 0;
+  std::size_t flipped_sample = 0;
+
+  [[nodiscard]] bool is_bias() const noexcept { return col == ~std::size_t{0}; }
+};
+
+struct WeightFaultReport {
+  std::vector<WeightFault> faults;   ///< one entry per parameter, scan order
+  std::size_t robust_weights = 0;    ///< parameters with no flip in range
+  std::uint64_t evaluations = 0;     ///< exact forward passes performed
+};
+
+struct WeightFaultConfig {
+  int max_percent = 50;   ///< scan p in [-max, +max] \ {0}
+  int step = 1;           ///< percent granularity
+};
+
+/// Scans every weight and bias of `net` against the correctly-classified
+/// rows of (inputs, labels).  Exact and deterministic.
+[[nodiscard]] WeightFaultReport analyze_weight_faults(
+    const nn::QuantizedNetwork& net, const la::Matrix<util::i64>& inputs,
+    const std::vector<int>& labels, const WeightFaultConfig& config = {});
+
+/// The `count` most fragile parameters (smallest min_flip_percent first).
+[[nodiscard]] std::vector<WeightFault> most_fragile_weights(
+    const WeightFaultReport& report, std::size_t count);
+
+/// Formats the ranking as an aligned text table.
+[[nodiscard]] std::string format_weight_faults(const WeightFaultReport& report,
+                                               std::size_t top_count = 10);
+
+}  // namespace fannet::core

@@ -1,0 +1,140 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fannet::core {
+
+TextTable::TextTable(std::vector<std::string> headers) {
+  if (headers.empty()) throw InvalidArgument("TextTable: empty header");
+  rows_.push_back(std::move(headers));
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != rows_.front().size()) {
+    throw InvalidArgument("TextTable::add_row: column count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(rows_.front().size(), 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      out << rows_[r][c];
+      if (c + 1 < rows_[r].size()) {
+        out << std::string(widths[c] - rows_[r][c].size() + 2, ' ');
+      }
+    }
+    out << "\n";
+    if (r == 0) {
+      std::size_t total = 0;
+      for (const std::size_t w : widths) total += w + 2;
+      out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    }
+  }
+  return out.str();
+}
+
+util::CsvTable TextTable::to_csv() const { return rows_; }
+
+std::string format_tolerance(const ToleranceReport& report) {
+  TextTable t({"sample", "label", "correct", "min flip range", "witness"});
+  for (const SampleTolerance& st : report.per_sample) {
+    std::string witness = "-";
+    if (st.witness.has_value()) {
+      witness = "[";
+      for (std::size_t i = 0; i < st.witness->deltas.size(); ++i) {
+        if (i != 0) witness += ",";
+        witness += std::to_string(st.witness->deltas[i]);
+      }
+      witness += "]%";
+    }
+    t.add_row({std::to_string(st.sample),
+               "L" + std::to_string(st.true_label),
+               st.correct_without_noise ? "yes" : "NO",
+               st.min_flip_range.has_value()
+                   ? "+/-" + std::to_string(*st.min_flip_range) + "%"
+                   : "none",
+               witness});
+  }
+  std::ostringstream out;
+  out << t.to_string();
+  out << "Noise tolerance: +/-" << report.noise_tolerance << "% ("
+      << report.queries << " formal queries)\n";
+  return out.str();
+}
+
+std::string format_bias(const BiasReport& report) {
+  const std::size_t n = report.direction.size();
+  TextTable t({"direction", "count"});
+  for (std::size_t from = 0; from < n; ++from) {
+    for (std::size_t to = 0; to < n; ++to) {
+      if (from == to) continue;
+      t.add_row({"L" + std::to_string(from) + " -> L" + std::to_string(to),
+                 std::to_string(report.direction[from][to])});
+    }
+  }
+  std::ostringstream out;
+  out << t.to_string();
+  if (report.train_majority_label >= 0) {
+    out << "Training set: ";
+    for (std::size_t l = 0; l < report.train_class_counts.size(); ++l) {
+      if (l != 0) out << " / ";
+      out << "L" << l << "=" << report.train_class_counts[l];
+    }
+    out << "  (majority L" << report.train_majority_label << ": "
+        << static_cast<int>(report.train_majority_fraction * 100.0 + 0.5)
+        << "%)\n";
+  }
+  if (report.bias_toward >= 0) {
+    out << "Misclassification bias toward L" << report.bias_toward << ": "
+        << static_cast<int>(report.bias_fraction * 100.0 + 0.5)
+        << "% of all flips\n";
+  }
+  return out.str();
+}
+
+std::string format_sensitivity(const NodeSensitivityReport& report) {
+  TextTable t({"node", "cex d>0", "cex d<0", "cex d=0", "min d", "max d",
+               "pos possible", "neg possible", "solo flip at"});
+  for (std::size_t i = 0; i < report.positive.size(); ++i) {
+    t.add_row({"i" + std::to_string(i + 1),
+               std::to_string(report.positive[i]),
+               std::to_string(report.negative[i]),
+               std::to_string(report.zero[i]),
+               std::to_string(report.min_delta[i]),
+               std::to_string(report.max_delta[i]),
+               report.positive_possible[i] ? "yes" : "NO",
+               report.negative_possible[i] ? "yes" : "NO",
+               report.solo_flip_range[i].has_value()
+                   ? "+/-" + std::to_string(*report.solo_flip_range[i]) + "%"
+                   : "never"});
+  }
+  return t.to_string();
+}
+
+std::string format_boundary(const BoundaryReport& report) {
+  TextTable t({"min flip range bucket", "samples"});
+  for (std::size_t b = 0; b < report.histogram.size(); ++b) {
+    const int lo = static_cast<int>(b) * report.bucket_width + 1;
+    const int hi = (static_cast<int>(b) + 1) * report.bucket_width;
+    t.add_row({"+/-" + std::to_string(lo) + "..." + std::to_string(hi) + "%",
+               std::to_string(report.histogram[b])});
+  }
+  std::ostringstream out;
+  out << t.to_string();
+  out << "Samples surviving the full range (far from boundary): "
+      << report.survivors << "\n";
+  return out.str();
+}
+
+}  // namespace fannet::core

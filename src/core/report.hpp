@@ -1,0 +1,33 @@
+// Report formatting shared by the bench harnesses and examples: aligned
+// text tables (what the bench binaries print, mirroring the paper's
+// figures/numbers) plus CSV export for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "util/csv.hpp"
+
+namespace fannet::core {
+
+/// Minimal aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] util::CsvTable to_csv() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;  // [0] = header
+};
+
+[[nodiscard]] std::string format_tolerance(const ToleranceReport& report);
+[[nodiscard]] std::string format_bias(const BiasReport& report);
+[[nodiscard]] std::string format_sensitivity(
+    const NodeSensitivityReport& report);
+[[nodiscard]] std::string format_boundary(const BoundaryReport& report);
+
+}  // namespace fannet::core

@@ -1,0 +1,200 @@
+#include "core/translate.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace fannet::core {
+
+using smv::ExprId;
+using smv::Module;
+using smv::i64;
+
+namespace {
+
+/// DEFINE chain for the network body; returns the define index of OC.
+std::size_t emit_network_defines(Module& m, const verify::Query& q,
+                                 const std::vector<std::size_t>& delta_vars,
+                                 bool with_noise) {
+  const nn::QuantizedNetwork& net = *q.net;
+  const std::size_t n = q.x.size();
+
+  // X_i := x_i * (100 + d_i)  — scaled noisy inputs.
+  std::vector<std::size_t> act_defs;  // define indices of current activations
+  for (std::size_t i = 0; i < n; ++i) {
+    ExprId factor = m.e_const(nn::kNoiseDen);
+    if (with_noise) {
+      factor = m.e_binary(smv::Op::kAdd, factor, m.e_var(delta_vars[i]));
+    }
+    const ExprId xi =
+        m.e_binary(smv::Op::kMul, m.e_const(q.x[i]), factor);
+    act_defs.push_back(m.add_define("X" + std::to_string(i + 1), xi));
+  }
+  // Bias-node factor (100 + d_bias) * input_norm for the first layer.
+  ExprId bias_factor = m.e_const(nn::kNoiseDen);
+  if (with_noise && q.bias_node) {
+    bias_factor =
+        m.e_binary(smv::Op::kAdd, bias_factor, m.e_var(delta_vars[n]));
+  }
+
+  i64 act_scale = util::checked_mul(net.input_norm(), nn::kNoiseDen);
+  for (std::size_t li = 0; li < net.depth(); ++li) {
+    const nn::QLayer& layer = net.layers()[li];
+    std::vector<std::size_t> next_defs;
+    for (std::size_t j = 0; j < layer.out_dim(); ++j) {
+      // n_j := sum_i W_ji * act_i + bias term.
+      ExprId acc;
+      if (li == 0) {
+        acc = m.e_binary(
+            smv::Op::kMul,
+            m.e_const(util::checked_mul(layer.bias[j], net.input_norm())),
+            bias_factor);
+      } else {
+        acc = m.e_const(util::checked_mul(layer.bias[j], act_scale));
+      }
+      const auto row = layer.weights.row(j);
+      for (std::size_t i = 0; i < layer.in_dim(); ++i) {
+        if (row[i] == 0) continue;
+        const ExprId term = m.e_binary(smv::Op::kMul, m.e_const(row[i]),
+                                       m.e_def(act_defs[i]));
+        acc = m.e_binary(smv::Op::kAdd, acc, term);
+      }
+      const std::string base =
+          (li + 1 == net.depth()) ? "o" : "n" + std::to_string(li + 1) + "_";
+      const std::size_t pre =
+          m.add_define(base + std::to_string(j + 1), acc);
+      if (layer.relu && li + 1 != net.depth()) {
+        // a_j := case n_j > 0 : n_j; TRUE : 0; esac
+        const ExprId relu = m.e_case({
+            m.e_binary(smv::Op::kGt, m.e_def(pre), m.e_const(0)),
+            m.e_def(pre),
+            m.e_bool(true),
+            m.e_const(0),
+        });
+        next_defs.push_back(m.add_define(
+            "a" + std::to_string(li + 1) + "_" + std::to_string(j + 1), relu));
+      } else {
+        next_defs.push_back(pre);
+      }
+    }
+    act_defs = std::move(next_defs);
+    act_scale = util::checked_mul(act_scale, util::Fixed::kScale);
+  }
+
+  // OC := argmax with ties to the lower index (the paper's output maxpool).
+  const std::size_t outs = act_defs.size();
+  std::vector<ExprId> arms;
+  for (std::size_t k = 0; k + 1 < outs; ++k) {
+    ExprId cond = m.e_bool(true);
+    for (std::size_t j = 0; j < outs; ++j) {
+      if (j == k) continue;
+      const smv::Op cmp = (j < k) ? smv::Op::kGt : smv::Op::kGe;
+      cond = m.e_binary(smv::Op::kAnd, cond,
+                        m.e_binary(cmp, m.e_def(act_defs[k]),
+                                   m.e_def(act_defs[j])));
+    }
+    arms.push_back(cond);
+    arms.push_back(m.e_const(static_cast<i64>(k)));
+  }
+  arms.push_back(m.e_bool(true));
+  arms.push_back(m.e_const(static_cast<i64>(outs - 1)));
+  return m.add_define("OC", m.e_case(std::move(arms)));
+}
+
+}  // namespace
+
+Translation translate_sample(const verify::Query& q, bool with_noise) {
+  q.validate();
+  Translation t;
+  Module& m = t.module;
+  m.name = "main";
+
+  t.layout.phase_var =
+      m.add_var("phase", smv::EnumType{{"s_init", "s_eval"}});
+  t.layout.eval_phase_value = m.symbol_value("s_eval");
+
+  const std::size_t dims = q.noise_dims();
+  for (std::size_t d = 0; d < dims; ++d) {
+    const std::string name =
+        (d < q.x.size()) ? "d" + std::to_string(d + 1) : "d_bias";
+    const int lo = with_noise ? q.box.lo[d] : 0;
+    const int hi = with_noise ? q.box.hi[d] : 0;
+    t.layout.delta_vars.push_back(m.add_var(name, smv::RangeType{lo, hi}));
+  }
+
+  // phase: s_init -> s_eval (absorbing).
+  m.set_init("phase", m.e_symbol("s_init"));
+  m.set_next("phase", m.e_symbol("s_eval"));
+  // Noise: zero initially, re-chosen nondeterministically every cycle.
+  for (std::size_t d = 0; d < dims; ++d) {
+    const int lo = with_noise ? q.box.lo[d] : 0;
+    const int hi = with_noise ? q.box.hi[d] : 0;
+    const std::string& name = m.vars()[t.layout.delta_vars[d]].name;
+    m.set_init(name, m.e_const(with_noise && lo > 0 ? lo : (hi < 0 ? hi : 0)));
+    m.set_next(name, m.e_range(m.e_const(lo), m.e_const(hi)));
+  }
+
+  const std::size_t oc = emit_network_defines(m, q, t.layout.delta_vars,
+                                              with_noise);
+
+  // P2 (or P1 when with_noise == false): evaluated states classify as Sx.
+  smv::Spec spec;
+  spec.kind = smv::SpecKind::kInvarSpec;
+  spec.name = with_noise ? "P2: OCn = Sx under noise" : "P1: OC = Sx";
+  spec.expr = m.e_binary(
+      smv::Op::kImplies,
+      m.e_binary(smv::Op::kEq, m.e_var(t.layout.phase_var),
+                 m.e_symbol("s_eval")),
+      m.e_binary(smv::Op::kEq, m.e_def(oc), m.e_const(q.true_label)));
+  m.add_spec(spec);
+  return t;
+}
+
+verify::Counterexample decode_counterexample(const Translation& t,
+                                             const verify::Query& q,
+                                             const smv::State& state) {
+  verify::Counterexample cex;
+  cex.deltas.reserve(q.x.size());
+  for (std::size_t i = 0; i < q.x.size(); ++i) {
+    cex.deltas.push_back(
+        static_cast<int>(state.at(t.layout.delta_vars[i])));
+  }
+  cex.bias_delta =
+      q.bias_node ? static_cast<int>(state.at(t.layout.delta_vars[q.x.size()]))
+                  : 0;
+  std::vector<int> all(cex.deltas);
+  if (q.bias_node) all.push_back(cex.bias_delta);
+  cex.mis_label = verify::classify_under_noise(q, all);
+  return cex;
+}
+
+smv::Module make_fig3_label_fsm() {
+  Module m;
+  m.name = "fig3_label_fsm";
+  m.add_var("state", smv::EnumType{{"Initial", "L0", "L1"}});
+  m.set_init("state", m.e_symbol("Initial"));
+  // Each cycle consumes one (nondeterministic) input sample and lands in
+  // the label it classifies to; Initial is never re-entered.
+  m.set_next("state", m.e_set({m.e_symbol("L0"), m.e_symbol("L1")}));
+  return m;
+}
+
+smv::Module make_fig3_noise_fsm(std::size_t nodes, int delta_max) {
+  if (nodes == 0 || delta_max < 0) {
+    throw InvalidArgument("make_fig3_noise_fsm: bad parameters");
+  }
+  Module m;
+  m.name = "fig3_noise_fsm";
+  m.add_var("phase", smv::EnumType{{"s_init", "s_eval"}});
+  m.set_init("phase", m.e_symbol("s_init"));
+  m.set_next("phase", m.e_symbol("s_eval"));
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const std::string name = "n" + std::to_string(i + 1);
+    m.add_var(name, smv::RangeType{0, delta_max});
+    m.set_init(name, m.e_const(0));
+    m.set_next(name, m.e_range(m.e_const(0), m.e_const(delta_max)));
+  }
+  return m;
+}
+
+}  // namespace fannet::core

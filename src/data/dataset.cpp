@@ -1,0 +1,134 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fannet::data {
+
+std::size_t Dataset::count_label(int label) const {
+  return static_cast<std::size_t>(
+      std::count(labels.begin(), labels.end(), label));
+}
+
+Dataset Dataset::select_features(const std::vector<std::size_t>& columns) const {
+  Dataset out;
+  out.labels = labels;
+  out.features = la::MatrixD(size(), columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c] >= num_features()) {
+      throw InvalidArgument("select_features: column out of range");
+    }
+    for (std::size_t r = 0; r < size(); ++r) {
+      out.features(r, c) = features(r, columns[c]);
+    }
+    if (!genes.empty()) out.genes.push_back(genes[columns[c]]);
+  }
+  return out;
+}
+
+Dataset Dataset::select_samples(const std::vector<std::size_t>& rows) const {
+  Dataset out;
+  out.genes = genes;
+  out.features = la::MatrixD(rows.size(), num_features());
+  out.labels.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] >= size()) {
+      throw InvalidArgument("select_samples: row out of range");
+    }
+    for (std::size_t c = 0; c < num_features(); ++c) {
+      out.features(i, c) = features(rows[i], c);
+    }
+    out.labels.push_back(labels[rows[i]]);
+  }
+  return out;
+}
+
+Split stratified_split(const Dataset& full,
+                       const std::vector<std::size_t>& train_per_label,
+                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::size_t> train_rows;
+  std::vector<std::size_t> test_rows;
+
+  for (std::size_t label = 0; label < train_per_label.size(); ++label) {
+    std::vector<std::size_t> rows;
+    for (std::size_t r = 0; r < full.size(); ++r) {
+      if (full.labels[r] == static_cast<int>(label)) rows.push_back(r);
+    }
+    if (rows.size() < train_per_label[label]) {
+      throw InvalidArgument("stratified_split: label " + std::to_string(label) +
+                            " has only " + std::to_string(rows.size()) +
+                            " samples");
+    }
+    // Fisher-Yates shuffle with the deterministic RNG.
+    for (std::size_t i = rows.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(rows[i - 1], rows[j]);
+    }
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      (i < train_per_label[label] ? train_rows : test_rows).push_back(rows[i]);
+    }
+  }
+  // Any label beyond the config's vector goes entirely to test.
+  for (std::size_t r = 0; r < full.size(); ++r) {
+    if (full.labels[r] >= static_cast<int>(train_per_label.size())) {
+      test_rows.push_back(r);
+    }
+  }
+  std::sort(train_rows.begin(), train_rows.end());
+  std::sort(test_rows.begin(), test_rows.end());
+  return {full.select_samples(train_rows), full.select_samples(test_rows)};
+}
+
+IntScaler IntScaler::fit(const la::MatrixD& train) {
+  if (train.rows() == 0) throw InvalidArgument("IntScaler::fit: empty matrix");
+  IntScaler s;
+  s.mins_.assign(train.cols(), 0.0);
+  s.maxs_.assign(train.cols(), 0.0);
+  for (std::size_t c = 0; c < train.cols(); ++c) {
+    double lo = train(0, c), hi = train(0, c);
+    for (std::size_t r = 1; r < train.rows(); ++r) {
+      lo = std::min(lo, train(r, c));
+      hi = std::max(hi, train(r, c));
+    }
+    s.mins_[c] = lo;
+    s.maxs_[c] = hi;
+  }
+  return s;
+}
+
+la::Matrix<std::int64_t> IntScaler::transform(const la::MatrixD& m) const {
+  if (m.cols() != mins_.size()) {
+    throw InvalidArgument("IntScaler::transform: feature count mismatch");
+  }
+  la::Matrix<std::int64_t> out(m.rows(), m.cols());
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    const double lo = mins_[c];
+    const double span = maxs_[c] - lo;
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      double t = (span > 0.0) ? (m(r, c) - lo) / span : 0.5;
+      t = std::clamp(t, 0.0, 1.0);
+      const double v = static_cast<double>(kLo) +
+                       t * static_cast<double>(kHi - kLo);
+      out(r, c) = static_cast<std::int64_t>(std::lround(v));
+    }
+  }
+  return out;
+}
+
+la::MatrixD IntScaler::normalize(const la::Matrix<std::int64_t>& m) {
+  la::MatrixD out(m.rows(), m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      out(r, c) = static_cast<double>(m(r, c)) / static_cast<double>(kHi);
+    }
+  }
+  return out;
+}
+
+}  // namespace fannet::data

@@ -1,0 +1,80 @@
+// Dataset container and train/test splitting for the leukemia case study.
+//
+// Label convention (fixed across the whole repository, matching the paper's
+// Fig. 3/4):  L0 = AML (minority), L1 = ALL (majority).  The training-bias
+// analysis depends on this orientation: the paper's training set is ~70% L1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace fannet::data {
+
+inline constexpr int kLabelAML = 0;  ///< L0
+inline constexpr int kLabelALL = 1;  ///< L1
+
+struct Dataset {
+  la::MatrixD features;            ///< rows = samples, cols = genes
+  std::vector<int> labels;         ///< one label per row (0 or 1)
+  std::vector<std::string> genes;  ///< column names (may be empty)
+
+  [[nodiscard]] std::size_t size() const noexcept { return labels.size(); }
+  [[nodiscard]] std::size_t num_features() const noexcept {
+    return features.cols();
+  }
+
+  /// Number of samples carrying the given label.
+  [[nodiscard]] std::size_t count_label(int label) const;
+
+  /// New dataset keeping only the listed feature columns, in order.
+  [[nodiscard]] Dataset select_features(
+      const std::vector<std::size_t>& columns) const;
+
+  /// New dataset keeping only the listed sample rows, in order.
+  [[nodiscard]] Dataset select_samples(
+      const std::vector<std::size_t>& rows) const;
+};
+
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+
+/// Stratified split drawing exactly `train_per_label[c]` samples of each
+/// label c into the training set (shuffled by `seed`); everything else goes
+/// to the test set.  Throws InvalidArgument if a label has too few samples.
+[[nodiscard]] Split stratified_split(const Dataset& full,
+                                     const std::vector<std::size_t>& train_per_label,
+                                     std::uint64_t seed);
+
+/// Per-feature affine mapping of real values onto the integer grid
+/// [1, 100], fitted on the training set with min-max (test values are
+/// clamped).  The formal analysis runs on these integers (paper: i in Z).
+class IntScaler {
+ public:
+  static constexpr std::int64_t kLo = 1;
+  static constexpr std::int64_t kHi = 100;
+
+  /// Fits column-wise min/max on `train`.
+  static IntScaler fit(const la::MatrixD& train);
+
+  /// Maps one real matrix onto the integer grid.
+  [[nodiscard]] la::Matrix<std::int64_t> transform(const la::MatrixD& m) const;
+
+  /// Maps integers back to the normalized (0,1] range used for training:
+  /// u = x / 100 as doubles.
+  [[nodiscard]] static la::MatrixD normalize(const la::Matrix<std::int64_t>& m);
+
+  [[nodiscard]] std::size_t num_features() const noexcept {
+    return mins_.size();
+  }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+}  // namespace fannet::data

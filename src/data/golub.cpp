@@ -1,0 +1,72 @@
+#include "data/golub.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fannet::data {
+
+GolubData generate_golub(const GolubConfig& config) {
+  if (config.num_genes == 0 || config.num_samples_all == 0 ||
+      config.num_samples_aml == 0) {
+    throw InvalidArgument("generate_golub: empty cohort");
+  }
+  if (config.num_informative > config.num_genes) {
+    throw InvalidArgument("generate_golub: more informative genes than genes");
+  }
+  util::Rng rng(config.seed);
+
+  const std::size_t n = config.num_samples_all + config.num_samples_aml;
+  GolubData out;
+  out.dataset.features = la::MatrixD(n, config.num_genes);
+  out.dataset.labels.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    out.dataset.labels.push_back(s < config.num_samples_all ? kLabelALL
+                                                            : kLabelAML);
+  }
+
+  // Choose the informative gene columns by reservoir-free partial shuffle.
+  std::vector<std::size_t> genes(config.num_genes);
+  for (std::size_t g = 0; g < genes.size(); ++g) genes[g] = g;
+  for (std::size_t i = 0; i < config.num_informative; ++i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(i),
+        static_cast<std::int64_t>(genes.size()) - 1));
+    std::swap(genes[i], genes[j]);
+  }
+  out.informative_genes.assign(genes.begin(),
+                               genes.begin() +
+                                   static_cast<std::ptrdiff_t>(
+                                       config.num_informative));
+  std::sort(out.informative_genes.begin(), out.informative_genes.end());
+
+  // Per-gene baseline and (for informative genes) signed class shift.
+  std::vector<double> baseline(config.num_genes);
+  std::vector<double> shift(config.num_genes, 0.0);  // added for ALL samples
+  for (std::size_t g = 0; g < config.num_genes; ++g) {
+    baseline[g] = rng.gaussian(config.baseline_mean, config.baseline_sd);
+  }
+  for (std::size_t idx : out.informative_genes) {
+    const double magnitude =
+        std::max(0.25, rng.gaussian(config.effect_mean, config.effect_sd));
+    shift[idx] = rng.bernoulli(0.5) ? magnitude : -magnitude;
+  }
+
+  for (std::size_t s = 0; s < n; ++s) {
+    const bool is_all = out.dataset.labels[s] == kLabelALL;
+    for (std::size_t g = 0; g < config.num_genes; ++g) {
+      double v = baseline[g] + rng.gaussian(0.0, config.sample_noise_sd);
+      if (is_all) v += shift[g];
+      out.dataset.features(s, g) = v;
+    }
+  }
+
+  out.dataset.genes.reserve(config.num_genes);
+  for (std::size_t g = 0; g < config.num_genes; ++g) {
+    out.dataset.genes.push_back("gene_" + std::to_string(g));
+  }
+  return out;
+}
+
+}  // namespace fannet::data

@@ -1,0 +1,109 @@
+#include "data/mrmr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace fannet::data {
+
+std::vector<int> discretize_column(const la::MatrixD& m, std::size_t column) {
+  if (m.rows() == 0) throw InvalidArgument("discretize_column: empty matrix");
+  if (column >= m.cols()) {
+    throw InvalidArgument("discretize_column: column out of range");
+  }
+  double mean = 0.0;
+  for (std::size_t r = 0; r < m.rows(); ++r) mean += m(r, column);
+  mean /= static_cast<double>(m.rows());
+  double var = 0.0;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double d = m(r, column) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(m.rows());
+  const double sigma = std::sqrt(var);
+  const double lo = mean - 0.5 * sigma;
+  const double hi = mean + 0.5 * sigma;
+
+  std::vector<int> levels(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double v = m(r, column);
+    levels[r] = (v < lo) ? 0 : (v > hi) ? 2 : 1;
+  }
+  return levels;
+}
+
+double mutual_information(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw InvalidArgument("mutual_information: size mismatch or empty");
+  }
+  const double n = static_cast<double>(a.size());
+  std::map<int, double> pa, pb;
+  std::map<std::pair<int, int>, double> pab;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    pa[a[i]] += 1.0;
+    pb[b[i]] += 1.0;
+    pab[{a[i], b[i]}] += 1.0;
+  }
+  double mi = 0.0;
+  for (const auto& [key, count] : pab) {
+    const double pxy = count / n;
+    const double px = pa[key.first] / n;
+    const double py = pb[key.second] / n;
+    mi += pxy * std::log(pxy / (px * py));
+  }
+  return std::max(0.0, mi);  // clamp tiny negative rounding residue
+}
+
+MrmrResult mrmr_select(const Dataset& data, std::size_t k, MrmrScheme scheme) {
+  if (k == 0 || k > data.num_features()) {
+    throw InvalidArgument("mrmr_select: bad k");
+  }
+  const std::size_t g = data.num_features();
+
+  // Pre-discretize all columns once; 7129 x 72 ints is tiny.
+  std::vector<std::vector<int>> disc(g);
+  for (std::size_t c = 0; c < g; ++c) disc[c] = discretize_column(data.features, c);
+
+  std::vector<double> relevance(g);
+  for (std::size_t c = 0; c < g; ++c) {
+    relevance[c] = mutual_information(disc[c], data.labels);
+  }
+
+  MrmrResult result;
+  std::vector<bool> picked(g, false);
+  // Redundancy accumulator: sum over selected genes of I(c; s).
+  std::vector<double> redundancy_sum(g, 0.0);
+
+  for (std::size_t step = 0; step < k; ++step) {
+    double best_score = -std::numeric_limits<double>::infinity();
+    std::size_t best = g;
+    for (std::size_t c = 0; c < g; ++c) {
+      if (picked[c]) continue;
+      double score = 0.0;
+      if (step == 0) {
+        score = relevance[c];
+      } else {
+        const double red = redundancy_sum[c] / static_cast<double>(step);
+        score = (scheme == MrmrScheme::kMID) ? relevance[c] - red
+                                             : relevance[c] / (red + 1e-12);
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    picked[best] = true;
+    result.selected.push_back(best);
+    result.relevance.push_back(relevance[best]);
+    for (std::size_t c = 0; c < g; ++c) {
+      if (!picked[c]) {
+        redundancy_sum[c] += mutual_information(disc[c], disc[best]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fannet::data

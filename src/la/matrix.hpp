@@ -1,0 +1,107 @@
+// Small dense row-major matrix used for network parameters.
+//
+// Deliberately minimal: the networks in the paper are tiny (5-20-2), so this
+// favours clarity and bounds-checked access over BLAS-style performance.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fannet::la {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer data; all rows must be equal length.
+  static Matrix from_rows(const std::vector<std::vector<T>>& rows) {
+    if (rows.empty()) return {};
+    Matrix m(rows.size(), rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (rows[r].size() != m.cols_) {
+        throw InvalidArgument("Matrix::from_rows: ragged rows");
+      }
+      for (std::size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+    }
+    return m;
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] T& operator()(std::size_t r, std::size_t c) {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const T& operator()(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+
+  /// View of one row (contiguous in memory).
+  [[nodiscard]] std::span<const T> row(std::size_t r) const {
+    check(r, 0);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<T> row(std::size_t r) {
+    check(r, 0);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<const T> data() const noexcept { return data_; }
+  [[nodiscard]] std::span<T> data() noexcept { return data_; }
+
+  [[nodiscard]] bool operator==(const Matrix&) const = default;
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) {
+      throw InvalidArgument("Matrix: index (" + std::to_string(r) + "," +
+                            std::to_string(c) + ") out of " +
+                            std::to_string(rows_) + "x" + std::to_string(cols_));
+    }
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// y = M x  (dimensions checked).
+template <typename T>
+[[nodiscard]] std::vector<T> matvec(const Matrix<T>& m, std::span<const T> x) {
+  if (x.size() != m.cols()) {
+    throw InvalidArgument("matvec: dimension mismatch");
+  }
+  std::vector<T> y(m.rows(), T{});
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    T acc{};
+    const auto row = m.row(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+/// Transpose.
+template <typename T>
+[[nodiscard]] Matrix<T> transpose(const Matrix<T>& m) {
+  Matrix<T> t(m.cols(), m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) t(c, r) = m(r, c);
+  }
+  return t;
+}
+
+using MatrixD = Matrix<double>;
+
+}  // namespace fannet::la

@@ -1,0 +1,137 @@
+#include "mc/bddmc.hpp"
+
+#include "circuit/to_bdd.hpp"
+#include <cmath>
+
+#include "mc/compile.hpp"
+#include "util/error.hpp"
+
+namespace fannet::mc {
+
+using bdd::Bdd;
+using bdd::Manager;
+using circuit::Circuit;
+using circuit::Word;
+
+BddChecker::BddChecker(const smv::Module& module, BddOptions options)
+    : module_(module), options_(options) {}
+
+BddCheckResult BddChecker::run(std::optional<smv::ExprId> property) const {
+  SmvCompiler compiler(module_);
+
+  // Build the whole combinational story first so the oracle count is known.
+  Circuit c;
+  const std::vector<Word> state = compiler.make_state_inputs(c);
+  const std::size_t nbits = compiler.state_bits();
+  const circuit::CLit init_ok = compiler.init_constraint(c, state);
+  const SmvCompiler::Step step = compiler.step(c, state);
+  circuit::CLit prop_ok = circuit::kTrue;
+  if (property.has_value()) {
+    prop_ok = compiler.compile_bool(c, *property, state);
+  }
+  const std::size_t num_oracles = c.num_inputs() - nbits;
+
+  // Variable order: current bit g at 2g, next bit g at 2g+1, oracles after.
+  Manager m(static_cast<unsigned>(2 * nbits + num_oracles));
+  std::vector<Bdd> input_map(c.num_inputs());
+  for (std::size_t g = 0; g < nbits; ++g) {
+    input_map[g] = m.var(static_cast<unsigned>(2 * g));
+  }
+  std::vector<unsigned> oracle_vars;
+  for (std::size_t k = 0; k < num_oracles; ++k) {
+    const auto v = static_cast<unsigned>(2 * nbits + k);
+    input_map[nbits + k] = m.var(v);
+    oracle_vars.push_back(v);
+  }
+  circuit::BddConverter conv(c, m, input_map);
+
+  const auto check_limit = [&] {
+    if (m.num_nodes() > options_.max_nodes) {
+      throw ResourceLimit("BddChecker: node limit exceeded (" +
+                          std::to_string(options_.max_nodes) + ")");
+    }
+  };
+
+  // Transition relation: valid ∧ (next-state bits == step function bits),
+  // oracles quantified out.
+  Bdd tr = conv.convert(step.valid);
+  {
+    std::size_t g = 0;
+    for (const Word& w : step.next) {
+      for (const circuit::CLit bit : w) {
+        const Bdd fb = conv.convert(bit);
+        tr = m.land(tr, m.iff(m.var(static_cast<unsigned>(2 * g + 1)), fb));
+        ++g;
+        check_limit();
+      }
+    }
+  }
+  tr = m.exists(tr, oracle_vars);
+  check_limit();
+
+  // Initial set over current bits (init choice oracles quantified out).
+  Bdd reach = m.exists(conv.convert(init_ok), oracle_vars);
+
+  // Rename map next->current for the image.
+  std::vector<unsigned> next_to_cur(m.num_vars());
+  for (unsigned v = 0; v < m.num_vars(); ++v) next_to_cur[v] = v;
+  for (std::size_t g = 0; g < nbits; ++g) {
+    next_to_cur[2 * g + 1] = static_cast<unsigned>(2 * g);
+  }
+  std::vector<unsigned> cur_vars;
+  for (std::size_t g = 0; g < nbits; ++g) {
+    cur_vars.push_back(static_cast<unsigned>(2 * g));
+  }
+
+  const Bdd bad =
+      property.has_value() ? m.lnot(conv.convert(prop_ok)) : m.bdd_false();
+
+  BddCheckResult out;
+  Bdd frontier = reach;
+  while (true) {
+    ++out.fixpoint_iterations;
+    check_limit();
+    if (property.has_value() && !m.is_false(m.land(reach, bad))) {
+      out.holds = false;
+      // Decode one violating state.
+      const std::vector<bool> assignment = m.any_sat(m.land(reach, bad));
+      smv::State s;
+      std::size_t g = 0;
+      for (std::size_t v = 0; v < module_.vars().size(); ++v) {
+        const std::size_t w = compiler.var_width(v);
+        std::vector<bool> bits(w);
+        for (std::size_t b = 0; b < w; ++b) bits[b] = assignment[2 * (g + b)];
+        s.push_back(Circuit::decode(Word(w, circuit::kFalse), bits));
+        g += w;
+      }
+      out.violating_state = std::move(s);
+      out.reachable_states = m.sat_count(reach) /
+                             std::pow(2.0, static_cast<double>(
+                                               m.num_vars() - nbits));
+      out.peak_nodes = m.num_nodes();
+      return out;
+    }
+    const Bdd img =
+        m.rename(m.exists(m.land(frontier, tr), cur_vars), next_to_cur);
+    const Bdd next_reach = m.lor(reach, img);
+    if (next_reach == reach) break;
+    frontier = img;  // frontier-based expansion (new states only is an
+                     // optimization; using the full image stays correct)
+    reach = next_reach;
+  }
+  out.holds = true;
+  // sat_count counts over all manager variables; scale away next+oracles.
+  out.reachable_states =
+      m.sat_count(reach) /
+      std::pow(2.0, static_cast<double>(m.num_vars() - nbits));
+  out.peak_nodes = m.num_nodes();
+  return out;
+}
+
+BddCheckResult BddChecker::check_invariant(smv::ExprId property) const {
+  return run(property);
+}
+
+BddCheckResult BddChecker::reachable_states() const { return run(std::nullopt); }
+
+}  // namespace fannet::mc

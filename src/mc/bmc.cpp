@@ -1,0 +1,129 @@
+#include "mc/bmc.hpp"
+
+#include <array>
+
+#include "circuit/tseitin.hpp"
+#include "mc/compile.hpp"
+#include "sat/solver.hpp"
+#include "util/error.hpp"
+
+namespace fannet::mc {
+
+using circuit::Circuit;
+using circuit::CLit;
+using circuit::TseitinEncoder;
+using circuit::Word;
+
+BmcChecker::BmcChecker(const smv::Module& module) : module_(module) {}
+
+namespace {
+
+/// Decodes the unrolled state words into an explicit trace.
+Trace decode_trace(const TseitinEncoder& enc,
+                   const std::vector<std::vector<Word>>& steps,
+                   int depth) {
+  Trace t;
+  for (int d = 0; d <= depth; ++d) {
+    smv::State s;
+    s.reserve(steps[static_cast<std::size_t>(d)].size());
+    for (const Word& w : steps[static_cast<std::size_t>(d)]) {
+      s.push_back(enc.decode_word(w));
+    }
+    t.states.push_back(std::move(s));
+  }
+  return t;
+}
+
+}  // namespace
+
+BmcResult BmcChecker::check_invariant(smv::ExprId property, int max_depth,
+                                      std::uint64_t conflict_limit) {
+  SmvCompiler compiler(module_);
+  Circuit c;
+  sat::Solver solver;
+  solver.set_conflict_limit(conflict_limit);
+  TseitinEncoder enc(c, solver);
+
+  std::vector<std::vector<Word>> steps;
+  steps.push_back(compiler.make_state_inputs(c));
+  enc.assert_true(compiler.init_constraint(c, steps[0]));
+
+  BmcResult result;
+  for (int depth = 0; depth <= max_depth; ++depth) {
+    // Pre-encode state bits so a model can be decoded afterwards.
+    for (const Word& w : steps.back()) (void)enc.lits(w);
+    const CLit bad = ~compiler.compile_bool(c, property, steps.back());
+    const sat::Lit bad_lit = enc.lit(bad);
+    const sat::SolveResult r = solver.solve(std::array{bad_lit});
+    if (r == sat::SolveResult::kSat) {
+      result.verdict = sat::SolveResult::kSat;
+      result.depth = depth;
+      result.counterexample = decode_trace(enc, steps, depth);
+      return result;
+    }
+    if (r == sat::SolveResult::kUnknown) {
+      result.verdict = sat::SolveResult::kUnknown;
+      result.depth = depth;
+      return result;
+    }
+    // Property holds at this depth on every path: fix it and deepen.
+    solver.add_clause({~bad_lit});
+    if (depth == max_depth) break;
+    const SmvCompiler::Step s = compiler.step(c, steps.back());
+    enc.assert_true(s.valid);
+    steps.push_back(s.next);
+  }
+  result.verdict = sat::SolveResult::kUnsat;
+  result.depth = max_depth;
+  return result;
+}
+
+InductionResult BmcChecker::prove_invariant(smv::ExprId property, int max_k) {
+  InductionResult out;
+  for (int k = 1; k <= max_k; ++k) {
+    // Base case: no violation on paths of length < k from an initial state.
+    BmcResult base = check_invariant(property, k - 1);
+    if (base.verdict == sat::SolveResult::kSat) {
+      out.violated = true;
+      out.counterexample = std::move(base.counterexample);
+      out.k = base.depth;
+      return out;
+    }
+    if (base.verdict == sat::SolveResult::kUnknown) {
+      out.k = k;
+      return out;
+    }
+    // Inductive step: from any legal state satisfying the property for k
+    // consecutive steps, the property holds at step k.
+    SmvCompiler compiler(module_);
+    Circuit c;
+    sat::Solver solver;
+    circuit::TseitinEncoder enc(c, solver);
+    std::vector<Word> state = compiler.make_state_inputs(c);
+    // Arbitrary legal state: domains + INVAR only (no init).
+    CLit legal = circuit::kTrue;
+    for (std::size_t v = 0; v < module_.vars().size(); ++v) {
+      legal = c.land(legal, compiler.domain_constraint(c, v, state[v]));
+    }
+    for (const smv::ExprId e : module_.invar_constraints()) {
+      legal = c.land(legal, compiler.compile_bool(c, e, state));
+    }
+    enc.assert_true(legal);
+    for (int d = 0; d < k; ++d) {
+      enc.assert_true(compiler.compile_bool(c, property, state));
+      const SmvCompiler::Step s = compiler.step(c, state);
+      enc.assert_true(s.valid);
+      state = s.next;
+    }
+    enc.assert_true(~compiler.compile_bool(c, property, state));
+    if (solver.solve() == sat::SolveResult::kUnsat) {
+      out.proved = true;
+      out.k = k;
+      return out;
+    }
+  }
+  out.k = max_k;
+  return out;
+}
+
+}  // namespace fannet::mc

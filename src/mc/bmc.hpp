@@ -1,0 +1,52 @@
+// SAT-based bounded model checking and k-induction over SMV models.
+//
+// The model is bit-blasted (mc/compile) and unrolled incrementally into one
+// CDCL solver instance; depth d asks "can a legal path of length d reach a
+// state violating the property?" under an assumption literal, so learned
+// clauses carry across depths.  k-induction upgrades bounded refutation to
+// unbounded proof for the invariants FANNet checks (P1/P2 in Fig. 2).
+#pragma once
+
+#include <cstdint>
+
+#include "mc/explicit.hpp"  // Trace
+#include "sat/types.hpp"
+#include "smv/ast.hpp"
+
+namespace fannet::mc {
+
+struct BmcResult {
+  sat::SolveResult verdict = sat::SolveResult::kUnknown;
+  /// kSat means "property violated"; the witness path:
+  Trace counterexample;
+  int depth = -1;  ///< depth at which the violation was found (or max tried)
+};
+
+struct InductionResult {
+  bool proved = false;
+  bool violated = false;
+  Trace counterexample;  // for violated
+  int k = -1;            // inductive depth used / bound reached
+};
+
+class BmcChecker {
+ public:
+  explicit BmcChecker(const smv::Module& module);
+
+  /// Searches for a counterexample to the invariant `property` on paths of
+  /// length 0..max_depth.  kSat = violated (trace filled), kUnsat = holds up
+  /// to the bound, kUnknown = conflict budget exhausted.
+  [[nodiscard]] BmcResult check_invariant(smv::ExprId property, int max_depth,
+                                          std::uint64_t conflict_limit = 0);
+
+  /// k-induction proof attempt for the invariant (base cases via BMC plus
+  /// the inductive step without uniqueness constraints — sound for proofs,
+  /// may fail to converge; bounded by max_k).
+  [[nodiscard]] InductionResult prove_invariant(smv::ExprId property,
+                                                int max_k);
+
+ private:
+  const smv::Module& module_;
+};
+
+}  // namespace fannet::mc

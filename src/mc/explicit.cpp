@@ -1,0 +1,206 @@
+#include "mc/explicit.hpp"
+
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace fannet::mc {
+
+using smv::ExprId;
+using smv::State;
+using smv::i64;
+
+ExplicitChecker::ExplicitChecker(const smv::Module& module,
+                                 ExplicitOptions options)
+    : module_(module), eval_(module), options_(options) {}
+
+void ExplicitChecker::for_each_candidate(
+    const std::vector<std::vector<i64>>& per_var,
+    const std::function<void(const State&)>& sink) const {
+  const std::size_t n = per_var.size();
+  std::uint64_t product = 1;
+  for (const auto& choices : per_var) {
+    if (choices.empty()) return;  // no candidate at all
+    product *= choices.size();
+    if (product > options_.max_branching) {
+      throw ResourceLimit(
+          "ExplicitChecker: nondeterministic branching exceeds cap (" +
+          std::to_string(options_.max_branching) + ")");
+    }
+  }
+  State state(n, 0);
+  std::vector<std::size_t> index(n, 0);
+  for (std::size_t v = 0; v < n; ++v) state[v] = per_var[v][0];
+  while (true) {
+    sink(state);
+    // Odometer increment.
+    std::size_t v = 0;
+    while (v < n && ++index[v] == per_var[v].size()) {
+      index[v] = 0;
+      state[v] = per_var[v][0];
+      ++v;
+    }
+    if (v == n) return;
+    state[v] = per_var[v][index[v]];
+  }
+}
+
+bool ExplicitChecker::passes_invars(const State& s) const {
+  for (const ExprId inv : module_.invar_constraints()) {
+    if (!eval_.eval_bool(inv, s)) return false;
+  }
+  return true;
+}
+
+std::vector<State> ExplicitChecker::initial_states() const {
+  const std::size_t n = module_.vars().size();
+  std::vector<std::vector<i64>> per_var(n);
+  const State zero(n, 0);  // init RHS must be closed over constants
+  for (std::size_t v = 0; v < n; ++v) {
+    const ExprId init = module_.init_of(v);
+    per_var[v] = (init == smv::kNoExpr) ? eval_.domain(v)
+                                        : eval_.choices(init, zero);
+    for (const i64 value : per_var[v]) {
+      if (!eval_.in_domain(v, value)) {
+        throw InvalidArgument("ExplicitChecker: init(" +
+                              module_.vars()[v].name +
+                              ") leaves the declared domain");
+      }
+    }
+  }
+  std::vector<State> out;
+  for_each_candidate(per_var, [&](const State& s) {
+    for (const ExprId c : module_.init_constraints()) {
+      if (!eval_.eval_bool(c, s)) return;
+    }
+    if (!passes_invars(s)) return;
+    out.push_back(s);
+  });
+  return out;
+}
+
+std::vector<State> ExplicitChecker::successors(const State& state) const {
+  const std::size_t n = module_.vars().size();
+  std::vector<std::vector<i64>> per_var(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const ExprId next = module_.next_of(v);
+    per_var[v] = (next == smv::kNoExpr) ? eval_.domain(v)
+                                        : eval_.choices(next, state);
+    for (const i64 value : per_var[v]) {
+      if (!eval_.in_domain(v, value)) {
+        throw InvalidArgument("ExplicitChecker: next(" +
+                              module_.vars()[v].name +
+                              ") leaves the declared domain");
+      }
+    }
+  }
+  std::vector<State> out;
+  const bool has_trans = !module_.trans_constraints().empty();
+  for_each_candidate(per_var, [&](const State& s) {
+    if (has_trans) {
+      for (const ExprId c : module_.trans_constraints()) {
+        if (!eval_.eval_bool(c, state, &s)) return;
+      }
+    }
+    if (!passes_invars(s)) return;
+    out.push_back(s);
+  });
+  // Deduplicate (different choice tuples can coincide on the same state).
+  std::unordered_map<State, char, StateHash> seen;
+  std::vector<State> dedup;
+  dedup.reserve(out.size());
+  for (auto& s : out) {
+    if (seen.emplace(s, 1).second) dedup.push_back(std::move(s));
+  }
+  return dedup;
+}
+
+ReachabilityStats ExplicitChecker::explore() const {
+  ReachabilityStats stats;
+  std::unordered_map<State, std::uint32_t, StateHash> ids;
+  std::deque<State> frontier;
+  for (State& s : initial_states()) {
+    if (ids.emplace(s, static_cast<std::uint32_t>(ids.size())).second) {
+      frontier.push_back(std::move(s));
+    }
+  }
+  stats.num_initial = ids.size();
+  while (!frontier.empty()) {
+    const State s = std::move(frontier.front());
+    frontier.pop_front();
+    for (State& t : successors(s)) {
+      ++stats.num_transitions;
+      if (ids.emplace(t, static_cast<std::uint32_t>(ids.size())).second) {
+        if (ids.size() > options_.max_states) {
+          throw ResourceLimit("ExplicitChecker::explore: state cap exceeded");
+        }
+        frontier.push_back(std::move(t));
+      }
+    }
+  }
+  stats.num_states = ids.size();
+  return stats;
+}
+
+InvariantResult ExplicitChecker::check_invariant(ExprId property) const {
+  InvariantResult result;
+  std::unordered_map<State, std::uint32_t, StateHash> ids;
+  std::vector<std::uint32_t> parent;  // by state id; self = initial
+  std::vector<State> by_id;
+  std::deque<std::uint32_t> frontier;
+
+  const auto build_trace = [&](std::uint32_t id) {
+    std::vector<State> rev;
+    while (true) {
+      rev.push_back(by_id[id]);
+      if (parent[id] == id) break;
+      id = parent[id];
+    }
+    Trace t;
+    t.states.assign(rev.rbegin(), rev.rend());
+    return t;
+  };
+
+  for (State& s : initial_states()) {
+    const auto [it, fresh] =
+        ids.emplace(std::move(s), static_cast<std::uint32_t>(ids.size()));
+    if (!fresh) continue;
+    by_id.push_back(it->first);
+    parent.push_back(it->second);
+    if (!eval_.eval_bool(property, it->first)) {
+      result.holds = false;
+      result.counterexample = build_trace(it->second);
+      result.states_explored = ids.size();
+      return result;
+    }
+    frontier.push_back(it->second);
+  }
+
+  while (!frontier.empty()) {
+    const std::uint32_t sid = frontier.front();
+    frontier.pop_front();
+    const State s = by_id[sid];  // copy: by_id may reallocate below
+    for (State& t : successors(s)) {
+      const auto [it, fresh] =
+          ids.emplace(std::move(t), static_cast<std::uint32_t>(ids.size()));
+      if (!fresh) continue;
+      if (ids.size() > options_.max_states) {
+        throw ResourceLimit("ExplicitChecker::check_invariant: state cap");
+      }
+      by_id.push_back(it->first);
+      parent.push_back(sid);
+      if (!eval_.eval_bool(property, it->first)) {
+        result.holds = false;
+        result.counterexample = build_trace(it->second);
+        result.states_explored = ids.size();
+        return result;
+      }
+      frontier.push_back(it->second);
+    }
+  }
+  result.holds = true;
+  result.states_explored = ids.size();
+  return result;
+}
+
+}  // namespace fannet::mc

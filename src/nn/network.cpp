@@ -1,0 +1,171 @@
+#include "nn/network.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fannet::nn {
+
+std::string to_string(Activation a) {
+  switch (a) {
+    case Activation::kReLU: return "relu";
+    case Activation::kLinear: return "linear";
+  }
+  throw InvalidArgument("to_string(Activation): bad enum value");
+}
+
+Network::Network(std::vector<Layer> layers) : layers_(std::move(layers)) {
+  validate();
+}
+
+void Network::validate() const {
+  if (layers_.empty()) throw InvalidArgument("Network: no layers");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const Layer& l = layers_[i];
+    if (l.bias.size() != l.out_dim()) {
+      throw InvalidArgument("Network: layer " + std::to_string(i) +
+                            " bias/weight shape mismatch");
+    }
+    if (i > 0 && l.in_dim() != layers_[i - 1].out_dim()) {
+      throw InvalidArgument("Network: layer " + std::to_string(i) +
+                            " input dim does not match previous output dim");
+    }
+  }
+}
+
+Network Network::random(const std::vector<std::size_t>& widths,
+                        std::uint64_t seed) {
+  if (widths.size() < 2) {
+    throw InvalidArgument("Network::random: need at least input+output width");
+  }
+  util::Rng rng(seed);
+  std::vector<Layer> layers;
+  layers.reserve(widths.size() - 1);
+  for (std::size_t i = 0; i + 1 < widths.size(); ++i) {
+    Layer l;
+    l.weights = la::MatrixD(widths[i + 1], widths[i]);
+    l.bias.assign(widths[i + 1], 0.0);
+    const double r = 1.0 / std::sqrt(static_cast<double>(widths[i]));
+    for (auto& w : l.weights.data()) w = rng.uniform(-r, r);
+    l.activation = (i + 2 == widths.size()) ? Activation::kLinear
+                                            : Activation::kReLU;
+    layers.push_back(std::move(l));
+  }
+  return Network(std::move(layers));
+}
+
+std::size_t Network::input_dim() const {
+  if (layers_.empty()) throw InvalidArgument("Network::input_dim: empty");
+  return layers_.front().in_dim();
+}
+
+std::size_t Network::output_dim() const {
+  if (layers_.empty()) throw InvalidArgument("Network::output_dim: empty");
+  return layers_.back().out_dim();
+}
+
+std::vector<double> Network::forward(std::span<const double> x) const {
+  std::vector<double> a(x.begin(), x.end());
+  for (const Layer& l : layers_) {
+    std::vector<double> z = la::matvec(l.weights, std::span<const double>(a));
+    for (std::size_t j = 0; j < z.size(); ++j) z[j] += l.bias[j];
+    if (l.activation == Activation::kReLU) {
+      for (auto& v : z) v = std::max(0.0, v);
+    }
+    a = std::move(z);
+  }
+  return a;
+}
+
+Network::Trace Network::forward_trace(std::span<const double> x) const {
+  Trace t;
+  t.pre.reserve(layers_.size());
+  t.post.reserve(layers_.size());
+  std::vector<double> a(x.begin(), x.end());
+  for (const Layer& l : layers_) {
+    std::vector<double> z = la::matvec(l.weights, std::span<const double>(a));
+    for (std::size_t j = 0; j < z.size(); ++j) z[j] += l.bias[j];
+    t.pre.push_back(z);
+    if (l.activation == Activation::kReLU) {
+      for (auto& v : z) v = std::max(0.0, v);
+    }
+    t.post.push_back(z);
+    a = std::move(z);
+  }
+  return t;
+}
+
+int Network::classify(std::span<const double> x) const {
+  const std::vector<double> out = forward(x);
+  return argmax_tie_low(out);
+}
+
+int argmax_tie_low(std::span<const double> v) {
+  if (v.empty()) throw InvalidArgument("argmax_tie_low: empty vector");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;  // strict: ties keep the lower index
+  }
+  return static_cast<int>(best);
+}
+
+std::string Network::to_text() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "fannet-network 1\n" << layers_.size() << "\n";
+  for (const Layer& l : layers_) {
+    out << l.out_dim() << " " << l.in_dim() << " " << to_string(l.activation)
+        << "\n";
+    for (std::size_t r = 0; r < l.out_dim(); ++r) {
+      for (std::size_t c = 0; c < l.in_dim(); ++c) {
+        out << l.weights(r, c) << (c + 1 == l.in_dim() ? "" : " ");
+      }
+      out << "\n";
+    }
+    for (std::size_t r = 0; r < l.out_dim(); ++r) {
+      out << l.bias[r] << (r + 1 == l.out_dim() ? "" : " ");
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Network Network::from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "fannet-network" || version != 1) {
+    throw ParseError("Network::from_text: bad header");
+  }
+  std::size_t n_layers = 0;
+  if (!(in >> n_layers) || n_layers == 0) {
+    throw ParseError("Network::from_text: bad layer count");
+  }
+  std::vector<Layer> layers;
+  layers.reserve(n_layers);
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    std::size_t out_dim = 0, in_dim = 0;
+    std::string act;
+    if (!(in >> out_dim >> in_dim >> act)) {
+      throw ParseError("Network::from_text: bad layer header");
+    }
+    Layer l;
+    if (act == "relu") l.activation = Activation::kReLU;
+    else if (act == "linear") l.activation = Activation::kLinear;
+    else throw ParseError("Network::from_text: unknown activation '" + act + "'");
+    l.weights = la::MatrixD(out_dim, in_dim);
+    for (auto& w : l.weights.data()) {
+      if (!(in >> w)) throw ParseError("Network::from_text: missing weight");
+    }
+    l.bias.assign(out_dim, 0.0);
+    for (auto& b : l.bias) {
+      if (!(in >> b)) throw ParseError("Network::from_text: missing bias");
+    }
+    layers.push_back(std::move(l));
+  }
+  return Network(std::move(layers));
+}
+
+}  // namespace fannet::nn

@@ -1,0 +1,82 @@
+// Feed-forward fully-connected networks (the paper's Fig. 3a architecture).
+//
+// A Network is a stack of affine layers, each optionally followed by ReLU.
+// The paper's "max-pool" output stage is the classification argmax over the
+// final layer (see DESIGN.md §4.5); classify() implements it with the shared
+// tie-breaking rule (ties resolve to the lower label index).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace fannet::nn {
+
+enum class Activation : std::uint8_t {
+  kReLU,    ///< max(0, x), used on hidden layers
+  kLinear,  ///< identity, used on the output layer
+};
+
+[[nodiscard]] std::string to_string(Activation a);
+
+/// One fully-connected layer: y = act(W x + b).
+struct Layer {
+  la::MatrixD weights;        ///< rows = out_dim, cols = in_dim
+  std::vector<double> bias;   ///< size = out_dim
+  Activation activation = Activation::kReLU;
+
+  [[nodiscard]] std::size_t in_dim() const noexcept { return weights.cols(); }
+  [[nodiscard]] std::size_t out_dim() const noexcept { return weights.rows(); }
+};
+
+class Network {
+ public:
+  Network() = default;
+  explicit Network(std::vector<Layer> layers);
+
+  /// Randomly initialized network with the given layer widths, ReLU on the
+  /// hidden layers and a linear output layer.  Weights are He-style uniform
+  /// in [-1/sqrt(fan_in), 1/sqrt(fan_in)].
+  static Network random(const std::vector<std::size_t>& widths,
+                        std::uint64_t seed);
+
+  [[nodiscard]] std::size_t input_dim() const;
+  [[nodiscard]] std::size_t output_dim() const;
+  [[nodiscard]] std::size_t depth() const noexcept { return layers_.size(); }
+  [[nodiscard]] const std::vector<Layer>& layers() const noexcept {
+    return layers_;
+  }
+  [[nodiscard]] std::vector<Layer>& layers() noexcept { return layers_; }
+
+  /// Output activations for one input vector.
+  [[nodiscard]] std::vector<double> forward(std::span<const double> x) const;
+
+  /// Pre-activations and activations of every layer (index 0 = first layer).
+  struct Trace {
+    std::vector<std::vector<double>> pre;   ///< W a + b per layer
+    std::vector<std::vector<double>> post;  ///< act(pre) per layer
+  };
+  [[nodiscard]] Trace forward_trace(std::span<const double> x) const;
+
+  /// The paper's output max-pool: argmax over the outputs, ties to the
+  /// lower index.
+  [[nodiscard]] int classify(std::span<const double> x) const;
+
+  /// Text (de)serialization of the full parameter set (round-trip exact for
+  /// the decimal digits written; 17 significant digits are used).
+  [[nodiscard]] std::string to_text() const;
+  static Network from_text(const std::string& text);
+
+ private:
+  void validate() const;
+
+  std::vector<Layer> layers_;
+};
+
+/// Shared argmax rule: lowest index wins ties.
+[[nodiscard]] int argmax_tie_low(std::span<const double> v);
+
+}  // namespace fannet::nn

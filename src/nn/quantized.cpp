@@ -1,0 +1,175 @@
+#include "nn/quantized.hpp"
+
+#include "util/checked.hpp"
+#include "util/error.hpp"
+
+namespace fannet::nn {
+
+using util::i128;
+using util::i64;
+
+QuantizedNetwork QuantizedNetwork::quantize(const Network& net,
+                                            i64 input_norm) {
+  if (input_norm <= 0) {
+    throw InvalidArgument("QuantizedNetwork::quantize: input_norm must be > 0");
+  }
+  QuantizedNetwork q;
+  q.input_norm_ = input_norm;
+  q.layers_.reserve(net.depth());
+  for (const Layer& l : net.layers()) {
+    QLayer ql;
+    ql.relu = (l.activation == Activation::kReLU);
+    ql.weights = la::Matrix<i64>(l.out_dim(), l.in_dim());
+    for (std::size_t r = 0; r < l.out_dim(); ++r) {
+      for (std::size_t c = 0; c < l.in_dim(); ++c) {
+        ql.weights(r, c) = util::Fixed::from_double(l.weights(r, c)).raw();
+      }
+    }
+    ql.bias.reserve(l.out_dim());
+    for (double b : l.bias) {
+      ql.bias.push_back(util::Fixed::from_double(b).raw());
+    }
+    q.layers_.push_back(std::move(ql));
+  }
+  return q;
+}
+
+std::size_t QuantizedNetwork::input_dim() const {
+  if (layers_.empty()) throw InvalidArgument("QuantizedNetwork: empty");
+  return layers_.front().in_dim();
+}
+
+std::size_t QuantizedNetwork::output_dim() const {
+  if (layers_.empty()) throw InvalidArgument("QuantizedNetwork: empty");
+  return layers_.back().out_dim();
+}
+
+i128 QuantizedNetwork::scale_at(std::size_t index) const {
+  if (index > layers_.size()) {
+    throw InvalidArgument("QuantizedNetwork::scale_at: index out of range");
+  }
+  i128 scale = static_cast<i128>(input_norm_) * kNoiseDen;
+  for (std::size_t i = 0; i < index; ++i) scale *= util::Fixed::kScale;
+  return scale;
+}
+
+std::vector<i64> QuantizedNetwork::noised_inputs(std::span<const i64> x,
+                                                 std::span<const int> deltas) {
+  if (!deltas.empty() && deltas.size() != x.size()) {
+    throw InvalidArgument("noised_inputs: delta size mismatch");
+  }
+  std::vector<i64> X(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const i64 factor = kNoiseDen + (deltas.empty() ? 0 : deltas[i]);
+    X[i] = util::checked_mul(x[i], factor);
+  }
+  return X;
+}
+
+std::vector<std::vector<i64>> QuantizedNetwork::eval_all(
+    std::span<const i64> X, i64 bias_factor) const {
+  if (layers_.empty()) throw InvalidArgument("QuantizedNetwork: empty");
+  if (X.size() != input_dim()) {
+    throw InvalidArgument("QuantizedNetwork::eval_all: input dim mismatch");
+  }
+  std::vector<std::vector<i64>> pre;
+  pre.reserve(layers_.size());
+
+  std::vector<i64> act(X.begin(), X.end());
+  // Scale of the *activations* entering the current layer, as an i64-safe
+  // value.  R_0 = input_norm * 100; each layer multiplies it by S.
+  i64 act_scale = util::checked_mul(input_norm_, kNoiseDen);
+
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const QLayer& l = layers_[li];
+    std::vector<i64> z(l.out_dim());
+    // Bias contribution at this layer's scale.  For the first layer the
+    // bias input node may carry noise: term = Bq * input_norm * bias_factor.
+    const i64 bias_mult =
+        (li == 0) ? util::checked_mul(input_norm_, bias_factor) : act_scale;
+    for (std::size_t j = 0; j < l.out_dim(); ++j) {
+      i128 acc = static_cast<i128>(l.bias[j]) * bias_mult;
+      const auto row = l.weights.row(j);
+      for (std::size_t i = 0; i < l.in_dim(); ++i) {
+        acc += static_cast<i128>(row[i]) * act[i];
+      }
+      z[j] = util::narrow_i128(acc);
+    }
+    pre.push_back(z);
+    if (l.relu) {
+      for (auto& v : z) v = std::max<i64>(0, v);
+    }
+    act = std::move(z);
+    act_scale = util::checked_mul(act_scale, util::Fixed::kScale);
+  }
+  return pre;
+}
+
+std::vector<i64> QuantizedNetwork::eval_output(std::span<const i64> X,
+                                               i64 bias_factor) const {
+  return eval_all(X, bias_factor).back();
+}
+
+int QuantizedNetwork::classify(std::span<const i64> X,
+                               i64 bias_factor) const {
+  const std::vector<i64> out = eval_output(X, bias_factor);
+  return argmax_tie_low_i64(out);
+}
+
+int QuantizedNetwork::classify_noised(std::span<const i64> x,
+                                      std::span<const int> deltas,
+                                      int bias_delta) const {
+  const std::vector<i64> X = noised_inputs(x, deltas);
+  return classify(X, kNoiseDen + bias_delta);
+}
+
+Network QuantizedNetwork::dequantize() const {
+  std::vector<Layer> layers;
+  layers.reserve(layers_.size());
+  const double s = static_cast<double>(util::Fixed::kScale);
+  for (const QLayer& ql : layers_) {
+    Layer l;
+    l.activation = ql.relu ? Activation::kReLU : Activation::kLinear;
+    l.weights = la::MatrixD(ql.out_dim(), ql.in_dim());
+    for (std::size_t r = 0; r < ql.out_dim(); ++r) {
+      for (std::size_t c = 0; c < ql.in_dim(); ++c) {
+        l.weights(r, c) = static_cast<double>(ql.weights(r, c)) / s;
+      }
+    }
+    l.bias.reserve(ql.out_dim());
+    for (i64 b : ql.bias) l.bias.push_back(static_cast<double>(b) / s);
+    layers.push_back(std::move(l));
+  }
+  return Network(std::move(layers));
+}
+
+QuantizedNetwork QuantizedNetwork::with_scaled_param(std::size_t layer,
+                                                     std::size_t row,
+                                                     std::size_t col,
+                                                     i64 percent) const {
+  if (layer >= layers_.size()) {
+    throw InvalidArgument("with_scaled_param: layer out of range");
+  }
+  QuantizedNetwork copy = *this;
+  QLayer& l = copy.layers_[layer];
+  if (row >= l.out_dim() || col > l.in_dim()) {
+    throw InvalidArgument("with_scaled_param: parameter index out of range");
+  }
+  i64& raw = (col == l.in_dim()) ? l.bias[row] : l.weights(row, col);
+  const i128 scaled = static_cast<i128>(raw) * (100 + percent);
+  // Round half away from zero back onto the fixed-point grid.
+  const i128 adjust = (scaled >= 0) ? 50 : -50;
+  raw = util::narrow_i128((scaled + adjust) / 100);
+  return copy;
+}
+
+int argmax_tie_low_i64(std::span<const i64> v) {
+  if (v.empty()) throw InvalidArgument("argmax_tie_low_i64: empty vector");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return static_cast<int>(best);
+}
+
+}  // namespace fannet::nn

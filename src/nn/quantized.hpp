@@ -1,0 +1,111 @@
+// Exact integer evaluation of a quantized network (DESIGN.md §4.1).
+//
+// The formal engines never touch floating point.  Weights are quantized to
+// Fixed (scale S = 10^4); inputs are integers x_i; noise is an integer
+// percent delta_i.  Everything is then evaluated over plain integers:
+//
+//   scaled input      X_i  = x_i * (100 + delta_i)            (scale R0)
+//   first layer       N^1  = Wq^1 X + Bq^1 * input_norm * bias_factor
+//   deeper layers     N^l  = Wq^l A^{l-1} + Bq^l * R_{l-1}
+//   running scale     R_0  = input_norm * 100,   R_l = S * R_{l-1}
+//   ReLU              A^l  = max(0, N^l)
+//
+// where N^l equals the real pre-activation of the quantized-weight network
+// multiplied by R_l, `input_norm` is the training-time normalizer (inputs
+// were divided by it before training) and `bias_factor` = 100 + delta_bias
+// carries noise on the paper's bias *input node* (Fig. 3a; DESIGN.md §4.3).
+// Because scales are positive, argmax over N^L equals argmax over the real
+// outputs — classification is exact.  All accumulation is __int128 with a
+// checked narrowing back to int64.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "nn/network.hpp"
+#include "util/fixed.hpp"
+
+namespace fannet::nn {
+
+/// Percent denominator for relative noise: x' = x * (100 + delta) / 100.
+inline constexpr util::i64 kNoiseDen = 100;
+
+/// One quantized layer; `W`/`b` hold Fixed raw values (value * 10^4).
+struct QLayer {
+  la::Matrix<util::i64> weights;
+  std::vector<util::i64> bias;
+  bool relu = false;
+
+  [[nodiscard]] std::size_t in_dim() const noexcept { return weights.cols(); }
+  [[nodiscard]] std::size_t out_dim() const noexcept { return weights.rows(); }
+};
+
+class QuantizedNetwork {
+ public:
+  QuantizedNetwork() = default;
+
+  /// Quantizes every weight/bias of `net` to Fixed.  `input_norm` is the
+  /// factor the raw integer inputs were divided by for training (the
+  /// leukemia pipeline uses 100, mapping x in [1,100] to (0,1]).
+  static QuantizedNetwork quantize(const Network& net, util::i64 input_norm);
+
+  [[nodiscard]] std::size_t input_dim() const;
+  [[nodiscard]] std::size_t output_dim() const;
+  [[nodiscard]] std::size_t depth() const noexcept { return layers_.size(); }
+  [[nodiscard]] const std::vector<QLayer>& layers() const noexcept {
+    return layers_;
+  }
+  [[nodiscard]] util::i64 input_norm() const noexcept { return input_norm_; }
+
+  /// Scale R_l of layer l's pre-activations (R_0 = input scale; see header
+  /// comment).  Index 0 is the *input* scale; index l+1 corresponds to
+  /// layer l.  Values can exceed int64 for deep nets, hence i128.
+  [[nodiscard]] util::i128 scale_at(std::size_t index) const;
+
+  /// Applies integer-percent noise: X_i = x_i * (100 + delta_i).
+  /// `deltas` may be empty (no noise) or one entry per input.
+  [[nodiscard]] static std::vector<util::i64> noised_inputs(
+      std::span<const util::i64> x, std::span<const int> deltas);
+
+  /// Exact scaled outputs N^L for scaled inputs X (see header comment).
+  /// `bias_factor` = 100 + delta on the bias input node (100 = no noise).
+  [[nodiscard]] std::vector<util::i64> eval_output(
+      std::span<const util::i64> X, util::i64 bias_factor = kNoiseDen) const;
+
+  /// Exact scaled pre-activations of every layer (last entry == eval_output).
+  [[nodiscard]] std::vector<std::vector<util::i64>> eval_all(
+      std::span<const util::i64> X, util::i64 bias_factor = kNoiseDen) const;
+
+  /// argmax over eval_output with ties to the lower index (DESIGN.md §4.5).
+  [[nodiscard]] int classify(std::span<const util::i64> X,
+                             util::i64 bias_factor = kNoiseDen) const;
+
+  /// Convenience: classify raw integer inputs under an integer-percent
+  /// noise vector (empty = no noise).
+  [[nodiscard]] int classify_noised(std::span<const util::i64> x,
+                                    std::span<const int> deltas,
+                                    int bias_delta = 0) const;
+
+  /// De-quantized copy (for comparing against the double-precision path).
+  [[nodiscard]] Network dequantize() const;
+
+  /// Copy with one parameter scaled by (100+percent)/100 (round half away
+  /// from zero on the raw fixed-point value).  `col` selects a weight;
+  /// `col == in_dim(layer)` selects the bias entry.  Used by the
+  /// weight-fault sensitivity extension (core/faults.hpp).
+  [[nodiscard]] QuantizedNetwork with_scaled_param(std::size_t layer,
+                                                   std::size_t row,
+                                                   std::size_t col,
+                                                   util::i64 percent) const;
+
+ private:
+  std::vector<QLayer> layers_;
+  util::i64 input_norm_ = 100;
+};
+
+/// Shared integer argmax rule: lowest index wins ties.
+[[nodiscard]] int argmax_tie_low_i64(std::span<const util::i64> v);
+
+}  // namespace fannet::nn

@@ -1,0 +1,129 @@
+#include "nn/train.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fannet::nn {
+
+namespace {
+
+/// Gradient accumulator matching the network's parameter shapes.
+struct Grads {
+  std::vector<la::MatrixD> w;
+  std::vector<std::vector<double>> b;
+
+  explicit Grads(const Network& net) {
+    for (const Layer& l : net.layers()) {
+      w.emplace_back(l.out_dim(), l.in_dim());
+      b.emplace_back(l.out_dim(), 0.0);
+    }
+  }
+
+  void zero() {
+    for (auto& m : w) std::fill(m.data().begin(), m.data().end(), 0.0);
+    for (auto& v : b) std::fill(v.begin(), v.end(), 0.0);
+  }
+};
+
+/// Backpropagates one sample's MSE gradient into `g`; returns sample loss.
+double backprop_sample(const Network& net, std::span<const double> x,
+                       int label, Grads& g) {
+  const Network::Trace trace = net.forward_trace(x);
+  const auto& layers = net.layers();
+  const std::size_t depth = layers.size();
+  const std::vector<double>& out = trace.post.back();
+
+  // delta = dLoss/dPre for the current layer, starting at the output.
+  std::vector<double> delta(out.size());
+  double loss = 0.0;
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    const double target = (static_cast<int>(k) == label) ? 1.0 : 0.0;
+    const double diff = out[k] - target;
+    loss += 0.5 * diff * diff;
+    delta[k] = diff;  // output layer is linear
+  }
+
+  for (std::size_t li = depth; li-- > 0;) {
+    const Layer& l = layers[li];
+    if (l.activation == Activation::kReLU) {
+      for (std::size_t j = 0; j < delta.size(); ++j) {
+        if (trace.pre[li][j] <= 0.0) delta[j] = 0.0;
+      }
+    }
+    const std::vector<double>& input =
+        (li == 0) ? std::vector<double>(x.begin(), x.end()) : trace.post[li - 1];
+    for (std::size_t j = 0; j < l.out_dim(); ++j) {
+      for (std::size_t i = 0; i < l.in_dim(); ++i) {
+        g.w[li](j, i) += delta[j] * input[i];
+      }
+      g.b[li][j] += delta[j];
+    }
+    if (li > 0) {
+      std::vector<double> prev(l.in_dim(), 0.0);
+      for (std::size_t i = 0; i < l.in_dim(); ++i) {
+        for (std::size_t j = 0; j < l.out_dim(); ++j) {
+          prev[i] += l.weights(j, i) * delta[j];
+        }
+      }
+      delta = std::move(prev);
+    }
+  }
+  return loss;
+}
+
+}  // namespace
+
+TrainResult train(Network& net, const la::MatrixD& inputs,
+                  const std::vector<int>& labels, const TrainConfig& config) {
+  if (inputs.rows() != labels.size()) {
+    throw InvalidArgument("train: inputs/labels size mismatch");
+  }
+  if (inputs.rows() == 0) throw InvalidArgument("train: empty training set");
+  if (inputs.cols() != net.input_dim()) {
+    throw InvalidArgument("train: input dim mismatch");
+  }
+
+  const double n = static_cast<double>(inputs.rows());
+  TrainResult result;
+  Grads grads(net);
+
+  for (const TrainPhase& phase : config.schedule) {
+    for (int epoch = 0; epoch < phase.epochs; ++epoch) {
+      grads.zero();
+      double loss = 0.0;
+      for (std::size_t s = 0; s < inputs.rows(); ++s) {
+        loss += backprop_sample(net, inputs.row(s), labels[s], grads);
+      }
+      const double step = phase.learning_rate / n;
+      auto& layers = net.layers();
+      for (std::size_t li = 0; li < layers.size(); ++li) {
+        auto dst = layers[li].weights.data();
+        auto src = grads.w[li].data();
+        for (std::size_t i = 0; i < dst.size(); ++i) dst[i] -= step * src[i];
+        for (std::size_t j = 0; j < layers[li].bias.size(); ++j) {
+          layers[li].bias[j] -= step * grads.b[li][j];
+        }
+      }
+      result.epoch_loss.push_back(loss / n);
+    }
+  }
+  result.train_accuracy = accuracy(net, inputs, labels);
+  return result;
+}
+
+double accuracy(const Network& net, const la::MatrixD& inputs,
+                const std::vector<int>& labels) {
+  if (inputs.rows() != labels.size()) {
+    throw InvalidArgument("accuracy: inputs/labels size mismatch");
+  }
+  if (inputs.rows() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t s = 0; s < inputs.rows(); ++s) {
+    if (net.classify(inputs.row(s)) == labels[s]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(inputs.rows());
+}
+
+}  // namespace fannet::nn

@@ -1,0 +1,43 @@
+// Full-batch gradient-descent training (the MATLAB substitute).
+//
+// The paper's network is trained with plain gradient descent, MSE loss on
+// one-hot targets, learning rate 0.5 for the first 40 epochs and 0.2 for the
+// remaining 40 (paper §V-A, footnote 1).  That schedule is the default here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "nn/network.hpp"
+
+namespace fannet::nn {
+
+/// One constant-learning-rate segment of the schedule.
+struct TrainPhase {
+  double learning_rate = 0.1;
+  int epochs = 0;
+};
+
+struct TrainConfig {
+  /// The paper's schedule: lr 0.5 x 40 epochs, then lr 0.2 x 40 epochs.
+  std::vector<TrainPhase> schedule{{0.5, 40}, {0.2, 40}};
+  std::uint64_t seed = 1;  ///< weight-initialization seed
+};
+
+struct TrainResult {
+  std::vector<double> epoch_loss;  ///< mean MSE after each epoch
+  double train_accuracy = 0.0;     ///< fraction correct on the training set
+};
+
+/// Trains `net` in place on rows of `inputs` (one sample per row, values
+/// already normalized) against integer labels in [0, output_dim).
+/// Loss is 0.5 * ||out - onehot||^2 averaged over the batch.
+TrainResult train(Network& net, const la::MatrixD& inputs,
+                  const std::vector<int>& labels, const TrainConfig& config);
+
+/// Fraction of rows classified correctly.
+[[nodiscard]] double accuracy(const Network& net, const la::MatrixD& inputs,
+                              const std::vector<int>& labels);
+
+}  // namespace fannet::nn

@@ -1,0 +1,79 @@
+#include "sat/dimacs.hpp"
+
+#include <sstream>
+
+#include "sat/solver.hpp"
+#include "util/error.hpp"
+
+namespace fannet::sat {
+
+Cnf parse_dimacs(const std::string& text) {
+  std::istringstream in(text);
+  Cnf cnf;
+  std::string token;
+  bool have_header = false;
+  std::size_t declared_clauses = 0;
+  Clause current;
+
+  while (in >> token) {
+    if (token == "c") {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    if (token == "p") {
+      std::string fmt;
+      if (!(in >> fmt >> cnf.num_vars >> declared_clauses) || fmt != "cnf") {
+        throw ParseError("parse_dimacs: bad problem line");
+      }
+      have_header = true;
+      continue;
+    }
+    int lit = 0;
+    try {
+      lit = std::stoi(token);
+    } catch (const std::exception&) {
+      throw ParseError("parse_dimacs: bad token '" + token + "'");
+    }
+    if (!have_header) throw ParseError("parse_dimacs: literal before header");
+    if (lit == 0) {
+      cnf.clauses.push_back(std::move(current));
+      current.clear();
+    } else {
+      const int v = std::abs(lit) - 1;
+      if (v >= cnf.num_vars) {
+        throw ParseError("parse_dimacs: variable out of declared range");
+      }
+      current.emplace_back(v, lit < 0);
+    }
+  }
+  if (!current.empty()) {
+    throw ParseError("parse_dimacs: clause missing terminating 0");
+  }
+  return cnf;
+}
+
+std::string to_dimacs(const Cnf& cnf) {
+  std::ostringstream out;
+  out << "p cnf " << cnf.num_vars << " " << cnf.clauses.size() << "\n";
+  for (const Clause& c : cnf.clauses) {
+    for (const Lit l : c) out << (l.negated() ? "-" : "") << l.var() + 1 << " ";
+    out << "0\n";
+  }
+  return out.str();
+}
+
+bool load_cnf(Solver& solver, const Cnf& cnf) {
+  const int base = solver.num_vars();
+  for (int i = 0; i < cnf.num_vars; ++i) solver.new_var();
+  bool ok = true;
+  for (const Clause& c : cnf.clauses) {
+    Clause shifted;
+    shifted.reserve(c.size());
+    for (const Lit l : c) shifted.emplace_back(l.var() + base, l.negated());
+    ok = solver.add_clause(std::move(shifted)) && ok;
+  }
+  return ok;
+}
+
+}  // namespace fannet::sat

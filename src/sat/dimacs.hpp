@@ -1,0 +1,29 @@
+// DIMACS CNF import/export for the SAT solver (interoperability + tests).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace fannet::sat {
+
+struct Cnf {
+  int num_vars = 0;
+  std::vector<Clause> clauses;
+};
+
+/// Parses DIMACS text ("p cnf V C" header, clauses terminated by 0,
+/// 'c' comment lines).  Throws ParseError on malformed input.
+[[nodiscard]] Cnf parse_dimacs(const std::string& text);
+
+/// Serializes a CNF in DIMACS format.
+[[nodiscard]] std::string to_dimacs(const Cnf& cnf);
+
+class Solver;
+
+/// Loads a CNF into a fresh region of `solver` (creates its variables).
+/// Returns false if the instance is already UNSAT at level 0.
+bool load_cnf(Solver& solver, const Cnf& cnf);
+
+}  // namespace fannet::sat

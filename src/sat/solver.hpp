@@ -1,0 +1,83 @@
+// CDCL SAT solver (the SAT substrate behind bounded model checking).
+//
+// A from-scratch conflict-driven clause-learning solver with the standard
+// modern architecture: two-watched-literal propagation with blockers, first
+// unique-implication-point conflict analysis with clause minimization, EVSIDS
+// variable activity, phase saving, Luby-sequence restarts, activity-driven
+// learnt-clause deletion, and incremental solving under assumptions.  The
+// design follows MiniSat's; everything is implemented here from the
+// published algorithms.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace fannet::sat {
+
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learnt_clauses = 0;
+  std::uint64_t deleted_clauses = 0;
+};
+
+class Solver {
+ public:
+  Solver();
+  ~Solver();
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Creates a fresh variable and returns it.
+  Var new_var();
+  [[nodiscard]] int num_vars() const noexcept;
+  [[nodiscard]] std::size_t num_clauses() const noexcept;
+
+  /// Adds a clause (empty clause or conflicting unit makes the instance
+  /// permanently UNSAT).  Returns false iff the instance became UNSAT.
+  bool add_clause(Clause lits);
+  bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(Clause(lits));
+  }
+
+  /// Solves the current formula; with `assumptions`, solves under those
+  /// temporary unit assumptions (they do not persist).
+  [[nodiscard]] SolveResult solve();
+  [[nodiscard]] SolveResult solve(std::span<const Lit> assumptions);
+
+  /// Model access after kSat.  Unassigned variables read as false.
+  [[nodiscard]] bool model_value(Var v) const;
+  [[nodiscard]] bool model_value(Lit l) const {
+    return model_value(l.var()) != l.negated();
+  }
+
+  /// After kUnsat under assumptions: the subset of assumptions used
+  /// (a "final conflict" a la MiniSat, negated: these cannot all hold).
+  [[nodiscard]] const std::vector<Lit>& conflict_assumptions() const noexcept {
+    return conflict_;
+  }
+
+  /// Abort search (returning kUnknown) after this many conflicts (0 = off).
+  void set_conflict_limit(std::uint64_t limit) noexcept {
+    conflict_limit_ = limit;
+  }
+
+  [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::vector<Lit> conflict_;
+  std::uint64_t conflict_limit_ = 0;
+  SolverStats stats_;
+
+  friend struct Impl;
+};
+
+}  // namespace fannet::sat

@@ -1,0 +1,76 @@
+// Core SAT types: variables, literals, ternary assignment values.
+//
+// Follows the MiniSat conventions: variables are dense 0-based ints and a
+// literal packs (variable, sign) into one int so it can index watch lists
+// directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fannet::sat {
+
+using Var = std::int32_t;
+inline constexpr Var kUndefVar = -1;
+
+/// A literal: index = var*2 + (negated ? 1 : 0).
+class Lit {
+ public:
+  constexpr Lit() noexcept = default;
+  constexpr Lit(Var v, bool negated) noexcept : code_(v * 2 + (negated ? 1 : 0)) {}
+
+  [[nodiscard]] static constexpr Lit from_code(std::int32_t code) noexcept {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  [[nodiscard]] constexpr Var var() const noexcept { return code_ >> 1; }
+  [[nodiscard]] constexpr bool negated() const noexcept { return code_ & 1; }
+  [[nodiscard]] constexpr std::int32_t code() const noexcept { return code_; }
+  [[nodiscard]] constexpr bool is_undef() const noexcept { return code_ < 0; }
+
+  [[nodiscard]] constexpr Lit operator~() const noexcept {
+    return from_code(code_ ^ 1);
+  }
+  [[nodiscard]] constexpr bool operator==(const Lit&) const noexcept = default;
+
+  /// DIMACS-style rendering: variable 0 negated prints as "-1".
+  [[nodiscard]] std::string to_string() const {
+    return (negated() ? "-" : "") + std::to_string(var() + 1);
+  }
+
+ private:
+  std::int32_t code_ = -2;
+};
+
+inline constexpr Lit kUndefLit = Lit::from_code(-2);
+
+/// Ternary truth value.
+enum class LBool : std::uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+[[nodiscard]] constexpr LBool lbool_from(bool b) noexcept {
+  return b ? LBool::kTrue : LBool::kFalse;
+}
+[[nodiscard]] constexpr LBool negate(LBool v) noexcept {
+  switch (v) {
+    case LBool::kFalse: return LBool::kTrue;
+    case LBool::kTrue: return LBool::kFalse;
+    default: return LBool::kUndef;
+  }
+}
+
+using Clause = std::vector<Lit>;
+
+enum class SolveResult : std::uint8_t { kSat, kUnsat, kUnknown };
+
+[[nodiscard]] inline std::string to_string(SolveResult r) {
+  switch (r) {
+    case SolveResult::kSat: return "SAT";
+    case SolveResult::kUnsat: return "UNSAT";
+    default: return "UNKNOWN";
+  }
+}
+
+}  // namespace fannet::sat

@@ -1,0 +1,264 @@
+#include "smv/ast.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fannet::smv {
+
+bool returns_bool(Op op) {
+  switch (op) {
+    case Op::kNot:
+    case Op::kEq: case Op::kNe:
+    case Op::kLt: case Op::kLe: case Op::kGt: case Op::kGe:
+    case Op::kAnd: case Op::kOr: case Op::kXor:
+    case Op::kImplies: case Op::kIff:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::size_t Module::add_var(const std::string& var_name, VarType type) {
+  if (has_var(var_name)) {
+    throw InvalidArgument("Module::add_var: duplicate variable '" + var_name + "'");
+  }
+  for (const auto& [def_name, unused] : defines_) {
+    if (def_name == var_name) {
+      throw InvalidArgument("Module::add_var: name clashes with DEFINE '" +
+                            var_name + "'");
+    }
+  }
+  if (const auto* e = std::get_if<EnumType>(&type)) {
+    for (const auto& sym : e->symbols) {
+      if (has_symbol(sym)) {
+        throw InvalidArgument("Module::add_var: enum symbol '" + sym +
+                              "' already used (symbols must be module-unique)");
+      }
+    }
+    if (e->symbols.empty()) {
+      throw InvalidArgument("Module::add_var: empty enum");
+    }
+  }
+  if (const auto* r = std::get_if<RangeType>(&type)) {
+    if (r->lo > r->hi) {
+      throw InvalidArgument("Module::add_var: empty range for '" + var_name + "'");
+    }
+  }
+  vars_.push_back({var_name, std::move(type)});
+  init_.push_back(kNoExpr);
+  next_.push_back(kNoExpr);
+  return vars_.size() - 1;
+}
+
+std::size_t Module::add_define(const std::string& def_name, ExprId body) {
+  if (has_var(def_name)) {
+    throw InvalidArgument("Module::add_define: name clashes with VAR '" +
+                          def_name + "'");
+  }
+  for (const auto& [existing, unused] : defines_) {
+    if (existing == def_name) {
+      throw InvalidArgument("Module::add_define: duplicate '" + def_name + "'");
+    }
+  }
+  defines_.emplace_back(def_name, body);
+  return defines_.size() - 1;
+}
+
+void Module::set_init(const std::string& var_name, ExprId rhs) {
+  init_[var_index(var_name)] = rhs;
+}
+
+void Module::set_next(const std::string& var_name, ExprId rhs) {
+  next_[var_index(var_name)] = rhs;
+}
+
+ExprId Module::push(Expr e) {
+  arena_.push_back(std::move(e));
+  return static_cast<ExprId>(arena_.size() - 1);
+}
+
+ExprId Module::e_const(i64 v) { return push({Op::kConst, v, {}, {}}); }
+ExprId Module::e_name(std::string ident) {
+  return push({Op::kName, 0, std::move(ident), {}});
+}
+ExprId Module::e_var(std::size_t var_idx) {
+  if (var_idx >= vars_.size()) {
+    throw InvalidArgument("Module::e_var: index out of range");
+  }
+  return push({Op::kVarRef, static_cast<i64>(var_idx), {}, {}});
+}
+ExprId Module::e_def(std::size_t def_idx) {
+  if (def_idx >= defines_.size()) {
+    throw InvalidArgument("Module::e_def: index out of range");
+  }
+  return push({Op::kDefRef, static_cast<i64>(def_idx), {}, {}});
+}
+ExprId Module::e_next(std::size_t var_idx) {
+  if (var_idx >= vars_.size()) {
+    throw InvalidArgument("Module::e_next: index out of range");
+  }
+  return push({Op::kNextRef, static_cast<i64>(var_idx), {}, {}});
+}
+ExprId Module::e_unary(Op op, ExprId a) {
+  if (op != Op::kNeg && op != Op::kNot) {
+    throw InvalidArgument("Module::e_unary: not a unary op");
+  }
+  return push({op, 0, {}, {a}});
+}
+ExprId Module::e_binary(Op op, ExprId a, ExprId b) {
+  switch (op) {
+    case Op::kAdd: case Op::kSub: case Op::kMul:
+    case Op::kEq: case Op::kNe: case Op::kLt: case Op::kLe:
+    case Op::kGt: case Op::kGe: case Op::kAnd: case Op::kOr:
+    case Op::kXor: case Op::kImplies: case Op::kIff:
+      break;
+    default:
+      throw InvalidArgument("Module::e_binary: not a binary op");
+  }
+  return push({op, 0, {}, {a, b}});
+}
+ExprId Module::e_case(std::vector<ExprId> cond_value_pairs) {
+  if (cond_value_pairs.empty() || cond_value_pairs.size() % 2 != 0) {
+    throw InvalidArgument("Module::e_case: need non-empty cond/value pairs");
+  }
+  return push({Op::kCase, 0, {}, std::move(cond_value_pairs)});
+}
+ExprId Module::e_set(std::vector<ExprId> alternatives) {
+  if (alternatives.empty()) {
+    throw InvalidArgument("Module::e_set: empty set");
+  }
+  return push({Op::kSet, 0, {}, std::move(alternatives)});
+}
+ExprId Module::e_range(ExprId lo, ExprId hi) {
+  return push({Op::kRange, 0, {}, {lo, hi}});
+}
+ExprId Module::e_symbol(const std::string& symbol) {
+  // Keep the symbol text so the printer can render it back faithfully.
+  return push({Op::kConst, symbol_value(symbol), symbol, {}});
+}
+
+const Expr& Module::expr(ExprId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= arena_.size()) {
+    throw InvalidArgument("Module::expr: bad id");
+  }
+  return arena_[static_cast<std::size_t>(id)];
+}
+
+std::size_t Module::var_index(const std::string& var_name) const {
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i].name == var_name) return i;
+  }
+  throw InvalidArgument("Module: unknown variable '" + var_name + "'");
+}
+
+bool Module::has_var(const std::string& var_name) const {
+  return std::any_of(vars_.begin(), vars_.end(),
+                     [&](const VarDecl& v) { return v.name == var_name; });
+}
+
+i64 Module::domain_lo(std::size_t var) const {
+  const VarType& t = vars_.at(var).type;
+  if (std::holds_alternative<BoolType>(t)) return 0;
+  if (const auto* r = std::get_if<RangeType>(&t)) return r->lo;
+  return 0;
+}
+
+i64 Module::domain_hi(std::size_t var) const {
+  const VarType& t = vars_.at(var).type;
+  if (std::holds_alternative<BoolType>(t)) return 1;
+  if (const auto* r = std::get_if<RangeType>(&t)) return r->hi;
+  return static_cast<i64>(std::get<EnumType>(t).symbols.size()) - 1;
+}
+
+i64 Module::symbol_value(const std::string& symbol) const {
+  for (const VarDecl& v : vars_) {
+    if (const auto* e = std::get_if<EnumType>(&v.type)) {
+      for (std::size_t i = 0; i < e->symbols.size(); ++i) {
+        if (e->symbols[i] == symbol) return static_cast<i64>(i);
+      }
+    }
+  }
+  throw InvalidArgument("Module: unknown enum symbol '" + symbol + "'");
+}
+
+bool Module::has_symbol(const std::string& symbol) const {
+  for (const VarDecl& v : vars_) {
+    if (const auto* e = std::get_if<EnumType>(&v.type)) {
+      for (const auto& s : e->symbols) {
+        if (s == symbol) return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::string Module::render_value(std::size_t var, i64 value) const {
+  const VarType& t = vars_.at(var).type;
+  if (const auto* e = std::get_if<EnumType>(&t)) {
+    if (value >= 0 && value < static_cast<i64>(e->symbols.size())) {
+      return e->symbols[static_cast<std::size_t>(value)];
+    }
+  }
+  if (std::holds_alternative<BoolType>(t)) return value ? "TRUE" : "FALSE";
+  return std::to_string(value);
+}
+
+void Module::resolve_expr(ExprId id, bool allow_next) {
+  Expr& e = arena_.at(static_cast<std::size_t>(id));
+  if (e.op == Op::kName) {
+    // Priority: variable, define, enum symbol, TRUE/FALSE handled by lexer.
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+      if (vars_[i].name == e.name) {
+        e.op = Op::kVarRef;
+        e.value = static_cast<i64>(i);
+        return;
+      }
+    }
+    for (std::size_t i = 0; i < defines_.size(); ++i) {
+      if (defines_[i].first == e.name) {
+        e.op = Op::kDefRef;
+        e.value = static_cast<i64>(i);
+        return;
+      }
+    }
+    if (has_symbol(e.name)) {
+      e.value = symbol_value(e.name);
+      e.op = Op::kConst;
+      return;
+    }
+    throw ParseError("SMV: unresolved identifier '" + e.name + "'");
+  }
+  if (e.op == Op::kNextRef) {
+    if (!allow_next) {
+      throw ParseError("SMV: next(...) only allowed in TRANS constraints");
+    }
+    if (!e.name.empty()) {  // parser leaves the variable name unresolved
+      e.value = static_cast<i64>(var_index(e.name));
+    }
+    return;
+  }
+  for (const ExprId kid : e.kids) resolve_expr(kid, allow_next);
+}
+
+void Module::mutate_to_next_ref(ExprId id) {
+  Expr& e = arena_.at(static_cast<std::size_t>(id));
+  if (e.op != Op::kName) {
+    throw InvalidArgument("mutate_to_next_ref: node is not a kName");
+  }
+  e.op = Op::kNextRef;
+}
+
+void Module::resolve() {
+  for (auto& [unused, body] : defines_) resolve_expr(body, false);
+  for (std::size_t v = 0; v < vars_.size(); ++v) {
+    if (init_[v] != kNoExpr) resolve_expr(init_[v], false);
+    if (next_[v] != kNoExpr) resolve_expr(next_[v], false);
+  }
+  for (const ExprId e : init_constraints_) resolve_expr(e, false);
+  for (const ExprId e : trans_constraints_) resolve_expr(e, true);
+  for (const ExprId e : invar_constraints_) resolve_expr(e, false);
+  for (const Spec& s : specs_) resolve_expr(s.expr, false);
+}
+
+}  // namespace fannet::smv

@@ -1,0 +1,178 @@
+// SMV-subset abstract syntax (the nuXmv-frontend substitute).
+//
+// The subset covers exactly what FANNet's Behavior Extraction emits and what
+// the paper's Fig.-2/Fig.-3 models need:
+//
+//   MODULE main
+//   VAR      x : -5..5;   b : boolean;   phase : {init, eval};
+//   DEFINE   n1 := 3*x + 7; ...
+//   ASSIGN   init(x) := 0;   next(x) := {-5..5};      -- nondeterministic
+//   INIT / TRANS / INVAR  <boolean constraints>       -- optional
+//   INVARSPEC <boolean property>
+//   LTLSPEC G <boolean property>                      -- G-only fragment
+//
+// Expressions form an arena of nodes inside the Module (indices, no
+// pointers), which keeps the printer, evaluator and bit-blasting compiler
+// simple and cache-friendly.  Enum symbols are required to be unique across
+// the module so they resolve without type inference (nuXmv shares this
+// behaviour for the models we emit).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/checked.hpp"
+
+namespace fannet::smv {
+
+using util::i64;
+
+using ExprId = std::int32_t;
+inline constexpr ExprId kNoExpr = -1;
+
+enum class Op : std::uint8_t {
+  kConst,     // value
+  kName,      // unresolved identifier (parser output only)
+  kVarRef,    // value = variable index
+  kDefRef,    // value = define index
+  kNextRef,   // value = variable index, inside TRANS
+  kNeg,       // -a
+  kNot,       // !a
+  kAdd, kSub, kMul,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr, kXor, kImplies, kIff,
+  kCase,      // kids = cond0, val0, cond1, val1, ...
+  kSet,       // kids = alternatives (choice context only)
+  kRange,     // kids = lo, hi (choice context only; bounds constant)
+};
+
+struct Expr {
+  Op op = Op::kConst;
+  i64 value = 0;      // kConst payload, or resolved index for refs
+  std::string name;   // kName payload (kept for printing)
+  std::vector<ExprId> kids;
+};
+
+struct BoolType {};
+struct RangeType {
+  i64 lo = 0;
+  i64 hi = 0;
+};
+struct EnumType {
+  std::vector<std::string> symbols;  // value of symbols[i] is i
+};
+using VarType = std::variant<BoolType, RangeType, EnumType>;
+
+struct VarDecl {
+  std::string name;
+  VarType type;
+};
+
+enum class SpecKind : std::uint8_t {
+  kInvarSpec,  // INVARSPEC p  — p holds in every reachable state
+  kLtlGlobally,  // LTLSPEC G p — same check, LTL surface syntax
+};
+
+struct Spec {
+  SpecKind kind = SpecKind::kInvarSpec;
+  ExprId expr = kNoExpr;
+  std::string name;  // optional label for reports
+};
+
+class Module {
+ public:
+  std::string name = "main";
+
+  // ---- declarations -------------------------------------------------------
+  /// Declares a variable; returns its index.  Throws on duplicates.
+  std::size_t add_var(const std::string& var_name, VarType type);
+  /// Declares a DEFINE; returns its index.  Throws on duplicates.
+  std::size_t add_define(const std::string& def_name, ExprId body);
+
+  void set_init(const std::string& var_name, ExprId rhs);
+  void set_next(const std::string& var_name, ExprId rhs);
+  void add_init_constraint(ExprId e) { init_constraints_.push_back(e); }
+  void add_trans_constraint(ExprId e) { trans_constraints_.push_back(e); }
+  void add_invar_constraint(ExprId e) { invar_constraints_.push_back(e); }
+  void add_spec(Spec s) { specs_.push_back(std::move(s)); }
+
+  // ---- expression factory ---------------------------------------------------
+  ExprId e_const(i64 v);
+  ExprId e_bool(bool v) { return e_const(v ? 1 : 0); }
+  ExprId e_name(std::string ident);      // resolved later by resolve()
+  ExprId e_var(std::size_t var_index);
+  ExprId e_def(std::size_t def_index);
+  ExprId e_next(std::size_t var_index);
+  ExprId e_unary(Op op, ExprId a);
+  ExprId e_binary(Op op, ExprId a, ExprId b);
+  ExprId e_case(std::vector<ExprId> cond_value_pairs);
+  ExprId e_set(std::vector<ExprId> alternatives);
+  ExprId e_range(ExprId lo, ExprId hi);
+  /// Enum literal by symbol (resolves immediately; symbol must exist).
+  ExprId e_symbol(const std::string& symbol);
+
+  // ---- lookups ---------------------------------------------------------------
+  [[nodiscard]] const Expr& expr(ExprId id) const;
+  [[nodiscard]] std::size_t num_exprs() const noexcept { return arena_.size(); }
+  [[nodiscard]] const std::vector<VarDecl>& vars() const noexcept { return vars_; }
+  [[nodiscard]] std::size_t var_index(const std::string& var_name) const;
+  [[nodiscard]] bool has_var(const std::string& var_name) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, ExprId>>& defines()
+      const noexcept {
+    return defines_;
+  }
+  [[nodiscard]] ExprId init_of(std::size_t var) const { return init_[var]; }
+  [[nodiscard]] ExprId next_of(std::size_t var) const { return next_[var]; }
+  [[nodiscard]] const std::vector<ExprId>& init_constraints() const noexcept {
+    return init_constraints_;
+  }
+  [[nodiscard]] const std::vector<ExprId>& trans_constraints() const noexcept {
+    return trans_constraints_;
+  }
+  [[nodiscard]] const std::vector<ExprId>& invar_constraints() const noexcept {
+    return invar_constraints_;
+  }
+  [[nodiscard]] const std::vector<Spec>& specs() const noexcept { return specs_; }
+
+  /// Domain size / values of a variable's type.
+  [[nodiscard]] i64 domain_lo(std::size_t var) const;
+  [[nodiscard]] i64 domain_hi(std::size_t var) const;
+
+  /// Resolves enum symbol -> value; throws if unknown.
+  [[nodiscard]] i64 symbol_value(const std::string& symbol) const;
+  [[nodiscard]] bool has_symbol(const std::string& symbol) const;
+
+  /// Renders an enum-typed variable's value back to its symbol (or the
+  /// number for int/bool types).
+  [[nodiscard]] std::string render_value(std::size_t var, i64 value) const;
+
+  /// Resolves every kName node to kVarRef / kDefRef / enum constant and
+  /// performs basic well-formedness checks.  Called by the parser; builder
+  /// users emit resolved nodes directly and need not call it.
+  void resolve();
+
+  /// Parser hook: rewrites a freshly created kName node into a by-name
+  /// next(...) reference (resolved later by resolve()).
+  void mutate_to_next_ref(ExprId id);
+
+ private:
+  ExprId push(Expr e);
+  void resolve_expr(ExprId id, bool allow_next);
+
+  std::vector<Expr> arena_;
+  std::vector<VarDecl> vars_;
+  std::vector<std::pair<std::string, ExprId>> defines_;
+  std::vector<ExprId> init_;  // per var, kNoExpr if absent
+  std::vector<ExprId> next_;
+  std::vector<ExprId> init_constraints_;
+  std::vector<ExprId> trans_constraints_;
+  std::vector<ExprId> invar_constraints_;
+  std::vector<Spec> specs_;
+};
+
+/// True if the op is a boolean connective / comparison (result 0/1).
+[[nodiscard]] bool returns_bool(Op op);
+
+}  // namespace fannet::smv

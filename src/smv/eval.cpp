@@ -1,0 +1,134 @@
+#include "smv/eval.hpp"
+
+#include "util/error.hpp"
+
+namespace fannet::smv {
+
+i64 Evaluator::eval(ExprId id, const State& state, const State* next) const {
+  const Expr& e = module_.expr(id);
+  const auto ev = [&](ExprId k) { return eval(k, state, next); };
+  switch (e.op) {
+    case Op::kConst:
+      return e.value;
+    case Op::kVarRef:
+      return state.at(static_cast<std::size_t>(e.value));
+    case Op::kDefRef:
+      return eval(module_.defines().at(static_cast<std::size_t>(e.value)).second,
+                  state, next);
+    case Op::kNextRef:
+      if (next == nullptr) {
+        throw InvalidArgument("Evaluator::eval: next(...) without next state");
+      }
+      return next->at(static_cast<std::size_t>(e.value));
+    case Op::kNeg:
+      return util::checked_sub(0, ev(e.kids[0]));
+    case Op::kNot:
+      return ev(e.kids[0]) == 0 ? 1 : 0;
+    case Op::kAdd:
+      return util::checked_add(ev(e.kids[0]), ev(e.kids[1]));
+    case Op::kSub:
+      return util::checked_sub(ev(e.kids[0]), ev(e.kids[1]));
+    case Op::kMul:
+      return util::checked_mul(ev(e.kids[0]), ev(e.kids[1]));
+    case Op::kEq:
+      return ev(e.kids[0]) == ev(e.kids[1]) ? 1 : 0;
+    case Op::kNe:
+      return ev(e.kids[0]) != ev(e.kids[1]) ? 1 : 0;
+    case Op::kLt:
+      return ev(e.kids[0]) < ev(e.kids[1]) ? 1 : 0;
+    case Op::kLe:
+      return ev(e.kids[0]) <= ev(e.kids[1]) ? 1 : 0;
+    case Op::kGt:
+      return ev(e.kids[0]) > ev(e.kids[1]) ? 1 : 0;
+    case Op::kGe:
+      return ev(e.kids[0]) >= ev(e.kids[1]) ? 1 : 0;
+    case Op::kAnd:
+      return (ev(e.kids[0]) != 0 && ev(e.kids[1]) != 0) ? 1 : 0;
+    case Op::kOr:
+      return (ev(e.kids[0]) != 0 || ev(e.kids[1]) != 0) ? 1 : 0;
+    case Op::kXor:
+      return ((ev(e.kids[0]) != 0) != (ev(e.kids[1]) != 0)) ? 1 : 0;
+    case Op::kImplies:
+      return (ev(e.kids[0]) == 0 || ev(e.kids[1]) != 0) ? 1 : 0;
+    case Op::kIff:
+      return ((ev(e.kids[0]) != 0) == (ev(e.kids[1]) != 0)) ? 1 : 0;
+    case Op::kCase:
+      for (std::size_t i = 0; i + 1 < e.kids.size(); i += 2) {
+        if (ev(e.kids[i]) != 0) return ev(e.kids[i + 1]);
+      }
+      throw InvalidArgument("Evaluator::eval: no case arm matched "
+                            "(add a TRUE : ... default)");
+    case Op::kName:
+      throw InvalidArgument("Evaluator::eval: unresolved name '" + e.name +
+                            "' (call Module::resolve())");
+    case Op::kSet:
+    case Op::kRange:
+      throw InvalidArgument(
+          "Evaluator::eval: set/range only valid in init()/next() "
+          "right-hand sides (use choices())");
+  }
+  throw InvalidArgument("Evaluator::eval: corrupt expression node");
+}
+
+std::vector<i64> Evaluator::choices(ExprId id, const State& state) const {
+  const Expr& e = module_.expr(id);
+  switch (e.op) {
+    case Op::kSet: {
+      std::vector<i64> out;
+      for (const ExprId kid : e.kids) {
+        const std::vector<i64> sub = choices(kid, state);
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      // Dedup while keeping first-occurrence order.
+      std::vector<i64> dedup;
+      for (const i64 v : out) {
+        bool found = false;
+        for (const i64 u : dedup) {
+          if (u == v) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) dedup.push_back(v);
+      }
+      return dedup;
+    }
+    case Op::kRange: {
+      const i64 lo = eval(e.kids[0], state);
+      const i64 hi = eval(e.kids[1], state);
+      if (lo > hi) {
+        throw InvalidArgument("Evaluator::choices: empty range lo..hi");
+      }
+      if (hi - lo > 1'000'000) {
+        throw ResourceLimit("Evaluator::choices: range too large to enumerate");
+      }
+      std::vector<i64> out;
+      out.reserve(static_cast<std::size_t>(hi - lo + 1));
+      for (i64 v = lo; v <= hi; ++v) out.push_back(v);
+      return out;
+    }
+    case Op::kCase: {
+      for (std::size_t i = 0; i + 1 < e.kids.size(); i += 2) {
+        if (eval(e.kids[i], state) != 0) return choices(e.kids[i + 1], state);
+      }
+      throw InvalidArgument("Evaluator::choices: no case arm matched");
+    }
+    default:
+      return {eval(id, state)};
+  }
+}
+
+std::vector<i64> Evaluator::domain(std::size_t var) const {
+  const i64 lo = module_.domain_lo(var);
+  const i64 hi = module_.domain_hi(var);
+  std::vector<i64> out;
+  out.reserve(static_cast<std::size_t>(hi - lo + 1));
+  for (i64 v = lo; v <= hi; ++v) out.push_back(v);
+  return out;
+}
+
+bool Evaluator::in_domain(std::size_t var, i64 value) const {
+  return value >= module_.domain_lo(var) && value <= module_.domain_hi(var);
+}
+
+}  // namespace fannet::smv

@@ -1,0 +1,46 @@
+// Concrete-state evaluation of SMV expressions (explicit model checking).
+//
+// A State assigns one i64 to every declared variable (booleans as 0/1,
+// enums as symbol indices).  eval() computes expressions over a state (and
+// optionally a next-state for TRANS constraints); choices() enumerates the
+// nondeterministic alternatives of an init()/next() right-hand side.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "smv/ast.hpp"
+
+namespace fannet::smv {
+
+using State = std::vector<i64>;
+
+class Evaluator {
+ public:
+  explicit Evaluator(const Module& module) : module_(module) {}
+
+  /// Evaluates a (deterministic) expression.  `next` must be provided when
+  /// the expression contains next(...) references.
+  [[nodiscard]] i64 eval(ExprId id, const State& state,
+                         const State* next = nullptr) const;
+
+  [[nodiscard]] bool eval_bool(ExprId id, const State& state,
+                               const State* next = nullptr) const {
+    return eval(id, state, next) != 0;
+  }
+
+  /// Enumerates the values an init()/next() right-hand side can take in
+  /// `state` (singleton unless the RHS contains {...} or lo..hi).
+  [[nodiscard]] std::vector<i64> choices(ExprId id, const State& state) const;
+
+  /// The full domain of a variable (used when no ASSIGN constrains it).
+  [[nodiscard]] std::vector<i64> domain(std::size_t var) const;
+
+  /// True iff `value` lies inside the variable's declared type.
+  [[nodiscard]] bool in_domain(std::size_t var, i64 value) const;
+
+ private:
+  const Module& module_;
+};
+
+}  // namespace fannet::smv

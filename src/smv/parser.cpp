@@ -1,0 +1,466 @@
+#include "smv/parser.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace fannet::smv {
+
+namespace {
+
+enum class Tok : std::uint8_t {
+  kEof, kIdent, kNumber,
+  kLParen, kRParen, kLBrace, kRBrace,
+  kSemi, kColon, kComma, kAssign /* := */, kDots /* .. */,
+  kArrow, kDArrow, kLe, kGe, kNe, kEq, kLt, kGt,
+  kPlus, kMinus, kStar, kAmp, kPipe, kBang,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;
+  i64 number = 0;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    skip_space_and_comments();
+    current_ = Token{};
+    current_.line = line_;
+    if (pos_ >= text_.size()) {
+      current_.kind = Tok::kEof;
+      return;
+    }
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      // identifiers: [A-Za-z_][A-Za-z0-9_]*
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = Tok::kIdent;
+      current_.text = text_.substr(start, pos_ - start);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      current_.kind = Tok::kNumber;
+      current_.text = text_.substr(start, pos_ - start);
+      try {
+        current_.number = std::stoll(current_.text);
+      } catch (const std::exception&) {
+        throw ParseError("SMV lexer: number out of range at line " +
+                         std::to_string(line_));
+      }
+      return;
+    }
+    const auto two = [&](char a, char b) {
+      return c == a && pos_ + 1 < text_.size() && text_[pos_ + 1] == b;
+    };
+    if (two(':', '=')) { current_.kind = Tok::kAssign; pos_ += 2; return; }
+    if (two('.', '.')) { current_.kind = Tok::kDots; pos_ += 2; return; }
+    if (two('-', '>')) { current_.kind = Tok::kArrow; pos_ += 2; return; }
+    if (two('<', '-')) {
+      if (pos_ + 2 < text_.size() && text_[pos_ + 2] == '>') {
+        current_.kind = Tok::kDArrow;
+        pos_ += 3;
+        return;
+      }
+    }
+    if (two('<', '=')) { current_.kind = Tok::kLe; pos_ += 2; return; }
+    if (two('>', '=')) { current_.kind = Tok::kGe; pos_ += 2; return; }
+    if (two('!', '=')) { current_.kind = Tok::kNe; pos_ += 2; return; }
+    ++pos_;
+    switch (c) {
+      case '(': current_.kind = Tok::kLParen; return;
+      case ')': current_.kind = Tok::kRParen; return;
+      case '{': current_.kind = Tok::kLBrace; return;
+      case '}': current_.kind = Tok::kRBrace; return;
+      case ';': current_.kind = Tok::kSemi; return;
+      case ':': current_.kind = Tok::kColon; return;
+      case ',': current_.kind = Tok::kComma; return;
+      case '=': current_.kind = Tok::kEq; return;
+      case '<': current_.kind = Tok::kLt; return;
+      case '>': current_.kind = Tok::kGt; return;
+      case '+': current_.kind = Tok::kPlus; return;
+      case '-': current_.kind = Tok::kMinus; return;
+      case '*': current_.kind = Tok::kStar; return;
+      case '&': current_.kind = Tok::kAmp; return;
+      case '|': current_.kind = Tok::kPipe; return;
+      case '!': current_.kind = Tok::kBang; return;
+      default:
+        throw ParseError("SMV lexer: unexpected character '" +
+                         std::string(1, c) + "' at line " +
+                         std::to_string(line_));
+    }
+  }
+
+  void skip_space_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '-' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token current_;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lex_(text) {}
+
+  Module parse() {
+    expect_keyword("MODULE");
+    module_.name = expect(Tok::kIdent).text;
+    while (lex_.peek().kind != Tok::kEof) {
+      const Token t = lex_.peek();
+      if (t.kind != Tok::kIdent) {
+        fail("expected a section keyword", t);
+      }
+      if (t.text == "VAR") {
+        lex_.take();
+        parse_var_section();
+      } else if (t.text == "ASSIGN") {
+        lex_.take();
+        parse_assign_section();
+      } else if (t.text == "DEFINE") {
+        lex_.take();
+        parse_define_section();
+      } else if (t.text == "INIT") {
+        lex_.take();
+        module_.add_init_constraint(parse_expr());
+        eat_optional_semi();
+      } else if (t.text == "TRANS") {
+        lex_.take();
+        module_.add_trans_constraint(parse_expr());
+        eat_optional_semi();
+      } else if (t.text == "INVAR") {
+        lex_.take();
+        module_.add_invar_constraint(parse_expr());
+        eat_optional_semi();
+      } else if (t.text == "INVARSPEC") {
+        lex_.take();
+        module_.add_spec({SpecKind::kInvarSpec, parse_expr(), ""});
+        eat_optional_semi();
+      } else if (t.text == "LTLSPEC") {
+        lex_.take();
+        const Token g = expect(Tok::kIdent);
+        if (g.text != "G") {
+          fail("only the G-fragment of LTL is supported", g);
+        }
+        module_.add_spec({SpecKind::kLtlGlobally, parse_expr(), ""});
+        eat_optional_semi();
+      } else {
+        fail("unknown section '" + t.text + "'", t);
+      }
+    }
+    module_.resolve();
+    return std::move(module_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message, const Token& at) {
+    throw ParseError("SMV parser: " + message + " at line " +
+                     std::to_string(at.line));
+  }
+
+  Token expect(Tok kind) {
+    const Token t = lex_.take();
+    if (t.kind != kind) fail("unexpected token '" + t.text + "'", t);
+    return t;
+  }
+
+  void expect_keyword(const std::string& kw) {
+    const Token t = lex_.take();
+    if (t.kind != Tok::kIdent || t.text != kw) fail("expected " + kw, t);
+  }
+
+  void eat_optional_semi() {
+    if (lex_.peek().kind == Tok::kSemi) lex_.take();
+  }
+
+  [[nodiscard]] bool peek_is_ident(const char* text) const {
+    return lex_.peek().kind == Tok::kIdent && lex_.peek().text == text;
+  }
+
+  // ---- sections -----------------------------------------------------------
+  void parse_var_section() {
+    while (lex_.peek().kind == Tok::kIdent && !is_section_keyword(lex_.peek().text)) {
+      const std::string name = lex_.take().text;
+      expect(Tok::kColon);
+      module_.add_var(name, parse_type());
+      expect(Tok::kSemi);
+    }
+  }
+
+  VarType parse_type() {
+    const Token t = lex_.peek();
+    if (t.kind == Tok::kIdent && t.text == "boolean") {
+      lex_.take();
+      return BoolType{};
+    }
+    if (t.kind == Tok::kLBrace) {
+      lex_.take();
+      EnumType e;
+      e.symbols.push_back(expect(Tok::kIdent).text);
+      while (lex_.peek().kind == Tok::kComma) {
+        lex_.take();
+        e.symbols.push_back(expect(Tok::kIdent).text);
+      }
+      expect(Tok::kRBrace);
+      return e;
+    }
+    // signed integer range: [-]num .. [-]num
+    const i64 lo = parse_signed_number();
+    expect(Tok::kDots);
+    const i64 hi = parse_signed_number();
+    return RangeType{lo, hi};
+  }
+
+  i64 parse_signed_number() {
+    bool negative = false;
+    if (lex_.peek().kind == Tok::kMinus) {
+      lex_.take();
+      negative = true;
+    }
+    const Token t = expect(Tok::kNumber);
+    return negative ? -t.number : t.number;
+  }
+
+  void parse_assign_section() {
+    while (peek_is_ident("init") || peek_is_ident("next")) {
+      const std::string which = lex_.take().text;
+      expect(Tok::kLParen);
+      const std::string var = expect(Tok::kIdent).text;
+      expect(Tok::kRParen);
+      expect(Tok::kAssign);
+      const ExprId rhs = parse_choice_expr();
+      expect(Tok::kSemi);
+      if (which == "init") {
+        module_.set_init(var, rhs);
+      } else {
+        module_.set_next(var, rhs);
+      }
+    }
+  }
+
+  void parse_define_section() {
+    while (lex_.peek().kind == Tok::kIdent &&
+           !is_section_keyword(lex_.peek().text) &&
+           !peek_is_ident("init") && !peek_is_ident("next")) {
+      const std::string name = lex_.take().text;
+      expect(Tok::kAssign);
+      const ExprId body = parse_expr();
+      expect(Tok::kSemi);
+      module_.add_define(name, body);
+    }
+  }
+
+  [[nodiscard]] static bool is_section_keyword(const std::string& s) {
+    return s == "VAR" || s == "ASSIGN" || s == "DEFINE" || s == "INIT" ||
+           s == "TRANS" || s == "INVAR" || s == "INVARSPEC" || s == "LTLSPEC" ||
+           s == "MODULE";
+  }
+
+  // ---- expressions ----------------------------------------------------------
+  ExprId parse_choice_expr() {
+    if (lex_.peek().kind == Tok::kLBrace) {
+      lex_.take();
+      std::vector<ExprId> items;
+      items.push_back(parse_choice_item());
+      while (lex_.peek().kind == Tok::kComma) {
+        lex_.take();
+        items.push_back(parse_choice_item());
+      }
+      expect(Tok::kRBrace);
+      return module_.e_set(std::move(items));
+    }
+    return parse_choice_item();
+  }
+
+  ExprId parse_choice_item() {
+    const ExprId first = parse_expr();
+    if (lex_.peek().kind == Tok::kDots) {
+      lex_.take();
+      return module_.e_range(first, parse_expr());
+    }
+    return first;
+  }
+
+  ExprId parse_expr() { return parse_implies(); }
+
+  ExprId parse_implies() {  // right-associative, lowest precedence
+    const ExprId lhs = parse_iff();
+    if (lex_.peek().kind == Tok::kArrow) {
+      lex_.take();
+      return module_.e_binary(Op::kImplies, lhs, parse_implies());
+    }
+    return lhs;
+  }
+
+  ExprId parse_iff() {
+    ExprId lhs = parse_or();
+    while (lex_.peek().kind == Tok::kDArrow) {
+      lex_.take();
+      lhs = module_.e_binary(Op::kIff, lhs, parse_or());
+    }
+    return lhs;
+  }
+
+  ExprId parse_or() {
+    ExprId lhs = parse_and();
+    while (lex_.peek().kind == Tok::kPipe || peek_is_ident("xor")) {
+      const bool is_xor = lex_.take().kind == Tok::kIdent;
+      lhs = module_.e_binary(is_xor ? Op::kXor : Op::kOr, lhs, parse_and());
+    }
+    return lhs;
+  }
+
+  ExprId parse_and() {
+    ExprId lhs = parse_comparison();
+    while (lex_.peek().kind == Tok::kAmp) {
+      lex_.take();
+      lhs = module_.e_binary(Op::kAnd, lhs, parse_comparison());
+    }
+    return lhs;
+  }
+
+  ExprId parse_comparison() {
+    ExprId lhs = parse_additive();
+    while (true) {
+      Op op;
+      switch (lex_.peek().kind) {
+        case Tok::kEq: op = Op::kEq; break;
+        case Tok::kNe: op = Op::kNe; break;
+        case Tok::kLt: op = Op::kLt; break;
+        case Tok::kLe: op = Op::kLe; break;
+        case Tok::kGt: op = Op::kGt; break;
+        case Tok::kGe: op = Op::kGe; break;
+        default: return lhs;
+      }
+      lex_.take();
+      lhs = module_.e_binary(op, lhs, parse_additive());
+    }
+  }
+
+  ExprId parse_additive() {
+    ExprId lhs = parse_multiplicative();
+    while (lex_.peek().kind == Tok::kPlus || lex_.peek().kind == Tok::kMinus) {
+      const bool plus = lex_.take().kind == Tok::kPlus;
+      lhs = module_.e_binary(plus ? Op::kAdd : Op::kSub, lhs,
+                             parse_multiplicative());
+    }
+    return lhs;
+  }
+
+  ExprId parse_multiplicative() {
+    ExprId lhs = parse_unary();
+    while (lex_.peek().kind == Tok::kStar) {
+      lex_.take();
+      lhs = module_.e_binary(Op::kMul, lhs, parse_unary());
+    }
+    return lhs;
+  }
+
+  ExprId parse_unary() {
+    if (lex_.peek().kind == Tok::kBang) {
+      lex_.take();
+      return module_.e_unary(Op::kNot, parse_unary());
+    }
+    if (lex_.peek().kind == Tok::kMinus) {
+      lex_.take();
+      return module_.e_unary(Op::kNeg, parse_unary());
+    }
+    return parse_primary();
+  }
+
+  ExprId parse_primary() {
+    const Token t = lex_.take();
+    switch (t.kind) {
+      case Tok::kNumber:
+        return module_.e_const(t.number);
+      case Tok::kLParen: {
+        const ExprId e = parse_expr();
+        expect(Tok::kRParen);
+        return e;
+      }
+      case Tok::kIdent: {
+        if (t.text == "TRUE") return module_.e_const(1);
+        if (t.text == "FALSE") return module_.e_const(0);
+        if (t.text == "case") return parse_case();
+        if (t.text == "next") {
+          expect(Tok::kLParen);
+          const Token var = expect(Tok::kIdent);
+          expect(Tok::kRParen);
+          Expr e;
+          e.op = Op::kNextRef;
+          e.name = var.text;  // resolved by Module::resolve()
+          return push_raw(std::move(e));
+        }
+        return module_.e_name(t.text);
+      }
+      default:
+        fail("unexpected token in expression", t);
+    }
+  }
+
+  ExprId parse_case() {
+    std::vector<ExprId> pairs;
+    while (!peek_is_ident("esac")) {
+      pairs.push_back(parse_expr());
+      expect(Tok::kColon);
+      pairs.push_back(parse_expr());
+      expect(Tok::kSemi);
+    }
+    lex_.take();  // esac
+    return module_.e_case(std::move(pairs));
+  }
+
+  /// Creates a by-name next(...) reference; Module::resolve() binds the
+  /// variable index later.
+  ExprId push_raw(Expr e) {
+    const ExprId id = module_.e_name(e.name);
+    module_.mutate_to_next_ref(id);
+    return id;
+  }
+
+  Lexer lex_;
+  Module module_;
+};
+
+}  // namespace
+
+Module parse_module(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace fannet::smv

@@ -1,0 +1,19 @@
+// Recursive-descent parser for the SMV subset (see ast.hpp for the grammar).
+//
+// Operator precedence follows the NuSMV manual for the operators we accept
+// (highest to lowest): unary !/-  >  *  >  +/-  >  comparisons  >  &  >
+// |/xor  >  <->  >  ->.  The printer fully parenthesizes, so print/parse
+// round-trips are exact.
+#pragma once
+
+#include <string>
+
+#include "smv/ast.hpp"
+
+namespace fannet::smv {
+
+/// Parses one MODULE.  Throws ParseError (with a line number) on malformed
+/// input; the returned module is fully resolved (Module::resolve() run).
+[[nodiscard]] Module parse_module(const std::string& text);
+
+}  // namespace fannet::smv

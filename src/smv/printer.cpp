@@ -1,0 +1,174 @@
+#include "smv/printer.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fannet::smv {
+
+namespace {
+
+const char* op_token(Op op) {
+  switch (op) {
+    case Op::kAdd: return "+";
+    case Op::kSub: return "-";
+    case Op::kMul: return "*";
+    case Op::kEq: return "=";
+    case Op::kNe: return "!=";
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+    case Op::kGt: return ">";
+    case Op::kGe: return ">=";
+    case Op::kAnd: return "&";
+    case Op::kOr: return "|";
+    case Op::kXor: return "xor";
+    case Op::kImplies: return "->";
+    case Op::kIff: return "<->";
+    default: return "?";
+  }
+}
+
+void print_rec(const Module& m, ExprId id, std::ostringstream& out) {
+  const Expr& e = m.expr(id);
+  switch (e.op) {
+    case Op::kConst:
+      if (!e.name.empty()) {
+        out << e.name;  // enum symbol
+      } else {
+        out << e.value;
+      }
+      return;
+    case Op::kName:
+      out << e.name;
+      return;
+    case Op::kVarRef:
+      out << m.vars().at(static_cast<std::size_t>(e.value)).name;
+      return;
+    case Op::kDefRef:
+      out << m.defines().at(static_cast<std::size_t>(e.value)).first;
+      return;
+    case Op::kNextRef:
+      out << "next("
+          << (e.name.empty()
+                  ? m.vars().at(static_cast<std::size_t>(e.value)).name
+                  : e.name)
+          << ")";
+      return;
+    case Op::kNeg:
+      out << "-";
+      print_rec(m, e.kids[0], out);
+      return;
+    case Op::kNot:
+      out << "!";
+      print_rec(m, e.kids[0], out);
+      return;
+    case Op::kCase:
+      out << "case ";
+      for (std::size_t i = 0; i + 1 < e.kids.size(); i += 2) {
+        print_rec(m, e.kids[i], out);
+        out << " : ";
+        print_rec(m, e.kids[i + 1], out);
+        out << "; ";
+      }
+      out << "esac";
+      return;
+    case Op::kSet:
+      out << "{";
+      for (std::size_t i = 0; i < e.kids.size(); ++i) {
+        if (i != 0) out << ", ";
+        print_rec(m, e.kids[i], out);
+      }
+      out << "}";
+      return;
+    case Op::kRange:
+      print_rec(m, e.kids[0], out);
+      out << "..";
+      print_rec(m, e.kids[1], out);
+      return;
+    default:
+      out << "(";
+      print_rec(m, e.kids[0], out);
+      out << " " << op_token(e.op) << " ";
+      print_rec(m, e.kids[1], out);
+      out << ")";
+      return;
+  }
+}
+
+std::string type_text(const VarType& t) {
+  if (std::holds_alternative<BoolType>(t)) return "boolean";
+  if (const auto* r = std::get_if<RangeType>(&t)) {
+    return std::to_string(r->lo) + ".." + std::to_string(r->hi);
+  }
+  const auto& e = std::get<EnumType>(t);
+  std::string s = "{";
+  for (std::size_t i = 0; i < e.symbols.size(); ++i) {
+    if (i != 0) s += ", ";
+    s += e.symbols[i];
+  }
+  return s + "}";
+}
+
+}  // namespace
+
+std::string print_expr(const Module& module, ExprId id) {
+  std::ostringstream out;
+  print_rec(module, id, out);
+  return out.str();
+}
+
+std::string print_module(const Module& m) {
+  std::ostringstream out;
+  out << "MODULE " << m.name << "\n";
+  if (!m.vars().empty()) {
+    out << "VAR\n";
+    for (const VarDecl& v : m.vars()) {
+      out << "  " << v.name << " : " << type_text(v.type) << ";\n";
+    }
+  }
+  if (!m.defines().empty()) {
+    out << "DEFINE\n";
+    for (const auto& [name, body] : m.defines()) {
+      out << "  " << name << " := " << print_expr(m, body) << ";\n";
+    }
+  }
+  bool any_assign = false;
+  for (std::size_t v = 0; v < m.vars().size(); ++v) {
+    any_assign |= (m.init_of(v) != kNoExpr) || (m.next_of(v) != kNoExpr);
+  }
+  if (any_assign) {
+    out << "ASSIGN\n";
+    for (std::size_t v = 0; v < m.vars().size(); ++v) {
+      if (m.init_of(v) != kNoExpr) {
+        out << "  init(" << m.vars()[v].name
+            << ") := " << print_expr(m, m.init_of(v)) << ";\n";
+      }
+    }
+    for (std::size_t v = 0; v < m.vars().size(); ++v) {
+      if (m.next_of(v) != kNoExpr) {
+        out << "  next(" << m.vars()[v].name
+            << ") := " << print_expr(m, m.next_of(v)) << ";\n";
+      }
+    }
+  }
+  for (const ExprId e : m.init_constraints()) {
+    out << "INIT " << print_expr(m, e) << "\n";
+  }
+  for (const ExprId e : m.invar_constraints()) {
+    out << "INVAR " << print_expr(m, e) << "\n";
+  }
+  for (const ExprId e : m.trans_constraints()) {
+    out << "TRANS " << print_expr(m, e) << "\n";
+  }
+  for (const Spec& s : m.specs()) {
+    if (!s.name.empty()) out << "-- " << s.name << "\n";
+    if (s.kind == SpecKind::kInvarSpec) {
+      out << "INVARSPEC " << print_expr(m, s.expr) << "\n";
+    } else {
+      out << "LTLSPEC G " << print_expr(m, s.expr) << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace fannet::smv

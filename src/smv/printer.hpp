@@ -1,0 +1,21 @@
+// Pretty-printer emitting nuXmv-compatible SMV text.
+//
+// This is the artifact FANNet's Behavior Extraction hands to the model
+// checker in the paper (Fig. 2, "Translation of Network ... in SMV
+// Language"); examples/smv_export writes it to disk.  Expressions are fully
+// parenthesized so print -> parse round-trips reproduce the AST exactly.
+#pragma once
+
+#include <string>
+
+#include "smv/ast.hpp"
+
+namespace fannet::smv {
+
+/// Renders one expression.
+[[nodiscard]] std::string print_expr(const Module& module, ExprId id);
+
+/// Renders the whole module in SMV concrete syntax.
+[[nodiscard]] std::string print_module(const Module& module);
+
+}  // namespace fannet::smv

@@ -1,0 +1,130 @@
+#include "util/csv.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fannet::util {
+
+CsvTable parse_csv(const std::string& text) {
+  CsvTable table;
+  CsvRow row;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+  };
+  auto end_row = [&] {
+    if (row_has_content || !row.empty() || !cell.empty()) {
+      end_cell();
+      table.push_back(std::move(row));
+      row.clear();
+    }
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_cell();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // handled by the following '\n' (or ignored if stray)
+      case '\n':
+        end_row();
+        break;
+      default:
+        cell.push_back(c);
+        row_has_content = true;
+        break;
+    }
+  }
+  if (in_quotes) throw ParseError("parse_csv: unterminated quoted cell");
+  end_row();  // final record without trailing newline
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("read_csv_file: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_csv(buf.str());
+}
+
+std::string to_csv(const CsvTable& table) {
+  std::string out;
+  for (const auto& row : table) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      const std::string& cell = row[i];
+      const bool needs_quotes =
+          cell.find_first_of(",\"\n\r") != std::string::npos;
+      if (!needs_quotes) {
+        out += cell;
+      } else {
+        out.push_back('"');
+        for (char c : cell) {
+          if (c == '"') out += "\"\"";
+          else out.push_back(c);
+        }
+        out.push_back('"');
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ParseError("write_csv_file: cannot open '" + path + "'");
+  out << to_csv(table);
+}
+
+long long csv_to_int(const std::string& cell) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(cell.c_str(), &end, 10);
+  if (errno != 0 || end == cell.c_str() || *end != '\0') {
+    throw ParseError("csv_to_int: bad integer '" + cell + "'");
+  }
+  return v;
+}
+
+double csv_to_double(const std::string& cell) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (errno != 0 || end == cell.c_str() || *end != '\0') {
+    throw ParseError("csv_to_double: bad number '" + cell + "'");
+  }
+  return v;
+}
+
+}  // namespace fannet::util

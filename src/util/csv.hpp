@@ -1,0 +1,34 @@
+// Minimal CSV reading/writing for datasets and experiment reports.
+//
+// The dialect is deliberately small (comma separator, optional quoting with
+// "" escapes, \n or \r\n record ends) — enough for the Golub-style matrices
+// and the bench output files, with malformed input reported as ParseError.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fannet::util {
+
+using CsvRow = std::vector<std::string>;
+using CsvTable = std::vector<CsvRow>;
+
+/// Parses CSV text into rows of cells.  Empty lines are skipped.
+/// Throws ParseError on unterminated quotes.
+[[nodiscard]] CsvTable parse_csv(const std::string& text);
+
+/// Reads and parses a CSV file.  Throws ParseError if unreadable.
+[[nodiscard]] CsvTable read_csv_file(const std::string& path);
+
+/// Serializes rows as CSV, quoting cells that contain separators/quotes.
+[[nodiscard]] std::string to_csv(const CsvTable& table);
+
+/// Writes rows to a file.  Throws ParseError if the file cannot be opened.
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+/// Parses a cell as i64 / double; throws ParseError with context on failure.
+[[nodiscard]] long long csv_to_int(const std::string& cell);
+[[nodiscard]] double csv_to_double(const std::string& cell);
+
+}  // namespace fannet::util

@@ -1,0 +1,43 @@
+// Error types shared across the FANNet library.
+//
+// Per the C++ Core Guidelines (E.2/E.14) we signal errors that callers cannot
+// reasonably ignore with exceptions derived from std::runtime_error, using a
+// distinct type per failure domain so call sites can discriminate.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fannet {
+
+/// Base class of every exception thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Arithmetic left the representable domain (overflow / bad narrowing).
+class ArithmeticError : public Error {
+ public:
+  explicit ArithmeticError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed external input (CSV, SMV text, serialized network, ...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A semantic precondition of an API was violated by the caller.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A resource limit (state-space cap, conflict budget, ...) was exceeded.
+class ResourceLimit : public Error {
+ public:
+  explicit ResourceLimit(const std::string& what) : Error(what) {}
+};
+
+}  // namespace fannet

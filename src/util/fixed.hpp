@@ -1,0 +1,86 @@
+// Exact fixed-point numbers used to quantize network weights.
+//
+// A Fixed stores value = raw / kScale with raw an int64 and kScale a
+// compile-time power of ten.  Addition/subtraction/comparison are exact;
+// multiplication by an *integer* is exact; conversion from double rounds once
+// at quantization time and is the only inexact operation in the formal path
+// (DESIGN.md §4.1).  Fixed*Fixed is intentionally absent: the formal encoding
+// never multiplies two quantized weights together.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/checked.hpp"
+
+namespace fannet::util {
+
+class Fixed {
+ public:
+  /// Denominator shared by all Fixed values (10^4 keeps the Leukemia
+  /// network's worst-case accumulations comfortably inside int64/int128).
+  static constexpr i64 kScale = 10'000;
+
+  constexpr Fixed() noexcept = default;
+
+  /// Quantizes a double with round-half-away-from-zero.
+  [[nodiscard]] static Fixed from_double(double v) {
+    const double scaled = v * static_cast<double>(kScale);
+    const double rounded = (scaled >= 0.0) ? (scaled + 0.5) : (scaled - 0.5);
+    if (rounded >= 9.2e18 || rounded <= -9.2e18) {
+      throw ArithmeticError("Fixed::from_double: value out of range");
+    }
+    return from_raw(static_cast<i64>(rounded));
+  }
+
+  /// Wraps an already-scaled raw integer (value = raw / kScale).
+  [[nodiscard]] static constexpr Fixed from_raw(i64 raw) noexcept {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  /// Exact integer -> Fixed conversion.
+  [[nodiscard]] static Fixed from_int(i64 v) {
+    return from_raw(checked_mul(v, kScale));
+  }
+
+  [[nodiscard]] constexpr i64 raw() const noexcept { return raw_; }
+  [[nodiscard]] double to_double() const noexcept {
+    return static_cast<double>(raw_) / static_cast<double>(kScale);
+  }
+
+  [[nodiscard]] Fixed operator+(Fixed o) const {
+    return from_raw(checked_add(raw_, o.raw_));
+  }
+  [[nodiscard]] Fixed operator-(Fixed o) const {
+    return from_raw(checked_sub(raw_, o.raw_));
+  }
+  [[nodiscard]] Fixed operator-() const { return from_raw(checked_sub(0, raw_)); }
+
+  /// Exact multiplication by an integer (weight * integer input).
+  [[nodiscard]] Fixed mul_int(i64 k) const {
+    return from_raw(checked_mul(raw_, k));
+  }
+
+  [[nodiscard]] constexpr auto operator<=>(const Fixed&) const noexcept = default;
+
+  /// Decimal rendering, e.g. "-1.2500".
+  [[nodiscard]] std::string to_string() const {
+    const i64 whole = raw_ / kScale;
+    i64 frac = raw_ % kScale;
+    if (frac < 0) frac = -frac;
+    std::string s = (raw_ < 0 && whole == 0) ? "-0" : std::to_string(whole);
+    std::string f = std::to_string(frac);
+    s.push_back('.');
+    s.append(4 - f.size(), '0');
+    s += f;
+    return s;
+  }
+
+ private:
+  i64 raw_ = 0;
+};
+
+}  // namespace fannet::util

@@ -1,0 +1,104 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every stochastic component of the reproduction (synthetic dataset, weight
+// initialization, property-test case generation) draws from this generator so
+// that a seed pins the whole experiment.  xoshiro256** is small, fast and has
+// well-studied statistical quality; seeding goes through splitmix64 as its
+// authors recommend.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace fannet::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+    have_gauss_ = false;
+  }
+
+  /// Raw 64 uniform bits.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive (lo <= hi required).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Debiased modulo (Lemire-style rejection kept simple).
+    std::uint64_t x = next_u64();
+    if (span != 0) {
+      const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+      while (x >= limit) x = next_u64();
+      x %= span;
+    }
+    return lo + static_cast<std::int64_t>(x);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Standard normal via Marsaglia's polar method (caches the spare value).
+  double gaussian() noexcept {
+    if (have_gauss_) {
+      have_gauss_ = false;
+      return gauss_spare_;
+    }
+    double u = 0.0, v = 0.0, s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    gauss_spare_ = v * m;
+    have_gauss_ = true;
+    return u * m;
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) noexcept {
+    return mean + stddev * gaussian();
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double gauss_spare_ = 0.0;
+  bool have_gauss_ = false;
+};
+
+}  // namespace fannet::util

@@ -1,0 +1,139 @@
+#include "verify/bnb.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "verify/enumerate.hpp"
+#include "verify/interval.hpp"
+#include "verify/symbolic.hpp"
+
+namespace fannet::verify {
+
+using util::i128;
+
+namespace {
+
+enum class BoxStatus { kNoFlipAnywhere, kFlipEverywhere, kUndecided };
+
+/// Classifies a whole box via the bounding engines.
+BoxStatus classify_box(const Query& q, const BnbOptions& options) {
+  const auto y = static_cast<std::size_t>(q.true_label);
+  if (options.use_symbolic) {
+    const MarginBounds mb = margin_bounds(q);
+    bool all_safe = true;
+    for (std::size_t k = 0; k < mb.lb.size(); ++k) {
+      if (k == y) continue;
+      const i128 needed = (k < y) ? 1 : 0;
+      if (mb.lb[k] < needed) all_safe = false;
+      // Flip-everywhere via k: O_k beats O_y on the whole box.
+      const bool flips = (k < y) ? (mb.ub[k] <= 0) : (mb.ub[k] < 0);
+      if (flips) return BoxStatus::kFlipEverywhere;
+    }
+    return all_safe ? BoxStatus::kNoFlipAnywhere : BoxStatus::kUndecided;
+  }
+  // IBP fallback: certificate only (no flip-everywhere detection).
+  return interval_verify(q).verdict == Verdict::kRobust
+             ? BoxStatus::kNoFlipAnywhere
+             : BoxStatus::kUndecided;
+}
+
+Counterexample make_cex(const Query& q, std::span<const int> deltas,
+                        int mis_label) {
+  Counterexample cex;
+  cex.deltas.assign(deltas.begin(),
+                    deltas.begin() + static_cast<std::ptrdiff_t>(q.x.size()));
+  cex.bias_delta = q.bias_node ? deltas[q.x.size()] : 0;
+  cex.mis_label = mis_label;
+  return cex;
+}
+
+}  // namespace
+
+std::uint64_t bnb_stream(const Query& query,
+                         const std::function<bool(const Counterexample&)>& sink,
+                         BnbOptions options) {
+  query.validate();
+  std::uint64_t boxes = 0;
+  std::vector<NoiseBox> stack{query.box};
+  Query sub = query;
+
+  while (!stack.empty()) {
+    if (++boxes > options.max_boxes) {
+      throw ResourceLimit("bnb: box budget exceeded");
+    }
+    NoiseBox box = std::move(stack.back());
+    stack.pop_back();
+    sub.box = box;
+
+    if (box.is_singleton()) {
+      const std::vector<int>& point = box.lo;
+      const int label = classify_under_noise(sub, point);
+      if (label != query.true_label) {
+        if (!sink(make_cex(query, point, label))) return boxes;
+      }
+      continue;
+    }
+
+    const BoxStatus status = classify_box(sub, options);
+    if (status == BoxStatus::kNoFlipAnywhere) continue;
+    if (status == BoxStatus::kFlipEverywhere) {
+      // Every grid point in the box is a counterexample: enumerate them
+      // directly (cheap exact evals; no further bounding needed).
+      bool keep_going = true;
+      enumerate_stream(sub, [&](const Counterexample& cex) {
+        keep_going = sink(cex);
+        return keep_going;
+      });
+      if (!keep_going) return boxes;
+      continue;
+    }
+
+    // Bisect the longest edge.
+    std::size_t dim = 0;
+    int best_span = -1;
+    for (std::size_t d = 0; d < box.dims(); ++d) {
+      const int span = box.hi[d] - box.lo[d];
+      if (span > best_span) {
+        best_span = span;
+        dim = d;
+      }
+    }
+    const int mid = box.lo[dim] + (box.hi[dim] - box.lo[dim]) / 2;
+    NoiseBox left = box, right = box;
+    left.hi[dim] = mid;
+    right.lo[dim] = mid + 1;
+    stack.push_back(std::move(right));
+    stack.push_back(std::move(left));
+  }
+  return boxes;
+}
+
+VerifyResult bnb_verify(const Query& query, BnbOptions options) {
+  VerifyResult result;
+  result.verdict = Verdict::kRobust;
+  result.work = bnb_stream(
+      query,
+      [&](const Counterexample& cex) {
+        result.verdict = Verdict::kVulnerable;
+        result.counterexample = cex;
+        return false;
+      },
+      options);
+  return result;
+}
+
+std::vector<Counterexample> bnb_collect(const Query& query,
+                                        std::size_t max_count,
+                                        BnbOptions options) {
+  std::vector<Counterexample> out;
+  bnb_stream(
+      query,
+      [&](const Counterexample& cex) {
+        out.push_back(cex);
+        return out.size() < max_count;
+      },
+      options);
+  return out;
+}
+
+}  // namespace fannet::verify

@@ -1,0 +1,36 @@
+// Complete branch-and-bound over the integer noise box.
+//
+// Longest-edge bisection with symbolic-bound pruning; singleton boxes are
+// evaluated exactly, so on the integer noise grid this is a *decision
+// procedure* (sound and complete, DESIGN.md §4.4) while typically visiting
+// orders of magnitude fewer points than enumeration.  The streaming variant
+// implements the paper's P3 adversarial-noise-vector extraction loop —
+// boxes that provably contain no counterexample are skipped wholesale.
+#pragma once
+
+#include <functional>
+
+#include "verify/query.hpp"
+
+namespace fannet::verify {
+
+struct BnbOptions {
+  std::uint64_t max_boxes = 100'000'000;  ///< throw ResourceLimit beyond this
+  bool use_symbolic = true;   ///< false = prune with plain IBP (ablation)
+};
+
+/// Decision query: first counterexample or proof of robustness.
+[[nodiscard]] VerifyResult bnb_verify(const Query& query, BnbOptions options = {});
+
+/// Collects up to `max_count` counterexamples (complete up to the cap).
+[[nodiscard]] std::vector<Counterexample> bnb_collect(const Query& query,
+                                                      std::size_t max_count,
+                                                      BnbOptions options = {});
+
+/// Streams every counterexample in the box to `sink` (return false to
+/// stop).  Returns the number of boxes processed.
+std::uint64_t bnb_stream(const Query& query,
+                         const std::function<bool(const Counterexample&)>& sink,
+                         BnbOptions options = {});
+
+}  // namespace fannet::verify

@@ -1,0 +1,55 @@
+#include "verify/enumerate.hpp"
+
+#include "util/error.hpp"
+
+namespace fannet::verify {
+
+std::uint64_t enumerate_stream(
+    const Query& q, const std::function<bool(const Counterexample&)>& sink) {
+  q.validate();
+  const std::size_t dims = q.noise_dims();
+  std::vector<int> delta(q.box.lo.begin(), q.box.lo.end());
+  std::uint64_t visited = 0;
+
+  while (true) {
+    ++visited;
+    const int label = classify_under_noise(q, delta);
+    if (label != q.true_label) {
+      Counterexample cex;
+      cex.deltas.assign(delta.begin(), delta.begin() + static_cast<std::ptrdiff_t>(q.x.size()));
+      cex.bias_delta = q.bias_node ? delta[q.x.size()] : 0;
+      cex.mis_label = label;
+      if (!sink(cex)) return visited;
+    }
+    // Odometer.
+    std::size_t d = 0;
+    while (d < dims && ++delta[d] > q.box.hi[d]) {
+      delta[d] = q.box.lo[d];
+      ++d;
+    }
+    if (d == dims) return visited;
+  }
+}
+
+VerifyResult enumerate_find_first(const Query& query) {
+  VerifyResult result;
+  result.verdict = Verdict::kRobust;
+  result.work = enumerate_stream(query, [&](const Counterexample& cex) {
+    result.verdict = Verdict::kVulnerable;
+    result.counterexample = cex;
+    return false;  // stop at first
+  });
+  return result;
+}
+
+std::vector<Counterexample> enumerate_collect(const Query& query,
+                                              std::size_t max_count) {
+  std::vector<Counterexample> out;
+  enumerate_stream(query, [&](const Counterexample& cex) {
+    out.push_back(cex);
+    return out.size() < max_count;
+  });
+  return out;
+}
+
+}  // namespace fannet::verify

@@ -1,0 +1,29 @@
+// Exhaustive integer-grid enumeration — the ground-truth oracle.
+//
+// Walks every integer noise vector in the box with exact arithmetic.  Cost
+// is the box volume, so this is the reference the property tests validate
+// the clever engines against, and the collector that materializes the full
+// adversarial-noise-vector corpus (the paper's P3 loop) for small ranges.
+#pragma once
+
+#include <functional>
+
+#include "verify/query.hpp"
+
+namespace fannet::verify {
+
+/// Decision query: stops at the first counterexample.
+[[nodiscard]] VerifyResult enumerate_find_first(const Query& query);
+
+/// Collects up to `max_count` counterexamples (all of them if the box
+/// volume allows; deterministic lexicographic order).
+[[nodiscard]] std::vector<Counterexample> enumerate_collect(
+    const Query& query, std::size_t max_count);
+
+/// Streaming variant: invokes `sink` per counterexample; return false from
+/// the sink to stop early.  Returns the number of vectors visited.
+std::uint64_t enumerate_stream(
+    const Query& query,
+    const std::function<bool(const Counterexample&)>& sink);
+
+}  // namespace fannet::verify

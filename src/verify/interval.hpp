@@ -1,0 +1,27 @@
+// Interval bound propagation (IBP) — sound, incomplete, exact integers.
+//
+// Propagates per-neuron [lo, hi] bounds (int128, no rounding anywhere)
+// through the quantized network for a whole noise box at once.  If the
+// output margins certify the true label it answers kRobust; otherwise
+// kUnknown (IBP loses the correlations that the symbolic engine keeps —
+// the ablation bench quantifies the difference).
+#pragma once
+
+#include "verify/query.hpp"
+
+namespace fannet::verify {
+
+struct IntervalBounds {
+  /// Pre-activation bounds per layer, scaled as in nn::QuantizedNetwork.
+  std::vector<std::vector<util::i128>> lo;
+  std::vector<std::vector<util::i128>> hi;
+};
+
+/// Exact interval propagation over the query's noise box.
+[[nodiscard]] IntervalBounds interval_bounds(const Query& query);
+
+/// kRobust if the intervals certify the label over the whole box,
+/// kUnknown otherwise (never kVulnerable: IBP cannot witness).
+[[nodiscard]] VerifyResult interval_verify(const Query& query);
+
+}  // namespace fannet::verify

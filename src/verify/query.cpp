@@ -1,0 +1,59 @@
+#include "verify/query.hpp"
+
+#include "util/error.hpp"
+
+namespace fannet::verify {
+
+NoiseBox NoiseBox::symmetric(std::size_t dims, int range) {
+  if (range < 0) throw InvalidArgument("NoiseBox::symmetric: negative range");
+  NoiseBox b;
+  b.lo.assign(dims, -range);
+  b.hi.assign(dims, range);
+  return b;
+}
+
+double NoiseBox::volume() const {
+  double v = 1.0;
+  for (std::size_t d = 0; d < lo.size(); ++d) {
+    v *= static_cast<double>(hi[d] - lo[d] + 1);
+  }
+  return v;
+}
+
+bool NoiseBox::is_singleton() const {
+  for (std::size_t d = 0; d < lo.size(); ++d) {
+    if (lo[d] != hi[d]) return false;
+  }
+  return true;
+}
+
+void Query::validate() const {
+  if (net == nullptr) throw InvalidArgument("Query: null network");
+  if (x.size() != net->input_dim()) {
+    throw InvalidArgument("Query: input size != network input dim");
+  }
+  if (true_label < 0 ||
+      static_cast<std::size_t>(true_label) >= net->output_dim()) {
+    throw InvalidArgument("Query: true_label out of range");
+  }
+  if (box.lo.size() != noise_dims() || box.hi.size() != noise_dims()) {
+    throw InvalidArgument("Query: noise box dims mismatch");
+  }
+  for (std::size_t d = 0; d < box.lo.size(); ++d) {
+    if (box.lo[d] > box.hi[d]) {
+      throw InvalidArgument("Query: empty noise box dimension");
+    }
+    if (box.lo[d] < -100) {
+      throw InvalidArgument("Query: noise below -100% is meaningless");
+    }
+  }
+}
+
+int classify_under_noise(const Query& q, std::span<const int> deltas) {
+  const std::size_t n = q.x.size();
+  const std::span<const int> input_deltas = deltas.subspan(0, n);
+  const int bias_delta = q.bias_node ? deltas[n] : 0;
+  return q.net->classify_noised(q.x, input_deltas, bias_delta);
+}
+
+}  // namespace fannet::verify

@@ -1,0 +1,81 @@
+// Common query interface of the NN verification engines.
+//
+// Every engine answers the same decision problem (the paper's P2 property,
+// Fig. 2): given a quantized network, a base input x with true label Sx and
+// a box of integer-percent noise values, does some noise vector in the box
+// flip the classification away from Sx?  Engines differ in strategy:
+//
+//   enumerate  exhaustive integer-grid search       exact    complete
+//   interval   interval bound propagation (IBP)     exact    sound-only
+//   symbolic   affine bounds in the noise deltas    exact    sound-only
+//   bnb        branch-and-bound input splitting     exact    complete
+//
+// The noise dimensions are the network inputs in order, optionally followed
+// by one extra dimension for the paper's bias input node (DESIGN.md §4.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nn/quantized.hpp"
+
+namespace fannet::verify {
+
+using util::i64;
+
+/// Noise box for one query.
+struct NoiseBox {
+  std::vector<int> lo;  ///< per-dimension lower bound (percent, inclusive)
+  std::vector<int> hi;  ///< per-dimension upper bound (percent, inclusive)
+
+  /// Symmetric box: every dimension in [-range, +range].
+  [[nodiscard]] static NoiseBox symmetric(std::size_t dims, int range);
+
+  [[nodiscard]] std::size_t dims() const noexcept { return lo.size(); }
+  /// Number of integer grid points in the box.
+  [[nodiscard]] double volume() const;
+  [[nodiscard]] bool is_singleton() const;
+};
+
+struct Query {
+  const nn::QuantizedNetwork* net = nullptr;
+  std::vector<i64> x;        ///< base integer inputs
+  int true_label = 0;        ///< Sx
+  NoiseBox box;              ///< dims = x.size() (+1 with bias_node)
+  bool bias_node = false;    ///< last dimension noises the bias input node
+
+  [[nodiscard]] std::size_t noise_dims() const noexcept {
+    return x.size() + (bias_node ? 1 : 0);
+  }
+  /// Throws InvalidArgument if shapes are inconsistent.
+  void validate() const;
+};
+
+/// One adversarial noise vector (a row of the paper's noise matrix e).
+struct Counterexample {
+  std::vector<int> deltas;  ///< per input node (percent)
+  int bias_delta = 0;       ///< bias-node noise (0 unless Query::bias_node)
+  int mis_label = 0;        ///< label the network flips to
+
+  [[nodiscard]] bool operator==(const Counterexample&) const = default;
+};
+
+enum class Verdict : std::uint8_t {
+  kRobust,      ///< no noise vector in the box flips the label (proven)
+  kVulnerable,  ///< a counterexample was found
+  kUnknown,     ///< engine is incomplete and could not certify either way
+};
+
+struct VerifyResult {
+  Verdict verdict = Verdict::kUnknown;
+  std::optional<Counterexample> counterexample;  // set iff kVulnerable
+  std::uint64_t work = 0;  ///< engine-specific effort (evals / boxes / ...)
+};
+
+/// Shared exact evaluation: classify the base input under a noise vector
+/// laid out as the query's noise dimensions.
+[[nodiscard]] int classify_under_noise(const Query& q,
+                                       std::span<const int> deltas);
+
+}  // namespace fannet::verify

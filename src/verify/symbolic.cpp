@@ -1,0 +1,171 @@
+#include "verify/symbolic.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fannet::verify {
+
+using util::i128;
+using util::i64;
+
+namespace {
+
+/// acc += w * form (exact).
+void add_scaled(AffineForm& acc, i64 w, const AffineForm& form) {
+  acc.c0 += static_cast<i128>(w) * form.c0;
+  for (std::size_t d = 0; d < acc.coeff.size(); ++d) {
+    acc.coeff[d] += static_cast<i128>(w) * form.coeff[d];
+  }
+}
+
+AffineForm constant_form(std::size_t dims, i128 c) {
+  AffineForm f;
+  f.c0 = c;
+  f.coeff.assign(dims, 0);
+  return f;
+}
+
+}  // namespace
+
+i128 AffineForm::min_over(const NoiseBox& box) const {
+  i128 v = c0;
+  for (std::size_t d = 0; d < coeff.size(); ++d) {
+    v += coeff[d] * (coeff[d] >= 0 ? box.lo[d] : box.hi[d]);
+  }
+  return v;
+}
+
+i128 AffineForm::max_over(const NoiseBox& box) const {
+  i128 v = c0;
+  for (std::size_t d = 0; d < coeff.size(); ++d) {
+    v += coeff[d] * (coeff[d] >= 0 ? box.hi[d] : box.lo[d]);
+  }
+  return v;
+}
+
+SymbolicBounds symbolic_bounds(const Query& q) {
+  q.validate();
+  const nn::QuantizedNetwork& net = *q.net;
+  const std::size_t n = q.x.size();
+  const std::size_t dims = q.noise_dims();
+
+  SymbolicBounds out;
+
+  // First layer: exactly affine in the deltas.
+  //   N_j = Σ_i Wq_ji·x_i·100 + Bq_j·norm·100   (constant part)
+  //       + Σ_i Wq_ji·x_i·δ_i  (+ Bq_j·norm·δ_bias)
+  const nn::QLayer& first = net.layers().front();
+  std::vector<AffineForm> lo_forms, hi_forms;
+  lo_forms.reserve(first.out_dim());
+  for (std::size_t j = 0; j < first.out_dim(); ++j) {
+    AffineForm f = constant_form(dims, 0);
+    f.c0 = static_cast<i128>(first.bias[j]) * net.input_norm() * nn::kNoiseDen;
+    if (q.bias_node) {
+      f.coeff[n] = static_cast<i128>(first.bias[j]) * net.input_norm();
+    }
+    const auto row = first.weights.row(j);
+    for (std::size_t i = 0; i < n; ++i) {
+      const i128 wx = static_cast<i128>(row[i]) * q.x[i];
+      f.c0 += wx * nn::kNoiseDen;
+      f.coeff[i] += wx;
+    }
+    lo_forms.push_back(f);
+  }
+  hi_forms = lo_forms;  // exact: identical forms
+
+  i128 act_scale = static_cast<i128>(net.input_norm()) * nn::kNoiseDen;
+
+  for (std::size_t li = 0; li < net.depth(); ++li) {
+    if (li > 0) {
+      const nn::QLayer& layer = net.layers()[li];
+      std::vector<AffineForm> z_lo, z_hi;
+      z_lo.reserve(layer.out_dim());
+      z_hi.reserve(layer.out_dim());
+      for (std::size_t j = 0; j < layer.out_dim(); ++j) {
+        AffineForm flo =
+            constant_form(dims, static_cast<i128>(layer.bias[j]) * act_scale);
+        AffineForm fhi = flo;
+        const auto row = layer.weights.row(j);
+        for (std::size_t i = 0; i < layer.in_dim(); ++i) {
+          if (row[i] >= 0) {
+            add_scaled(flo, row[i], lo_forms[i]);
+            add_scaled(fhi, row[i], hi_forms[i]);
+          } else {
+            add_scaled(flo, row[i], hi_forms[i]);
+            add_scaled(fhi, row[i], lo_forms[i]);
+          }
+        }
+        z_lo.push_back(std::move(flo));
+        z_hi.push_back(std::move(fhi));
+      }
+      lo_forms = std::move(z_lo);
+      hi_forms = std::move(z_hi);
+    }
+    const nn::QLayer& layer = net.layers()[li];
+    if (li + 1 == net.depth()) {
+      out.out_lo = lo_forms;
+      out.out_hi = hi_forms;
+    }
+    if (layer.relu) {
+      for (std::size_t j = 0; j < lo_forms.size(); ++j) {
+        const i128 lb = lo_forms[j].min_over(q.box);
+        const i128 ub = hi_forms[j].max_over(q.box);
+        if (lb >= 0) continue;  // stable active: keep exact forms
+        if (ub <= 0) {
+          lo_forms[j] = constant_form(dims, 0);
+          hi_forms[j] = constant_form(dims, 0);
+          continue;
+        }
+        // Unstable: concretize (sound relaxation, exact integers).
+        ++out.unstable_relus;
+        lo_forms[j] = constant_form(dims, 0);
+        hi_forms[j] = constant_form(dims, ub);
+      }
+    }
+    act_scale *= util::Fixed::kScale;
+  }
+  return out;
+}
+
+MarginBounds margin_bounds(const Query& q) {
+  const SymbolicBounds sb = symbolic_bounds(q);
+  const auto y = static_cast<std::size_t>(q.true_label);
+  const std::size_t outs = sb.out_lo.size();
+
+  MarginBounds mb;
+  mb.lb.assign(outs, 0);
+  mb.ub.assign(outs, 0);
+  mb.unstable_relus = sb.unstable_relus;
+  for (std::size_t k = 0; k < outs; ++k) {
+    if (k == y) continue;
+    // M_k = O_y - O_k at form level: shared coefficients cancel exactly.
+    AffineForm lo_form = sb.out_lo[y];
+    add_scaled(lo_form, -1, sb.out_hi[k]);
+    AffineForm hi_form = sb.out_hi[y];
+    add_scaled(hi_form, -1, sb.out_lo[k]);
+    mb.lb[k] = lo_form.min_over(q.box);
+    mb.ub[k] = hi_form.max_over(q.box);
+  }
+  return mb;
+}
+
+VerifyResult symbolic_verify(const Query& q) {
+  const MarginBounds mb = margin_bounds(q);
+  const auto y = static_cast<std::size_t>(q.true_label);
+
+  VerifyResult result;
+  result.work = 1;
+  for (std::size_t k = 0; k < mb.lb.size(); ++k) {
+    if (k == y) continue;
+    const i128 needed = (k < y) ? 1 : 0;
+    if (mb.lb[k] < needed) {
+      result.verdict = Verdict::kUnknown;
+      return result;
+    }
+  }
+  result.verdict = Verdict::kRobust;
+  return result;
+}
+
+}  // namespace fannet::verify

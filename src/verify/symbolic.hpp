@@ -1,0 +1,50 @@
+// Symbolic (affine) bound propagation over the noise deltas.
+//
+// Each neuron carries a pair of exact integer affine forms
+//     value  in  [ lo.c0 + Σ lo.coeff[d]·δ_d ,  hi.c0 + Σ hi.coeff[d]·δ_d ]
+// over the noise dimensions δ.  The first layer is *exactly* affine in δ
+// (the noise enters multiplicatively against constants), so no precision is
+// lost there; unstable ReLUs concretize (lower form → 0, upper form → its
+// box maximum) the way DeepPoly/Neurify relax, but with integer-exact
+// arithmetic so soundness needs no floating-point care.  Margins are bounded
+// at the *form* level (O_y − O_k cancels shared coefficients), which is what
+// makes this engine a much stronger pruner than plain IBP.
+#pragma once
+
+#include "verify/query.hpp"
+
+namespace fannet::verify {
+
+/// Exact integer affine form over the query's noise dimensions.
+struct AffineForm {
+  util::i128 c0 = 0;
+  std::vector<util::i128> coeff;  // one per noise dim
+
+  /// Minimum/maximum of the form over the box.
+  [[nodiscard]] util::i128 min_over(const NoiseBox& box) const;
+  [[nodiscard]] util::i128 max_over(const NoiseBox& box) const;
+};
+
+struct SymbolicBounds {
+  /// Per output neuron: lower and upper affine forms of the final layer.
+  std::vector<AffineForm> out_lo;
+  std::vector<AffineForm> out_hi;
+  std::uint64_t unstable_relus = 0;  ///< how many ReLUs were concretized
+};
+
+/// Propagates the forms through the network for the query's box.
+[[nodiscard]] SymbolicBounds symbolic_bounds(const Query& query);
+
+/// kRobust if the margins certify the label, kUnknown otherwise.
+[[nodiscard]] VerifyResult symbolic_verify(const Query& query);
+
+/// Margin analysis used by branch-and-bound: for every k != y returns the
+/// exact-form lower and upper bound of M_k = O_y - O_k over the box.
+struct MarginBounds {
+  std::vector<util::i128> lb;  // indexed by k (entry y unused)
+  std::vector<util::i128> ub;
+  std::uint64_t unstable_relus = 0;
+};
+[[nodiscard]] MarginBounds margin_bounds(const Query& query);
+
+}  // namespace fannet::verify

@@ -1,0 +1,181 @@
+// Unit + property tests for the ROBDD package: canonicity, boolean algebra,
+// quantification, renaming, counting — cross-validated against brute-force
+// truth-table evaluation on random expressions.
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fannet::bdd {
+namespace {
+
+TEST(Bdd, TerminalsAndVars) {
+  Manager m(3);
+  EXPECT_TRUE(m.is_true(m.bdd_true()));
+  EXPECT_TRUE(m.is_false(m.bdd_false()));
+  EXPECT_FALSE(m.is_const(m.var(0)));
+  EXPECT_EQ(m.lnot(m.var(1)), m.nvar(1));
+  EXPECT_THROW(m.var(3), InvalidArgument);
+}
+
+TEST(Bdd, CanonicityIdenticalFunctionsShareNodes) {
+  Manager m(3);
+  // (a & b) | c built two different ways must be the same node.
+  const Bdd f1 = m.lor(m.land(m.var(0), m.var(1)), m.var(2));
+  const Bdd f2 = m.lnot(m.land(m.lnot(m.land(m.var(0), m.var(1))),
+                               m.lnot(m.var(2))));
+  EXPECT_EQ(f1, f2);
+}
+
+TEST(Bdd, BasicAlgebra) {
+  Manager m(2);
+  const Bdd a = m.var(0), b = m.var(1);
+  EXPECT_EQ(m.land(a, m.bdd_true()), a);
+  EXPECT_EQ(m.land(a, m.bdd_false()), m.bdd_false());
+  EXPECT_EQ(m.lor(a, m.lnot(a)), m.bdd_true());
+  EXPECT_EQ(m.land(a, m.lnot(a)), m.bdd_false());
+  EXPECT_EQ(m.lxor(a, a), m.bdd_false());
+  EXPECT_EQ(m.iff(a, b), m.lnot(m.lxor(a, b)));
+  EXPECT_EQ(m.implies(a, b), m.lor(m.lnot(a), b));
+}
+
+TEST(Bdd, EvalTruthTable) {
+  Manager m(2);
+  const Bdd f = m.lxor(m.var(0), m.var(1));
+  EXPECT_FALSE(m.eval(f, {false, false}));
+  EXPECT_TRUE(m.eval(f, {true, false}));
+  EXPECT_TRUE(m.eval(f, {false, true}));
+  EXPECT_FALSE(m.eval(f, {true, true}));
+  EXPECT_THROW(m.eval(f, {true}), InvalidArgument);
+}
+
+TEST(Bdd, RestrictCofactors) {
+  Manager m(2);
+  const Bdd f = m.land(m.var(0), m.var(1));
+  EXPECT_EQ(m.restrict_var(f, 0, true), m.var(1));
+  EXPECT_EQ(m.restrict_var(f, 0, false), m.bdd_false());
+}
+
+TEST(Bdd, Quantification) {
+  Manager m(2);
+  const Bdd f = m.land(m.var(0), m.var(1));
+  EXPECT_EQ(m.exists(f, 0u), m.var(1));
+  EXPECT_EQ(m.forall(f, 0u), m.bdd_false());
+  const Bdd g = m.lor(m.var(0), m.var(1));
+  EXPECT_EQ(m.forall(g, 0u), m.var(1));
+  EXPECT_EQ(m.exists(g, std::vector<unsigned>{0, 1}), m.bdd_true());
+}
+
+TEST(Bdd, RenameSwapsVariables) {
+  Manager m(4);
+  // f = x0 & !x1 ; rename 0->2, 1->3.
+  const Bdd f = m.land(m.var(0), m.lnot(m.var(1)));
+  const Bdd g = m.rename(f, {2, 3, 2, 3});
+  EXPECT_EQ(g, m.land(m.var(2), m.lnot(m.var(3))));
+}
+
+TEST(Bdd, SatCount) {
+  Manager m(3);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.bdd_true()), 8.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.bdd_false()), 0.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.var(0)), 4.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.land(m.var(0), m.var(2))), 2.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.lxor(m.var(0), m.var(1))), 4.0);
+}
+
+TEST(Bdd, AnySatReturnsSatisfyingAssignment) {
+  Manager m(3);
+  const Bdd f = m.land(m.land(m.var(0), m.lnot(m.var(1))), m.var(2));
+  const auto assignment = m.any_sat(f);
+  EXPECT_TRUE(m.eval(f, assignment));
+  EXPECT_THROW(m.any_sat(m.bdd_false()), InvalidArgument);
+}
+
+TEST(Bdd, DagSizeGrowsWithStructure) {
+  Manager m(4);
+  Bdd f = m.bdd_false();
+  for (unsigned i = 0; i < 4; ++i) f = m.lor(f, m.var(i));
+  EXPECT_GE(m.dag_size(f), 4u);
+  EXPECT_LE(m.dag_size(m.bdd_true()), 2u);
+}
+
+TEST(Bdd, ToDotMentionsVariables) {
+  Manager m(2);
+  const std::string dot = m.to_dot(m.land(m.var(0), m.var(1)), "f");
+  EXPECT_NE(dot.find("x0"), std::string::npos);
+  EXPECT_NE(dot.find("x1"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: random expression DAGs vs brute-force truth tables.
+// ---------------------------------------------------------------------------
+class RandomExpr : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomExpr, MatchesTruthTable) {
+  constexpr unsigned kVars = 5;
+  util::Rng rng(GetParam());
+  Manager m(kVars);
+
+  // Build a random DAG of ops over the variables; mirror it as a lambda
+  // evaluator tree for brute-force comparison.
+  struct Node {
+    int op;  // 0..2 = and/or/xor, 3 = not, 4 = var
+    std::size_t a = 0, b = 0;
+    unsigned var = 0;
+  };
+  std::vector<Node> nodes;
+  std::vector<Bdd> bdds;
+  for (unsigned v = 0; v < kVars; ++v) {
+    nodes.push_back({4, 0, 0, v});
+    bdds.push_back(m.var(v));
+  }
+  for (int step = 0; step < 25; ++step) {
+    Node n;
+    n.op = static_cast<int>(rng.uniform_int(0, 3));
+    n.a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 1));
+    n.b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 1));
+    nodes.push_back(n);
+    switch (n.op) {
+      case 0: bdds.push_back(m.land(bdds[n.a], bdds[n.b])); break;
+      case 1: bdds.push_back(m.lor(bdds[n.a], bdds[n.b])); break;
+      case 2: bdds.push_back(m.lxor(bdds[n.a], bdds[n.b])); break;
+      default: bdds.push_back(m.lnot(bdds[n.a])); break;
+    }
+  }
+
+  const auto brute = [&](std::size_t idx, const std::vector<bool>& env,
+                         const auto& self) -> bool {
+    const Node& n = nodes[idx];
+    switch (n.op) {
+      case 4: return env[n.var];
+      case 3: return !self(n.a, env, self);
+      case 0: return self(n.a, env, self) && self(n.b, env, self);
+      case 1: return self(n.a, env, self) || self(n.b, env, self);
+      default: return self(n.a, env, self) != self(n.b, env, self);
+    }
+  };
+
+  const Bdd root = bdds.back();
+  std::size_t true_count = 0;
+  for (unsigned assignment = 0; assignment < (1u << kVars); ++assignment) {
+    std::vector<bool> env(kVars);
+    for (unsigned v = 0; v < kVars; ++v) env[v] = (assignment >> v) & 1;
+    const bool expected = brute(nodes.size() - 1, env, brute);
+    EXPECT_EQ(m.eval(root, env), expected) << "assignment=" << assignment;
+    true_count += expected;
+  }
+  EXPECT_DOUBLE_EQ(m.sat_count(root), static_cast<double>(true_count));
+  if (true_count > 0) {
+    EXPECT_TRUE(m.eval(root, m.any_sat(root)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomExpr,
+                         testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace fannet::bdd

@@ -1,0 +1,250 @@
+// Unit tests for the dataset substrate: the synthetic Golub generator, the
+// stratified split, integer scaling, mutual information and mRMR.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.hpp"
+#include "data/golub.hpp"
+#include "data/mrmr.hpp"
+#include "util/error.hpp"
+
+namespace fannet::data {
+namespace {
+
+GolubConfig small_config() {
+  GolubConfig c;
+  c.num_genes = 120;
+  c.num_informative = 15;
+  return c;
+}
+
+TEST(Golub, ShapesMatchPaper) {
+  GolubConfig c = small_config();
+  const GolubData g = generate_golub(c);
+  EXPECT_EQ(g.dataset.size(), 72u);
+  EXPECT_EQ(g.dataset.num_features(), 120u);
+  EXPECT_EQ(g.dataset.count_label(kLabelALL), 47u);
+  EXPECT_EQ(g.dataset.count_label(kLabelAML), 25u);
+  EXPECT_EQ(g.informative_genes.size(), 15u);
+}
+
+TEST(Golub, DefaultMatchesPaperDimensions) {
+  const GolubConfig c;
+  EXPECT_EQ(c.num_genes, 7129u);
+  EXPECT_EQ(c.num_samples_all + c.num_samples_aml, 72u);
+}
+
+TEST(Golub, DeterministicPerSeed) {
+  const GolubData a = generate_golub(small_config());
+  const GolubData b = generate_golub(small_config());
+  EXPECT_EQ(a.dataset.features, b.dataset.features);
+  GolubConfig other = small_config();
+  other.seed = 43;
+  const GolubData d = generate_golub(other);
+  EXPECT_NE(a.dataset.features, d.dataset.features);
+}
+
+TEST(Golub, InformativeGenesSeparateClasses) {
+  const GolubData g = generate_golub(small_config());
+  // For each informative gene, the class means must differ noticeably more
+  // often than for random genes.
+  int separated = 0;
+  for (const std::size_t idx : g.informative_genes) {
+    double mean_all = 0, mean_aml = 0;
+    std::size_t n_all = 0, n_aml = 0;
+    for (std::size_t s = 0; s < g.dataset.size(); ++s) {
+      if (g.dataset.labels[s] == kLabelALL) {
+        mean_all += g.dataset.features(s, idx);
+        ++n_all;
+      } else {
+        mean_aml += g.dataset.features(s, idx);
+        ++n_aml;
+      }
+    }
+    mean_all /= static_cast<double>(n_all);
+    mean_aml /= static_cast<double>(n_aml);
+    separated += (std::abs(mean_all - mean_aml) > 0.5);
+  }
+  EXPECT_GE(separated, 12);  // most planted genes show their shift
+}
+
+TEST(Golub, BadConfigThrows) {
+  GolubConfig c = small_config();
+  c.num_informative = 1000;
+  EXPECT_THROW(generate_golub(c), InvalidArgument);
+  c = small_config();
+  c.num_samples_all = 0;
+  EXPECT_THROW(generate_golub(c), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Dataset / split
+// ---------------------------------------------------------------------------
+TEST(Dataset, SelectFeaturesAndSamples) {
+  const GolubData g = generate_golub(small_config());
+  const Dataset sel = g.dataset.select_features({3, 10, 7});
+  EXPECT_EQ(sel.num_features(), 3u);
+  EXPECT_EQ(sel.size(), 72u);
+  EXPECT_DOUBLE_EQ(sel.features(5, 1), g.dataset.features(5, 10));
+  EXPECT_EQ(sel.genes[2], "gene_7");
+
+  const Dataset rows = g.dataset.select_samples({0, 50});
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows.labels[1], g.dataset.labels[50]);
+}
+
+TEST(Dataset, SelectOutOfRangeThrows) {
+  const GolubData g = generate_golub(small_config());
+  EXPECT_THROW(g.dataset.select_features({1000}), InvalidArgument);
+  EXPECT_THROW(g.dataset.select_samples({100}), InvalidArgument);
+}
+
+TEST(Split, PaperCounts) {
+  const GolubData g = generate_golub(small_config());
+  // Paper: 38 train / 34 test with ~70% L1 in training (27 ALL / 11 AML).
+  const Split s = stratified_split(g.dataset, {11, 27}, 7);
+  EXPECT_EQ(s.train.size(), 38u);
+  EXPECT_EQ(s.test.size(), 34u);
+  EXPECT_EQ(s.train.count_label(kLabelALL), 27u);
+  EXPECT_EQ(s.train.count_label(kLabelAML), 11u);
+  EXPECT_EQ(s.test.count_label(kLabelALL), 20u);
+  EXPECT_EQ(s.test.count_label(kLabelAML), 14u);
+}
+
+TEST(Split, DeterministicAndSeedSensitive) {
+  const GolubData g = generate_golub(small_config());
+  const Split a = stratified_split(g.dataset, {11, 27}, 7);
+  const Split b = stratified_split(g.dataset, {11, 27}, 7);
+  const Split c = stratified_split(g.dataset, {11, 27}, 8);
+  EXPECT_EQ(a.train.features, b.train.features);
+  EXPECT_NE(a.train.features, c.train.features);
+}
+
+TEST(Split, TooFewSamplesThrows) {
+  const GolubData g = generate_golub(small_config());
+  EXPECT_THROW(stratified_split(g.dataset, {26, 27}, 7), InvalidArgument);
+}
+
+TEST(IntScaler, MapsTrainRangeTo1To100) {
+  la::MatrixD m(3, 1);
+  m(0, 0) = -2.0;
+  m(1, 0) = 0.0;
+  m(2, 0) = 2.0;
+  const IntScaler s = IntScaler::fit(m);
+  const auto t = s.transform(m);
+  EXPECT_EQ(t(0, 0), 1);
+  EXPECT_EQ(t(1, 0), 51);  // midpoint -> 50.5 rounds to 51
+  EXPECT_EQ(t(2, 0), 100);
+}
+
+TEST(IntScaler, ClampsOutOfRangeTestValues) {
+  la::MatrixD train(2, 1);
+  train(0, 0) = 0.0;
+  train(1, 0) = 1.0;
+  const IntScaler s = IntScaler::fit(train);
+  la::MatrixD test(2, 1);
+  test(0, 0) = -5.0;
+  test(1, 0) = 9.0;
+  const auto t = s.transform(test);
+  EXPECT_EQ(t(0, 0), 1);
+  EXPECT_EQ(t(1, 0), 100);
+}
+
+TEST(IntScaler, ConstantColumnMapsToMiddle) {
+  la::MatrixD train(2, 1, 3.0);
+  const IntScaler s = IntScaler::fit(train);
+  const auto t = s.transform(train);
+  EXPECT_GE(t(0, 0), 1);
+  EXPECT_LE(t(0, 0), 100);
+}
+
+TEST(IntScaler, NormalizeDividesBy100) {
+  la::Matrix<std::int64_t> m(1, 2);
+  m(0, 0) = 50;
+  m(0, 1) = 100;
+  const la::MatrixD n = IntScaler::normalize(m);
+  EXPECT_DOUBLE_EQ(n(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(n(0, 1), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Mutual information / mRMR
+// ---------------------------------------------------------------------------
+TEST(MutualInformation, IdenticalVectorsGiveEntropy) {
+  const std::vector<int> a{0, 0, 1, 1, 2, 2};
+  const double mi = mutual_information(a, a);
+  EXPECT_NEAR(mi, std::log(3.0), 1e-9);  // uniform over 3 symbols
+}
+
+TEST(MutualInformation, IndependentVectorsNearZero) {
+  const std::vector<int> a{0, 0, 1, 1, 0, 0, 1, 1};
+  const std::vector<int> b{0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_NEAR(mutual_information(a, b), 0.0, 1e-9);
+}
+
+TEST(MutualInformation, Symmetric) {
+  const std::vector<int> a{0, 1, 2, 0, 1, 2, 0, 0};
+  const std::vector<int> b{1, 1, 0, 0, 1, 0, 1, 0};
+  EXPECT_NEAR(mutual_information(a, b), mutual_information(b, a), 1e-12);
+}
+
+TEST(MutualInformation, SizeMismatchThrows) {
+  EXPECT_THROW(mutual_information({0, 1}, {0}), InvalidArgument);
+  EXPECT_THROW(mutual_information({}, {}), InvalidArgument);
+}
+
+TEST(Discretize, ThreeLevels) {
+  la::MatrixD m(6, 1);
+  for (int i = 0; i < 6; ++i) m(static_cast<std::size_t>(i), 0) = i;  // 0..5
+  const auto lv = discretize_column(m, 0);
+  EXPECT_EQ(lv.front(), 0);
+  EXPECT_EQ(lv.back(), 2);
+  for (const int v : lv) {
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 2);
+  }
+}
+
+TEST(Mrmr, RecoversInformativeGenes) {
+  const GolubData g = generate_golub(small_config());
+  const MrmrResult r = mrmr_select(g.dataset, 5, MrmrScheme::kMID);
+  ASSERT_EQ(r.selected.size(), 5u);
+  // Most selections should come from the planted informative set.
+  int informative = 0;
+  for (const std::size_t idx : r.selected) {
+    informative += std::binary_search(g.informative_genes.begin(),
+                                      g.informative_genes.end(), idx);
+  }
+  EXPECT_GE(informative, 4);
+  // Relevance is reported and the first pick has the highest relevance.
+  for (double rel : r.relevance) EXPECT_GE(rel, 0.0);
+  EXPECT_GE(r.relevance.front(), r.relevance.back() - 1e-12);
+}
+
+TEST(Mrmr, SchemesBothWork) {
+  const GolubData g = generate_golub(small_config());
+  const MrmrResult mid = mrmr_select(g.dataset, 3, MrmrScheme::kMID);
+  const MrmrResult miq = mrmr_select(g.dataset, 3, MrmrScheme::kMIQ);
+  EXPECT_EQ(mid.selected.size(), 3u);
+  EXPECT_EQ(miq.selected.size(), 3u);
+  // First pick (pure relevance) must agree between schemes.
+  EXPECT_EQ(mid.selected[0], miq.selected[0]);
+}
+
+TEST(Mrmr, NoDuplicateSelections) {
+  const GolubData g = generate_golub(small_config());
+  const MrmrResult r = mrmr_select(g.dataset, 10, MrmrScheme::kMID);
+  std::vector<std::size_t> sorted = r.selected;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(Mrmr, BadKThrows) {
+  const GolubData g = generate_golub(small_config());
+  EXPECT_THROW(mrmr_select(g.dataset, 0), InvalidArgument);
+  EXPECT_THROW(mrmr_select(g.dataset, 10'000), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fannet::data

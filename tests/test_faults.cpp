@@ -1,0 +1,152 @@
+// Tests for the weight-fault sensitivity extension (core/faults.hpp) and
+// the underlying parameter-perturbation primitive.
+#include <gtest/gtest.h>
+
+#include "core/casestudy.hpp"
+#include "core/faults.hpp"
+#include "nn/network.hpp"
+#include "util/error.hpp"
+
+namespace fannet::core {
+namespace {
+
+using util::i64;
+
+nn::QuantizedNetwork tiny_qnet() {
+  nn::Layer hidden;
+  hidden.weights = la::MatrixD::from_rows({{1.0, -1.0}, {0.5, 0.5}});
+  hidden.bias = {0.0, -0.25};
+  hidden.activation = nn::Activation::kReLU;
+  nn::Layer out;
+  out.weights = la::MatrixD::from_rows({{1.0, 0.0}, {0.0, 2.0}});
+  out.bias = {0.1, 0.0};
+  out.activation = nn::Activation::kLinear;
+  return nn::QuantizedNetwork::quantize(nn::Network({hidden, out}), 100);
+}
+
+TEST(ScaledParam, ScalesWeightExactly) {
+  const nn::QuantizedNetwork net = tiny_qnet();
+  // weight (0,0,0) is 1.0 -> raw 10000; +17% -> 11700.
+  const auto up = net.with_scaled_param(0, 0, 0, 17);
+  EXPECT_EQ(up.layers()[0].weights(0, 0), 11'700);
+  // -50% of -0.25 bias (raw -2500) -> -1250.
+  const auto down = net.with_scaled_param(0, 1, 2, -50);
+  EXPECT_EQ(down.layers()[0].bias[1], -1'250);
+  // Rounding: raw 10000 * 1.015 / ... choose odd: 0.5 raw 5000 * (100+33)/100
+  const auto odd = net.with_scaled_param(0, 1, 0, 33);
+  EXPECT_EQ(odd.layers()[0].weights(1, 0), 6'650);
+}
+
+TEST(ScaledParam, LeavesOtherParamsUntouched) {
+  const nn::QuantizedNetwork net = tiny_qnet();
+  const auto mutated = net.with_scaled_param(1, 0, 0, 25);
+  EXPECT_EQ(mutated.layers()[0].weights, net.layers()[0].weights);
+  EXPECT_EQ(mutated.layers()[1].weights(0, 1), net.layers()[1].weights(0, 1));
+  EXPECT_NE(mutated.layers()[1].weights(0, 0), net.layers()[1].weights(0, 0));
+}
+
+TEST(ScaledParam, IndexChecks) {
+  const nn::QuantizedNetwork net = tiny_qnet();
+  EXPECT_THROW(net.with_scaled_param(5, 0, 0, 10), InvalidArgument);
+  EXPECT_THROW(net.with_scaled_param(0, 9, 0, 10), InvalidArgument);
+  EXPECT_THROW(net.with_scaled_param(0, 0, 9, 10), InvalidArgument);
+  // col == in_dim is the bias, legal:
+  EXPECT_NO_THROW(net.with_scaled_param(0, 0, 2, 10));
+}
+
+TEST(WeightFaults, MinimalityOfReportedPercent) {
+  const nn::QuantizedNetwork net = tiny_qnet();
+  la::Matrix<i64> inputs(2, 2);
+  inputs(0, 0) = 80; inputs(0, 1) = 30;
+  inputs(1, 0) = 20; inputs(1, 1) = 90;
+  std::vector<int> labels(2);
+  for (std::size_t s = 0; s < 2; ++s) {
+    labels[s] = net.classify_noised(inputs.row(s), {});
+  }
+  const WeightFaultReport report =
+      analyze_weight_faults(net, inputs, labels, {50, 1});
+  ASSERT_FALSE(report.faults.empty());
+  for (const WeightFault& f : report.faults) {
+    if (!f.min_flip_percent) continue;
+    const std::size_t col = f.is_bias()
+                                ? net.layers()[f.layer].in_dim()
+                                : f.col;
+    // At the reported percent the flip happens...
+    const auto at = net.with_scaled_param(f.layer, f.row, col,
+                                          f.flip_sign * *f.min_flip_percent);
+    bool flips = false;
+    for (std::size_t s = 0; s < 2; ++s) {
+      flips |= at.classify_noised(inputs.row(s), {}) != labels[s];
+    }
+    EXPECT_TRUE(flips);
+    // ...and at magnitude-1 (both signs) it does not.
+    if (*f.min_flip_percent > 1) {
+      for (const int sign : {+1, -1}) {
+        const auto below = net.with_scaled_param(
+            f.layer, f.row, col, sign * (*f.min_flip_percent - 1));
+        for (std::size_t s = 0; s < 2; ++s) {
+          EXPECT_EQ(below.classify_noised(inputs.row(s), {}), labels[s]);
+        }
+      }
+    }
+  }
+}
+
+TEST(WeightFaults, DeadWeightIsRobust) {
+  // Output row 0 ignores hidden neuron 1 (weight 0): scaling zero stays
+  // zero, so that parameter can never flip anything.
+  const nn::QuantizedNetwork net = tiny_qnet();
+  la::Matrix<i64> inputs(1, 2);
+  inputs(0, 0) = 80; inputs(0, 1) = 30;
+  const std::vector<int> labels{net.classify_noised(inputs.row(0), {})};
+  const WeightFaultReport report =
+      analyze_weight_faults(net, inputs, labels, {50, 1});
+  for (const WeightFault& f : report.faults) {
+    if (f.layer == 1 && f.row == 0 && f.col == 1) {
+      EXPECT_FALSE(f.min_flip_percent.has_value());
+    }
+  }
+}
+
+TEST(WeightFaults, ReportShapeAndCounts) {
+  const nn::QuantizedNetwork net = tiny_qnet();
+  la::Matrix<i64> inputs(1, 2);
+  inputs(0, 0) = 70; inputs(0, 1) = 40;
+  const std::vector<int> labels{net.classify_noised(inputs.row(0), {})};
+  const WeightFaultReport report =
+      analyze_weight_faults(net, inputs, labels, {20, 1});
+  // Parameters: layer0 2x(2+1) + layer1 2x(2+1) = 12.
+  EXPECT_EQ(report.faults.size(), 12u);
+  std::size_t robust = 0;
+  for (const auto& f : report.faults) robust += !f.min_flip_percent;
+  EXPECT_EQ(robust, report.robust_weights);
+  EXPECT_GT(report.evaluations, 0u);
+}
+
+TEST(WeightFaults, MostFragileSortedAscending) {
+  const CaseStudy cs = build_case_study(small_case_study_config());
+  const WeightFaultReport report =
+      analyze_weight_faults(cs.qnet, cs.test_x, cs.test_y, {30, 2});
+  const auto top = most_fragile_weights(report, 5);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(*top[i - 1].min_flip_percent, *top[i].min_flip_percent);
+  }
+  if (!top.empty()) {
+    const std::string text = format_weight_faults(report, 5);
+    EXPECT_NE(text.find("rank"), std::string::npos);
+  }
+}
+
+TEST(WeightFaults, BadConfigThrows) {
+  const nn::QuantizedNetwork net = tiny_qnet();
+  la::Matrix<i64> inputs(1, 2);
+  EXPECT_THROW(analyze_weight_faults(net, inputs, {0, 0}, {50, 1}),
+               InvalidArgument);
+  la::Matrix<i64> ok(1, 2);
+  ok(0, 0) = 50; ok(0, 1) = 50;
+  EXPECT_THROW(analyze_weight_faults(net, ok, {0}, {0, 1}), InvalidArgument);
+  EXPECT_THROW(analyze_weight_faults(net, ok, {0}, {10, 0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fannet::core

@@ -1,0 +1,82 @@
+// Unit tests for the small linear-algebra layer.
+#include <gtest/gtest.h>
+
+#include "la/matrix.hpp"
+#include "util/error.hpp"
+
+namespace fannet::la {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  const MatrixD m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+}
+
+TEST(Matrix, FromRows) {
+  const auto m = MatrixD::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6);
+}
+
+TEST(Matrix, FromRowsRaggedThrows) {
+  EXPECT_THROW(MatrixD::from_rows({{1, 2}, {3}}), InvalidArgument);
+}
+
+TEST(Matrix, OutOfBoundsThrows) {
+  MatrixD m(2, 2);
+  EXPECT_THROW(m(2, 0), InvalidArgument);
+  EXPECT_THROW(m(0, 2), InvalidArgument);
+}
+
+TEST(Matrix, RowView) {
+  auto m = MatrixD::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const auto row = m.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0], 4);
+  m.row(1)[0] = 9;
+  EXPECT_DOUBLE_EQ(m(1, 0), 9);
+}
+
+TEST(Matrix, MatVec) {
+  const auto m = MatrixD::from_rows({{1, 2}, {3, 4}});
+  const std::vector<double> x{1, -1};
+  const auto y = matvec(m, std::span<const double>(x));
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -1);
+  EXPECT_DOUBLE_EQ(y[1], -1);
+}
+
+TEST(Matrix, MatVecDimensionMismatchThrows) {
+  const MatrixD m(2, 3);
+  const std::vector<double> x{1, 2};
+  EXPECT_THROW(matvec(m, std::span<const double>(x)), InvalidArgument);
+}
+
+TEST(Matrix, Transpose) {
+  const auto m = MatrixD::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const auto t = transpose(m);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+  EXPECT_EQ(transpose(t), m);
+}
+
+TEST(Matrix, IntegerInstantiation) {
+  Matrix<std::int64_t> m(2, 2, -7);
+  EXPECT_EQ(m(0, 0), -7);
+  m(0, 0) = 42;
+  EXPECT_EQ(m(0, 0), 42);
+}
+
+TEST(Matrix, Equality) {
+  const auto a = MatrixD::from_rows({{1, 2}});
+  auto b = MatrixD::from_rows({{1, 2}});
+  EXPECT_EQ(a, b);
+  b(0, 1) = 3;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace fannet::la

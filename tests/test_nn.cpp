@@ -1,0 +1,204 @@
+// Unit tests for the network substrate: forward semantics, the output
+// max-pool (argmax) rule, serialization, and training convergence with the
+// paper's learning-rate schedule.
+#include <gtest/gtest.h>
+
+#include "nn/network.hpp"
+#include "nn/train.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fannet::nn {
+namespace {
+
+Network tiny_net() {
+  Layer hidden;
+  hidden.weights = la::MatrixD::from_rows({{1.0, -1.0}, {0.5, 0.5}});
+  hidden.bias = {0.0, -0.25};
+  hidden.activation = Activation::kReLU;
+  Layer out;
+  out.weights = la::MatrixD::from_rows({{1.0, 0.0}, {0.0, 2.0}});
+  out.bias = {0.1, 0.0};
+  out.activation = Activation::kLinear;
+  return Network({hidden, out});
+}
+
+TEST(Network, ForwardKnownValues) {
+  const Network net = tiny_net();
+  // x = (1, 0.5): hidden pre = (0.5, 0.5), post = same (positive).
+  const std::vector<double> x{1.0, 0.5};
+  const auto out = net.forward(x);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 0.6);   // 0.5 + 0.1
+  EXPECT_DOUBLE_EQ(out[1], 1.0);   // 2*0.5
+}
+
+TEST(Network, ReLUClampsNegative) {
+  const Network net = tiny_net();
+  // x = (0, 1): hidden pre = (-1, 0.25) -> post = (0, 0.25).
+  const std::vector<double> x{0.0, 1.0};
+  const auto out = net.forward(x);
+  EXPECT_DOUBLE_EQ(out[0], 0.1);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+}
+
+TEST(Network, ForwardTraceShapes) {
+  const Network net = tiny_net();
+  const std::vector<double> x{1.0, 1.0};
+  const auto trace = net.forward_trace(x);
+  ASSERT_EQ(trace.pre.size(), 2u);
+  ASSERT_EQ(trace.post.size(), 2u);
+  EXPECT_EQ(trace.pre[0].size(), 2u);
+  // Last post equals forward output.
+  EXPECT_EQ(trace.post.back(), net.forward(x));
+}
+
+TEST(Network, ClassifyUsesArgmax) {
+  const Network net = tiny_net();
+  const std::vector<double> x{1.0, 0.5};
+  EXPECT_EQ(net.classify(x), 1);  // 1.0 > 0.6
+}
+
+TEST(ArgmaxTieLow, TiesResolveToLowerIndex) {
+  const std::vector<double> v{1.0, 1.0, 0.5};
+  EXPECT_EQ(argmax_tie_low(v), 0);
+  const std::vector<double> w{0.2, 0.9, 0.9};
+  EXPECT_EQ(argmax_tie_low(w), 1);
+}
+
+TEST(ArgmaxTieLow, EmptyThrows) {
+  EXPECT_THROW(argmax_tie_low(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(Network, ValidatesLayerShapes) {
+  Layer a;
+  a.weights = la::MatrixD(3, 2);
+  a.bias = {0, 0};  // wrong: 3 outputs need 3 biases
+  EXPECT_THROW(Network({a}), InvalidArgument);
+}
+
+TEST(Network, ValidatesLayerChaining) {
+  Layer a;
+  a.weights = la::MatrixD(3, 2);
+  a.bias = {0, 0, 0};
+  Layer b;
+  b.weights = la::MatrixD(2, 4);  // expects 4 inputs, previous has 3 outputs
+  b.bias = {0, 0};
+  EXPECT_THROW(Network({a, b}), InvalidArgument);
+}
+
+TEST(Network, RandomDeterministicPerSeed) {
+  const Network a = Network::random({4, 8, 2}, 99);
+  const Network b = Network::random({4, 8, 2}, 99);
+  const Network c = Network::random({4, 8, 2}, 100);
+  EXPECT_EQ(a.to_text(), b.to_text());
+  EXPECT_NE(a.to_text(), c.to_text());
+}
+
+TEST(Network, RandomShapesAndActivations) {
+  const Network net = Network::random({5, 20, 2}, 1);
+  EXPECT_EQ(net.input_dim(), 5u);
+  EXPECT_EQ(net.output_dim(), 2u);
+  EXPECT_EQ(net.depth(), 2u);
+  EXPECT_EQ(net.layers()[0].activation, Activation::kReLU);
+  EXPECT_EQ(net.layers()[1].activation, Activation::kLinear);
+}
+
+TEST(Network, SerializationRoundTrip) {
+  const Network net = Network::random({3, 7, 2}, 5);
+  const Network back = Network::from_text(net.to_text());
+  EXPECT_EQ(net.to_text(), back.to_text());
+  // Behavioral equality on a probe input.
+  const std::vector<double> x{0.3, -0.8, 0.5};
+  EXPECT_EQ(net.forward(x), back.forward(x));
+}
+
+TEST(Network, FromTextRejectsGarbage) {
+  EXPECT_THROW(Network::from_text("not-a-network"), ParseError);
+  EXPECT_THROW(Network::from_text("fannet-network 2\n1\n"), ParseError);
+  EXPECT_THROW(Network::from_text("fannet-network 1\n1\n2 2 relu\n1 2 3 4\n"),
+               ParseError);  // missing bias values
+}
+
+// ---------------------------------------------------------------------------
+// Training
+// ---------------------------------------------------------------------------
+
+/// Linearly separable 2-D blobs.
+struct Blobs {
+  la::MatrixD x;
+  std::vector<int> y;
+};
+
+Blobs make_blobs(std::size_t per_class, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Blobs b;
+  b.x = la::MatrixD(2 * per_class, 2);
+  for (std::size_t i = 0; i < 2 * per_class; ++i) {
+    const bool cls = i >= per_class;
+    b.x(i, 0) = rng.gaussian(cls ? 0.7 : 0.3, 0.07);
+    b.x(i, 1) = rng.gaussian(cls ? 0.3 : 0.7, 0.07);
+    b.y.push_back(cls ? 1 : 0);
+  }
+  return b;
+}
+
+TEST(Train, ConvergesOnSeparableBlobs) {
+  const Blobs b = make_blobs(20, 4);
+  Network net = Network::random({2, 8, 2}, 21);
+  const TrainResult r = train(net, b.x, b.y, {});
+  EXPECT_DOUBLE_EQ(r.train_accuracy, 1.0);
+  EXPECT_LT(r.epoch_loss.back(), r.epoch_loss.front());
+}
+
+TEST(Train, LossDecreasesMonotonishly) {
+  const Blobs b = make_blobs(20, 8);
+  Network net = Network::random({2, 8, 2}, 3);
+  const TrainResult r = train(net, b.x, b.y, {});
+  // Full-batch GD on this easy problem: the loss at the end is far below
+  // the start, and at least 90% of steps do not increase it.
+  std::size_t non_increasing = 0;
+  for (std::size_t e = 1; e < r.epoch_loss.size(); ++e) {
+    non_increasing += (r.epoch_loss[e] <= r.epoch_loss[e - 1] + 1e-12);
+  }
+  EXPECT_GE(non_increasing * 10, (r.epoch_loss.size() - 1) * 9);
+  EXPECT_LT(r.epoch_loss.back(), 0.2 * r.epoch_loss.front());
+}
+
+TEST(Train, PaperScheduleShape) {
+  const TrainConfig config;
+  ASSERT_EQ(config.schedule.size(), 2u);
+  EXPECT_DOUBLE_EQ(config.schedule[0].learning_rate, 0.5);
+  EXPECT_EQ(config.schedule[0].epochs, 40);
+  EXPECT_DOUBLE_EQ(config.schedule[1].learning_rate, 0.2);
+  EXPECT_EQ(config.schedule[1].epochs, 40);
+  const Blobs b = make_blobs(10, 2);
+  Network net = Network::random({2, 4, 2}, 7);
+  const TrainResult r = train(net, b.x, b.y, config);
+  EXPECT_EQ(r.epoch_loss.size(), 80u);
+}
+
+TEST(Train, MismatchedLabelsThrow) {
+  Network net = Network::random({2, 4, 2}, 7);
+  la::MatrixD x(3, 2);
+  EXPECT_THROW(train(net, x, {0, 1}, {}), InvalidArgument);
+  EXPECT_THROW(accuracy(net, x, {0, 1}), InvalidArgument);
+}
+
+TEST(Train, InputDimMismatchThrows) {
+  Network net = Network::random({3, 4, 2}, 7);
+  la::MatrixD x(2, 2);
+  EXPECT_THROW(train(net, x, {0, 1}, {}), InvalidArgument);
+}
+
+TEST(Accuracy, CountsCorrectly) {
+  const Network net = tiny_net();
+  la::MatrixD x(2, 2);
+  x(0, 0) = 1.0; x(0, 1) = 0.5;   // classifies 1
+  x(1, 0) = 1.0; x(1, 1) = 0.0;   // out = (1.1, 1.0) -> 0
+  EXPECT_DOUBLE_EQ(accuracy(net, x, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(net, x, {0, 0}), 0.5);
+}
+
+}  // namespace
+}  // namespace fannet::nn

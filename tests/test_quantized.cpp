@@ -1,0 +1,170 @@
+// Unit + property tests for the exact quantized evaluator — the arithmetic
+// core every formal engine shares (DESIGN.md §4.1).
+#include <gtest/gtest.h>
+
+#include "nn/network.hpp"
+#include "nn/quantized.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fannet::nn {
+namespace {
+
+using util::i128;
+using util::i64;
+
+Network tiny_net() {
+  Layer hidden;
+  hidden.weights = la::MatrixD::from_rows({{1.0, -1.0}, {0.5, 0.5}});
+  hidden.bias = {0.0, -0.25};
+  hidden.activation = Activation::kReLU;
+  Layer out;
+  out.weights = la::MatrixD::from_rows({{1.0, 0.0}, {0.0, 2.0}});
+  out.bias = {0.1, 0.0};
+  out.activation = Activation::kLinear;
+  return Network({hidden, out});
+}
+
+TEST(Quantized, ScalesAreExact) {
+  const QuantizedNetwork q = QuantizedNetwork::quantize(tiny_net(), 100);
+  EXPECT_EQ(q.scale_at(0), static_cast<i128>(100) * 100);
+  EXPECT_EQ(q.scale_at(1), static_cast<i128>(100) * 100 * 10'000);
+  EXPECT_EQ(q.scale_at(2),
+            static_cast<i128>(100) * 100 * 10'000 * 10'000);
+  EXPECT_THROW(q.scale_at(3), InvalidArgument);
+}
+
+TEST(Quantized, NoisedInputsFormula) {
+  const std::vector<i64> x{50, 80};
+  const std::vector<int> d{10, -25};
+  const auto X = QuantizedNetwork::noised_inputs(x, d);
+  EXPECT_EQ(X[0], 50 * 110);
+  EXPECT_EQ(X[1], 80 * 75);
+  const auto clean = QuantizedNetwork::noised_inputs(x, {});
+  EXPECT_EQ(clean[0], 5000);
+  EXPECT_EQ(clean[1], 8000);
+}
+
+TEST(Quantized, NoisedInputsSizeMismatchThrows) {
+  const std::vector<i64> x{1, 2};
+  const std::vector<int> d{1};
+  EXPECT_THROW(QuantizedNetwork::noised_inputs(x, d), InvalidArgument);
+}
+
+TEST(Quantized, MatchesHandComputedValues) {
+  // x = (100, 50) so u = (1.0, 0.5): hidden pre = (0.5, 0.5),
+  // out = (0.6, 1.0).  Scaled by 1e8 and 1e12 respectively.
+  const QuantizedNetwork q = QuantizedNetwork::quantize(tiny_net(), 100);
+  const auto X = QuantizedNetwork::noised_inputs({{100, 50}}, {});
+  const auto all = q.eval_all(X);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0][0], 50'000'000);        // 0.5 * 1e8
+  EXPECT_EQ(all[0][1], 50'000'000);
+  EXPECT_EQ(all[1][0], 600'000'000'000);   // 0.6 * 1e12
+  EXPECT_EQ(all[1][1], 1'000'000'000'000); // 1.0 * 1e12
+  EXPECT_EQ(q.classify(X), 1);
+}
+
+TEST(Quantized, ReLUZeroesNegativePreActivations) {
+  const QuantizedNetwork q = QuantizedNetwork::quantize(tiny_net(), 100);
+  // x = (0? -> inputs are >= 1 in the pipeline, but eval works anyway)
+  const auto X = QuantizedNetwork::noised_inputs({{1, 100}}, {});
+  // hidden pre: (0.01-1, 0.005+0.5-0.25) = (-0.99, 0.255) -> relu zeroes [0].
+  const auto out = q.eval_output(X);
+  // out0 = 0*1 + 0.1 = 0.1 scaled; out1 = 2*0.255 = 0.51 scaled.
+  EXPECT_EQ(out[0], 100'000'000'000);
+  EXPECT_EQ(out[1], 510'000'000'000);
+}
+
+TEST(Quantized, BiasNodeFactorScalesFirstLayerBiasOnly) {
+  const QuantizedNetwork q = QuantizedNetwork::quantize(tiny_net(), 100);
+  const auto X = QuantizedNetwork::noised_inputs({{100, 50}}, {});
+  // +100% noise on the bias node doubles the first-layer bias term.
+  const auto noisy = q.eval_all(X, /*bias_factor=*/200);
+  const auto clean = q.eval_all(X, /*bias_factor=*/100);
+  // hidden bias was (0, -0.25): neuron 0 unchanged, neuron 1 shifted.
+  EXPECT_EQ(noisy[0][0], clean[0][0]);
+  EXPECT_EQ(noisy[0][1], clean[0][1] - 25'000'000);  // extra -0.25 * 1e8
+}
+
+TEST(Quantized, ClassifyNoisedAgreesWithManualPath) {
+  const QuantizedNetwork q = QuantizedNetwork::quantize(tiny_net(), 100);
+  const std::vector<i64> x{100, 50};
+  const std::vector<int> d{-10, 20};
+  const auto X = QuantizedNetwork::noised_inputs(x, d);
+  EXPECT_EQ(q.classify_noised(x, d), q.classify(X));
+}
+
+TEST(Quantized, TieResolvesToLowerIndex) {
+  EXPECT_EQ(argmax_tie_low_i64(std::vector<i64>{5, 5}), 0);
+  EXPECT_EQ(argmax_tie_low_i64(std::vector<i64>{1, 7, 7}), 1);
+  EXPECT_THROW(argmax_tie_low_i64(std::vector<i64>{}), InvalidArgument);
+}
+
+TEST(Quantized, DequantizeApproximatesOriginal) {
+  const Network net = Network::random({3, 6, 2}, 17);
+  const QuantizedNetwork q = QuantizedNetwork::quantize(net, 100);
+  const Network back = q.dequantize();
+  for (std::size_t li = 0; li < net.depth(); ++li) {
+    for (std::size_t r = 0; r < net.layers()[li].out_dim(); ++r) {
+      for (std::size_t c = 0; c < net.layers()[li].in_dim(); ++c) {
+        EXPECT_NEAR(back.layers()[li].weights(r, c),
+                    net.layers()[li].weights(r, c), 1.0 / util::Fixed::kScale);
+      }
+    }
+  }
+}
+
+TEST(Quantized, BadInputSizesThrow) {
+  const QuantizedNetwork q = QuantizedNetwork::quantize(tiny_net(), 100);
+  const std::vector<i64> wrong{1, 2, 3};
+  EXPECT_THROW(q.eval_output(wrong), InvalidArgument);
+  EXPECT_THROW(QuantizedNetwork::quantize(tiny_net(), 0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: the quantized integer path must agree with double-precision
+// evaluation of the dequantized network wherever the margin is not razor-thin
+// (exact ties are decided by the integer path; doubles cannot represent them).
+// ---------------------------------------------------------------------------
+class QuantizedAgreement : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantizedAgreement, IntegerAndDoublePathsAgree) {
+  util::Rng rng(GetParam());
+  const Network net = Network::random({4, 10, 3}, GetParam() * 7 + 1);
+  const QuantizedNetwork q = QuantizedNetwork::quantize(net, 100);
+  const Network deq = q.dequantize();
+
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<i64> x(4);
+    std::vector<double> u(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      x[i] = rng.uniform_int(1, 100);
+      u[i] = static_cast<double>(x[i]) / 100.0;
+    }
+    const auto X = QuantizedNetwork::noised_inputs(x, {});
+    const auto exact_out = q.eval_output(X);
+    const auto dbl_out = deq.forward(u);
+    // Compare classifications only when the double margin is meaningful.
+    double best = -1e300, second = -1e300;
+    for (const double v : dbl_out) {
+      if (v > best) { second = best; best = v; }
+      else if (v > second) { second = v; }
+    }
+    if (best - second > 1e-9) {
+      EXPECT_EQ(q.classify(X), deq.classify(u))
+          << "seed=" << GetParam() << " trial=" << trial;
+    }
+    // The scaled integers must match the doubles to float precision.
+    const double scale = static_cast<double>(q.scale_at(2));
+    for (std::size_t k = 0; k < exact_out.size(); ++k) {
+      EXPECT_NEAR(static_cast<double>(exact_out[k]) / scale, dbl_out[k], 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantizedAgreement,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace fannet::nn

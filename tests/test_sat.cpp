@@ -1,0 +1,258 @@
+// Unit + property tests for the CDCL solver.  The load-bearing test is the
+// parameterized sweep cross-checking the solver against brute force on
+// random 3-SAT instances around the phase transition.
+#include <gtest/gtest.h>
+
+#include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fannet::sat {
+namespace {
+
+TEST(Lit, EncodingRoundTrip) {
+  const Lit a(3, false);
+  EXPECT_EQ(a.var(), 3);
+  EXPECT_FALSE(a.negated());
+  EXPECT_TRUE((~a).negated());
+  EXPECT_EQ(~~a, a);
+  EXPECT_EQ(a.to_string(), "4");
+  EXPECT_EQ((~a).to_string(), "-4");
+}
+
+TEST(Solver, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(Solver, SingleUnit) {
+  Solver s;
+  const Var v = s.new_var();
+  EXPECT_TRUE(s.add_clause({Lit(v, false)}));
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.model_value(v));
+}
+
+TEST(Solver, ContradictoryUnitsUnsat) {
+  Solver s;
+  const Var v = s.new_var();
+  EXPECT_TRUE(s.add_clause({Lit(v, false)}));
+  EXPECT_FALSE(s.add_clause({Lit(v, true)}));
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(Solver, EmptyClauseUnsat) {
+  Solver s;
+  EXPECT_FALSE(s.add_clause(Clause{}));
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(Solver, TautologyIgnored) {
+  Solver s;
+  const Var v = s.new_var();
+  EXPECT_TRUE(s.add_clause({Lit(v, false), Lit(v, true)}));
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(Solver, PropagationChain) {
+  // (a) & (!a | b) & (!b | c) => c must be true.
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  s.add_clause({Lit(a, false)});
+  s.add_clause({Lit(a, true), Lit(b, false)});
+  s.add_clause({Lit(b, true), Lit(c, false)});
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+  EXPECT_TRUE(s.model_value(c));
+}
+
+TEST(Solver, XorChainRequiresSearch) {
+  // x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 1 is UNSAT (parity).
+  Solver s;
+  const Var x1 = s.new_var(), x2 = s.new_var(), x3 = s.new_var();
+  const auto add_xor1 = [&](Var u, Var v) {
+    s.add_clause({Lit(u, false), Lit(v, false)});
+    s.add_clause({Lit(u, true), Lit(v, true)});
+  };
+  add_xor1(x1, x2);
+  add_xor1(x2, x3);
+  add_xor1(x1, x3);
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+/// Pigeonhole principle PHP(n+1, n): always UNSAT, exponential for
+/// resolution — a classic stress test for clause learning.
+void build_php(Solver& s, int pigeons, int holes) {
+  std::vector<std::vector<Var>> at(static_cast<std::size_t>(pigeons));
+  for (auto& row : at) {
+    for (int h = 0; h < holes; ++h) row.push_back(s.new_var());
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    Clause c;
+    for (int h = 0; h < holes; ++h) {
+      c.emplace_back(at[static_cast<std::size_t>(p)][static_cast<std::size_t>(h)], false);
+    }
+    s.add_clause(std::move(c));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.add_clause({Lit(at[static_cast<std::size_t>(p1)][static_cast<std::size_t>(h)], true),
+                      Lit(at[static_cast<std::size_t>(p2)][static_cast<std::size_t>(h)], true)});
+      }
+    }
+  }
+}
+
+TEST(Solver, PigeonholeUnsat) {
+  for (int holes = 3; holes <= 5; ++holes) {
+    Solver s;
+    build_php(s, holes + 1, holes);
+    EXPECT_EQ(s.solve(), SolveResult::kUnsat) << "holes=" << holes;
+    EXPECT_GT(s.stats().conflicts, 0u);
+  }
+}
+
+TEST(Solver, AssumptionsDoNotPersist) {
+  Solver s;
+  const Var v = s.new_var();
+  const Lit l(v, false);
+  EXPECT_EQ(s.solve(std::array{~l}), SolveResult::kSat);
+  EXPECT_FALSE(s.model_value(v));
+  EXPECT_EQ(s.solve(std::array{l}), SolveResult::kSat);
+  EXPECT_TRUE(s.model_value(v));
+}
+
+TEST(Solver, FailedAssumptionsReported) {
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var();
+  s.add_clause({Lit(a, true), Lit(b, true)});  // !a | !b
+  const std::array assumptions{Lit(a, false), Lit(b, false)};
+  EXPECT_EQ(s.solve(assumptions), SolveResult::kUnsat);
+  EXPECT_FALSE(s.conflict_assumptions().empty());
+  // Adding nothing: still satisfiable without assumptions.
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(Solver, IncrementalSolvingAccumulatesClauses) {
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var();
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+  s.add_clause({Lit(a, false)});
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.model_value(a));
+  s.add_clause({Lit(b, false)});
+  s.add_clause({Lit(a, true), Lit(b, true)});
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(Solver, ConflictLimitReturnsUnknown) {
+  Solver s;
+  build_php(s, 8, 7);  // hard enough to exceed a tiny budget
+  s.set_conflict_limit(10);
+  EXPECT_EQ(s.solve(), SolveResult::kUnknown);
+}
+
+// ---------------------------------------------------------------------------
+// Random 3-SAT cross-validation against brute force (the solver oracle test).
+// ---------------------------------------------------------------------------
+struct RandomCnf {
+  Cnf cnf;
+  bool brute_sat = false;
+};
+
+RandomCnf random_3sat(int vars, int clauses, std::uint64_t seed) {
+  util::Rng rng(seed);
+  RandomCnf out;
+  out.cnf.num_vars = vars;
+  for (int c = 0; c < clauses; ++c) {
+    Clause cl;
+    for (int k = 0; k < 3; ++k) {
+      cl.emplace_back(static_cast<Var>(rng.uniform_int(0, vars - 1)),
+                      rng.bernoulli(0.5));
+    }
+    out.cnf.clauses.push_back(std::move(cl));
+  }
+  // Brute force.
+  for (std::uint32_t m = 0; m < (1u << vars); ++m) {
+    bool all = true;
+    for (const Clause& cl : out.cnf.clauses) {
+      bool sat = false;
+      for (const Lit l : cl) {
+        const bool value = (m >> l.var()) & 1;
+        if (value != l.negated()) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      out.brute_sat = true;
+      break;
+    }
+  }
+  return out;
+}
+
+class Random3Sat : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Random3Sat, AgreesWithBruteForce) {
+  // Around the m/n ~ 4.26 phase transition where instances are hardest.
+  for (const int clauses : {30, 43, 55}) {
+    const RandomCnf rc = random_3sat(10, clauses, GetParam() * 1000 + clauses);
+    Solver s;
+    EXPECT_TRUE(load_cnf(s, rc.cnf) || !rc.brute_sat);
+    const SolveResult r = s.solve();
+    EXPECT_EQ(r == SolveResult::kSat, rc.brute_sat)
+        << "seed=" << GetParam() << " clauses=" << clauses;
+    if (r == SolveResult::kSat) {
+      // The reported model must satisfy every clause.
+      for (const Clause& cl : rc.cnf.clauses) {
+        bool sat = false;
+        for (const Lit l : cl) sat = sat || s.model_value(l);
+        EXPECT_TRUE(sat);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Random3Sat,
+                         testing::Range<std::uint64_t>(1, 21));
+
+// ---------------------------------------------------------------------------
+// DIMACS
+// ---------------------------------------------------------------------------
+TEST(Dimacs, ParsePrintRoundTrip) {
+  const std::string text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+  const Cnf cnf = parse_dimacs(text);
+  EXPECT_EQ(cnf.num_vars, 3);
+  ASSERT_EQ(cnf.clauses.size(), 2u);
+  EXPECT_EQ(cnf.clauses[0][1], Lit(1, true));
+  const Cnf again = parse_dimacs(to_dimacs(cnf));
+  EXPECT_EQ(again.clauses, cnf.clauses);
+}
+
+TEST(Dimacs, Errors) {
+  EXPECT_THROW(parse_dimacs("1 2 0\n"), ParseError);          // before header
+  EXPECT_THROW(parse_dimacs("p cnf 2 1\n3 0\n"), ParseError); // var too big
+  EXPECT_THROW(parse_dimacs("p cnf 2 1\n1 2\n"), ParseError); // missing 0
+  EXPECT_THROW(parse_dimacs("p dnf 2 1\n"), ParseError);      // wrong format
+}
+
+TEST(Dimacs, LoadIntoSolver) {
+  const Cnf cnf = parse_dimacs("p cnf 2 2\n1 0\n-1 2 0\n");
+  Solver s;
+  EXPECT_TRUE(load_cnf(s, cnf));
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.model_value(0));
+  EXPECT_TRUE(s.model_value(1));
+}
+
+}  // namespace
+}  // namespace fannet::sat

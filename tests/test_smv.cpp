@@ -1,0 +1,285 @@
+// Unit tests for the SMV-subset language: AST building, parsing, printing
+// (round-trip exactness) and concrete evaluation.
+#include <gtest/gtest.h>
+
+#include "smv/ast.hpp"
+#include "smv/eval.hpp"
+#include "smv/parser.hpp"
+#include "smv/printer.hpp"
+#include "util/error.hpp"
+
+namespace fannet::smv {
+namespace {
+
+TEST(Ast, VarDeclarationRules) {
+  Module m;
+  m.add_var("x", RangeType{-3, 3});
+  EXPECT_THROW(m.add_var("x", BoolType{}), InvalidArgument);          // dup
+  EXPECT_THROW(m.add_var("bad", RangeType{2, 1}), InvalidArgument);   // empty
+  m.add_var("e", EnumType{{"red", "green"}});
+  EXPECT_THROW(m.add_var("e2", EnumType{{"red"}}), InvalidArgument);  // symbol reuse
+  EXPECT_EQ(m.symbol_value("green"), 1);
+  EXPECT_THROW(m.symbol_value("blue"), InvalidArgument);
+}
+
+TEST(Ast, DomainBounds) {
+  Module m;
+  m.add_var("b", BoolType{});
+  m.add_var("r", RangeType{-5, 9});
+  m.add_var("e", EnumType{{"a1", "a2", "a3"}});
+  EXPECT_EQ(m.domain_lo(0), 0);
+  EXPECT_EQ(m.domain_hi(0), 1);
+  EXPECT_EQ(m.domain_lo(1), -5);
+  EXPECT_EQ(m.domain_hi(1), 9);
+  EXPECT_EQ(m.domain_hi(2), 2);
+}
+
+TEST(Ast, DefineNameClashThrows) {
+  Module m;
+  m.add_var("x", BoolType{});
+  EXPECT_THROW(m.add_define("x", m.e_const(1)), InvalidArgument);
+  m.add_define("d", m.e_const(1));
+  EXPECT_THROW(m.add_define("d", m.e_const(2)), InvalidArgument);
+}
+
+TEST(Ast, RenderValue) {
+  Module m;
+  m.add_var("e", EnumType{{"off", "on"}});
+  m.add_var("b", BoolType{});
+  m.add_var("r", RangeType{0, 5});
+  EXPECT_EQ(m.render_value(0, 1), "on");
+  EXPECT_EQ(m.render_value(1, 0), "FALSE");
+  EXPECT_EQ(m.render_value(2, 4), "4");
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator
+// ---------------------------------------------------------------------------
+TEST(Eval, ArithmeticAndComparisons) {
+  Module m;
+  m.add_var("x", RangeType{-10, 10});
+  Evaluator ev(m);
+  const State s{4};
+  const ExprId e1 = m.e_binary(Op::kAdd, m.e_var(0),
+                               m.e_binary(Op::kMul, m.e_const(3), m.e_const(5)));
+  EXPECT_EQ(ev.eval(e1, s), 19);
+  EXPECT_EQ(ev.eval(m.e_unary(Op::kNeg, m.e_var(0)), s), -4);
+  EXPECT_EQ(ev.eval(m.e_binary(Op::kLe, m.e_var(0), m.e_const(4)), s), 1);
+  EXPECT_EQ(ev.eval(m.e_binary(Op::kNe, m.e_var(0), m.e_const(4)), s), 0);
+  EXPECT_EQ(ev.eval(m.e_binary(Op::kSub, m.e_const(1), m.e_var(0)), s), -3);
+}
+
+TEST(Eval, BooleanConnectives) {
+  Module m;
+  m.add_var("a", BoolType{});
+  m.add_var("b", BoolType{});
+  Evaluator ev(m);
+  const ExprId imp = m.e_binary(Op::kImplies, m.e_var(0), m.e_var(1));
+  EXPECT_EQ(ev.eval(imp, {1, 0}), 0);
+  EXPECT_EQ(ev.eval(imp, {0, 0}), 1);
+  const ExprId iff = m.e_binary(Op::kIff, m.e_var(0), m.e_var(1));
+  EXPECT_EQ(ev.eval(iff, {1, 1}), 1);
+  EXPECT_EQ(ev.eval(iff, {1, 0}), 0);
+  EXPECT_EQ(ev.eval(m.e_unary(Op::kNot, m.e_var(0)), {1, 0}), 0);
+  EXPECT_EQ(ev.eval(m.e_binary(Op::kXor, m.e_var(0), m.e_var(1)), {1, 0}), 1);
+}
+
+TEST(Eval, CaseSelectsFirstMatch) {
+  Module m;
+  m.add_var("x", RangeType{0, 9});
+  Evaluator ev(m);
+  const ExprId c = m.e_case({
+      m.e_binary(Op::kLt, m.e_var(0), m.e_const(3)), m.e_const(100),
+      m.e_binary(Op::kLt, m.e_var(0), m.e_const(6)), m.e_const(200),
+      m.e_bool(true), m.e_const(300),
+  });
+  EXPECT_EQ(ev.eval(c, {1}), 100);
+  EXPECT_EQ(ev.eval(c, {4}), 200);
+  EXPECT_EQ(ev.eval(c, {8}), 300);
+}
+
+TEST(Eval, CaseWithoutMatchThrows) {
+  Module m;
+  m.add_var("x", RangeType{0, 9});
+  Evaluator ev(m);
+  const ExprId c = m.e_case({m.e_bool(false), m.e_const(1)});
+  EXPECT_THROW(ev.eval(c, {0}), InvalidArgument);
+}
+
+TEST(Eval, DefinesChainThroughEachOther) {
+  Module m;
+  m.add_var("x", RangeType{0, 9});
+  const std::size_t d1 =
+      m.add_define("double_x", m.e_binary(Op::kMul, m.e_const(2), m.e_var(0)));
+  const std::size_t d2 =
+      m.add_define("plus1", m.e_binary(Op::kAdd, m.e_def(d1), m.e_const(1)));
+  Evaluator ev(m);
+  EXPECT_EQ(ev.eval(m.e_def(d2), {7}), 15);
+}
+
+TEST(Eval, NextRefNeedsNextState) {
+  Module m;
+  m.add_var("x", RangeType{0, 9});
+  Evaluator ev(m);
+  const ExprId nx = m.e_next(0);
+  const State cur{3}, nxt{5};
+  EXPECT_EQ(ev.eval(nx, cur, &nxt), 5);
+  EXPECT_THROW(ev.eval(nx, cur), InvalidArgument);
+}
+
+TEST(Eval, ChoicesSetRangeAndDedup) {
+  Module m;
+  m.add_var("x", RangeType{0, 9});
+  Evaluator ev(m);
+  const ExprId set = m.e_set({m.e_const(1), m.e_const(3), m.e_const(1)});
+  EXPECT_EQ(ev.choices(set, {0}), (std::vector<i64>{1, 3}));
+  const ExprId range = m.e_range(m.e_const(-2), m.e_const(1));
+  EXPECT_EQ(ev.choices(range, {0}), (std::vector<i64>{-2, -1, 0, 1}));
+  // A deterministic expression yields a singleton.
+  EXPECT_EQ(ev.choices(m.e_var(0), {7}), (std::vector<i64>{7}));
+}
+
+TEST(Eval, SetInPlainEvalThrows) {
+  Module m;
+  m.add_var("x", RangeType{0, 9});
+  Evaluator ev(m);
+  EXPECT_THROW(ev.eval(m.e_set({m.e_const(1)}), {0}), InvalidArgument);
+}
+
+TEST(Eval, OverflowDetected) {
+  Module m;
+  m.add_var("x", RangeType{0, 9});
+  Evaluator ev(m);
+  const ExprId big = m.e_binary(
+      Op::kMul, m.e_const(std::numeric_limits<i64>::max()), m.e_const(2));
+  EXPECT_THROW(ev.eval(big, {0}), ArithmeticError);
+}
+
+// ---------------------------------------------------------------------------
+// Parser + printer
+// ---------------------------------------------------------------------------
+constexpr const char* kSampleModel = R"(
+MODULE main
+VAR
+  phase : {s_init, s_eval};
+  d1 : -2..2;
+  flag : boolean;
+DEFINE
+  doubled := 2 * d1;
+  ok := (doubled >= -4) & (doubled <= 4);
+ASSIGN
+  init(phase) := s_init;
+  next(phase) := s_eval;
+  init(d1) := 0;
+  next(d1) := -2..2;
+  init(flag) := TRUE;
+  next(flag) := {TRUE, FALSE};
+INVARSPEC (phase = s_eval) -> ok
+LTLSPEC G ok
+)";
+
+TEST(Parser, ParsesSections) {
+  const Module m = parse_module(kSampleModel);
+  EXPECT_EQ(m.name, "main");
+  ASSERT_EQ(m.vars().size(), 3u);
+  EXPECT_EQ(m.vars()[1].name, "d1");
+  EXPECT_EQ(m.defines().size(), 2u);
+  ASSERT_EQ(m.specs().size(), 2u);
+  EXPECT_EQ(m.specs()[0].kind, SpecKind::kInvarSpec);
+  EXPECT_EQ(m.specs()[1].kind, SpecKind::kLtlGlobally);
+}
+
+TEST(Parser, EvaluatesParsedDefines) {
+  const Module m = parse_module(kSampleModel);
+  Evaluator ev(m);
+  // State layout: phase, d1, flag.
+  const State s{1, 2, 0};
+  EXPECT_EQ(ev.eval(m.defines()[0].second, s), 4);
+  EXPECT_EQ(ev.eval(m.specs()[0].expr, s), 1);
+}
+
+TEST(Parser, PrecedenceMulBeforeAdd) {
+  const Module m = parse_module(
+      "MODULE main\nVAR x : 0..9;\nDEFINE v := 1 + 2 * x - 3;\n");
+  Evaluator ev(m);
+  EXPECT_EQ(ev.eval(m.defines()[0].second, {5}), 8);
+}
+
+TEST(Parser, PrecedenceBooleanLayers) {
+  // a -> b | c parses as a -> (b | c); & binds tighter than |.
+  const Module m = parse_module(
+      "MODULE main\nVAR a : boolean; b : boolean; c : boolean;\n"
+      "DEFINE v := a -> b | c; w := a | b & c;\n");
+  Evaluator ev(m);
+  EXPECT_EQ(ev.eval(m.defines()[0].second, {1, 0, 1}), 1);
+  EXPECT_EQ(ev.eval(m.defines()[1].second, {1, 0, 0}), 1);  // a | (b&c)
+  EXPECT_EQ(ev.eval(m.defines()[1].second, {0, 1, 0}), 0);
+}
+
+TEST(Parser, CaseExpression) {
+  const Module m = parse_module(
+      "MODULE main\nVAR x : 0..9;\n"
+      "DEFINE v := case x < 3 : 0; x < 6 : 1; TRUE : 2; esac;\n");
+  Evaluator ev(m);
+  EXPECT_EQ(ev.eval(m.defines()[0].second, {0}), 0);
+  EXPECT_EQ(ev.eval(m.defines()[0].second, {5}), 1);
+  EXPECT_EQ(ev.eval(m.defines()[0].second, {9}), 2);
+}
+
+TEST(Parser, NextInTrans) {
+  const Module m = parse_module(
+      "MODULE main\nVAR x : 0..3;\nASSIGN init(x) := 0;\n"
+      "TRANS next(x) = x + 1\n");
+  ASSERT_EQ(m.trans_constraints().size(), 1u);
+  Evaluator ev(m);
+  const State cur{1}, good{2}, bad{3};
+  EXPECT_EQ(ev.eval(m.trans_constraints()[0], cur, &good), 1);
+  EXPECT_EQ(ev.eval(m.trans_constraints()[0], cur, &bad), 0);
+}
+
+TEST(Parser, CommentsIgnored) {
+  const Module m = parse_module(
+      "MODULE main -- trailing comment\n-- whole line\nVAR x : 0..1;\n");
+  EXPECT_EQ(m.vars().size(), 1u);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_module("VAR x : 0..1;"), ParseError);  // missing MODULE
+  EXPECT_THROW(parse_module("MODULE main\nVAR x : 5..1;\n"), InvalidArgument);
+  EXPECT_THROW(parse_module("MODULE main\nDEFINE v := undefined_name;\n"),
+               ParseError);
+  EXPECT_THROW(parse_module("MODULE main\nVAR x : 0..1;\nDEFINE v := next(x);\n"),
+               ParseError);  // next outside TRANS
+  EXPECT_THROW(parse_module("MODULE main\nLTLSPEC F x\n"), ParseError);  // only G
+  EXPECT_THROW(parse_module("MODULE main\nVAR x : 0..1;\nDEFINE v := (x;\n"),
+               ParseError);  // unbalanced paren
+}
+
+TEST(Printer, RoundTripIsExact) {
+  const Module m1 = parse_module(kSampleModel);
+  const std::string p1 = print_module(m1);
+  const Module m2 = parse_module(p1);
+  const std::string p2 = print_module(m2);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(Printer, RoundTripPreservesSemantics) {
+  const Module m1 = parse_module(kSampleModel);
+  const Module m2 = parse_module(print_module(m1));
+  Evaluator e1(m1), e2(m2);
+  for (i64 d = -2; d <= 2; ++d) {
+    const State s{1, d, 1};
+    EXPECT_EQ(e1.eval(m1.specs()[0].expr, s), e2.eval(m2.specs()[0].expr, s));
+  }
+}
+
+TEST(Printer, EnumSymbolsPrintedByName) {
+  Module m;
+  m.add_var("phase", EnumType{{"s_init", "s_eval"}});
+  m.set_init("phase", m.e_symbol("s_init"));
+  const std::string text = print_module(m);
+  EXPECT_NE(text.find("init(phase) := s_init;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fannet::smv

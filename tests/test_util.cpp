@@ -1,0 +1,239 @@
+// Unit tests for the util substrate: checked arithmetic, fixed point,
+// deterministic RNG, CSV I/O.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/checked.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/fixed.hpp"
+#include "util/rng.hpp"
+
+namespace fannet::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// checked arithmetic
+// ---------------------------------------------------------------------------
+TEST(Checked, AddSubMulBasics) {
+  EXPECT_EQ(checked_add(2, 3), 5);
+  EXPECT_EQ(checked_sub(2, 5), -3);
+  EXPECT_EQ(checked_mul(-4, 6), -24);
+}
+
+TEST(Checked, AddOverflowThrows) {
+  EXPECT_THROW(checked_add(std::numeric_limits<i64>::max(), 1),
+               ArithmeticError);
+  EXPECT_THROW(checked_add(std::numeric_limits<i64>::min(), -1),
+               ArithmeticError);
+}
+
+TEST(Checked, SubOverflowThrows) {
+  EXPECT_THROW(checked_sub(std::numeric_limits<i64>::min(), 1),
+               ArithmeticError);
+}
+
+TEST(Checked, MulOverflowThrows) {
+  EXPECT_THROW(checked_mul(std::numeric_limits<i64>::max(), 2),
+               ArithmeticError);
+  EXPECT_THROW(checked_mul(std::numeric_limits<i64>::min(), -1),
+               ArithmeticError);
+}
+
+TEST(Checked, NarrowI128RoundTrips) {
+  EXPECT_EQ(narrow_i128(static_cast<i128>(42)), 42);
+  EXPECT_EQ(narrow_i128(static_cast<i128>(std::numeric_limits<i64>::min())),
+            std::numeric_limits<i64>::min());
+}
+
+TEST(Checked, NarrowI128Throws) {
+  i128 big = static_cast<i128>(std::numeric_limits<i64>::max()) + 1;
+  EXPECT_THROW(narrow_i128(big), ArithmeticError);
+  EXPECT_THROW(narrow_i128(-big - 10), ArithmeticError);
+}
+
+TEST(Checked, FloorCeilDiv) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+}
+
+TEST(Checked, ToStringI128) {
+  EXPECT_EQ(to_string_i128(0), "0");
+  EXPECT_EQ(to_string_i128(12345), "12345");
+  EXPECT_EQ(to_string_i128(-987), "-987");
+  // 2^100
+  i128 v = 1;
+  for (int i = 0; i < 100; ++i) v *= 2;
+  EXPECT_EQ(to_string_i128(v), "1267650600228229401496703205376");
+}
+
+// ---------------------------------------------------------------------------
+// Fixed
+// ---------------------------------------------------------------------------
+TEST(Fixed, FromDoubleRounds) {
+  EXPECT_EQ(Fixed::from_double(1.0).raw(), 10'000);
+  EXPECT_EQ(Fixed::from_double(-0.5).raw(), -5'000);
+  EXPECT_EQ(Fixed::from_double(0.00004).raw(), 0);   // below half an ulp
+  EXPECT_EQ(Fixed::from_double(0.00006).raw(), 1);   // rounds up
+  EXPECT_EQ(Fixed::from_double(-0.00006).raw(), -1); // away from zero
+}
+
+TEST(Fixed, ArithmeticExact) {
+  const Fixed a = Fixed::from_double(1.25);
+  const Fixed b = Fixed::from_double(0.75);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 2.0);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ((-a).to_double(), -1.25);
+  EXPECT_EQ(a.mul_int(4).raw(), 50'000);
+}
+
+TEST(Fixed, Comparisons) {
+  EXPECT_LT(Fixed::from_double(1.0), Fixed::from_double(1.0001));
+  EXPECT_EQ(Fixed::from_int(3), Fixed::from_double(3.0));
+}
+
+TEST(Fixed, ToStringFormatting) {
+  EXPECT_EQ(Fixed::from_double(1.25).to_string(), "1.2500");
+  EXPECT_EQ(Fixed::from_double(-0.5).to_string(), "-0.5000");
+  EXPECT_EQ(Fixed::from_int(0).to_string(), "0.0000");
+}
+
+TEST(Fixed, OverflowDetected) {
+  const Fixed big = Fixed::from_raw(std::numeric_limits<i64>::max());
+  EXPECT_THROW(big + Fixed::from_int(1), ArithmeticError);
+  EXPECT_THROW(big.mul_int(2), ArithmeticError);
+  EXPECT_THROW(Fixed::from_double(1e18), ArithmeticError);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::vector<int> hits(9, 0);
+  for (int i = 0; i < 9'000; ++i) ++hits[static_cast<std::size_t>(rng.uniform_int(0, 8))];
+  for (const int h : hits) EXPECT_GT(h, 700);  // ~1000 expected each
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(9);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianShifted) {
+  Rng rng(10);
+  double sum = 0.0;
+  for (int i = 0; i < 20'000; ++i) sum += rng.gaussian(3.0, 0.5);
+  EXPECT_NEAR(sum / 20'000, 3.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 20'000; ++i) heads += rng.bernoulli(0.3);
+  EXPECT_NEAR(heads / 20'000.0, 0.3, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------------
+TEST(Csv, ParseSimple) {
+  const CsvTable t = parse_csv("a,b,c\n1,2,3\n");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], (CsvRow{"a", "b", "c"}));
+  EXPECT_EQ(t[1], (CsvRow{"1", "2", "3"}));
+}
+
+TEST(Csv, ParseQuotedCells) {
+  const CsvTable t = parse_csv("\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0][0], "x,y");
+  EXPECT_EQ(t[0][1], "he said \"hi\"");
+}
+
+TEST(Csv, ParseCrLfAndMissingFinalNewline) {
+  const CsvTable t = parse_csv("a,b\r\nc,d");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1], (CsvRow{"c", "d"}));
+}
+
+TEST(Csv, EmptyLinesSkipped) {
+  const CsvTable t = parse_csv("a\n\n\nb\n");
+  ASSERT_EQ(t.size(), 2u);
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("\"abc\n"), ParseError);
+}
+
+TEST(Csv, RoundTrip) {
+  const CsvTable t{{"plain", "with,comma", "with\"quote"}, {"1", "-2", "3.5"}};
+  EXPECT_EQ(parse_csv(to_csv(t)), t);
+}
+
+TEST(Csv, NumericCellParsers) {
+  EXPECT_EQ(csv_to_int("-42"), -42);
+  EXPECT_DOUBLE_EQ(csv_to_double("2.5"), 2.5);
+  EXPECT_THROW(csv_to_int("12x"), ParseError);
+  EXPECT_THROW(csv_to_int(""), ParseError);
+  EXPECT_THROW(csv_to_double("abc"), ParseError);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/fannet_csv_test.csv";
+  const CsvTable t{{"h1", "h2"}, {"v1", "v2"}};
+  write_csv_file(path, t);
+  EXPECT_EQ(read_csv_file(path), t);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/definitely/not.csv"), ParseError);
+}
+
+}  // namespace
+}  // namespace fannet::util

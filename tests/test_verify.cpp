@@ -1,0 +1,282 @@
+// Unit + property tests for the NN verification engines.  The central
+// property: on the integer noise grid, enumeration (ground truth), B&B
+// (complete) and the sound bounding engines must be mutually consistent:
+//   - bnb verdict == enumerate verdict (exactly),
+//   - interval/symbolic "robust" implies enumerate "robust" (soundness),
+//   - symbolic bounds sandwich every exact evaluation (bound correctness),
+//   - bnb_collect set == enumerate_collect set (complete extraction).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "nn/network.hpp"
+#include "util/rng.hpp"
+#include "verify/bnb.hpp"
+#include "verify/enumerate.hpp"
+#include "verify/interval.hpp"
+#include "verify/query.hpp"
+#include "verify/symbolic.hpp"
+
+namespace fannet::verify {
+namespace {
+
+using util::i128;
+using util::i64;
+
+Query make_query(const nn::QuantizedNetwork& net, std::vector<i64> x,
+                 int label, int range, bool bias_node = false) {
+  Query q;
+  q.net = &net;
+  q.x = std::move(x);
+  q.true_label = label;
+  q.box = NoiseBox::symmetric(q.x.size() + (bias_node ? 1 : 0), range);
+  q.bias_node = bias_node;
+  return q;
+}
+
+nn::QuantizedNetwork random_qnet(std::uint64_t seed, std::size_t inputs = 3,
+                                 std::size_t hidden = 6) {
+  const nn::Network net = nn::Network::random({inputs, hidden, 2}, seed);
+  return nn::QuantizedNetwork::quantize(net, 100);
+}
+
+TEST(NoiseBox, SymmetricAndVolume) {
+  const NoiseBox b = NoiseBox::symmetric(3, 5);
+  EXPECT_EQ(b.dims(), 3u);
+  EXPECT_DOUBLE_EQ(b.volume(), 11.0 * 11.0 * 11.0);
+  EXPECT_FALSE(b.is_singleton());
+  NoiseBox s;
+  s.lo = {1, -2};
+  s.hi = {1, -2};
+  EXPECT_TRUE(s.is_singleton());
+  EXPECT_DOUBLE_EQ(s.volume(), 1.0);
+}
+
+TEST(Query, ValidationCatchesMistakes) {
+  const nn::QuantizedNetwork net = random_qnet(1);
+  Query q = make_query(net, {50, 50, 50}, 0, 5);
+  EXPECT_NO_THROW(q.validate());
+  q.true_label = 7;
+  EXPECT_THROW(q.validate(), InvalidArgument);
+  q = make_query(net, {50, 50}, 0, 5);  // wrong input count
+  EXPECT_THROW(q.validate(), InvalidArgument);
+  q = make_query(net, {50, 50, 50}, 0, 5);
+  q.box.lo[0] = 10;
+  q.box.hi[0] = 5;  // empty dimension
+  EXPECT_THROW(q.validate(), InvalidArgument);
+  q = make_query(net, {50, 50, 50}, 0, 120);  // below -100%
+  EXPECT_THROW(q.validate(), InvalidArgument);
+}
+
+TEST(Enumerate, VisitsWholeBox) {
+  const nn::QuantizedNetwork net = random_qnet(2);
+  const Query q = make_query(net, {30, 60, 90}, net.classify_noised({{30, 60, 90}}, {}), 2);
+  const std::uint64_t visited =
+      enumerate_stream(q, [](const Counterexample&) { return true; });
+  EXPECT_EQ(visited, 5u * 5u * 5u);
+}
+
+TEST(Enumerate, FindFirstStopsEarlyOnVulnerable) {
+  // Construct a query guaranteed vulnerable: true_label set to the wrong
+  // class, so the zero-noise vector itself is a "counterexample".
+  const nn::QuantizedNetwork net = random_qnet(3);
+  const std::vector<i64> x{20, 40, 80};
+  const int actual = net.classify_noised(x, {});
+  const Query q = make_query(net, x, 1 - actual, 1);
+  const VerifyResult r = enumerate_find_first(q);
+  EXPECT_EQ(r.verdict, Verdict::kVulnerable);
+  ASSERT_TRUE(r.counterexample.has_value());
+  EXPECT_EQ(r.counterexample->mis_label, actual);
+}
+
+TEST(Interval, BoundsContainPointEvaluations) {
+  const nn::QuantizedNetwork net = random_qnet(4);
+  const std::vector<i64> x{25, 50, 75};
+  const Query q = make_query(net, x, 0, 10);
+  const IntervalBounds bounds = interval_bounds(q);
+  util::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<int> d(3);
+    for (auto& v : d) v = static_cast<int>(rng.uniform_int(-10, 10));
+    const auto X = nn::QuantizedNetwork::noised_inputs(x, d);
+    const auto all = net.eval_all(X);
+    for (std::size_t li = 0; li < all.size(); ++li) {
+      for (std::size_t j = 0; j < all[li].size(); ++j) {
+        EXPECT_LE(bounds.lo[li][j], static_cast<i128>(all[li][j]));
+        EXPECT_GE(bounds.hi[li][j], static_cast<i128>(all[li][j]));
+      }
+    }
+  }
+}
+
+TEST(Symbolic, OutputBoundsContainPointEvaluations) {
+  const nn::QuantizedNetwork net = random_qnet(5);
+  const std::vector<i64> x{10, 90, 40};
+  const Query q = make_query(net, x, 0, 8);
+  const SymbolicBounds sb = symbolic_bounds(q);
+  util::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<int> d(3);
+    for (auto& v : d) v = static_cast<int>(rng.uniform_int(-8, 8));
+    const auto X = nn::QuantizedNetwork::noised_inputs(x, d);
+    const auto out = net.eval_output(X);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      // Evaluate the affine forms at this concrete delta.
+      i128 lo = sb.out_lo[k].c0, hi = sb.out_hi[k].c0;
+      for (std::size_t dim = 0; dim < 3; ++dim) {
+        lo += sb.out_lo[k].coeff[dim] * d[dim];
+        hi += sb.out_hi[k].coeff[dim] * d[dim];
+      }
+      EXPECT_LE(lo, static_cast<i128>(out[k]));
+      EXPECT_GE(hi, static_cast<i128>(out[k]));
+    }
+  }
+}
+
+TEST(Symbolic, FirstLayerIsExact) {
+  // With a single-layer network the symbolic forms must be exact: lower
+  // and upper coincide, and evaluating the form reproduces eval_output.
+  nn::Layer only;
+  only.weights = la::MatrixD::from_rows({{0.5, -1.5}, {2.0, 0.25}});
+  only.bias = {0.1, -0.2};
+  only.activation = nn::Activation::kLinear;
+  const nn::Network net({only});
+  const nn::QuantizedNetwork q = nn::QuantizedNetwork::quantize(net, 100);
+  const Query query = make_query(q, {40, 70}, 0, 6);
+  const SymbolicBounds sb = symbolic_bounds(query);
+  EXPECT_EQ(sb.unstable_relus, 0u);
+  for (int d0 = -6; d0 <= 6; d0 += 3) {
+    for (int d1 = -6; d1 <= 6; d1 += 3) {
+      const auto X = nn::QuantizedNetwork::noised_inputs(
+          query.x, std::vector<int>{d0, d1});
+      const auto out = q.eval_output(X);
+      for (std::size_t k = 0; k < 2; ++k) {
+        const i128 form = sb.out_lo[k].c0 + sb.out_lo[k].coeff[0] * d0 +
+                          sb.out_lo[k].coeff[1] * d1;
+        EXPECT_EQ(form, static_cast<i128>(out[k]));
+        EXPECT_EQ(sb.out_lo[k].c0, sb.out_hi[k].c0);
+      }
+    }
+  }
+}
+
+TEST(Verifiers, SoundnessOnRobustCertificates) {
+  // Whenever interval/symbolic says kRobust, enumeration must find nothing.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const nn::QuantizedNetwork net = random_qnet(seed);
+    const std::vector<i64> x{33, 66, 99};
+    const int label = net.classify_noised(x, {});
+    for (const int range : {1, 2, 4}) {
+      const Query q = make_query(net, x, label, range);
+      const bool truth =
+          enumerate_find_first(q).verdict == Verdict::kVulnerable;
+      if (interval_verify(q).verdict == Verdict::kRobust) {
+        EXPECT_FALSE(truth) << "IBP unsound! seed=" << seed;
+      }
+      if (symbolic_verify(q).verdict == Verdict::kRobust) {
+        EXPECT_FALSE(truth) << "symbolic unsound! seed=" << seed;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The oracle property: B&B is exactly the enumeration decision.
+// ---------------------------------------------------------------------------
+class EngineAgreement : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineAgreement, BnbEqualsEnumeration) {
+  const std::uint64_t seed = GetParam();
+  const nn::QuantizedNetwork net = random_qnet(seed);
+  util::Rng rng(seed * 31 + 7);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<i64> x(3);
+    for (auto& v : x) v = rng.uniform_int(1, 100);
+    const int label = net.classify_noised(x, {});
+    const int range = static_cast<int>(rng.uniform_int(1, 6));
+    const bool bias = rng.bernoulli(0.3);
+    const Query q = make_query(net, x, label, range, bias);
+
+    const VerifyResult truth = enumerate_find_first(q);
+    const VerifyResult fast = bnb_verify(q);
+    EXPECT_EQ(truth.verdict, fast.verdict)
+        << "seed=" << seed << " trial=" << trial << " range=" << range;
+    if (fast.verdict == Verdict::kVulnerable) {
+      // The witness must actually flip the sample.
+      std::vector<int> all = fast.counterexample->deltas;
+      if (bias) all.push_back(fast.counterexample->bias_delta);
+      EXPECT_NE(classify_under_noise(q, all), q.true_label);
+    }
+  }
+}
+
+TEST_P(EngineAgreement, BnbCollectMatchesEnumerationSet) {
+  const std::uint64_t seed = GetParam();
+  const nn::QuantizedNetwork net = random_qnet(seed, 2, 5);
+  util::Rng rng(seed * 17 + 3);
+  std::vector<i64> x{static_cast<i64>(rng.uniform_int(1, 100)),
+                     static_cast<i64>(rng.uniform_int(1, 100))};
+  // Deliberately wrong label guarantees a rich counterexample set.
+  const int label = 1 - net.classify_noised(x, {});
+  const Query q = make_query(net, x, label, 3);
+
+  const auto to_set = [](const std::vector<Counterexample>& v) {
+    std::set<std::vector<int>> s;
+    for (const auto& cex : v) s.insert(cex.deltas);
+    return s;
+  };
+  const auto slow = to_set(enumerate_collect(q, 100'000));
+  const auto fast = to_set(bnb_collect(q, 100'000));
+  EXPECT_EQ(slow, fast) << "seed=" << seed;
+  EXPECT_FALSE(slow.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgreement,
+                         testing::Range<std::uint64_t>(1, 13));
+
+TEST(Bnb, IbpFallbackAgreesToo) {
+  const nn::QuantizedNetwork net = random_qnet(42);
+  const std::vector<i64> x{10, 50, 90};
+  const int label = net.classify_noised(x, {});
+  const Query q = make_query(net, x, label, 4);
+  BnbOptions opt;
+  opt.use_symbolic = false;
+  EXPECT_EQ(bnb_verify(q, opt).verdict, enumerate_find_first(q).verdict);
+}
+
+TEST(Bnb, DirectionalBoxes) {
+  // Restricting the box must never invent counterexamples: if the full box
+  // is robust, every sub-box is robust.
+  const nn::QuantizedNetwork net = random_qnet(8);
+  const std::vector<i64> x{45, 55, 65};
+  const int label = net.classify_noised(x, {});
+  Query q = make_query(net, x, label, 5);
+  if (bnb_verify(q).verdict == Verdict::kRobust) {
+    q.box.lo[0] = 1;  // positive-only noise on node 0
+    EXPECT_EQ(bnb_verify(q).verdict, Verdict::kRobust);
+  }
+}
+
+TEST(Bnb, BoxBudgetEnforced) {
+  const nn::QuantizedNetwork net = random_qnet(9);
+  const std::vector<i64> x{50, 50, 50};
+  const Query q = make_query(net, x, net.classify_noised(x, {}), 50);
+  BnbOptions opt;
+  opt.max_boxes = 3;
+  opt.use_symbolic = false;  // weak pruning forces splitting
+  EXPECT_THROW(bnb_verify(q, opt), ResourceLimit);
+}
+
+TEST(Bnb, WorkIsFarBelowEnumeration) {
+  // The whole point of B&B: decide a +/-40% box without visiting 81^3 points.
+  const nn::QuantizedNetwork net = random_qnet(10);
+  const std::vector<i64> x{20, 50, 80};
+  const int label = net.classify_noised(x, {});
+  const Query q = make_query(net, x, label, 40);
+  const VerifyResult r = bnb_verify(q);
+  EXPECT_LT(r.work, 81u * 81u * 81u / 10u);
+}
+
+}  // namespace
+}  // namespace fannet::verify
