@@ -1,23 +1,29 @@
 // Ablation of the design choices DESIGN.md calls out:
-//  - which P2 engine answers the query fastest (exhaustive enumeration vs
-//    complete branch-and-bound vs explicit-state MC vs SAT-based BMC),
+//  - which P2 engine answers the query fastest — every strategy in the
+//    engine registry (enumerate / interval / symbolic / bnb / cascade /
+//    explicit-mc / bmc) runs the same query, registered as benchmarks
+//    straight off the registry so new engines show up here automatically,
 //  - symbolic vs plain-interval pruning inside the branch-and-bound,
 //  - the BDD-vs-SAT model-checker trade-off the paper cites when choosing
 //    an SMT-based tool (BDD blow-up on the bit-blasted network model).
 //
 // All engines answer the same query on the same trained network, so the
 // numbers are directly comparable; correctness agreement is enforced by
-// the test suite, this binary measures cost.
+// the test suite, this binary measures cost.  Headline per-engine costs
+// land in BENCH_engines_ablation.json.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/casestudy.hpp"
-#include "core/fannet.hpp"
 #include "core/translate.hpp"
 #include "mc/bddmc.hpp"
+#include "util/benchjson.hpp"
+#include "util/stopwatch.hpp"
 #include "verify/bnb.hpp"
-#include "verify/enumerate.hpp"
+#include "verify/engine.hpp"
 
 namespace {
 
@@ -38,23 +44,13 @@ verify::Query sample_query(int range) {
   return q;
 }
 
-void BM_P2_Enumerate(benchmark::State& state) {
-  const verify::Query q = sample_query(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(verify::enumerate_find_first(q).verdict);
-  }
+/// Noise ranges each engine can afford in a benchmark loop (enumeration is
+/// the box volume; the MC paths re-translate the model per query).
+std::vector<int> ranges_for(const std::string& engine) {
+  if (engine == "enumerate") return {1, 2, 3};
+  if (engine == "explicit-mc" || engine == "bmc") return {1, 2};
+  return {1, 3, 10, 25, 50};
 }
-BENCHMARK(BM_P2_Enumerate)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
-
-void BM_P2_BnbSymbolic(benchmark::State& state) {
-  const verify::Query q = sample_query(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(verify::bnb_verify(q).verdict);
-  }
-}
-BENCHMARK(BM_P2_BnbSymbolic)
-    ->Arg(1)->Arg(3)->Arg(10)->Arg(25)->Arg(50)
-    ->Unit(benchmark::kMillisecond);
 
 void BM_P2_BnbIntervalOnly(benchmark::State& state) {
   const verify::Query q = sample_query(static_cast<int>(state.range(0)));
@@ -67,30 +63,6 @@ void BM_P2_BnbIntervalOnly(benchmark::State& state) {
 BENCHMARK(BM_P2_BnbIntervalOnly)
     ->Arg(1)->Arg(3)->Arg(10)
     ->Unit(benchmark::kMillisecond);
-
-void BM_P2_ExplicitMc(benchmark::State& state) {
-  const core::Fannet fannet(case_study().qnet);
-  const verify::Query q = sample_query(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        fannet.check_sample(q.x, q.true_label, static_cast<int>(state.range(0)),
-                            core::Engine::kExplicitMc)
-            .verdict);
-  }
-}
-BENCHMARK(BM_P2_ExplicitMc)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
-
-void BM_P2_Bmc(benchmark::State& state) {
-  const core::Fannet fannet(case_study().qnet);
-  const verify::Query q = sample_query(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        fannet.check_sample(q.x, q.true_label, static_cast<int>(state.range(0)),
-                            core::Engine::kBmc)
-            .verdict);
-  }
-}
-BENCHMARK(BM_P2_Bmc)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 /// The BDD side of the paper's tool discussion: symbolic reachability on
 /// the bit-blasted model of a *thin* network (2-3-2) — node counts explode
@@ -122,10 +94,41 @@ BENCHMARK(BM_P2_BddTinyNet)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::puts("=== Engine ablation: one P2 query answered five ways ===");
-  std::puts("(enumerate = ground truth; bnb = FANNet default; explicit/bmc =");
-  std::puts(" model-checking paths on the translated SMV model; bdd = the");
-  std::puts(" PSPACE alternative the paper rejects for full-size models)\n");
+  std::puts("=== Engine ablation: one P2 query answered by every registered");
+  std::puts(" engine (enumerate = ground truth; bnb = complete default;");
+  std::puts(" cascade = sound-screen portfolio; explicit/bmc = model-checking");
+  std::puts(" paths; bdd = the PSPACE alternative the paper rejects) ===\n");
+
+  // One benchmark per registry entry — new engines ablate automatically.
+  for (const std::string& name : verify::registry().names()) {
+    const verify::Engine& engine = verify::engine(name);
+    auto* bench = benchmark::RegisterBenchmark(
+        ("BM_P2/" + name).c_str(), [&engine](benchmark::State& state) {
+          const verify::Query q = sample_query(static_cast<int>(state.range(0)));
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(engine.verify(q).verdict);
+          }
+        });
+    for (const int range : ranges_for(name)) bench->Arg(range);
+    bench->Unit(benchmark::kMillisecond);
+  }
+
+  // Headline JSON: every engine once on the same modest query.
+  util::BenchJson json("engines_ablation");
+  for (const std::string& name : verify::registry().names()) {
+    const verify::Query q = sample_query(2);
+    const util::Stopwatch watch;
+    const verify::VerifyResult r = verify::engine(name).verify(q);
+    json.add("p2_range2/" + name, watch.millis(), r.work, 1);
+  }
+  {
+    const verify::Query q = sample_query(50);
+    const util::Stopwatch watch;
+    const verify::VerifyResult r = verify::engine("cascade").verify(q);
+    json.add("p2_range50/cascade", watch.millis(), r.work, 1);
+  }
+  std::printf("wrote %s\n\n", json.write().c_str());
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

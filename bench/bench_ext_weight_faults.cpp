@@ -5,16 +5,19 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <thread>
 
 #include "core/casestudy.hpp"
 #include "core/fannet.hpp"
 #include "core/faults.hpp"
+#include "util/benchjson.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
 using namespace fannet;
 
-void print_weight_faults() {
+std::uint64_t print_weight_faults() {
   const core::CaseStudy cs = core::build_case_study();
 
   std::puts("=== Extension: weight-fault sensitivity (accelerator-reliability view) ===");
@@ -41,6 +44,7 @@ void print_weight_faults() {
                     : "inputs are the weaker link");
   }
   std::puts("");
+  return report.evaluations;
 }
 
 void BM_WeightFaultScan(benchmark::State& state) {
@@ -58,7 +62,12 @@ BENCHMARK(BM_WeightFaultScan)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_weight_faults();
+  util::BenchJson json("ext_weight_faults");
+  const util::Stopwatch watch;
+  const std::uint64_t evaluations = print_weight_faults();
+  json.add("weight_fault_scan", watch.millis(), evaluations,
+           std::thread::hardware_concurrency());
+  json.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

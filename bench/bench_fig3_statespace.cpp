@@ -11,12 +11,15 @@
 #include "core/report.hpp"
 #include "core/translate.hpp"
 #include "mc/explicit.hpp"
+#include "util/benchjson.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
 using namespace fannet;
 
-void print_fig3_tables() {
+std::uint64_t print_fig3_tables() {
+  std::uint64_t states_total = 0;
   std::puts("=== Fig. 3(b): label FSM, no noise (paper: 3 states, 6 transitions) ===");
   {
     const smv::Module m = core::make_fig3_label_fsm();
@@ -49,6 +52,7 @@ void print_fig3_tables() {
     const smv::Module m = core::make_fig3_noise_fsm(nodes, delta);
     const mc::ExplicitChecker checker(m);
     const mc::ReachabilityStats stats = checker.explore();
+    states_total += stats.num_states;
     std::uint64_t box = 1;
     for (std::size_t i = 0; i < nodes; ++i) {
       box *= static_cast<std::uint64_t>(delta + 1);
@@ -60,6 +64,7 @@ void print_fig3_tables() {
   }
   std::fputs(t.to_string().c_str(), stdout);
   std::puts("");
+  return states_total;
 }
 
 /// Wall-clock of the Fig.-3(c) exploration itself (the 65/4160 model).
@@ -81,7 +86,11 @@ BENCHMARK(BM_ExploreNoiseFsm)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig3_tables();
+  util::BenchJson json("fig3_statespace");
+  const util::Stopwatch watch;
+  const std::uint64_t states = print_fig3_tables();
+  json.add("fig3_exploration", watch.millis(), states, 1);
+  json.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -16,12 +16,14 @@
 #include "core/casestudy.hpp"
 #include "core/fannet.hpp"
 #include "core/report.hpp"
+#include "util/benchjson.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
 using namespace fannet;
 
-void print_fig4_bias() {
+std::uint64_t print_fig4_bias() {
   const core::CaseStudy cs = core::build_case_study();
   const core::Fannet fannet(cs.qnet);
 
@@ -53,6 +55,7 @@ void print_fig4_bias() {
   const core::BiasReport bias = core::analyze_bias(corpus, 2, cs.train_y);
   std::fputs(core::format_bias(bias).c_str(), stdout);
   std::puts("");
+  return tolerance.queries + corpus.size();
 }
 
 void BM_CorpusExtraction(benchmark::State& state) {
@@ -69,7 +72,11 @@ BENCHMARK(BM_CorpusExtraction)->Arg(15)->Arg(20)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig4_bias();
+  util::BenchJson json("fig4_bias");
+  const util::Stopwatch watch;
+  const std::uint64_t work = print_fig4_bias();
+  json.add("bias_analysis", watch.millis(), work, 1);
+  json.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -9,12 +9,14 @@
 #include "core/casestudy.hpp"
 #include "core/fannet.hpp"
 #include "core/report.hpp"
+#include "util/benchjson.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
 using namespace fannet;
 
-void print_fig4_boundary() {
+std::uint64_t print_fig4_boundary() {
   const core::CaseStudy cs = core::build_case_study();
   const core::Fannet fannet(cs.qnet);
 
@@ -31,6 +33,7 @@ void print_fig4_boundary() {
   std::puts("\nPer-sample detail:");
   std::fputs(core::format_tolerance(tolerance).c_str(), stdout);
   std::puts("");
+  return tolerance.queries;
 }
 
 void BM_PerSampleMinFlip(benchmark::State& state) {
@@ -51,7 +54,11 @@ BENCHMARK(BM_PerSampleMinFlip)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig4_boundary();
+  util::BenchJson json("fig4_boundary");
+  const util::Stopwatch watch;
+  const std::uint64_t queries = print_fig4_boundary();
+  json.add("boundary_analysis", watch.millis(), queries, 1);
+  json.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -6,17 +6,20 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <thread>
 
 #include "core/analysis.hpp"
 #include "core/casestudy.hpp"
 #include "core/fannet.hpp"
 #include "core/report.hpp"
+#include "util/benchjson.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
 using namespace fannet;
 
-void print_fig4_sensitivity() {
+std::uint64_t print_fig4_sensitivity() {
   const core::CaseStudy cs = core::build_case_study();
   const core::Fannet fannet(cs.qnet);
 
@@ -37,6 +40,7 @@ void print_fig4_sensitivity() {
   std::puts("histogram) is the i5 of our trained network — immune to positive");
   std::puts("noise; nodes with skewed histograms mirror the i2 panel.");
   std::puts("");
+  return tolerance.queries + corpus.size();
 }
 
 void BM_SensitivityAnalysis(benchmark::State& state) {
@@ -54,7 +58,12 @@ BENCHMARK(BM_SensitivityAnalysis)->Arg(25)->Arg(50)->Unit(benchmark::kMillisecon
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig4_sensitivity();
+  util::BenchJson json("fig4_sensitivity");
+  const util::Stopwatch watch;
+  const std::uint64_t work = print_fig4_sensitivity();
+  json.add("sensitivity_analysis", watch.millis(), work,
+           std::thread::hardware_concurrency());
+  json.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -12,18 +12,20 @@
 #include "core/casestudy.hpp"
 #include "core/fannet.hpp"
 #include "core/report.hpp"
+#include "util/benchjson.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
 using namespace fannet;
 
-void print_fig4_tolerance() {
+std::uint64_t print_fig4_tolerance() {
   const core::CaseStudy cs = core::build_case_study();
   const core::Fannet fannet(cs.qnet);
 
   core::ToleranceConfig config;
   config.start_range = 50;
-  config.engine = core::Engine::kBnB;
+  config.engine = core::Engine::kCascade;
   const core::ToleranceReport report =
       fannet.analyze_tolerance(cs.test_x, cs.test_y, config);
 
@@ -45,6 +47,7 @@ void print_fig4_tolerance() {
               report.noise_tolerance);
   std::printf("Formal P2 queries issued: %llu\n\n",
               static_cast<unsigned long long>(report.queries));
+  return report.queries;
 }
 
 /// Time of one complete tolerance analysis (binary descent, B&B engine).
@@ -63,7 +66,11 @@ BENCHMARK(BM_ToleranceAnalysis)->Arg(25)->Arg(50)->Unit(benchmark::kMillisecond)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig4_tolerance();
+  util::BenchJson json("fig4_tolerance");
+  const util::Stopwatch watch;
+  const std::uint64_t queries = print_fig4_tolerance();
+  json.add("tolerance_analysis", watch.millis(), queries, 1);
+  json.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,117 @@
+// Scaling of the parallel query scheduler on the paper's headline
+// workload: the full noise-tolerance sweep (one range descent per
+// correctly-classified test sample, every P2 query decided by the cascade
+// portfolio engine).  The sweep is embarrassingly parallel across samples,
+// so wall-clock should drop near-linearly with the worker count while the
+// report stays bit-identical — both are asserted here, and the measured
+// curve is recorded in BENCH_scheduler.json for PR-over-PR tracking.
+//
+// A second section scales a flat run_all batch (every sample x every range
+// in the Fig.-4 sweep as one query list) to isolate scheduler overhead
+// from descent-chain imbalance.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "core/casestudy.hpp"
+#include "core/fannet.hpp"
+#include "util/benchjson.hpp"
+#include "util/stopwatch.hpp"
+#include "verify/engine.hpp"
+#include "verify/scheduler.hpp"
+
+namespace {
+
+using namespace fannet;
+
+core::ToleranceReport run_tolerance(const core::CaseStudy& cs,
+                                    std::size_t threads) {
+  const core::Fannet fannet(cs.qnet);
+  core::ToleranceConfig config;
+  config.start_range = 50;
+  config.engine = core::Engine::kCascade;
+  config.threads = threads;
+  return fannet.analyze_tolerance(cs.test_x, cs.test_y, config);
+}
+
+std::vector<verify::Query> fig4_batch(const core::CaseStudy& cs) {
+  const core::Fannet fannet(cs.qnet);
+  const auto bad = fannet.validate_p1(cs.test_x, cs.test_y);
+  std::vector<verify::Query> batch;
+  for (std::size_t s = 0; s < cs.test_x.rows(); ++s) {
+    if (std::find(bad.begin(), bad.end(), s) != bad.end()) continue;
+    for (int range = 5; range <= 50; range += 5) {
+      batch.push_back(fannet.make_query(
+          cs.test_x.row(s), cs.test_y[s],
+          verify::NoiseBox::symmetric(cs.test_x.cols(), range), false));
+    }
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main() {
+  const core::CaseStudy cs = core::build_case_study();
+  util::BenchJson json("scheduler");
+
+  std::printf("hardware threads: %u\n\n", std::thread::hardware_concurrency());
+  std::puts("=== Scheduler scaling: tolerance sweep, cascade engine ===");
+  core::ToleranceReport reference;
+  double serial_ms = 0.0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const util::Stopwatch watch;
+    const core::ToleranceReport report = run_tolerance(cs, threads);
+    const double ms = watch.millis();
+    if (threads == 1) {
+      reference = report;
+      serial_ms = ms;
+    } else if (report.noise_tolerance != reference.noise_tolerance ||
+               report.queries != reference.queries) {
+      std::fprintf(stderr,
+                   "FAIL: report differs at %zu threads (tolerance %d vs %d, "
+                   "queries %llu vs %llu)\n",
+                   threads, report.noise_tolerance, reference.noise_tolerance,
+                   static_cast<unsigned long long>(report.queries),
+                   static_cast<unsigned long long>(reference.queries));
+      return EXIT_FAILURE;
+    }
+    std::printf("  tolerance_sweep  threads=%zu  %8.1f ms  speedup %.2fx  "
+                "(%llu queries, tolerance +/-%d%%)\n",
+                threads, ms, serial_ms / ms,
+                static_cast<unsigned long long>(report.queries),
+                report.noise_tolerance);
+    json.add("tolerance_sweep", ms, report.queries, threads);
+  }
+
+  std::puts("\n=== Scheduler scaling: flat Fig.-4 query batch, run_all ===");
+  const std::vector<verify::Query> batch = fig4_batch(cs);
+  const verify::Engine& engine = verify::engine("cascade");
+  std::vector<verify::VerifyResult> reference_results;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const verify::Scheduler scheduler({.threads = threads});
+    verify::BatchStats stats;
+    const auto results = scheduler.run_all(batch, engine, &stats);
+    if (threads == 1) {
+      reference_results = results;
+    } else {
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].verdict != reference_results[i].verdict) {
+          std::fprintf(stderr, "FAIL: verdict %zu differs at %zu threads\n", i,
+                       threads);
+          return EXIT_FAILURE;
+        }
+      }
+    }
+    std::printf("  run_all          threads=%zu  %8.1f ms  (%zu queries, "
+                "work %llu)\n",
+                threads, stats.wall_ms, stats.queries,
+                static_cast<unsigned long long>(stats.total_work));
+    json.add("run_all_fig4", stats.wall_ms, stats.total_work, threads);
+  }
+
+  const std::string path = json.write();
+  std::printf("\nwrote %s\n", path.c_str());
+  return EXIT_SUCCESS;
+}

@@ -8,12 +8,14 @@
 
 #include "core/casestudy.hpp"
 #include "core/report.hpp"
+#include "util/benchjson.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
 using namespace fannet;
 
-void print_text_numbers() {
+std::uint64_t print_text_numbers() {
   const core::CaseStudy cs = core::build_case_study();
 
   std::puts("=== Paper §V-A: dataset and training numbers ===");
@@ -40,6 +42,7 @@ void print_text_numbers() {
   t.add_row({"test accuracy", buf, "94.12%"});
   std::fputs(t.to_string().c_str(), stdout);
   std::puts("");
+  return cs.golub.dataset.size() * cs.golub.dataset.num_features();
 }
 
 void BM_FullCaseStudyPipeline(benchmark::State& state) {
@@ -62,7 +65,11 @@ BENCHMARK(BM_MrmrOver7129Genes)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_text_numbers();
+  util::BenchJson json("text_accuracy");
+  const util::Stopwatch watch;
+  const std::uint64_t cells = print_text_numbers();
+  json.add("case_study_pipeline", watch.millis(), cells, 1);
+  json.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -46,9 +46,11 @@ int main() {
               bad.size(), cs.test_y.size());
 
   // --- Noise tolerance (Fig. 4, paper: +/-11%) ----------------------------
+  // The cascade portfolio (sound screens + complete B&B fallback) decides
+  // every P2 query; the per-sample descents fan out across all cores.
   core::ToleranceConfig config;
   config.start_range = 50;
-  config.engine = core::Engine::kBnB;
+  config.engine = core::Engine::kCascade;
   const core::ToleranceReport tolerance =
       fannet.analyze_tolerance(cs.test_x, cs.test_y, config);
   std::puts("--- Noise tolerance (P2 descent) ---");

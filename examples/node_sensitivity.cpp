@@ -22,10 +22,15 @@ int main() {
   std::printf("network: 5-20-2, test accuracy %.2f%%\n\n",
               100.0 * cs.test_accuracy);
 
-  // Pure Eq.-3 analysis: empty corpus (histogram columns will be zero),
-  // the directional/solo columns are decided soundly by branch-and-bound.
+  // Pure Eq.-3 analysis: empty corpus (histogram columns will be zero).
+  // The directional/solo probes are sound decisions by the cascade
+  // portfolio engine, fanned out over every core; the directional
+  // existence batches cancel as soon as a witness is found.
+  core::SensitivityConfig probes;
+  probes.engine = core::Engine::kCascade;
+  probes.threads = 0;  // one worker per hardware thread
   const core::NodeSensitivityReport report =
-      core::analyze_sensitivity(fannet, cs.test_x, cs.test_y, 50, {});
+      core::analyze_sensitivity(fannet, cs.test_x, cs.test_y, 50, {}, probes);
   std::fputs(core::format_sensitivity(report).c_str(), stdout);
 
   std::puts("\nReading the table:");

@@ -49,7 +49,11 @@ int main() {
   // in the box flips the label.
   core::ToleranceConfig config;
   config.start_range = 50;
-  config.engine = core::Engine::kBnB;  // complete branch-and-bound
+  // Engines are selected by registry name: the default "cascade" screens
+  // with sound bounds and falls back to complete branch-and-bound; any
+  // registered strategy works, e.g. config.engine = core::Engine::kBnB or
+  // config.engine = core::Engine{"enumerate"}.
+  config.engine = core::Engine::kCascade;
   const core::ToleranceReport report =
       fannet.analyze_tolerance(inputs, labels, config);
 

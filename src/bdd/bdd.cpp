@@ -224,8 +224,12 @@ std::string Manager::to_dot(Bdd f, const std::string& name) const {
     stack.pop_back();
     if (n <= 1 || !visited.insert(n).second) continue;
     const Node& node = nodes_[n];
+    // Built via append rather than operator+(const char*, string&&), which
+    // trips GCC 12's -Wrestrict false positive (PR 105329) at -O2.
     const auto ref = [](NodeId id) {
-      return id <= 1 ? "t" + std::to_string(id) : "n" + std::to_string(id);
+      std::string s(id <= 1 ? "t" : "n");
+      s += std::to_string(id);
+      return s;
     };
     out << "  n" << n << " [label=\"x" << node.var << "\"];\n";
     out << "  n" << n << " -> " << ref(node.low) << " [style=dashed];\n";

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "verify/engine.hpp"
+#include "verify/scheduler.hpp"
 
 namespace fannet::core {
 
@@ -65,7 +67,8 @@ BiasReport analyze_bias(const std::vector<CorpusEntry>& corpus,
 NodeSensitivityReport analyze_sensitivity(
     const Fannet& fannet, const la::Matrix<i64>& inputs,
     const std::vector<int>& labels, int range,
-    const std::vector<CorpusEntry>& corpus) {
+    const std::vector<CorpusEntry>& corpus,
+    const SensitivityConfig& config) {
   const std::size_t n = inputs.cols();
   NodeSensitivityReport report;
   report.positive.assign(n, 0);
@@ -93,61 +96,73 @@ NodeSensitivityReport analyze_sensitivity(
   }
 
   // Sound directional existence + Eq.-3 per-node tolerance, over the
-  // correctly classified samples.
+  // correctly classified samples.  Both probe families are embarrassingly
+  // parallel and go through the scheduler.
   const std::vector<std::size_t> bad = fannet.validate_p1(inputs, labels);
+  std::vector<std::size_t> correct;
   for (std::size_t s = 0; s < inputs.rows(); ++s) {
-    if (std::find(bad.begin(), bad.end(), s) != bad.end()) continue;
+    if (std::find(bad.begin(), bad.end(), s) == bad.end()) correct.push_back(s);
+  }
+  const verify::Engine& engine = verify::engine(config.engine.name);
+  const verify::Scheduler scheduler({.threads = config.threads});
+
+  // Directional: delta_i restricted to one sign, others full range.  Per
+  // node and sign this is an existence query over the samples — decided as
+  // one batch with cancellation on the first witness.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const int sign : {+1, -1}) {
+      NoiseBox box = NoiseBox::symmetric(n, range);
+      if (sign > 0) box.lo[i] = 1; else box.hi[i] = -1;
+      if (box.lo[i] > box.hi[i]) continue;  // range 0: no strict direction
+      std::vector<verify::Query> batch;
+      batch.reserve(correct.size());
+      for (const std::size_t s : correct) {
+        batch.push_back(
+            fannet.make_query(inputs.row(s), labels[s], box, false));
+      }
+      const bool possible =
+          scheduler.run_until_witness(batch, engine).has_value();
+      (sign > 0 ? report.positive_possible : report.negative_possible)[i] =
+          possible;
+    }
+  }
+
+  // Eq. 3: only node i noised.  Every (node, sample) pair bisects to its
+  // minimal flipping |delta_i| independently; the per-node tolerance is
+  // the minimum over samples (indexed slots keep the reduce deterministic).
+  std::vector<std::optional<int>> pair_flip(n * correct.size());
+  scheduler.parallel_for(pair_flip.size(), [&](std::size_t task) {
+    const std::size_t i = task % n;
+    const std::size_t s = correct[task / n];
     const auto row = inputs.row(s);
-    for (std::size_t i = 0; i < n; ++i) {
-      // Directional: delta_i restricted to one sign, others full range.
-      if (!report.positive_possible[i]) {
-        NoiseBox box = NoiseBox::symmetric(n, range);
-        box.lo[i] = 1;
-        if (box.hi[i] >= box.lo[i] &&
-            fannet.check_sample_box(row, labels[s], box, Engine::kBnB)
-                    .verdict == Verdict::kVulnerable) {
-          report.positive_possible[i] = true;
-        }
-      }
-      if (!report.negative_possible[i]) {
-        NoiseBox box = NoiseBox::symmetric(n, range);
-        box.hi[i] = -1;
-        if (box.lo[i] <= box.hi[i] &&
-            fannet.check_sample_box(row, labels[s], box, Engine::kBnB)
-                    .verdict == Verdict::kVulnerable) {
-          report.negative_possible[i] = true;
-        }
-      }
-      // Eq. 3: only node i noised.
-      NoiseBox solo;
-      solo.lo.assign(n, 0);
-      solo.hi.assign(n, 0);
-      solo.lo[i] = -range;
-      solo.hi[i] = range;
-      const auto r =
-          fannet.check_sample_box(row, labels[s], solo, Engine::kBnB);
-      if (r.verdict == Verdict::kVulnerable) {
-        const int flip_at = std::max(std::abs(r.counterexample->deltas[i]), 1);
-        // Tighten: find the minimal |delta_i| that flips via bisection.
-        int lo = 1, hi = flip_at;
-        while (lo < hi) {
-          const int mid = lo + (hi - lo) / 2;
-          NoiseBox probe = solo;
-          probe.lo[i] = -mid;
-          probe.hi[i] = mid;
-          if (fannet.check_sample_box(row, labels[s], probe, Engine::kBnB)
-                  .verdict == Verdict::kVulnerable) {
-            hi = mid;
-          } else {
-            lo = mid + 1;
-          }
-        }
-        if (!report.solo_flip_range[i].has_value() ||
-            lo < *report.solo_flip_range[i]) {
-          report.solo_flip_range[i] = lo;
-        }
+    NoiseBox solo;
+    solo.lo.assign(n, 0);
+    solo.hi.assign(n, 0);
+    solo.lo[i] = -range;
+    solo.hi[i] = range;
+    const auto r = engine.verify(fannet.make_query(row, labels[s], solo, false));
+    if (r.verdict != Verdict::kVulnerable) return;
+    const int flip_at = std::max(std::abs(r.counterexample->deltas[i]), 1);
+    // Tighten: find the minimal |delta_i| that flips via bisection.
+    int lo = 1, hi = flip_at;
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      NoiseBox probe = solo;
+      probe.lo[i] = -mid;
+      probe.hi[i] = mid;
+      if (engine.verify(fannet.make_query(row, labels[s], probe, false))
+              .verdict == Verdict::kVulnerable) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
       }
     }
+    pair_flip[task] = lo;
+  });
+  for (std::size_t task = 0; task < pair_flip.size(); ++task) {
+    if (!pair_flip[task].has_value()) continue;
+    std::optional<int>& best = report.solo_flip_range[task % n];
+    if (!best.has_value() || *pair_flip[task] < *best) best = pair_flip[task];
   }
   return report;
 }

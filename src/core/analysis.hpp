@@ -53,10 +53,21 @@ struct NodeSensitivityReport {
   std::vector<std::optional<int>> solo_flip_range;
 };
 
+struct SensitivityConfig {
+  /// Engine deciding the directional/solo probes (complete engines only —
+  /// the probes are sound existence decisions, not samples).
+  Engine engine = Engine::kCascade;
+  /// Worker threads for the probe fan-out (0 = hardware concurrency).  The
+  /// directional probes per node run as one cancellable existence batch
+  /// each; the per-(node, sample) solo bisections fan out independently.
+  std::size_t threads = 0;
+};
+
 [[nodiscard]] NodeSensitivityReport analyze_sensitivity(
     const Fannet& fannet, const la::Matrix<util::i64>& inputs,
     const std::vector<int>& labels, int range,
-    const std::vector<CorpusEntry>& corpus);
+    const std::vector<CorpusEntry>& corpus,
+    const SensitivityConfig& config = {});
 
 // ---------------------------------------------------------------------------
 // Classification-boundary proximity (paper §V-C.2): the distribution of

@@ -1,13 +1,12 @@
 #include "core/fannet.hpp"
 
 #include <algorithm>
+#include <atomic>
 
-#include "core/translate.hpp"
-#include "mc/bmc.hpp"
-#include "mc/explicit.hpp"
 #include "util/error.hpp"
 #include "verify/bnb.hpp"
-#include "verify/enumerate.hpp"
+#include "verify/engine.hpp"
+#include "verify/scheduler.hpp"
 
 namespace fannet::core {
 
@@ -18,15 +17,7 @@ using verify::Query;
 using verify::Verdict;
 using verify::VerifyResult;
 
-std::string to_string(Engine e) {
-  switch (e) {
-    case Engine::kEnumerate: return "enumerate";
-    case Engine::kBnB: return "bnb";
-    case Engine::kExplicitMc: return "explicit-mc";
-    case Engine::kBmc: return "bmc";
-  }
-  throw InvalidArgument("to_string(Engine): bad enum value");
-}
+std::string to_string(Engine e) { return e.name; }
 
 Query Fannet::make_query(std::span<const i64> x, int true_label,
                          const NoiseBox& box, bool bias_node) const {
@@ -67,48 +58,7 @@ VerifyResult Fannet::check_sample_box(std::span<const i64> x, int true_label,
                                       const NoiseBox& box, Engine engine,
                                       bool bias_node) const {
   const Query q = make_query(x, true_label, box, bias_node);
-  switch (engine) {
-    case Engine::kEnumerate:
-      return verify::enumerate_find_first(q);
-    case Engine::kBnB:
-      return verify::bnb_verify(q);
-    case Engine::kExplicitMc: {
-      const Translation t = translate_sample(q);
-      const mc::ExplicitChecker checker(t.module);
-      const mc::InvariantResult r = checker.check_invariant(t.module.specs().front().expr);
-      VerifyResult out;
-      out.work = r.states_explored;
-      if (r.holds) {
-        out.verdict = Verdict::kRobust;
-      } else {
-        out.verdict = Verdict::kVulnerable;
-        out.counterexample =
-            decode_counterexample(t, q, r.counterexample.states.back());
-      }
-      return out;
-    }
-    case Engine::kBmc: {
-      const Translation t = translate_sample(q);
-      mc::BmcChecker checker(t.module);
-      // Depth 1 reaches the first s_eval state; the noise is re-chosen
-      // every cycle, so deeper states add no new noise vectors.
-      const mc::BmcResult r =
-          checker.check_invariant(t.module.specs().front().expr, 1);
-      VerifyResult out;
-      out.work = 1;
-      if (r.verdict == sat::SolveResult::kSat) {
-        out.verdict = Verdict::kVulnerable;
-        out.counterexample =
-            decode_counterexample(t, q, r.counterexample.states.back());
-      } else if (r.verdict == sat::SolveResult::kUnsat) {
-        out.verdict = Verdict::kRobust;
-      } else {
-        out.verdict = Verdict::kUnknown;
-      }
-      return out;
-    }
-  }
-  throw InvalidArgument("check_sample_box: bad engine");
+  return verify::engine(engine.name).verify(q);
 }
 
 ToleranceReport Fannet::analyze_tolerance(const la::Matrix<i64>& inputs,
@@ -120,31 +70,57 @@ ToleranceReport Fannet::analyze_tolerance(const la::Matrix<i64>& inputs,
   ToleranceReport report;
   const std::vector<std::size_t> bad = validate_p1(inputs, labels);
 
+  const verify::Engine& engine = verify::engine(config.engine.name);
+  const verify::Scheduler scheduler({.threads = config.threads});
+
+  report.per_sample.resize(inputs.rows());
+  std::vector<std::size_t> correct;  // samples entering the noise analysis
   for (std::size_t s = 0; s < inputs.rows(); ++s) {
-    SampleTolerance st;
+    SampleTolerance& st = report.per_sample[s];
     st.sample = s;
     st.true_label = labels[s];
     st.correct_without_noise =
         std::find(bad.begin(), bad.end(), s) == bad.end();
-    if (!st.correct_without_noise) {
-      report.per_sample.push_back(std::move(st));
-      continue;  // the paper analyzes only correctly classified inputs
-    }
+    if (st.correct_without_noise) correct.push_back(s);
+  }
+
+  // Phase 1: screen every correct sample at the full start range, batched
+  // through the scheduler.  Monotonicity (a counterexample in ±R stays
+  // available in every ±R' > R) means survivors here need no descent.
+  std::vector<Query> screen;
+  screen.reserve(correct.size());
+  for (const std::size_t s : correct) {
     const auto row = inputs.row(s);
+    const std::size_t dims = row.size() + (config.bias_node ? 1 : 0);
+    screen.push_back(make_query(row, labels[s],
+                                NoiseBox::symmetric(dims, config.start_range),
+                                config.bias_node));
+  }
+  const std::vector<VerifyResult> at_max = scheduler.run_all(screen, engine);
+
+  // Phase 2: per-sample range descent for the vulnerable samples — each
+  // descent is an independent chain of queries, fanned out across workers.
+  std::vector<std::size_t> vulnerable;  // positions into `correct`
+  for (std::size_t i = 0; i < correct.size(); ++i) {
+    if (at_max[i].verdict == Verdict::kVulnerable) vulnerable.push_back(i);
+  }
+  std::atomic<std::uint64_t> descent_queries{0};
+  scheduler.parallel_for(vulnerable.size(), [&](std::size_t vi) {
+    const std::size_t i = vulnerable[vi];
+    const std::size_t s = correct[i];
+    SampleTolerance& st = report.per_sample[s];
+    const auto row = inputs.row(s);
+    std::uint64_t local_queries = 0;
     const auto flips_at = [&](int range) {
-      ++report.queries;
-      return check_sample(row, labels[s], range, config.engine,
-                          config.bias_node);
+      ++local_queries;
+      const std::size_t dims = row.size() + (config.bias_node ? 1 : 0);
+      return engine.verify(make_query(row, labels[s],
+                                      NoiseBox::symmetric(dims, range),
+                                      config.bias_node));
     };
     if (config.descent == ToleranceConfig::Descent::kBinary) {
-      // Monotone: a counterexample in ±R stays available in every ±R' > R.
-      VerifyResult at_max = flips_at(config.start_range);
-      if (at_max.verdict != Verdict::kVulnerable) {
-        report.per_sample.push_back(std::move(st));
-        continue;
-      }
       int lo = 1, hi = config.start_range;
-      std::optional<Counterexample> witness = at_max.counterexample;
+      std::optional<Counterexample> witness = at_max[i].counterexample;
       while (lo < hi) {
         const int mid = lo + (hi - lo) / 2;
         VerifyResult r = flips_at(mid);
@@ -159,9 +135,9 @@ ToleranceReport Fannet::analyze_tolerance(const la::Matrix<i64>& inputs,
       st.witness = witness;
     } else {
       // The paper's loop: start large, reduce until no counterexample.
-      std::optional<int> min_flip;
-      std::optional<Counterexample> witness;
-      for (int range = config.start_range; range >= 1; --range) {
+      std::optional<int> min_flip = config.start_range;
+      std::optional<Counterexample> witness = at_max[i].counterexample;
+      for (int range = config.start_range - 1; range >= 1; --range) {
         VerifyResult r = flips_at(range);
         if (r.verdict != Verdict::kVulnerable) break;
         min_flip = range;
@@ -170,8 +146,9 @@ ToleranceReport Fannet::analyze_tolerance(const la::Matrix<i64>& inputs,
       st.min_flip_range = min_flip;
       st.witness = witness;
     }
-    report.per_sample.push_back(std::move(st));
-  }
+    descent_queries.fetch_add(local_queries, std::memory_order_relaxed);
+  });
+  report.queries = correct.size() + descent_queries.load();
 
   // Tolerance: largest range with no flip among correct samples.
   int tolerance = config.start_range;
@@ -188,19 +165,33 @@ std::vector<CorpusEntry> Fannet::extract_corpus(const la::Matrix<i64>& inputs,
                                                 const std::vector<int>& labels,
                                                 int range,
                                                 std::size_t max_per_sample,
-                                                bool bias_node) const {
-  std::vector<CorpusEntry> corpus;
+                                                bool bias_node,
+                                                std::size_t threads) const {
   const std::vector<std::size_t> bad = validate_p1(inputs, labels);
+  std::vector<std::size_t> correct;
   for (std::size_t s = 0; s < inputs.rows(); ++s) {
-    if (std::find(bad.begin(), bad.end(), s) != bad.end()) continue;
+    if (std::find(bad.begin(), bad.end(), s) == bad.end()) correct.push_back(s);
+  }
+
+  // P3 loop per sample: each new counterexample is blocked and the search
+  // resumes — bnb_collect does exactly this by construction (boxes are
+  // disjoint).  Samples are independent, so they fan out across workers;
+  // indexed slots keep the corpus in deterministic sample order.
+  std::vector<std::vector<Counterexample>> per_sample(correct.size());
+  const verify::Scheduler scheduler({.threads = threads});
+  scheduler.parallel_for(correct.size(), [&](std::size_t i) {
+    const std::size_t s = correct[i];
     const auto row = inputs.row(s);
     const std::size_t dims = row.size() + (bias_node ? 1 : 0);
     const Query q = make_query(row, labels[s],
                                NoiseBox::symmetric(dims, range), bias_node);
-    // P3 loop: each new counterexample is blocked and the search resumes —
-    // bnb_stream does exactly this by construction (boxes are disjoint).
-    for (Counterexample& cex : verify::bnb_collect(q, max_per_sample)) {
-      corpus.push_back({s, labels[s], std::move(cex)});
+    per_sample[i] = verify::bnb_collect(q, max_per_sample);
+  });
+
+  std::vector<CorpusEntry> corpus;
+  for (std::size_t i = 0; i < correct.size(); ++i) {
+    for (Counterexample& cex : per_sample[i]) {
+      corpus.push_back({correct[i], labels[correct[i]], std::move(cex)});
     }
   }
   return corpus;

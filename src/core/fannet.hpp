@@ -1,18 +1,16 @@
 // The FANNet pipeline (paper Fig. 2): P1 validation, noise-tolerance
 // analysis, adversarial noise-vector extraction.
 //
-// The engine enum selects how the P2 query ("can any noise vector in ±R
-// flip this sample?") is decided; all engines are exact on the integer
-// grid and agree by construction (asserted by the property tests):
-//
-//   kEnumerate    exhaustive grid walk (reference oracle)
-//   kBnB          branch-and-bound with symbolic pruning (default)
-//   kExplicitMc   SMV translation + explicit-state model checker
-//   kBmc          SMV translation + bit-blasting + CDCL bounded MC
+// Engine selection goes through the verify-engine registry (DESIGN.md
+// §4.5): `Engine` is a thin alias over registry names, kept for source
+// compatibility with the original enum API.  All registered engines are
+// exact on the integer grid and agree by construction (asserted by the
+// property tests); see verify/engine.hpp for the built-in strategies.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "la/matrix.hpp"
 #include "nn/quantized.hpp"
@@ -20,17 +18,46 @@
 
 namespace fannet::core {
 
-enum class Engine : std::uint8_t { kEnumerate, kBnB, kExplicitMc, kBmc };
+/// Thin, source-compatible alias over verify-engine registry names.  The
+/// named constants spell the original enum values; `Engine{"name"}` (or an
+/// implicit conversion from a string) reaches any other registered engine.
+/// The name is stored by value so an Engine built from a runtime string
+/// (CLI flag, config file) stays valid inside a stored config.  Dispatch
+/// always goes through verify::registry() — nothing switches on this type.
+struct Engine {
+  std::string name = "cascade";
+
+  Engine() = default;
+  Engine(std::string n) : name(std::move(n)) {}  // NOLINT: implicit by design
+  Engine(const char* n) : name(n) {}             // NOLINT: implicit by design
+
+  [[nodiscard]] friend bool operator==(const Engine&, const Engine&) = default;
+
+  static const Engine kEnumerate, kInterval, kSymbolic, kBnB, kCascade,
+      kExplicitMc, kBmc;
+};
+
+inline const Engine Engine::kEnumerate{"enumerate"};
+inline const Engine Engine::kInterval{"interval"};
+inline const Engine Engine::kSymbolic{"symbolic"};
+inline const Engine Engine::kBnB{"bnb"};
+inline const Engine Engine::kCascade{"cascade"};
+inline const Engine Engine::kExplicitMc{"explicit-mc"};
+inline const Engine Engine::kBmc{"bmc"};
 
 [[nodiscard]] std::string to_string(Engine e);
 
 struct ToleranceConfig {
   int start_range = 50;  ///< the paper's "large initial noise" (±50%)
-  Engine engine = Engine::kBnB;
+  /// Portfolio default: sound-only screens, complete B&B only on kUnknown.
+  Engine engine = Engine::kCascade;
   bool bias_node = false;
   /// kBinary: bisection on the per-sample minimal flipping range.
   /// kLinear: the paper's iterative noise reduction (same result, slower).
   enum class Descent : std::uint8_t { kBinary, kLinear } descent = Descent::kBinary;
+  /// Worker threads for the per-sample fan-out (0 = hardware concurrency,
+  /// 1 = serial).  Results are identical for every thread count.
+  std::size_t threads = 0;
 };
 
 struct SampleTolerance {
@@ -79,7 +106,9 @@ class Fannet {
       const verify::NoiseBox& box, Engine engine,
       bool bias_node = false) const;
 
-  /// Full noise-tolerance analysis over the (test) set.
+  /// Full noise-tolerance analysis over the (test) set.  The start-range
+  /// screen and the per-sample range descents fan out across
+  /// `config.threads` workers; the report is identical to the serial run.
   [[nodiscard]] ToleranceReport analyze_tolerance(
       const la::Matrix<util::i64>& inputs, const std::vector<int>& labels,
       const ToleranceConfig& config) const;
@@ -88,18 +117,21 @@ class Fannet {
   /// vectors per correctly-classified sample at range ±`range`.
   [[nodiscard]] std::vector<CorpusEntry> extract_corpus(
       const la::Matrix<util::i64>& inputs, const std::vector<int>& labels,
-      int range, std::size_t max_per_sample, bool bias_node = false) const;
+      int range, std::size_t max_per_sample, bool bias_node = false,
+      std::size_t threads = 0) const;
 
   [[nodiscard]] const nn::QuantizedNetwork& net() const noexcept {
     return *net_;
   }
 
- private:
+  /// Builds a validated query against this network (shared by the analyses
+  /// that batch queries through the scheduler).
   [[nodiscard]] verify::Query make_query(std::span<const util::i64> x,
                                          int true_label,
                                          const verify::NoiseBox& box,
                                          bool bias_node) const;
 
+ private:
   const nn::QuantizedNetwork* net_;
 };
 

@@ -1,10 +1,12 @@
 #include "core/faults.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 #include "core/report.hpp"
 #include "util/error.hpp"
+#include "verify/scheduler.hpp"
 
 namespace fannet::core {
 
@@ -29,6 +31,9 @@ WeightFaultReport analyze_weight_faults(const nn::QuantizedNetwork& net,
     }
   }
 
+  // One task per parameter; each scans its magnitudes independently and
+  // writes into an indexed slot, so the scan order (and the report) is
+  // identical for every thread count.
   WeightFaultReport report;
   for (std::size_t li = 0; li < net.depth(); ++li) {
     const nn::QLayer& layer = net.layers()[li];
@@ -38,30 +43,45 @@ WeightFaultReport analyze_weight_faults(const nn::QuantizedNetwork& net,
         fault.layer = li;
         fault.row = row;
         fault.col = (col == layer.in_dim()) ? ~std::size_t{0} : col;
-
-        // Scan |p| ascending so the first hit is the minimal one.
-        for (int magnitude = config.step;
-             magnitude <= config.max_percent && !fault.min_flip_percent;
-             magnitude += config.step) {
-          for (const int sign : {+1, -1}) {
-            const nn::QuantizedNetwork mutated =
-                net.with_scaled_param(li, row, col, sign * magnitude);
-            for (const std::size_t s : correct) {
-              ++report.evaluations;
-              if (mutated.classify_noised(inputs.row(s), {}) != labels[s]) {
-                fault.min_flip_percent = magnitude;
-                fault.flip_sign = sign;
-                fault.flipped_sample = s;
-                break;
-              }
-            }
-            if (fault.min_flip_percent) break;
-          }
-        }
-        if (!fault.min_flip_percent) ++report.robust_weights;
         report.faults.push_back(fault);
       }
     }
+  }
+
+  std::atomic<std::uint64_t> evaluations{0};
+  const verify::Scheduler scheduler({.threads = config.threads});
+  scheduler.parallel_for(report.faults.size(), [&](std::size_t fi) {
+    WeightFault& fault = report.faults[fi];
+    const nn::QLayer& layer = net.layers()[fault.layer];
+    const std::size_t col = fault.is_bias() ? layer.in_dim() : fault.col;
+    std::uint64_t local_evals = 0;
+
+    // Scan |p| ascending so the first hit is the minimal one.
+    for (int magnitude = config.step;
+         magnitude <= config.max_percent && !fault.min_flip_percent;
+         magnitude += config.step) {
+      for (const int sign : {+1, -1}) {
+        const nn::QuantizedNetwork mutated =
+            net.with_scaled_param(fault.layer, fault.row, col,
+                                  sign * magnitude);
+        for (const std::size_t s : correct) {
+          ++local_evals;
+          if (mutated.classify_noised(inputs.row(s), {}) != labels[s]) {
+            fault.min_flip_percent = magnitude;
+            fault.flip_sign = sign;
+            fault.flipped_sample = s;
+            break;
+          }
+        }
+        if (fault.min_flip_percent) break;
+      }
+    }
+    evaluations.fetch_add(local_evals, std::memory_order_relaxed);
+  });
+
+  report.evaluations = evaluations.load();
+  for (const WeightFault& fault : report.faults) {
+    if (!fault.min_flip_percent) ++report.robust_weights;
   }
   return report;
 }

@@ -47,6 +47,9 @@ struct WeightFaultReport {
 struct WeightFaultConfig {
   int max_percent = 50;   ///< scan p in [-max, +max] \ {0}
   int step = 1;           ///< percent granularity
+  /// Worker threads for the per-parameter fan-out (0 = hardware
+  /// concurrency).  The report is identical for every thread count.
+  std::size_t threads = 0;
 };
 
 /// Scans every weight and bias of `net` against the correctly-classified

@@ -1,0 +1,58 @@
+#include "mc/engine_adapters.hpp"
+
+#include "core/translate.hpp"
+#include "mc/bmc.hpp"
+#include "mc/explicit.hpp"
+
+namespace fannet::mc {
+
+using verify::Verdict;
+using verify::VerifyResult;
+
+VerifyResult ExplicitMcEngine::verify(const verify::Query& query) const {
+  const core::Translation t = core::translate_sample(query);
+  const ExplicitChecker checker(t.module);
+  const InvariantResult r =
+      checker.check_invariant(t.module.specs().front().expr);
+  VerifyResult out;
+  out.work = r.states_explored;
+  if (r.holds) {
+    out.verdict = Verdict::kRobust;
+  } else {
+    out.verdict = Verdict::kVulnerable;
+    out.counterexample =
+        core::decode_counterexample(t, query, r.counterexample.states.back());
+  }
+  return out;
+}
+
+VerifyResult BmcEngine::verify(const verify::Query& query) const {
+  const core::Translation t = core::translate_sample(query);
+  BmcChecker checker(t.module);
+  // Depth 1 reaches the first s_eval state; the noise is re-chosen every
+  // cycle, so deeper states add no new noise vectors.
+  const BmcResult r = checker.check_invariant(t.module.specs().front().expr, 1);
+  VerifyResult out;
+  out.work = 1;
+  if (r.verdict == sat::SolveResult::kSat) {
+    out.verdict = Verdict::kVulnerable;
+    out.counterexample =
+        core::decode_counterexample(t, query, r.counterexample.states.back());
+  } else if (r.verdict == sat::SolveResult::kUnsat) {
+    out.verdict = Verdict::kRobust;
+  } else {
+    out.verdict = Verdict::kUnknown;
+  }
+  return out;
+}
+
+}  // namespace fannet::mc
+
+namespace fannet::verify::detail {
+
+void register_translation_engines(EngineRegistry& registry) {
+  registry.add(std::make_unique<mc::ExplicitMcEngine>());
+  registry.add(std::make_unique<mc::BmcEngine>());
+}
+
+}  // namespace fannet::verify::detail

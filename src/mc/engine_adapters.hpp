@@ -1,0 +1,39 @@
+// Model-checking backends as pluggable verify::Engine strategies.
+//
+// Both adapters run the paper's original tool path: Behavior Extraction
+// (core/translate) turns the query into an SMV model, then a model checker
+// decides the INVARSPEC.  They are registered in the engine registry as
+// "explicit-mc" and "bmc" so every consumer reaches them through the same
+// seam as the exact-integer engines; the registry seeds them via
+// verify::detail::register_translation_engines (defined here, in the MC
+// layer, because the translation lives above src/verify).
+#pragma once
+
+#include "verify/engine.hpp"
+
+namespace fannet::mc {
+
+/// SMV translation + enumerative reachability (mc/explicit).  Complete.
+class ExplicitMcEngine final : public verify::Engine {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "explicit-mc";
+  }
+  [[nodiscard]] bool complete() const noexcept override { return true; }
+  [[nodiscard]] verify::VerifyResult verify(
+      const verify::Query& query) const override;
+};
+
+/// SMV translation + bit-blasting + CDCL bounded model checking (mc/bmc).
+/// Complete on this model class: depth 1 reaches every s_eval state.
+class BmcEngine final : public verify::Engine {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "bmc";
+  }
+  [[nodiscard]] bool complete() const noexcept override { return true; }
+  [[nodiscard]] verify::VerifyResult verify(
+      const verify::Query& query) const override;
+};
+
+}  // namespace fannet::mc

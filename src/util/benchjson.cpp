@@ -1,0 +1,56 @@
+#include "util/benchjson.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace fannet::util {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchJson::BenchJson(std::string bench_name) : bench_(std::move(bench_name)) {
+  if (bench_.empty()) throw InvalidArgument("BenchJson: empty bench name");
+}
+
+void BenchJson::add(const std::string& name, double wall_ms,
+                    std::uint64_t work, std::size_t threads) {
+  records_.push_back({name, wall_ms, work, threads});
+}
+
+std::string BenchJson::to_json() const {
+  std::ostringstream out;
+  out << "{\"bench\":\"" << escape(bench_) << "\",\"records\":[";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const Record& r = records_[i];
+    if (i > 0) out << ',';
+    out << "{\"name\":\"" << escape(r.name) << "\",\"wall_ms\":" << r.wall_ms
+        << ",\"work\":" << r.work << ",\"threads\":" << r.threads << '}';
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+std::string BenchJson::write(const std::string& directory) const {
+  const std::string path = directory + "/BENCH_" + bench_ + ".json";
+  std::ofstream out(path);
+  if (!out) throw Error("BenchJson::write: cannot open " + path);
+  out << to_json();
+  if (!out) throw Error("BenchJson::write: short write to " + path);
+  return path;
+}
+
+}  // namespace fannet::util

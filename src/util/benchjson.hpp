@@ -1,0 +1,45 @@
+// Machine-readable benchmark output (DESIGN.md §6).
+//
+// Every bench binary appends its headline measurements to a BenchJson and
+// writes BENCH_<bench>.json next to its working directory, so the perf
+// trajectory is diffable PR-over-PR without scraping stdout.  Schema:
+//
+//   { "bench": "<bench>",
+//     "records": [ { "name": "...", "wall_ms": 12.3,
+//                    "work": 4567, "threads": 8 }, ... ] }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fannet::util {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name);
+
+  /// One measurement row: wall-clock milliseconds, engine work units
+  /// (evals / boxes / states — whatever the workload counts), and the
+  /// worker-thread count that produced it.
+  void add(const std::string& name, double wall_ms, std::uint64_t work,
+           std::size_t threads);
+
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes BENCH_<bench>.json into `directory`; returns the path written.
+  /// Throws util::Error on I/O failure.
+  std::string write(const std::string& directory = ".") const;
+
+ private:
+  struct Record {
+    std::string name;
+    double wall_ms = 0.0;
+    std::uint64_t work = 0;
+    std::size_t threads = 1;
+  };
+  std::string bench_;
+  std::vector<Record> records_;
+};
+
+}  // namespace fannet::util

@@ -1,0 +1,150 @@
+#include "verify/engine.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+#include "verify/bnb.hpp"
+#include "verify/enumerate.hpp"
+#include "verify/interval.hpp"
+#include "verify/symbolic.hpp"
+
+namespace fannet::verify {
+
+namespace {
+
+// Adapters over the free-function strategies.  Each is stateless, so one
+// shared instance serves every thread.
+class EnumerateEngine final : public Engine {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "enumerate";
+  }
+  [[nodiscard]] bool complete() const noexcept override { return true; }
+  [[nodiscard]] VerifyResult verify(const Query& query) const override {
+    return enumerate_find_first(query);
+  }
+};
+
+class IntervalEngine final : public Engine {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "interval";
+  }
+  [[nodiscard]] bool complete() const noexcept override { return false; }
+  [[nodiscard]] VerifyResult verify(const Query& query) const override {
+    return interval_verify(query);
+  }
+};
+
+class SymbolicEngine final : public Engine {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "symbolic";
+  }
+  [[nodiscard]] bool complete() const noexcept override { return false; }
+  [[nodiscard]] VerifyResult verify(const Query& query) const override {
+    return symbolic_verify(query);
+  }
+};
+
+class BnbEngine final : public Engine {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "bnb";
+  }
+  [[nodiscard]] bool complete() const noexcept override { return true; }
+  [[nodiscard]] VerifyResult verify(const Query& query) const override {
+    return bnb_verify(query);
+  }
+};
+
+}  // namespace
+
+void EngineRegistry::add(std::unique_ptr<Engine> engine) {
+  if (engine == nullptr) throw InvalidArgument("EngineRegistry::add: null");
+  const std::scoped_lock lock(mutex_);
+  const std::string key(engine->name());
+  if (!engines_.emplace(key, std::move(engine)).second) {
+    throw InvalidArgument("EngineRegistry::add: duplicate engine '" + key +
+                          "'");
+  }
+}
+
+const Engine& EngineRegistry::get(std::string_view name) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = engines_.find(name);
+  if (it == engines_.end()) {
+    std::ostringstream msg;
+    msg << "EngineRegistry::get: unknown engine '" << name << "' (known:";
+    for (const auto& [key, unused] : engines_) msg << ' ' << key;
+    msg << ')';
+    throw InvalidArgument(msg.str());
+  }
+  return *it->second;
+}
+
+bool EngineRegistry::contains(std::string_view name) const {
+  const std::scoped_lock lock(mutex_);
+  return engines_.find(name) != engines_.end();
+}
+
+std::vector<std::string> EngineRegistry::names() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(engines_.size());
+  for (const auto& [key, unused] : engines_) out.push_back(key);
+  return out;  // std::map iterates in sorted key order
+}
+
+EngineRegistry& registry() {
+  static EngineRegistry* instance = [] {
+    auto* r = new EngineRegistry;
+    r->add(std::make_unique<EnumerateEngine>());
+    r->add(std::make_unique<IntervalEngine>());
+    r->add(std::make_unique<SymbolicEngine>());
+    r->add(std::make_unique<BnbEngine>());
+    r->add(std::make_unique<CascadeEngine>());
+    detail::register_translation_engines(*r);
+    return r;  // leaked deliberately: engines outlive every static consumer
+  }();
+  return *instance;
+}
+
+const Engine& engine(std::string_view name) { return registry().get(name); }
+
+CascadeEngine::CascadeEngine(std::vector<std::string> stages)
+    : stages_(std::move(stages)) {
+  if (stages_.empty()) {
+    throw InvalidArgument("CascadeEngine: at least one stage required");
+  }
+}
+
+VerifyResult CascadeEngine::verify(const Query& query) const {
+  std::call_once(resolve_once_, [this] {
+    // Built locally and committed atomically: if a stage lookup throws,
+    // call_once stays unsatisfied and a later retry must not see (or
+    // duplicate) a half-filled cache.
+    std::vector<const Engine*> stages;
+    stages.reserve(stages_.size());
+    for (const std::string& stage : stages_) {
+      stages.push_back(&registry().get(stage));
+    }
+    resolved_ = std::move(stages);
+  });
+  VerifyResult out;
+  std::uint64_t work = 0;
+  for (const Engine* stage : resolved_) {
+    VerifyResult r = stage->verify(query);
+    work += r.work;
+    if (r.verdict != Verdict::kUnknown) {
+      r.work = work;
+      return r;
+    }
+    out = std::move(r);
+  }
+  out.work = work;
+  return out;  // every stage answered kUnknown
+}
+
+}  // namespace fannet::verify

@@ -1,0 +1,118 @@
+// Pluggable P2 decision engines (DESIGN.md §4.5).
+//
+// Every strategy that can answer the paper's P2 query ("does some noise
+// vector in the box flip the classification?") implements the `Engine`
+// interface and registers itself under a stable string key in the
+// process-wide `EngineRegistry`.  Callers — the FANNet pipeline, the
+// scheduler, benches, tests — select engines by name and never switch on
+// strategy variants, so new backends (SAT portfolios, GPU batch eval,
+// distributed sharding) plug in without touching any consumer.
+//
+// Built-in registrations:
+//
+//   enumerate    exhaustive grid walk                exact    complete
+//   interval     interval bound propagation          exact    sound-only
+//   symbolic     affine bounds in the noise deltas   exact    sound-only
+//   bnb          branch-and-bound input splitting    exact    complete
+//   cascade      interval -> symbolic -> bnb         exact    complete
+//   explicit-mc  SMV translation + explicit-state MC exact    complete
+//   bmc          SMV translation + CDCL bounded MC   exact    complete
+//
+// The two MC-backed engines live in src/mc/engine_adapters.cpp (they need
+// the SMV translation layer); the registry pulls them in at startup via
+// `detail::register_translation_engines`.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "verify/query.hpp"
+
+namespace fannet::verify {
+
+/// One P2 decision strategy.  Implementations must be stateless or
+/// internally synchronized: the scheduler calls `verify` concurrently.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Stable registry key ("bnb", "cascade", ...).
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Complete engines never answer kUnknown; sound-only engines answer
+  /// kRobust or kUnknown but never produce a wrong verdict.
+  [[nodiscard]] virtual bool complete() const noexcept = 0;
+
+  [[nodiscard]] virtual VerifyResult verify(const Query& query) const = 0;
+};
+
+/// String-keyed engine registry.  Thread-safe; lookups return references
+/// that stay valid for the registry's lifetime.
+class EngineRegistry {
+ public:
+  /// Registers `engine` under `engine->name()`.  Throws InvalidArgument on
+  /// a duplicate name.
+  void add(std::unique_ptr<Engine> engine);
+
+  /// Throws InvalidArgument (listing the known names) if absent.
+  [[nodiscard]] const Engine& get(std::string_view name) const;
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Engine>, std::less<>> engines_;
+};
+
+/// The process-wide registry, pre-seeded with every built-in engine on
+/// first use.
+[[nodiscard]] EngineRegistry& registry();
+
+/// Shorthand for `registry().get(name)`.
+[[nodiscard]] const Engine& engine(std::string_view name);
+
+/// Portfolio engine: runs cheap sound-only stages in order and falls back
+/// to a complete engine only when they answer kUnknown.  Work (and the
+/// verdict) is exactly that of the first stage to decide; `work`
+/// accumulates across the stages that ran.
+class CascadeEngine final : public Engine {
+ public:
+  /// Stages are registry names, tried in order; the last one should be
+  /// complete for the cascade itself to be complete.
+  explicit CascadeEngine(std::vector<std::string> stages = {"interval",
+                                                            "symbolic",
+                                                            "bnb"});
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "cascade";
+  }
+  [[nodiscard]] bool complete() const noexcept override { return true; }
+  [[nodiscard]] VerifyResult verify(const Query& query) const override;
+
+  [[nodiscard]] const std::vector<std::string>& stages() const noexcept {
+    return stages_;
+  }
+
+ private:
+  std::vector<std::string> stages_;
+  /// Stage engines resolved on first verify (registry entries are stable
+  /// for the process lifetime), so the per-query hot path takes no lock.
+  mutable std::once_flag resolve_once_;
+  mutable std::vector<const Engine*> resolved_;
+};
+
+namespace detail {
+/// Defined in src/mc/engine_adapters.cpp: registers the SMV-translation
+/// backed engines ("explicit-mc", "bmc").  Declared here so the registry
+/// can seed them without a header dependency on the MC layer.
+void register_translation_engines(EngineRegistry& registry);
+}  // namespace detail
+
+}  // namespace fannet::verify

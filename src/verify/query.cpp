@@ -1,5 +1,7 @@
 #include "verify/query.hpp"
 
+#include <limits>
+
 #include "util/error.hpp"
 
 namespace fannet::verify {
@@ -13,11 +15,18 @@ NoiseBox NoiseBox::symmetric(std::size_t dims, int range) {
 }
 
 double NoiseBox::volume() const {
-  double v = 1.0;
+  // Exact while the count fits double's contiguous integer range (2^53);
+  // beyond that it saturates to +infinity instead of silently rounding —
+  // high-dimensional boxes overflow any finite representation fast, and a
+  // subtly-wrong finite count is worse for work estimation than a clearly
+  // saturated one.
+  constexpr util::i128 kExactLimit = util::i128{1} << 53;
+  util::i128 v = 1;
   for (std::size_t d = 0; d < lo.size(); ++d) {
-    v *= static_cast<double>(hi[d] - lo[d] + 1);
+    v *= static_cast<util::i128>(hi[d]) - lo[d] + 1;
+    if (v > kExactLimit) return std::numeric_limits<double>::infinity();
   }
-  return v;
+  return static_cast<double>(v);
 }
 
 bool NoiseBox::is_singleton() const {

@@ -33,7 +33,9 @@ struct NoiseBox {
   [[nodiscard]] static NoiseBox symmetric(std::size_t dims, int range);
 
   [[nodiscard]] std::size_t dims() const noexcept { return lo.size(); }
-  /// Number of integer grid points in the box.
+  /// Number of integer grid points in the box.  Exact while the count is
+  /// exactly representable in a double (<= 2^53); saturates to +infinity
+  /// beyond that instead of silently losing precision.
   [[nodiscard]] double volume() const;
   [[nodiscard]] bool is_singleton() const;
 };

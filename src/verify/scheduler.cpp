@@ -1,0 +1,145 @@
+#include "verify/scheduler.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/stopwatch.hpp"
+
+namespace fannet::verify {
+
+Scheduler::Scheduler(SchedulerOptions options) {
+  threads_ = options.threads != 0
+                 ? options.threads
+                 : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void Scheduler::parallel_for(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+  const std::size_t workers = std::min(threads_, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Drain the remaining work so the pool exits promptly.
+        next.store(count, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<VerifyResult> Scheduler::run_all(std::span<const Query> queries,
+                                             const Engine& engine,
+                                             BatchStats* stats) const {
+  const util::Stopwatch watch;
+  std::vector<VerifyResult> results(queries.size());
+  parallel_for(queries.size(), [&](std::size_t i) {
+    results[i] = engine.verify(queries[i]);
+  });
+  if (stats != nullptr) {
+    stats->queries = queries.size();
+    stats->executed = queries.size();
+    stats->threads = std::min(threads_, std::max<std::size_t>(1, queries.size()));
+    stats->total_work = 0;
+    for (const VerifyResult& r : results) stats->total_work += r.work;
+    stats->wall_ms = watch.millis();
+  }
+  return results;
+}
+
+std::optional<Scheduler::Witness> Scheduler::run_until_witness(
+    std::span<const Query> queries, const Engine& engine,
+    BatchStats* stats) const {
+  const util::Stopwatch watch;
+  const std::size_t count = queries.size();
+  std::vector<VerifyResult> results(count);
+
+  // Cancellation bound: the lowest index known to be vulnerable.  Indices
+  // above it can no longer be the lowest witness and are skipped; indices
+  // below it always run, which is what makes the final answer — the lowest
+  // vulnerable index overall — independent of the thread count.
+  std::atomic<std::size_t> bound{count};
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> total_work{0};
+  std::atomic<std::size_t> num_executed{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const std::size_t workers = std::min(std::max<std::size_t>(1, threads_),
+                                       std::max<std::size_t>(1, count));
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      if (i > bound.load(std::memory_order_acquire)) continue;  // cancelled
+      try {
+        results[i] = engine.verify(queries[i]);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        next.store(count, std::memory_order_relaxed);
+        return;
+      }
+      num_executed.fetch_add(1, std::memory_order_relaxed);
+      total_work.fetch_add(results[i].work, std::memory_order_relaxed);
+      if (results[i].verdict == Verdict::kVulnerable) {
+        std::size_t seen = bound.load(std::memory_order_acquire);
+        while (i < seen &&
+               !bound.compare_exchange_weak(seen, i,
+                                            std::memory_order_acq_rel)) {
+        }
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  if (stats != nullptr) {
+    stats->queries = count;
+    stats->executed = num_executed.load();
+    stats->threads = workers;
+    stats->total_work = total_work.load();
+    stats->wall_ms = watch.millis();
+  }
+
+  const std::size_t w = bound.load();
+  if (w == count) return std::nullopt;
+  Witness witness;
+  witness.index = w;
+  witness.result = results[w];
+  return witness;
+}
+
+}  // namespace fannet::verify

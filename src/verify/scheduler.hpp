@@ -1,0 +1,82 @@
+// Parallel P2 query scheduler (DESIGN.md §5).
+//
+// FANNet's analyses (tolerance, corpus, sensitivity, boundary, faults) all
+// reduce to large batches of independent P2 queries; this fork-join
+// scheduler fans a batch across a thread pool while keeping every result
+// bit-identical to the serial run:
+//
+//   - results are written to index-addressed slots, so `run_all` returns
+//     them in input order regardless of completion order;
+//   - `run_until_witness` decides existence-style batches ("does ANY query
+//     in this batch have a counterexample?") and cancels work that can no
+//     longer matter, yet still returns the *lowest-index* witness — the
+//     same one a serial scan would find — by only skipping indices above
+//     the best witness known so far;
+//   - `parallel_for` runs non-uniform jobs (per-sample bisections, weight
+//     scans) with the same deterministic-slot discipline left to callers.
+//
+// Exceptions thrown by a task are captured and rethrown on the calling
+// thread after the pool drains (first one wins).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "verify/engine.hpp"
+#include "verify/query.hpp"
+
+namespace fannet::verify {
+
+struct SchedulerOptions {
+  /// 0 = one worker per hardware thread.
+  std::size_t threads = 0;
+};
+
+/// Per-batch accounting, filled by the run_* entry points.
+struct BatchStats {
+  std::size_t queries = 0;    ///< batch size
+  std::size_t executed = 0;   ///< queries actually decided (cancellation skips)
+  std::size_t threads = 0;    ///< workers used for this batch
+  std::uint64_t total_work = 0;  ///< sum of per-query VerifyResult::work
+  double wall_ms = 0.0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions options = {});
+
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+
+  /// Decides every query with `engine`; results are in input order and
+  /// identical for any thread count.
+  [[nodiscard]] std::vector<VerifyResult> run_all(
+      std::span<const Query> queries, const Engine& engine,
+      BatchStats* stats = nullptr) const;
+
+  struct Witness {
+    std::size_t index = 0;
+    VerifyResult result;
+  };
+
+  /// Existence query over the batch: returns the lowest-index kVulnerable
+  /// result (with its counterexample), or nullopt if no query in the batch
+  /// is vulnerable.  Once a witness is known, queries at higher indices are
+  /// cancelled — the verdict and the returned witness are still
+  /// deterministic for any thread count.
+  [[nodiscard]] std::optional<Witness> run_until_witness(
+      std::span<const Query> queries, const Engine& engine,
+      BatchStats* stats = nullptr) const;
+
+  /// Generic deterministic fan-out: calls fn(i) exactly once for every
+  /// i in [0, count), across the pool.  Callers keep determinism by writing
+  /// results to index-addressed slots.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  std::size_t threads_ = 1;
+};
+
+}  // namespace fannet::verify

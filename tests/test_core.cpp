@@ -142,6 +142,8 @@ TEST_P(AllEngines, SameVerdictOnP2) {
     const auto truth =
         fannet.check_sample(x, label, range, Engine::kEnumerate).verdict;
     EXPECT_EQ(fannet.check_sample(x, label, range, Engine::kBnB).verdict, truth);
+    EXPECT_EQ(fannet.check_sample(x, label, range, Engine::kCascade).verdict,
+              truth);
     EXPECT_EQ(fannet.check_sample(x, label, range, Engine::kExplicitMc).verdict,
               truth);
     EXPECT_EQ(fannet.check_sample(x, label, range, Engine::kBmc).verdict, truth)
@@ -156,8 +158,9 @@ TEST(Engines, CounterexamplesAreValidWitnesses) {
   const Fannet fannet(net);
   const std::vector<i64> x{35, 70};
   const int wrong = 1 - net.classify_noised(x, {});
-  for (const Engine engine : {Engine::kEnumerate, Engine::kBnB,
-                              Engine::kExplicitMc, Engine::kBmc}) {
+  for (const Engine& engine : {Engine::kEnumerate, Engine::kBnB,
+                               Engine::kCascade, Engine::kExplicitMc,
+                               Engine::kBmc}) {
     const auto r = fannet.check_sample(x, wrong, 2, engine);
     ASSERT_EQ(r.verdict, Verdict::kVulnerable) << to_string(engine);
     ASSERT_TRUE(r.counterexample.has_value());
@@ -194,6 +197,61 @@ TEST(Tolerance, BinaryAndLinearDescentAgree) {
   for (std::size_t s = 0; s < rb.per_sample.size(); ++s) {
     EXPECT_EQ(rb.per_sample[s].min_flip_range, rl.per_sample[s].min_flip_range);
   }
+}
+
+TEST(Tolerance, ParallelReportMatchesSerial) {
+  // The scheduler fan-out must not change anything: tolerance, per-sample
+  // ranges, witnesses and the query count are bit-identical for 1 vs N
+  // worker threads.
+  const nn::QuantizedNetwork net = random_qnet(31, 3, 5);
+  const Fannet fannet(net);
+  la::Matrix<i64> inputs(4, 3);
+  util::Rng rng(404);
+  std::vector<int> labels(4);
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      inputs(s, c) = rng.uniform_int(1, 100);
+    }
+    labels[s] = net.classify_noised(inputs.row(s), {});
+  }
+  ToleranceConfig serial;
+  serial.start_range = 30;
+  serial.threads = 1;
+  ToleranceConfig parallel = serial;
+  parallel.threads = 8;
+
+  const ToleranceReport a = fannet.analyze_tolerance(inputs, labels, serial);
+  const ToleranceReport b = fannet.analyze_tolerance(inputs, labels, parallel);
+  EXPECT_EQ(a.noise_tolerance, b.noise_tolerance);
+  EXPECT_EQ(a.queries, b.queries);
+  ASSERT_EQ(a.per_sample.size(), b.per_sample.size());
+  for (std::size_t s = 0; s < a.per_sample.size(); ++s) {
+    EXPECT_EQ(a.per_sample[s].min_flip_range, b.per_sample[s].min_flip_range);
+    EXPECT_EQ(a.per_sample[s].witness, b.per_sample[s].witness) << s;
+  }
+}
+
+TEST(Sensitivity, ParallelReportMatchesSerial) {
+  const nn::QuantizedNetwork net = random_qnet(32, 3, 5);
+  const Fannet fannet(net);
+  la::Matrix<i64> inputs(3, 3);
+  util::Rng rng(505);
+  std::vector<int> labels(3);
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      inputs(s, c) = rng.uniform_int(1, 100);
+    }
+    labels[s] = net.classify_noised(inputs.row(s), {});
+  }
+  SensitivityConfig serial;
+  serial.threads = 1;
+  SensitivityConfig parallel;
+  parallel.threads = 8;
+  const auto a = analyze_sensitivity(fannet, inputs, labels, 8, {}, serial);
+  const auto b = analyze_sensitivity(fannet, inputs, labels, 8, {}, parallel);
+  EXPECT_EQ(a.positive_possible, b.positive_possible);
+  EXPECT_EQ(a.negative_possible, b.negative_possible);
+  EXPECT_EQ(a.solo_flip_range, b.solo_flip_range);
 }
 
 TEST(Tolerance, MinFlipRangeIsTight) {

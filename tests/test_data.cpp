@@ -190,8 +190,8 @@ TEST(MutualInformation, Symmetric) {
 }
 
 TEST(MutualInformation, SizeMismatchThrows) {
-  EXPECT_THROW(mutual_information({0, 1}, {0}), InvalidArgument);
-  EXPECT_THROW(mutual_information({}, {}), InvalidArgument);
+  EXPECT_THROW((void)mutual_information({0, 1}, {0}), InvalidArgument);
+  EXPECT_THROW((void)mutual_information({}, {}), InvalidArgument);
 }
 
 TEST(Discretize, ThreeLevels) {

@@ -81,7 +81,7 @@ TEST(Integration, FourEnginesAgreeOnRealSamples) {
       // so the suite stays fast (the per-engine tests cover it broadly).
       std::vector<Engine> engines{Engine::kBnB, Engine::kExplicitMc};
       if (range == 1) engines.push_back(Engine::kBmc);
-      for (const Engine e : engines) {
+      for (const Engine& e : engines) {
         const auto r =
             fannet.check_sample(cs.test_x.row(s), cs.test_y[s], range, e);
         EXPECT_EQ(r.verdict, truth.verdict)

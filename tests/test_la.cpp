@@ -26,8 +26,8 @@ TEST(Matrix, FromRowsRaggedThrows) {
 
 TEST(Matrix, OutOfBoundsThrows) {
   MatrixD m(2, 2);
-  EXPECT_THROW(m(2, 0), InvalidArgument);
-  EXPECT_THROW(m(0, 2), InvalidArgument);
+  EXPECT_THROW((void)m(2, 0), InvalidArgument);
+  EXPECT_THROW((void)m(0, 2), InvalidArgument);
 }
 
 TEST(Matrix, RowView) {

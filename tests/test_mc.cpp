@@ -113,7 +113,7 @@ ASSIGN init(x) := 0; next(x) := 0..1000;
   ExplicitOptions options;
   options.max_states = 10;
   const ExplicitChecker checker(m, options);
-  EXPECT_THROW(checker.explore(), ResourceLimit);
+  EXPECT_THROW((void)checker.explore(), ResourceLimit);
 }
 
 // ---------------------------------------------------------------------------

@@ -67,7 +67,7 @@ TEST(ArgmaxTieLow, TiesResolveToLowerIndex) {
 }
 
 TEST(ArgmaxTieLow, EmptyThrows) {
-  EXPECT_THROW(argmax_tie_low(std::vector<double>{}), InvalidArgument);
+  EXPECT_THROW((void)argmax_tie_low(std::vector<double>{}), InvalidArgument);
 }
 
 TEST(Network, ValidatesLayerShapes) {
@@ -182,7 +182,7 @@ TEST(Train, MismatchedLabelsThrow) {
   Network net = Network::random({2, 4, 2}, 7);
   la::MatrixD x(3, 2);
   EXPECT_THROW(train(net, x, {0, 1}, {}), InvalidArgument);
-  EXPECT_THROW(accuracy(net, x, {0, 1}), InvalidArgument);
+  EXPECT_THROW((void)accuracy(net, x, {0, 1}), InvalidArgument);
 }
 
 TEST(Train, InputDimMismatchThrows) {

@@ -31,7 +31,7 @@ TEST(Quantized, ScalesAreExact) {
   EXPECT_EQ(q.scale_at(1), static_cast<i128>(100) * 100 * 10'000);
   EXPECT_EQ(q.scale_at(2),
             static_cast<i128>(100) * 100 * 10'000 * 10'000);
-  EXPECT_THROW(q.scale_at(3), InvalidArgument);
+  EXPECT_THROW((void)q.scale_at(3), InvalidArgument);
 }
 
 TEST(Quantized, NoisedInputsFormula) {
@@ -98,7 +98,7 @@ TEST(Quantized, ClassifyNoisedAgreesWithManualPath) {
 TEST(Quantized, TieResolvesToLowerIndex) {
   EXPECT_EQ(argmax_tie_low_i64(std::vector<i64>{5, 5}), 0);
   EXPECT_EQ(argmax_tie_low_i64(std::vector<i64>{1, 7, 7}), 1);
-  EXPECT_THROW(argmax_tie_low_i64(std::vector<i64>{}), InvalidArgument);
+  EXPECT_THROW((void)argmax_tie_low_i64(std::vector<i64>{}), InvalidArgument);
 }
 
 TEST(Quantized, DequantizeApproximatesOriginal) {

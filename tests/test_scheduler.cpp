@@ -1,0 +1,177 @@
+// Scheduler determinism tests: batch results must be bit-identical and
+// identically ordered for 1 vs N worker threads, the witness search must
+// return the same (lowest-index) witness a serial scan finds, and
+// exceptions must propagate to the caller.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "nn/network.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "verify/engine.hpp"
+#include "verify/enumerate.hpp"
+#include "verify/scheduler.hpp"
+
+namespace fannet::verify {
+namespace {
+
+using util::i64;
+
+nn::QuantizedNetwork& shared_net() {
+  static nn::QuantizedNetwork net = nn::QuantizedNetwork::quantize(
+      nn::Network::random({3, 5, 2}, 77), 100);
+  return net;
+}
+
+/// A batch mixing robust and vulnerable queries (wrong labels guarantee
+/// vulnerability: the zero-noise vector itself flips).
+std::vector<Query> mixed_batch(std::size_t count, std::uint64_t seed) {
+  const nn::QuantizedNetwork& net = shared_net();
+  util::Rng rng(seed);
+  std::vector<Query> batch;
+  for (std::size_t i = 0; i < count; ++i) {
+    Query q;
+    q.net = &net;
+    q.x = {rng.uniform_int(1, 100), rng.uniform_int(1, 100),
+           rng.uniform_int(1, 100)};
+    const int actual = net.classify_noised(q.x, {});
+    q.true_label = rng.bernoulli(0.4) ? 1 - actual : actual;
+    q.box = NoiseBox::symmetric(3, static_cast<int>(rng.uniform_int(1, 3)));
+    batch.push_back(std::move(q));
+  }
+  return batch;
+}
+
+bool same_result(const VerifyResult& a, const VerifyResult& b) {
+  return a.verdict == b.verdict && a.work == b.work &&
+         a.counterexample == b.counterexample;
+}
+
+TEST(Scheduler, RunAllIsIdenticalAndOrderedForOneVsManyThreads) {
+  const std::vector<Query> batch = mixed_batch(24, 5);
+  const Engine& bnb = engine("bnb");
+
+  BatchStats serial_stats;
+  const auto serial =
+      Scheduler({.threads = 1}).run_all(batch, bnb, &serial_stats);
+  ASSERT_EQ(serial.size(), batch.size());
+
+  for (const std::size_t threads : {2u, 8u}) {
+    BatchStats stats;
+    const auto parallel =
+        Scheduler({.threads = threads}).run_all(batch, bnb, &stats);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(same_result(serial[i], parallel[i])) << "index " << i;
+    }
+    EXPECT_EQ(stats.queries, batch.size());
+    EXPECT_EQ(stats.executed, batch.size());
+    EXPECT_EQ(stats.total_work, serial_stats.total_work);
+    EXPECT_GE(stats.wall_ms, 0.0);
+    EXPECT_GE(stats.threads, 1u);
+  }
+}
+
+TEST(Scheduler, RunAllAgreesWithDirectEngineCalls) {
+  const std::vector<Query> batch = mixed_batch(10, 6);
+  const Engine& cascade = engine("cascade");
+  const auto results = Scheduler({.threads = 4}).run_all(batch, cascade);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(same_result(results[i], cascade.verify(batch[i]))) << i;
+  }
+}
+
+TEST(Scheduler, WitnessSearchFindsSerialWitnessForAnyThreadCount) {
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    const std::vector<Query> batch = mixed_batch(30, seed);
+    const Engine& bnb = engine("bnb");
+
+    // Serial reference: the first vulnerable index.
+    std::optional<std::size_t> expected;
+    for (std::size_t i = 0; i < batch.size() && !expected; ++i) {
+      if (bnb.verify(batch[i]).verdict == Verdict::kVulnerable) expected = i;
+    }
+
+    for (const std::size_t threads : {1u, 3u, 8u}) {
+      BatchStats stats;
+      const auto witness = Scheduler({.threads = threads})
+                               .run_until_witness(batch, bnb, &stats);
+      EXPECT_EQ(stats.queries, batch.size());
+      EXPECT_LE(stats.executed, batch.size());
+      if (!expected.has_value()) {
+        EXPECT_FALSE(witness.has_value()) << "seed " << seed;
+        EXPECT_EQ(stats.executed, batch.size());
+        continue;
+      }
+      ASSERT_TRUE(witness.has_value()) << "seed " << seed;
+      EXPECT_EQ(witness->index, *expected)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(witness->result.verdict, Verdict::kVulnerable);
+      ASSERT_TRUE(witness->result.counterexample.has_value());
+      std::vector<int> deltas = witness->result.counterexample->deltas;
+      EXPECT_NE(classify_under_noise(batch[witness->index], deltas),
+                batch[witness->index].true_label);
+    }
+  }
+}
+
+TEST(Scheduler, WitnessSearchCancelsTailWork) {
+  // Every query is vulnerable, so a serial scan decides exactly one before
+  // cancelling the rest.
+  const nn::QuantizedNetwork& net = shared_net();
+  std::vector<Query> batch;
+  for (int i = 0; i < 20; ++i) {
+    Query q;
+    q.net = &net;
+    q.x = {50, 60, 70};
+    q.true_label = 1 - net.classify_noised(q.x, {});
+    q.box = NoiseBox::symmetric(3, 1);
+    batch.push_back(std::move(q));
+  }
+  BatchStats stats;
+  const auto witness =
+      Scheduler({.threads = 1}).run_until_witness(batch, engine("bnb"), &stats);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->index, 0u);
+  EXPECT_EQ(stats.executed, 1u);
+}
+
+TEST(Scheduler, ParallelForCoversEveryIndexExactlyOnce) {
+  const Scheduler scheduler({.threads = 8});
+  std::vector<std::atomic<int>> hits(997);
+  scheduler.parallel_for(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+  // Zero-count batches are a no-op.
+  scheduler.parallel_for(0, [&](std::size_t) { FAIL(); });
+}
+
+TEST(Scheduler, ExceptionsPropagateToCaller) {
+  for (const std::size_t threads : {1u, 4u}) {
+    const Scheduler scheduler({.threads = threads});
+    EXPECT_THROW(scheduler.parallel_for(100,
+                                        [](std::size_t i) {
+                                          if (i == 37) {
+                                            throw InvalidArgument("boom");
+                                          }
+                                        }),
+                 InvalidArgument);
+  }
+}
+
+TEST(Scheduler, EmptyBatchesAreNoOps) {
+  const Scheduler scheduler;
+  BatchStats stats;
+  EXPECT_TRUE(scheduler.run_all({}, engine("bnb"), &stats).empty());
+  EXPECT_EQ(stats.queries, 0u);
+  EXPECT_FALSE(scheduler.run_until_witness({}, engine("bnb")).has_value());
+  EXPECT_GE(scheduler.threads(), 1u);
+}
+
+}  // namespace
+}  // namespace fannet::verify

@@ -19,7 +19,7 @@ TEST(Ast, VarDeclarationRules) {
   m.add_var("e", EnumType{{"red", "green"}});
   EXPECT_THROW(m.add_var("e2", EnumType{{"red"}}), InvalidArgument);  // symbol reuse
   EXPECT_EQ(m.symbol_value("green"), 1);
-  EXPECT_THROW(m.symbol_value("blue"), InvalidArgument);
+  EXPECT_THROW((void)m.symbol_value("blue"), InvalidArgument);
 }
 
 TEST(Ast, DomainBounds) {
@@ -103,7 +103,7 @@ TEST(Eval, CaseWithoutMatchThrows) {
   m.add_var("x", RangeType{0, 9});
   Evaluator ev(m);
   const ExprId c = m.e_case({m.e_bool(false), m.e_const(1)});
-  EXPECT_THROW(ev.eval(c, {0}), InvalidArgument);
+  EXPECT_THROW((void)ev.eval(c, {0}), InvalidArgument);
 }
 
 TEST(Eval, DefinesChainThroughEachOther) {
@@ -124,7 +124,7 @@ TEST(Eval, NextRefNeedsNextState) {
   const ExprId nx = m.e_next(0);
   const State cur{3}, nxt{5};
   EXPECT_EQ(ev.eval(nx, cur, &nxt), 5);
-  EXPECT_THROW(ev.eval(nx, cur), InvalidArgument);
+  EXPECT_THROW((void)ev.eval(nx, cur), InvalidArgument);
 }
 
 TEST(Eval, ChoicesSetRangeAndDedup) {
@@ -143,7 +143,7 @@ TEST(Eval, SetInPlainEvalThrows) {
   Module m;
   m.add_var("x", RangeType{0, 9});
   Evaluator ev(m);
-  EXPECT_THROW(ev.eval(m.e_set({m.e_const(1)}), {0}), InvalidArgument);
+  EXPECT_THROW((void)ev.eval(m.e_set({m.e_const(1)}), {0}), InvalidArgument);
 }
 
 TEST(Eval, OverflowDetected) {
@@ -152,7 +152,7 @@ TEST(Eval, OverflowDetected) {
   Evaluator ev(m);
   const ExprId big = m.e_binary(
       Op::kMul, m.e_const(std::numeric_limits<i64>::max()), m.e_const(2));
-  EXPECT_THROW(ev.eval(big, {0}), ArithmeticError);
+  EXPECT_THROW((void)ev.eval(big, {0}), ArithmeticError);
 }
 
 // ---------------------------------------------------------------------------

@@ -23,21 +23,21 @@ TEST(Checked, AddSubMulBasics) {
 }
 
 TEST(Checked, AddOverflowThrows) {
-  EXPECT_THROW(checked_add(std::numeric_limits<i64>::max(), 1),
+  EXPECT_THROW((void)checked_add(std::numeric_limits<i64>::max(), 1),
                ArithmeticError);
-  EXPECT_THROW(checked_add(std::numeric_limits<i64>::min(), -1),
+  EXPECT_THROW((void)checked_add(std::numeric_limits<i64>::min(), -1),
                ArithmeticError);
 }
 
 TEST(Checked, SubOverflowThrows) {
-  EXPECT_THROW(checked_sub(std::numeric_limits<i64>::min(), 1),
+  EXPECT_THROW((void)checked_sub(std::numeric_limits<i64>::min(), 1),
                ArithmeticError);
 }
 
 TEST(Checked, MulOverflowThrows) {
-  EXPECT_THROW(checked_mul(std::numeric_limits<i64>::max(), 2),
+  EXPECT_THROW((void)checked_mul(std::numeric_limits<i64>::max(), 2),
                ArithmeticError);
-  EXPECT_THROW(checked_mul(std::numeric_limits<i64>::min(), -1),
+  EXPECT_THROW((void)checked_mul(std::numeric_limits<i64>::min(), -1),
                ArithmeticError);
 }
 
@@ -49,8 +49,8 @@ TEST(Checked, NarrowI128RoundTrips) {
 
 TEST(Checked, NarrowI128Throws) {
   i128 big = static_cast<i128>(std::numeric_limits<i64>::max()) + 1;
-  EXPECT_THROW(narrow_i128(big), ArithmeticError);
-  EXPECT_THROW(narrow_i128(-big - 10), ArithmeticError);
+  EXPECT_THROW((void)narrow_i128(big), ArithmeticError);
+  EXPECT_THROW((void)narrow_i128(-big - 10), ArithmeticError);
 }
 
 TEST(Checked, FloorCeilDiv) {
@@ -104,9 +104,9 @@ TEST(Fixed, ToStringFormatting) {
 
 TEST(Fixed, OverflowDetected) {
   const Fixed big = Fixed::from_raw(std::numeric_limits<i64>::max());
-  EXPECT_THROW(big + Fixed::from_int(1), ArithmeticError);
-  EXPECT_THROW(big.mul_int(2), ArithmeticError);
-  EXPECT_THROW(Fixed::from_double(1e18), ArithmeticError);
+  EXPECT_THROW((void)(big + Fixed::from_int(1)), ArithmeticError);
+  EXPECT_THROW((void)big.mul_int(2), ArithmeticError);
+  EXPECT_THROW((void)Fixed::from_double(1e18), ArithmeticError);
 }
 
 // ---------------------------------------------------------------------------
@@ -219,9 +219,9 @@ TEST(Csv, RoundTrip) {
 TEST(Csv, NumericCellParsers) {
   EXPECT_EQ(csv_to_int("-42"), -42);
   EXPECT_DOUBLE_EQ(csv_to_double("2.5"), 2.5);
-  EXPECT_THROW(csv_to_int("12x"), ParseError);
-  EXPECT_THROW(csv_to_int(""), ParseError);
-  EXPECT_THROW(csv_to_double("abc"), ParseError);
+  EXPECT_THROW((void)csv_to_int("12x"), ParseError);
+  EXPECT_THROW((void)csv_to_int(""), ParseError);
+  EXPECT_THROW((void)csv_to_double("abc"), ParseError);
 }
 
 TEST(Csv, FileRoundTrip) {

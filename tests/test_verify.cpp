@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "nn/network.hpp"
@@ -51,6 +52,23 @@ TEST(NoiseBox, SymmetricAndVolume) {
   s.hi = {1, -2};
   EXPECT_TRUE(s.is_singleton());
   EXPECT_DOUBLE_EQ(s.volume(), 1.0);
+}
+
+TEST(NoiseBox, VolumeSaturatesInsteadOfLosingPrecision) {
+  // Exact up to 2^53 grid points; saturates to +inf beyond instead of
+  // silently returning a rounded (wrong) count.
+  NoiseBox exact;
+  exact.lo.assign(53, 0);
+  exact.hi.assign(53, 1);  // exactly 2^53 points
+  EXPECT_DOUBLE_EQ(exact.volume(), 9007199254740992.0);
+
+  NoiseBox beyond = exact;
+  beyond.hi[0] = 2;  // 1.5 * 2^53: no longer exactly representable
+  EXPECT_TRUE(std::isinf(beyond.volume()));
+
+  // The paper-scale worst case: a ±100% box over dozens of input nodes.
+  const NoiseBox huge = NoiseBox::symmetric(64, 100);
+  EXPECT_TRUE(std::isinf(huge.volume()));
 }
 
 TEST(Query, ValidationCatchesMistakes) {
