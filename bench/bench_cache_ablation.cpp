@@ -1,0 +1,139 @@
+// Query-cache ablation on the paper's headline workload (ISSUE 2
+// acceptance gate): the full Fig. 4 noise-tolerance sweep is run twice —
+// exactly what parameter studies and repeated bench/CLI invocations do —
+// once with the cache disabled and once with a process-wide
+// verify::QueryCache installed.  The second cached pass answers from
+// memory, so the cached pair must cut total wall clock by >= 30% while
+// every verdict, flipping range, and witness stays bit-identical; both are
+// asserted, and the measured curve lands in BENCH_cache_ablation.json.
+//
+// A third section round-trips the disk tier: a fresh cache warm-started
+// from the JSON-lines file left by the run above must again reproduce the
+// identical report with zero engine dispatches for the repeated queries.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/casestudy.hpp"
+#include "core/fannet.hpp"
+#include "util/benchjson.hpp"
+#include "util/stopwatch.hpp"
+#include "verify/query_cache.hpp"
+
+namespace {
+
+using namespace fannet;
+
+core::ToleranceReport run_sweep(const core::CaseStudy& cs) {
+  core::ToleranceConfig config;
+  config.start_range = 50;
+  config.engine = core::Engine::kCascade;
+  config.threads = 1;  // isolate caching from thread-scaling effects
+  return core::Fannet(cs.qnet).analyze_tolerance(cs.test_x, cs.test_y, config);
+}
+
+bool same_report(const core::ToleranceReport& a,
+                 const core::ToleranceReport& b) {
+  if (a.noise_tolerance != b.noise_tolerance || a.queries != b.queries ||
+      a.per_sample.size() != b.per_sample.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.per_sample.size(); ++i) {
+    const core::SampleTolerance& x = a.per_sample[i];
+    const core::SampleTolerance& y = b.per_sample[i];
+    if (x.correct_without_noise != y.correct_without_noise ||
+        x.min_flip_range != y.min_flip_range || x.witness != y.witness) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const core::CaseStudy cs = core::build_case_study();
+  util::BenchJson json("cache_ablation");
+
+  std::puts("=== Cache ablation: repeated Fig. 4 tolerance sweep ===");
+
+  // Arm 1: cache off, the sweep twice (the status quo for repeated runs).
+  const util::Stopwatch off_watch;
+  const core::ToleranceReport off_first = run_sweep(cs);
+  const core::ToleranceReport off_second = run_sweep(cs);
+  const double off_ms = off_watch.millis();
+  json.add("repeated_sweep_cache_off", off_ms, 2 * off_first.queries, 1);
+  std::printf("  cache off : %8.1f ms  (2 x %llu queries)\n", off_ms,
+              static_cast<unsigned long long>(off_first.queries));
+
+  // Arm 2: cache on, the same two sweeps; the second is answered from
+  // memory.
+  verify::QueryCache cache;
+  core::ToleranceReport on_first, on_second;
+  double on_ms = 0.0;
+  {
+    const verify::ScopedQueryCache guard(&cache);
+    const util::Stopwatch on_watch;
+    on_first = run_sweep(cs);
+    on_second = run_sweep(cs);
+    on_ms = on_watch.millis();
+  }
+  const auto stats = cache.stats();
+  json.add("repeated_sweep_cache_on", on_ms, 2 * on_first.queries, 1);
+  json.add("cache_hits", 0.0, stats.hits, 1);
+  json.add("cache_misses", 0.0, stats.misses, 1);
+  std::printf("  cache on  : %8.1f ms  (%llu hits / %llu misses)\n", on_ms,
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses));
+
+  if (!same_report(off_first, off_second) ||
+      !same_report(off_first, on_first) || !same_report(off_first, on_second)) {
+    std::fputs("FAIL: cached reports differ from the cache-off reports\n",
+               stderr);
+    return EXIT_FAILURE;
+  }
+
+  const double reduction = 100.0 * (off_ms - on_ms) / off_ms;
+  std::printf("  wall-clock reduction: %.1f%%  (gate: >= 30%%)\n", reduction);
+  json.add("wall_reduction_percent", reduction, 0, 1);
+  if (reduction < 30.0) {
+    std::fputs("FAIL: cache saved less than 30% on the repeated sweep\n",
+               stderr);
+    return EXIT_FAILURE;
+  }
+
+  // Arm 3: disk-tier round trip — a cold process warm-starting from the
+  // JSON-lines file must reproduce the identical report from pure hits.
+  std::puts("\n=== Disk tier: cold -> warm round trip ===");
+  const std::string disk_path = "BENCH_cache_ablation.cache.jsonl";
+  std::filesystem::remove(disk_path);
+  {
+    verify::QueryCache writer({.disk_path = disk_path});
+    const verify::ScopedQueryCache guard(&writer);
+    (void)run_sweep(cs);
+  }
+  verify::QueryCache reader({.disk_path = disk_path});
+  core::ToleranceReport warm;
+  double warm_ms = 0.0;
+  {
+    const verify::ScopedQueryCache guard(&reader);
+    const util::Stopwatch warm_watch;
+    warm = run_sweep(cs);
+    warm_ms = warm_watch.millis();
+  }
+  const auto warm_stats = reader.stats();
+  std::printf("  warm sweep: %8.1f ms  (%llu loaded, %llu hits, %llu misses)\n",
+              warm_ms, static_cast<unsigned long long>(warm_stats.disk_loaded),
+              static_cast<unsigned long long>(warm_stats.hits),
+              static_cast<unsigned long long>(warm_stats.misses));
+  json.add("warm_start_sweep", warm_ms, warm.queries, 1);
+  std::filesystem::remove(disk_path);
+  if (!same_report(off_first, warm) || warm_stats.misses != 0) {
+    std::fputs("FAIL: disk warm start missed or changed the report\n", stderr);
+    return EXIT_FAILURE;
+  }
+
+  const std::string path = json.write();
+  std::printf("\nwrote %s\n", path.c_str());
+  return EXIT_SUCCESS;
+}

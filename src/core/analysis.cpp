@@ -140,7 +140,9 @@ NodeSensitivityReport analyze_sensitivity(
     solo.hi.assign(n, 0);
     solo.lo[i] = -range;
     solo.hi[i] = range;
-    const auto r = engine.verify(fannet.make_query(row, labels[s], solo, false));
+    const auto r =
+        scheduler.verify_one(fannet.make_query(row, labels[s], solo, false),
+                             engine);
     if (r.verdict != Verdict::kVulnerable) return;
     const int flip_at = std::max(std::abs(r.counterexample->deltas[i]), 1);
     // Tighten: find the minimal |delta_i| that flips via bisection.
@@ -150,7 +152,9 @@ NodeSensitivityReport analyze_sensitivity(
       NoiseBox probe = solo;
       probe.lo[i] = -mid;
       probe.hi[i] = mid;
-      if (engine.verify(fannet.make_query(row, labels[s], probe, false))
+      if (scheduler
+              .verify_one(fannet.make_query(row, labels[s], probe, false),
+                          engine)
               .verdict == Verdict::kVulnerable) {
         hi = mid;
       } else {

@@ -6,6 +6,7 @@
 #include "util/error.hpp"
 #include "verify/bnb.hpp"
 #include "verify/engine.hpp"
+#include "verify/query_cache.hpp"
 #include "verify/scheduler.hpp"
 
 namespace fannet::core {
@@ -58,7 +59,8 @@ VerifyResult Fannet::check_sample_box(std::span<const i64> x, int true_label,
                                       const NoiseBox& box, Engine engine,
                                       bool bias_node) const {
   const Query q = make_query(x, true_label, box, bias_node);
-  return verify::engine(engine.name).verify(q);
+  return verify::cached_verify(verify::global_query_cache(), q,
+                               verify::engine(engine.name));
 }
 
 ToleranceReport Fannet::analyze_tolerance(const la::Matrix<i64>& inputs,
@@ -114,9 +116,10 @@ ToleranceReport Fannet::analyze_tolerance(const la::Matrix<i64>& inputs,
     const auto flips_at = [&](int range) {
       ++local_queries;
       const std::size_t dims = row.size() + (config.bias_node ? 1 : 0);
-      return engine.verify(make_query(row, labels[s],
-                                      NoiseBox::symmetric(dims, range),
-                                      config.bias_node));
+      return scheduler.verify_one(make_query(row, labels[s],
+                                             NoiseBox::symmetric(dims, range),
+                                             config.bias_node),
+                                  engine);
     };
     if (config.descent == ToleranceConfig::Descent::kBinary) {
       int lo = 1, hi = config.start_range;

@@ -163,6 +163,33 @@ QuantizedNetwork QuantizedNetwork::with_scaled_param(std::size_t layer,
   return copy;
 }
 
+std::uint64_t QuantizedNetwork::fingerprint() const noexcept {
+  // FNV-1a, folding every parameter as little-endian 64-bit words.  The
+  // byte order is fixed (not memcpy of host ints) so the hash — and with it
+  // the query cache's disk tier — is stable across platforms.
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffU;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(input_norm_));
+  mix(layers_.size());
+  for (const QLayer& l : layers_) {
+    mix(l.out_dim());
+    mix(l.in_dim());
+    mix(l.relu ? 1 : 0);
+    for (std::size_t r = 0; r < l.out_dim(); ++r) {
+      for (std::size_t c = 0; c < l.in_dim(); ++c) {
+        mix(static_cast<std::uint64_t>(l.weights(r, c)));
+      }
+    }
+    for (const i64 b : l.bias) mix(static_cast<std::uint64_t>(b));
+  }
+  return h;
+}
+
 int argmax_tie_low_i64(std::span<const i64> v) {
   if (v.empty()) throw InvalidArgument("argmax_tie_low_i64: empty vector");
   std::size_t best = 0;

@@ -91,6 +91,13 @@ class QuantizedNetwork {
   /// De-quantized copy (for comparing against the double-precision path).
   [[nodiscard]] Network dequantize() const;
 
+  /// Stable content fingerprint (FNV-1a over input_norm, layer shapes,
+  /// activation flags, and every raw weight/bias value).  Two networks have
+  /// equal fingerprints iff they compute the same function parameter-for-
+  /// parameter (up to 64-bit hashing), independent of object identity —
+  /// the verify-layer query cache keys on it (DESIGN.md §7).
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
   /// Copy with one parameter scaled by (100+percent)/100 (round half away
   /// from zero on the raw fixed-point value).  `col` selects a weight;
   /// `col == in_dim(layer)` selects the bias entry.  Used by the

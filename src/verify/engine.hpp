@@ -1,26 +1,27 @@
-// Pluggable P2 decision engines (DESIGN.md §4.5).
-//
-// Every strategy that can answer the paper's P2 query ("does some noise
-// vector in the box flip the classification?") implements the `Engine`
-// interface and registers itself under a stable string key in the
-// process-wide `EngineRegistry`.  Callers — the FANNet pipeline, the
-// scheduler, benches, tests — select engines by name and never switch on
-// strategy variants, so new backends (SAT portfolios, GPU batch eval,
-// distributed sharding) plug in without touching any consumer.
-//
-// Built-in registrations:
-//
-//   enumerate    exhaustive grid walk                exact    complete
-//   interval     interval bound propagation          exact    sound-only
-//   symbolic     affine bounds in the noise deltas   exact    sound-only
-//   bnb          branch-and-bound input splitting    exact    complete
-//   cascade      interval -> symbolic -> bnb         exact    complete
-//   explicit-mc  SMV translation + explicit-state MC exact    complete
-//   bmc          SMV translation + CDCL bounded MC   exact    complete
-//
-// The two MC-backed engines live in src/mc/engine_adapters.cpp (they need
-// the SMV translation layer); the registry pulls them in at startup via
-// `detail::register_translation_engines`.
+/// \file
+/// \brief Pluggable P2 decision engines (DESIGN.md §4.5).
+///
+/// Every strategy that can answer the paper's P2 query ("does some noise
+/// vector in the box flip the classification?") implements the `Engine`
+/// interface and registers itself under a stable string key in the
+/// process-wide `EngineRegistry`.  Callers — the FANNet pipeline, the
+/// scheduler, benches, tests — select engines by name and never switch on
+/// strategy variants, so new backends (SAT portfolios, GPU batch eval,
+/// distributed sharding) plug in without touching any consumer.
+///
+/// Built-in registrations:
+///
+///     enumerate    exhaustive grid walk                exact    complete
+///     interval     interval bound propagation          exact    sound-only
+///     symbolic     affine bounds in the noise deltas   exact    sound-only
+///     bnb          branch-and-bound input splitting    exact    complete
+///     cascade      interval -> symbolic -> bnb         exact    complete
+///     explicit-mc  SMV translation + explicit-state MC exact    complete
+///     bmc          SMV translation + CDCL bounded MC   exact    complete
+///
+/// The two MC-backed engines live in src/mc/engine_adapters.cpp (they need
+/// the SMV translation layer); the registry pulls them in at startup via
+/// `detail::register_translation_engines`.
 #pragma once
 
 #include <map>
@@ -44,9 +45,15 @@ class Engine {
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
   /// Complete engines never answer kUnknown; sound-only engines answer
-  /// kRobust or kUnknown but never produce a wrong verdict.
+  /// kRobust or kUnknown but never produce a wrong verdict.  This flag
+  /// also selects the query-cache capability class
+  /// (verify/query_cache.hpp): all complete engines share cached verdicts.
   [[nodiscard]] virtual bool complete() const noexcept = 0;
 
+  /// Decides the query exactly and deterministically.
+  /// \param query a validated P2 query (see Query::validate()).
+  /// \return the verdict, a counterexample iff kVulnerable, and the
+  ///   engine-specific `work` effort counter.
   [[nodiscard]] virtual VerifyResult verify(const Query& query) const = 0;
 };
 

@@ -1,0 +1,425 @@
+#include "verify/query_cache.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <fstream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace fannet::verify {
+
+namespace {
+
+// --- canonical key serialization --------------------------------------------
+// Fixed-width little-endian fields; the byte string is the key, its hex
+// encoding is the disk representation.  No hashing is involved in equality,
+// so distinct regions cannot collide.
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    out.push_back(static_cast<char>((v >> (8 * byte)) & 0xffU));
+  }
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  append_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void append_i32(std::string& out, std::int32_t v) {
+  const auto u = static_cast<std::uint32_t>(v);
+  for (int byte = 0; byte < 4; ++byte) {
+    out.push_back(static_cast<char>((u >> (8 * byte)) & 0xffU));
+  }
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string to_hex(std::string_view bytes) {
+  std::string hex;
+  hex.reserve(bytes.size() * 2);
+  for (const char c : bytes) {
+    const auto b = static_cast<unsigned char>(c);
+    hex.push_back(kHexDigits[b >> 4]);
+    hex.push_back(kHexDigits[b & 0xf]);
+  }
+  return hex;
+}
+
+std::optional<std::string> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  std::string bytes;
+  bytes.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    bytes.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return bytes;
+}
+
+// --- disk tier line format --------------------------------------------------
+// One JSON object per line:
+//   {"key":"<hex>","verdict":"robust|vulnerable|unknown","work":N
+//    [,"deltas":[..],"bias_delta":N,"mis_label":N]}
+// (documented in docs/bench-format.md alongside the bench schema).
+
+std::string_view verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kRobust: return "robust";
+    case Verdict::kVulnerable: return "vulnerable";
+    case Verdict::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+std::string format_line(std::string_view key, const VerifyResult& result) {
+  std::string line = "{\"key\":\"";
+  line += to_hex(key);
+  line += "\",\"verdict\":\"";
+  line += verdict_name(result.verdict);
+  line += "\",\"work\":";
+  line += std::to_string(result.work);
+  if (result.verdict == Verdict::kVulnerable && result.counterexample) {
+    const Counterexample& cex = *result.counterexample;
+    line += ",\"deltas\":[";
+    for (std::size_t i = 0; i < cex.deltas.size(); ++i) {
+      if (i > 0) line += ',';
+      line += std::to_string(cex.deltas[i]);
+    }
+    line += "],\"bias_delta\":";
+    line += std::to_string(cex.bias_delta);
+    line += ",\"mis_label\":";
+    line += std::to_string(cex.mis_label);
+  }
+  line += '}';
+  return line;
+}
+
+/// Minimal scanner for the fixed line format above.  Returns nullopt on any
+/// deviation — the loader skips (and counts) such lines instead of failing,
+/// so a half-written final line from an interrupted run is harmless.
+struct ParsedLine {
+  std::string key;
+  VerifyResult result;
+};
+
+std::optional<ParsedLine> parse_line(std::string_view line) {
+  const auto after = [&line](std::string_view tag) -> std::optional<std::size_t> {
+    const std::size_t at = line.find(tag);
+    if (at == std::string_view::npos) return std::nullopt;
+    return at + tag.size();
+  };
+  const auto parse_int = [&line](std::size_t pos,
+                                 std::int64_t& out) -> std::optional<std::size_t> {
+    std::size_t i = pos;
+    bool negative = false;
+    if (i < line.size() && line[i] == '-') {
+      negative = true;
+      ++i;
+    }
+    if (i >= line.size() || !std::isdigit(static_cast<unsigned char>(line[i]))) {
+      return std::nullopt;
+    }
+    std::int64_t value = 0;
+    int digits = 0;
+    while (i < line.size() && std::isdigit(static_cast<unsigned char>(line[i]))) {
+      // 18 digits always fit in int64; more is corruption, not data (the
+      // accumulation would otherwise be signed-overflow UB).
+      if (++digits > 18) return std::nullopt;
+      value = value * 10 + (line[i] - '0');
+      ++i;
+    }
+    out = negative ? -value : value;
+    return i;
+  };
+
+  ParsedLine parsed;
+  const auto key_at = after("\"key\":\"");
+  if (!key_at) return std::nullopt;
+  const std::size_t key_end = line.find('"', *key_at);
+  if (key_end == std::string_view::npos) return std::nullopt;
+  auto key = from_hex(line.substr(*key_at, key_end - *key_at));
+  if (!key) return std::nullopt;
+  parsed.key = std::move(*key);
+
+  const auto verdict_at = after("\"verdict\":\"");
+  if (!verdict_at) return std::nullopt;
+  if (line.compare(*verdict_at, 6, "robust") == 0) {
+    parsed.result.verdict = Verdict::kRobust;
+  } else if (line.compare(*verdict_at, 10, "vulnerable") == 0) {
+    parsed.result.verdict = Verdict::kVulnerable;
+  } else if (line.compare(*verdict_at, 7, "unknown") == 0) {
+    parsed.result.verdict = Verdict::kUnknown;
+  } else {
+    return std::nullopt;
+  }
+
+  const auto work_at = after("\"work\":");
+  if (!work_at) return std::nullopt;
+  std::int64_t work = 0;
+  if (!parse_int(*work_at, work) || work < 0) return std::nullopt;
+  parsed.result.work = static_cast<std::uint64_t>(work);
+
+  if (parsed.result.verdict == Verdict::kVulnerable) {
+    Counterexample cex;
+    auto pos = after("\"deltas\":[");
+    if (!pos) return std::nullopt;
+    if (*pos < line.size() && line[*pos] != ']') {
+      for (;;) {
+        std::int64_t delta = 0;
+        const auto next = parse_int(*pos, delta);
+        if (!next) return std::nullopt;
+        cex.deltas.push_back(static_cast<int>(delta));
+        pos = *next;
+        if (*pos >= line.size()) return std::nullopt;
+        if (line[*pos] == ']') break;
+        if (line[*pos] != ',') return std::nullopt;
+        pos = *pos + 1;
+      }
+    }
+    const auto bias_at = after("\"bias_delta\":");
+    const auto label_at = after("\"mis_label\":");
+    if (!bias_at || !label_at) return std::nullopt;
+    std::int64_t bias = 0, label = 0;
+    if (!parse_int(*bias_at, bias) || !parse_int(*label_at, label)) {
+      return std::nullopt;
+    }
+    cex.bias_delta = static_cast<int>(bias);
+    cex.mis_label = static_cast<int>(label);
+    parsed.result.counterexample = std::move(cex);
+  }
+  return parsed;
+}
+
+/// Structural check of a disk-tier entry against the region encoded in its
+/// own key (see canonical_key): the key layout is fingerprint(8),
+/// class-len(8)+class, label(4), bias-flag(1), |x|(8)+x, dims(8)+lo/hi
+/// pairs.  A vulnerable entry whose counterexample does not fit that
+/// region (wrong delta count, delta outside its box dimension) would poison
+/// warm runs with out-of-box witnesses, so such lines are rejected — the
+/// "malformed lines are harmless" contract covers semantic truncation too.
+bool entry_fits_key(std::string_view key, const VerifyResult& result) {
+  std::size_t pos = 0;
+  const auto read_u64 = [&key, &pos](std::uint64_t& out) {
+    if (pos + 8 > key.size()) return false;
+    out = 0;
+    for (int byte = 0; byte < 8; ++byte) {
+      out |= static_cast<std::uint64_t>(static_cast<unsigned char>(key[pos++]))
+             << (8 * byte);
+    }
+    return true;
+  };
+  const auto read_i32 = [&key, &pos](std::int32_t& out) {
+    if (pos + 4 > key.size()) return false;
+    std::uint32_t u = 0;
+    for (int byte = 0; byte < 4; ++byte) {
+      u |= static_cast<std::uint32_t>(static_cast<unsigned char>(key[pos++]))
+           << (8 * byte);
+    }
+    out = static_cast<std::int32_t>(u);
+    return true;
+  };
+
+  std::uint64_t fingerprint = 0, class_len = 0, x_size = 0, dims = 0;
+  std::int32_t label = 0;
+  if (!read_u64(fingerprint) || !read_u64(class_len)) return false;
+  if (class_len > key.size() - pos) return false;
+  pos += class_len;
+  if (!read_i32(label)) return false;
+  if (pos >= key.size()) return false;
+  const bool bias_node = key[pos++] != 0;
+  if (!read_u64(x_size)) return false;
+  if (x_size > (key.size() - pos) / 8) return false;
+  pos += x_size * 8;
+  if (!read_u64(dims)) return false;
+  if (dims != x_size + (bias_node ? 1 : 0)) return false;
+  if (dims > (key.size() - pos) / 8) return false;
+
+  if (result.verdict != Verdict::kVulnerable) {
+    return !result.counterexample.has_value() &&
+           pos + dims * 8 == key.size();
+  }
+  if (!result.counterexample.has_value()) return false;
+  const Counterexample& cex = *result.counterexample;
+  if (cex.deltas.size() != x_size) return false;
+  for (std::size_t i = 0; i < dims; ++i) {
+    std::int32_t lo = 0, hi = 0;
+    if (!read_i32(lo) || !read_i32(hi)) return false;
+    const int delta =
+        i < x_size ? cex.deltas[i] : cex.bias_delta;  // last dim = bias node
+    if (delta < lo || delta > hi) return false;
+  }
+  if (!bias_node && cex.bias_delta != 0) return false;
+  return pos == key.size();
+}
+
+std::atomic<QueryCache*> g_query_cache{nullptr};
+
+}  // namespace
+
+std::string canonical_key(const Query& query, std::string_view capability) {
+  if (query.net == nullptr) {
+    throw InvalidArgument("canonical_key: query has no network");
+  }
+  std::string key;
+  key.reserve(32 + capability.size() + query.x.size() * 8 +
+              query.box.dims() * 8);
+  append_u64(key, query.net->fingerprint());
+  append_u64(key, capability.size());
+  key.append(capability);
+  append_i32(key, query.true_label);
+  key.push_back(query.bias_node ? 1 : 0);
+  append_u64(key, query.x.size());
+  for (const util::i64 x : query.x) append_i64(key, x);
+  append_u64(key, query.box.dims());
+  for (std::size_t i = 0; i < query.box.dims(); ++i) {
+    append_i32(key, query.box.lo[i]);
+    append_i32(key, query.box.hi[i]);
+  }
+  return key;
+}
+
+std::string capability_class(const Engine& engine) {
+  if (engine.complete()) return "complete";
+  return "sound-only:" + std::string(engine.name());
+}
+
+struct QueryCache::DiskTier {
+  std::ofstream append;
+};
+
+QueryCache::QueryCache(QueryCacheOptions options)
+    : options_(std::move(options)) {
+  if (options_.capacity == 0) {
+    throw InvalidArgument("QueryCache: capacity must be >= 1");
+  }
+  if (!options_.disk_path.empty()) {
+    load_disk_tier();
+    disk_ = std::make_unique<DiskTier>();
+    disk_->append.open(options_.disk_path, std::ios::app);
+    if (!disk_->append) {
+      throw Error("QueryCache: cannot open disk tier " + options_.disk_path);
+    }
+  }
+}
+
+QueryCache::~QueryCache() = default;
+
+void QueryCache::load_disk_tier() {
+  std::ifstream in(options_.disk_path);
+  if (!in) return;  // no file yet: cold start
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = parse_line(line);
+    if (parsed && entry_fits_key(parsed->key, parsed->result)) {
+      if (insert_locked(std::move(parsed->key), parsed->result,
+                        /*from_disk=*/true)) {
+        ++stats_.disk_loaded;
+      }
+    } else {
+      ++stats_.disk_skipped;
+    }
+  }
+}
+
+bool QueryCache::insert_locked(std::string key, const VerifyResult& result,
+                               bool from_disk) {
+  if (const auto it = index_.find(std::string_view(key));
+      it != index_.end()) {
+    it->second->result = result;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return false;
+  }
+  if (!from_disk && disk_ && disk_->append) {
+    disk_->append << format_line(key, result) << '\n';
+    disk_->append.flush();
+  }
+  lru_.push_front(Entry{std::move(key), result});
+  index_.emplace(std::string_view(lru_.front().key), lru_.begin());
+  while (lru_.size() > options_.capacity) {
+    index_.erase(std::string_view(lru_.back().key));
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return true;
+}
+
+std::optional<VerifyResult> QueryCache::lookup_by_key(std::string_view key) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->result;
+}
+
+void QueryCache::insert_by_key(std::string key, const VerifyResult& result) {
+  const std::scoped_lock lock(mutex_);
+  if (insert_locked(std::move(key), result, /*from_disk=*/false)) {
+    ++stats_.insertions;
+  }
+}
+
+std::optional<VerifyResult> QueryCache::lookup(const Query& query,
+                                               const Engine& engine) {
+  return lookup_by_key(canonical_key(query, capability_class(engine)));
+}
+
+void QueryCache::insert(const Query& query, const Engine& engine,
+                        const VerifyResult& result) {
+  insert_by_key(canonical_key(query, capability_class(engine)), result);
+}
+
+QueryCache::Stats QueryCache::stats() const {
+  const std::scoped_lock lock(mutex_);
+  Stats snapshot = stats_;
+  snapshot.entries = lru_.size();
+  return snapshot;
+}
+
+std::size_t QueryCache::size() const {
+  const std::scoped_lock lock(mutex_);
+  return lru_.size();
+}
+
+void QueryCache::clear() {
+  const std::scoped_lock lock(mutex_);
+  index_.clear();
+  lru_.clear();
+}
+
+VerifyResult cached_verify(QueryCache* cache, const Query& query,
+                           const Engine& engine, bool* hit) {
+  if (hit != nullptr) *hit = false;
+  if (cache == nullptr) return engine.verify(query);
+  // Serialize the canonical key once; the miss path reuses it for insert.
+  std::string key = canonical_key(query, capability_class(engine));
+  if (auto cached = cache->lookup_by_key(key)) {
+    if (hit != nullptr) *hit = true;
+    return *std::move(cached);
+  }
+  VerifyResult result = engine.verify(query);
+  cache->insert_by_key(std::move(key), result);
+  return result;
+}
+
+QueryCache* global_query_cache() noexcept {
+  return g_query_cache.load(std::memory_order_acquire);
+}
+
+QueryCache* set_global_query_cache(QueryCache* cache) noexcept {
+  return g_query_cache.exchange(cache, std::memory_order_acq_rel);
+}
+
+}  // namespace fannet::verify

@@ -1,0 +1,170 @@
+/// \file
+/// \brief Canonicalizing, thread-safe memoization of P2 verdicts
+///   (DESIGN.md §7).
+///
+/// FANNet's analyses decompose into thousands of overlapping P2 queries,
+/// and the Fig. 3/4 sweeps re-decide near-identical queries at adjacent
+/// noise levels and across repeated bench/CLI runs.  `QueryCache` memoizes
+/// `VerifyResult`s under a *canonical key* — a stable byte string derived
+/// from (network fingerprint, input region, property, engine capability
+/// class) — with an in-memory LRU tier and an optional JSON-lines disk
+/// tier so repeated runs warm-start.
+///
+/// Soundness: every registered engine is exact on the integer noise grid,
+/// and complete engines all compute the same verdict function, so a
+/// verdict cached under the "complete" capability class is reusable by any
+/// complete engine.  Sound-only engines may answer kUnknown on different
+/// queries, so each keys its own capability class.  The full canonical key
+/// (not just its hash) is stored and compared on lookup — distinct regions
+/// can never collide into a wrong verdict.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "verify/engine.hpp"
+#include "verify/query.hpp"
+
+namespace fannet::verify {
+
+/// Tuning knobs for a QueryCache instance.
+struct QueryCacheOptions {
+  /// Maximum entries held in memory; least-recently-used entries are
+  /// evicted beyond this.  Evicted entries persist in the disk tier.
+  std::size_t capacity = 1u << 20;
+  /// JSON-lines file backing the disk tier (loaded on construction,
+  /// appended on insert).  Empty disables the disk tier.
+  std::string disk_path = {};
+};
+
+/// Thread-safe memoization layer for P2 query verdicts.
+///
+/// Typical use: construct once per process (optionally pointing
+/// `disk_path` at a cache directory), install with `ScopedQueryCache` or
+/// `set_global_query_cache`, and let `Scheduler` probe it before every
+/// engine dispatch.  All methods are safe to call concurrently.
+class QueryCache {
+ public:
+  /// Builds the cache; if `options.disk_path` names an existing file its
+  /// JSON-lines entries are loaded (malformed lines are skipped and
+  /// counted, so a truncated final line from a killed run is harmless).
+  /// Throws util::Error when the disk file cannot be opened for append.
+  explicit QueryCache(QueryCacheOptions options = {});
+  ~QueryCache();
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// Returns the memoized result for (query, engine-capability-class), or
+  /// nullopt on a miss.  A hit refreshes the entry's LRU position.
+  [[nodiscard]] std::optional<VerifyResult> lookup(const Query& query,
+                                                   const Engine& engine);
+
+  /// Memoizes `result` for (query, engine-capability-class); overwrites an
+  /// existing entry.  New entries are appended to the disk tier.
+  void insert(const Query& query, const Engine& engine,
+              const VerifyResult& result);
+
+  /// Counters since construction (monotone except `entries`).
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;   ///< insert() calls that added an entry
+    std::uint64_t evictions = 0;    ///< LRU evictions (capacity pressure)
+    std::uint64_t disk_loaded = 0;  ///< entries loaded from the disk tier
+    std::uint64_t disk_skipped = 0; ///< malformed disk lines ignored
+    std::size_t entries = 0;        ///< current in-memory entry count
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Current in-memory entry count.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Drops every in-memory entry (the disk tier is left untouched).
+  void clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    VerifyResult result;
+  };
+  using Lru = std::list<Entry>;
+
+  /// Key-based probe/memoize used by `cached_verify` so the miss path
+  /// serializes the canonical key once instead of per lookup-then-insert.
+  friend VerifyResult cached_verify(QueryCache* cache, const Query& query,
+                                    const Engine& engine, bool* hit);
+  [[nodiscard]] std::optional<VerifyResult> lookup_by_key(
+      std::string_view key);
+  void insert_by_key(std::string key, const VerifyResult& result);
+
+  /// Inserts under `key`, assuming `mutex_` is held; returns true if the
+  /// entry is new.  `from_disk` suppresses the disk append.
+  bool insert_locked(std::string key, const VerifyResult& result,
+                     bool from_disk);
+  void load_disk_tier();
+
+  mutable std::mutex mutex_;
+  QueryCacheOptions options_;
+  Lru lru_;  ///< front = most recently used
+  std::unordered_map<std::string_view, Lru::iterator> index_;
+  Stats stats_;
+  /// Append stream for the disk tier, kept open for the cache's lifetime.
+  /// (Type-erased to keep <fstream> out of this header.)
+  struct DiskTier;
+  std::unique_ptr<DiskTier> disk_;
+};
+
+/// Canonical cache key for (query, capability class): a stable byte string
+/// over the network *content* fingerprint (not its address), the base
+/// input, the true label, the bias-node flag, the exact noise box, and the
+/// capability class — all serialized little-endian fixed-width, so keys
+/// (and the disk tier) are stable across runs and platforms.  Two queries
+/// share a key iff every engine in the capability class must return the
+/// same verdict for both.
+[[nodiscard]] std::string canonical_key(const Query& query,
+                                        std::string_view capability);
+
+/// Engine capability class used in the cache key: complete engines all
+/// share `"complete"` (they compute the same verdict function); a
+/// sound-only engine gets its own `"sound-only:<name>"` class because
+/// kUnknown patterns are engine-specific.
+[[nodiscard]] std::string capability_class(const Engine& engine);
+
+/// Probe-verify-insert in one step: returns the cached result when
+/// present, otherwise runs `engine.verify(query)` and memoizes the
+/// verdict.  `cache` may be null (plain verify).  When `hit` is non-null
+/// it is set to whether the cache answered.
+[[nodiscard]] VerifyResult cached_verify(QueryCache* cache, const Query& query,
+                                         const Engine& engine,
+                                         bool* hit = nullptr);
+
+/// The process-wide cache consulted by `Scheduler` (and the analyses built
+/// on it) when no per-batch cache is configured.  Null — caching disabled —
+/// until something installs one; the CLI and the ablation bench do.
+[[nodiscard]] QueryCache* global_query_cache() noexcept;
+
+/// Installs `cache` as the process-wide cache and returns the previous
+/// one.  The caller retains ownership; pass nullptr to disable caching.
+QueryCache* set_global_query_cache(QueryCache* cache) noexcept;
+
+/// RAII installer for the process-wide cache (tests, benches, tools).
+class ScopedQueryCache {
+ public:
+  explicit ScopedQueryCache(QueryCache* cache)
+      : previous_(set_global_query_cache(cache)) {}
+  ~ScopedQueryCache() { set_global_query_cache(previous_); }
+  ScopedQueryCache(const ScopedQueryCache&) = delete;
+  ScopedQueryCache& operator=(const ScopedQueryCache&) = delete;
+
+ private:
+  QueryCache* previous_;
+};
+
+}  // namespace fannet::verify

@@ -7,13 +7,23 @@
 #include <vector>
 
 #include "util/stopwatch.hpp"
+#include "verify/query_cache.hpp"
 
 namespace fannet::verify {
 
-Scheduler::Scheduler(SchedulerOptions options) {
+Scheduler::Scheduler(SchedulerOptions options) : cache_(options.cache) {
   threads_ = options.threads != 0
                  ? options.threads
                  : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+QueryCache* Scheduler::effective_cache() const noexcept {
+  return cache_ != nullptr ? cache_ : global_query_cache();
+}
+
+VerifyResult Scheduler::verify_one(const Query& query, const Engine& engine,
+                                   bool* hit) const {
+  return cached_verify(effective_cache(), query, engine, hit);
 }
 
 void Scheduler::parallel_for(std::size_t count,
@@ -56,9 +66,13 @@ std::vector<VerifyResult> Scheduler::run_all(std::span<const Query> queries,
                                              const Engine& engine,
                                              BatchStats* stats) const {
   const util::Stopwatch watch;
+  QueryCache* const cache = effective_cache();
   std::vector<VerifyResult> results(queries.size());
+  std::atomic<std::uint64_t> hits{0};
   parallel_for(queries.size(), [&](std::size_t i) {
-    results[i] = engine.verify(queries[i]);
+    bool hit = false;
+    results[i] = cached_verify(cache, queries[i], engine, &hit);
+    if (hit) hits.fetch_add(1, std::memory_order_relaxed);
   });
   if (stats != nullptr) {
     stats->queries = queries.size();
@@ -66,6 +80,9 @@ std::vector<VerifyResult> Scheduler::run_all(std::span<const Query> queries,
     stats->threads = std::min(threads_, std::max<std::size_t>(1, queries.size()));
     stats->total_work = 0;
     for (const VerifyResult& r : results) stats->total_work += r.work;
+    stats->cache_hits = hits.load();
+    stats->cache_misses =
+        cache != nullptr ? queries.size() - stats->cache_hits : 0;
     stats->wall_ms = watch.millis();
   }
   return results;
@@ -75,6 +92,7 @@ std::optional<Scheduler::Witness> Scheduler::run_until_witness(
     std::span<const Query> queries, const Engine& engine,
     BatchStats* stats) const {
   const util::Stopwatch watch;
+  QueryCache* const cache = effective_cache();
   const std::size_t count = queries.size();
   std::vector<VerifyResult> results(count);
 
@@ -86,6 +104,7 @@ std::optional<Scheduler::Witness> Scheduler::run_until_witness(
   std::atomic<std::size_t> next{0};
   std::atomic<std::uint64_t> total_work{0};
   std::atomic<std::size_t> num_executed{0};
+  std::atomic<std::uint64_t> cache_hits{0};
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
@@ -97,7 +116,9 @@ std::optional<Scheduler::Witness> Scheduler::run_until_witness(
       if (i >= count) return;
       if (i > bound.load(std::memory_order_acquire)) continue;  // cancelled
       try {
-        results[i] = engine.verify(queries[i]);
+        bool hit = false;
+        results[i] = cached_verify(cache, queries[i], engine, &hit);
+        if (hit) cache_hits.fetch_add(1, std::memory_order_relaxed);
       } catch (...) {
         const std::scoped_lock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -131,6 +152,9 @@ std::optional<Scheduler::Witness> Scheduler::run_until_witness(
     stats->executed = num_executed.load();
     stats->threads = workers;
     stats->total_work = total_work.load();
+    stats->cache_hits = cache_hits.load();
+    stats->cache_misses =
+        cache != nullptr ? stats->executed - stats->cache_hits : 0;
     stats->wall_ms = watch.millis();
   }
 

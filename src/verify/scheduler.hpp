@@ -1,22 +1,30 @@
-// Parallel P2 query scheduler (DESIGN.md §5).
-//
-// FANNet's analyses (tolerance, corpus, sensitivity, boundary, faults) all
-// reduce to large batches of independent P2 queries; this fork-join
-// scheduler fans a batch across a thread pool while keeping every result
-// bit-identical to the serial run:
-//
-//   - results are written to index-addressed slots, so `run_all` returns
-//     them in input order regardless of completion order;
-//   - `run_until_witness` decides existence-style batches ("does ANY query
-//     in this batch have a counterexample?") and cancels work that can no
-//     longer matter, yet still returns the *lowest-index* witness — the
-//     same one a serial scan would find — by only skipping indices above
-//     the best witness known so far;
-//   - `parallel_for` runs non-uniform jobs (per-sample bisections, weight
-//     scans) with the same deterministic-slot discipline left to callers.
-//
-// Exceptions thrown by a task are captured and rethrown on the calling
-// thread after the pool drains (first one wins).
+/// \file
+/// \brief Parallel P2 query scheduler (DESIGN.md §5).
+///
+/// FANNet's analyses (tolerance, corpus, sensitivity, boundary, faults) all
+/// reduce to large batches of independent P2 queries; this fork-join
+/// scheduler fans a batch across a thread pool while keeping every result
+/// bit-identical to the serial run:
+///
+///   - results are written to index-addressed slots, so `run_all` returns
+///     them in input order regardless of completion order;
+///   - `run_until_witness` decides existence-style batches ("does ANY query
+///     in this batch have a counterexample?") and cancels work that can no
+///     longer matter, yet still returns the *lowest-index* witness — the
+///     same one a serial scan would find — by only skipping indices above
+///     the best witness known so far;
+///   - `parallel_for` runs non-uniform jobs (per-sample bisections, weight
+///     scans) with the same deterministic-slot discipline left to callers.
+///
+/// Every query dispatched by `run_all` / `run_until_witness` / `verify_one`
+/// first probes the configured `QueryCache` (per-scheduler override or the
+/// process-wide cache; see verify/query_cache.hpp and DESIGN.md §7) and
+/// memoizes the verdict on a miss; hit/miss counts land in `BatchStats`.
+/// Engines are deterministic, so results are identical cache-on vs
+/// cache-off.
+///
+/// Exceptions thrown by a task are captured and rethrown on the calling
+/// thread after the pool drains (first one wins).
 #pragma once
 
 #include <cstdint>
@@ -29,9 +37,17 @@
 
 namespace fannet::verify {
 
+class QueryCache;
+
+/// Construction-time configuration for a Scheduler.
 struct SchedulerOptions {
-  /// 0 = one worker per hardware thread.
+  /// Worker count; 0 = one worker per hardware thread.
   std::size_t threads = 0;
+  /// Per-batch memoization layer probed before every engine dispatch.
+  /// Null (the default) falls back to `global_query_cache()`, which is
+  /// itself null unless a tool installed one — so caching is opt-in and
+  /// existing call sites are unaffected.  The caller retains ownership.
+  QueryCache* cache = nullptr;
 };
 
 /// Per-batch accounting, filled by the run_* entry points.
@@ -40,6 +56,8 @@ struct BatchStats {
   std::size_t executed = 0;   ///< queries actually decided (cancellation skips)
   std::size_t threads = 0;    ///< workers used for this batch
   std::uint64_t total_work = 0;  ///< sum of per-query VerifyResult::work
+  std::uint64_t cache_hits = 0;    ///< decided from the query cache
+  std::uint64_t cache_misses = 0;  ///< probed the cache, dispatched engine
   double wall_ms = 0.0;
 };
 
@@ -47,10 +65,23 @@ class Scheduler {
  public:
   explicit Scheduler(SchedulerOptions options = {});
 
+  /// Workers this scheduler fans batches across (resolved, >= 1).
   [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+
+  /// Decides one query through the cache tier (probe, engine dispatch on a
+  /// miss, memoize).  This is the single dispatch point every batch entry
+  /// goes through; analyses use it for their non-batch probe chains
+  /// (tolerance descents, solo bisections) so those memoize too.
+  /// `hit`, when non-null, reports whether the cache answered.
+  [[nodiscard]] VerifyResult verify_one(const Query& query,
+                                        const Engine& engine,
+                                        bool* hit = nullptr) const;
 
   /// Decides every query with `engine`; results are in input order and
   /// identical for any thread count.
+  /// \param queries the batch; each must satisfy Query::validate().
+  /// \param engine the decision strategy (from the engine registry).
+  /// \param stats optional per-batch accounting, overwritten on return.
   [[nodiscard]] std::vector<VerifyResult> run_all(
       std::span<const Query> queries, const Engine& engine,
       BatchStats* stats = nullptr) const;
@@ -72,11 +103,19 @@ class Scheduler {
   /// Generic deterministic fan-out: calls fn(i) exactly once for every
   /// i in [0, count), across the pool.  Callers keep determinism by writing
   /// results to index-addressed slots.
+  /// \param count number of independent jobs.
+  /// \param fn job body; invoked concurrently, must be thread-safe.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn) const;
 
  private:
+  /// The cache batches go through: the per-scheduler override when set,
+  /// else the process-wide cache (re-read per call, so installing a global
+  /// cache affects schedulers that analyses have already constructed).
+  [[nodiscard]] QueryCache* effective_cache() const noexcept;
+
   std::size_t threads_ = 1;
+  QueryCache* cache_ = nullptr;
 };
 
 }  // namespace fannet::verify

@@ -1,0 +1,333 @@
+// fannet_cli — one binary driving every FANNet analysis from the shell.
+//
+// The benches reproduce the paper's figures with fixed settings; this tool
+// exposes the same five analyses (tolerance, bias, sensitivity, boundary,
+// weight-faults) with the knobs scripted sweeps need — engine, thread
+// count, noise grid, cohort seed — plus `--cache-dir`, which installs a
+// process-wide verify::QueryCache with a disk tier so repeated invocations
+// warm-start (DESIGN.md §7).  Each run writes the same BENCH_*.json schema
+// the benches emit (docs/bench-format.md), under BENCH_cli_<command>.json.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/casestudy.hpp"
+#include "core/fannet.hpp"
+#include "core/faults.hpp"
+#include "core/report.hpp"
+#include "util/benchjson.hpp"
+#include "util/stopwatch.hpp"
+#include "verify/engine.hpp"
+#include "verify/query_cache.hpp"
+#include "verify/scheduler.hpp"
+
+namespace {
+
+using namespace fannet;
+
+struct Options {
+  std::string command;
+  std::string engine = "cascade";
+  std::size_t threads = 0;          // 0 = hardware concurrency
+  int start_range = 50;             // tolerance / boundary / weight-faults
+  int range = 20;                   // bias / sensitivity probes + corpus
+  int grid_lo = 5, grid_hi = 50, grid_step = 5;
+  int bucket_width = 5;
+  int step = 1;                     // weight-fault scan granularity
+  std::size_t max_per_sample = 100; // corpus cap
+  std::uint64_t seed = 42;          // synthetic-cohort seed
+  bool small = false;               // fast small-cohort config
+  std::string cache_dir;            // empty = caching disabled
+  std::size_t cache_capacity = 1u << 20;
+  std::string json_dir = ".";
+};
+
+constexpr const char* kUsage = R"(usage: fannet_cli <command> [flags]
+
+commands
+  tolerance      noise-tolerance analysis + Fig. 4 misclassification table
+  bias           training-bias direction histogram over the noise corpus
+  sensitivity    input-node sensitivity (directional + Eq. 3 solo probes)
+  boundary       classification-boundary proximity histogram
+  weight-faults  weight-fault sensitivity ranking (hardware extension)
+  engines        list the registered verification engines
+
+flags
+  --engine NAME        P2 decision engine (default: cascade)
+  --threads N          worker threads, 0 = one per hardware thread (default 0)
+  --start-range N      initial noise range for tolerance/boundary (default 50)
+  --range N            noise range for bias/sensitivity probes and corpus
+                       extraction (default 20); scan limit for weight-faults
+  --grid LO:HI:STEP    noise grid of the tolerance report table (default 5:50:5)
+  --bucket-width N     histogram bucket for `boundary` (default 5)
+  --step N             percent granularity of the weight-fault scan (default 1)
+  --max-per-sample N   corpus cap per sample (default 100)
+  --seed N             synthetic-cohort seed (default 42)
+  --small              small fast cohort (CI/smoke runs; same code paths)
+  --cache-dir DIR      enable the query cache with a disk tier in DIR
+  --cache-capacity N   in-memory LRU capacity (default 1048576)
+  --json-dir DIR       where BENCH_cli_<command>.json is written (default .)
+  --help               this text
+)";
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "fannet_cli: %s\n%s", message.c_str(), kUsage);
+  std::exit(2);
+}
+
+bool parse_size(const char* text, std::size_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_int(const char* text, int& out) {
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opts;
+  if (argc < 2) usage_error("missing command");
+  if (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
+    std::fputs(kUsage, stdout);
+    std::exit(0);
+  }
+  opts.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error("flag " + flag + " needs a value");
+      return argv[++i];
+    };
+    if (flag == "--help" || flag == "-h") {
+      std::fputs(kUsage, stdout);
+      std::exit(0);
+    } else if (flag == "--engine") {
+      opts.engine = value();
+    } else if (flag == "--threads") {
+      if (!parse_size(value(), opts.threads)) usage_error("bad --threads");
+    } else if (flag == "--start-range") {
+      if (!parse_int(value(), opts.start_range) || opts.start_range < 1) {
+        usage_error("bad --start-range");
+      }
+    } else if (flag == "--range") {
+      if (!parse_int(value(), opts.range) || opts.range < 1) {
+        usage_error("bad --range");
+      }
+    } else if (flag == "--grid") {
+      const std::string grid = value();
+      if (std::sscanf(grid.c_str(), "%d:%d:%d", &opts.grid_lo, &opts.grid_hi,
+                      &opts.grid_step) != 3 ||
+          opts.grid_lo < 1 || opts.grid_hi < opts.grid_lo ||
+          opts.grid_step < 1) {
+        usage_error("bad --grid, expected LO:HI:STEP");
+      }
+    } else if (flag == "--bucket-width") {
+      if (!parse_int(value(), opts.bucket_width) || opts.bucket_width < 1) {
+        usage_error("bad --bucket-width");
+      }
+    } else if (flag == "--step") {
+      if (!parse_int(value(), opts.step) || opts.step < 1) {
+        usage_error("bad --step");
+      }
+    } else if (flag == "--max-per-sample") {
+      if (!parse_size(value(), opts.max_per_sample)) {
+        usage_error("bad --max-per-sample");
+      }
+    } else if (flag == "--seed") {
+      std::size_t seed = 0;
+      if (!parse_size(value(), seed)) usage_error("bad --seed");
+      opts.seed = seed;
+    } else if (flag == "--small") {
+      opts.small = true;
+    } else if (flag == "--cache-dir") {
+      opts.cache_dir = value();
+    } else if (flag == "--cache-capacity") {
+      if (!parse_size(value(), opts.cache_capacity) ||
+          opts.cache_capacity == 0) {
+        usage_error("bad --cache-capacity");
+      }
+    } else if (flag == "--json-dir") {
+      opts.json_dir = value();
+    } else {
+      usage_error("unknown flag " + flag);
+    }
+  }
+  return opts;
+}
+
+core::CaseStudy build_cohort(const Options& opts) {
+  core::CaseStudyConfig config =
+      opts.small ? core::small_case_study_config() : core::CaseStudyConfig{};
+  config.golub.seed = opts.seed;
+  std::printf("building %s cohort (seed %llu) ...\n",
+              opts.small ? "small" : "paper-scale",
+              static_cast<unsigned long long>(opts.seed));
+  const core::CaseStudy cs = core::build_case_study(config);
+  std::printf("train accuracy %.2f%%, test accuracy %.2f%%\n\n",
+              cs.train_accuracy * 100.0, cs.test_accuracy * 100.0);
+  return cs;
+}
+
+core::ToleranceReport run_tolerance(const core::CaseStudy& cs,
+                                    const Options& opts) {
+  core::ToleranceConfig config;
+  config.start_range = opts.start_range;
+  config.engine = core::Engine{opts.engine};
+  config.threads = opts.threads;
+  return core::Fannet(cs.qnet).analyze_tolerance(cs.test_x, cs.test_y, config);
+}
+
+void print_tolerance_table(const core::ToleranceReport& report,
+                           const Options& opts) {
+  core::TextTable t({"noise range", "misclassified inputs", "of correct"});
+  std::size_t correct = 0;
+  for (const auto& st : report.per_sample) correct += st.correct_without_noise;
+  for (int range = opts.grid_lo; range <= opts.grid_hi;
+       range += opts.grid_step) {
+    std::size_t flipped = 0;
+    for (const auto& st : report.per_sample) {
+      flipped += st.min_flip_range.has_value() && *st.min_flip_range <= range;
+    }
+    t.add_row({"+/-" + std::to_string(range) + "%", std::to_string(flipped),
+               std::to_string(correct)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf("\nnoise tolerance: +/-%d%%   (%llu P2 queries)\n",
+              report.noise_tolerance,
+              static_cast<unsigned long long>(report.queries));
+}
+
+int run_command(const Options& opts, util::BenchJson& json) {
+  if (opts.command == "engines") {
+    core::TextTable t({"engine", "complete"});
+    for (const std::string& name : verify::registry().names()) {
+      t.add_row({name, verify::engine(name).complete() ? "yes" : "no"});
+    }
+    std::fputs(t.to_string().c_str(), stdout);
+    return 0;
+  }
+  // Validate command and engine before the (expensive) cohort build; a
+  // typo'd engine fails with the known names listed.
+  if (opts.command != "tolerance" && opts.command != "boundary" &&
+      opts.command != "bias" && opts.command != "sensitivity" &&
+      opts.command != "weight-faults") {
+    usage_error("unknown command " + opts.command);
+  }
+  [[maybe_unused]] const verify::Engine& checked = verify::engine(opts.engine);
+
+  const core::CaseStudy cs = build_cohort(opts);
+  const core::Fannet fannet(cs.qnet);
+  const util::Stopwatch watch;
+  const std::size_t threads = verify::Scheduler({.threads = opts.threads})
+                                  .threads();
+
+  if (opts.command == "tolerance") {
+    const core::ToleranceReport report = run_tolerance(cs, opts);
+    print_tolerance_table(report, opts);
+    json.add("tolerance_analysis", watch.millis(), report.queries, threads);
+  } else if (opts.command == "boundary") {
+    const core::ToleranceReport report = run_tolerance(cs, opts);
+    const core::BoundaryReport boundary =
+        core::analyze_boundary(report, opts.bucket_width, opts.start_range);
+    std::fputs(core::format_boundary(boundary).c_str(), stdout);
+    json.add("boundary_analysis", watch.millis(), report.queries, threads);
+  } else if (opts.command == "bias") {
+    const auto corpus =
+        fannet.extract_corpus(cs.test_x, cs.test_y, opts.range,
+                              opts.max_per_sample, false, opts.threads);
+    const core::BiasReport bias =
+        core::analyze_bias(corpus, cs.qnet.output_dim(), cs.train_y);
+    std::printf("corpus: %zu counterexamples at +/-%d%%\n\n", corpus.size(),
+                opts.range);
+    std::fputs(core::format_bias(bias).c_str(), stdout);
+    json.add("bias_analysis", watch.millis(), corpus.size(), threads);
+  } else if (opts.command == "sensitivity") {
+    const auto corpus =
+        fannet.extract_corpus(cs.test_x, cs.test_y, opts.range,
+                              opts.max_per_sample, false, opts.threads);
+    core::SensitivityConfig config;
+    config.engine = core::Engine{opts.engine};
+    config.threads = opts.threads;
+    const core::NodeSensitivityReport report = core::analyze_sensitivity(
+        fannet, cs.test_x, cs.test_y, opts.range, corpus, config);
+    std::fputs(core::format_sensitivity(report).c_str(), stdout);
+    json.add("sensitivity_analysis", watch.millis(), corpus.size(), threads);
+  } else if (opts.command == "weight-faults") {
+    core::WeightFaultConfig config;
+    config.max_percent = opts.range;
+    config.step = opts.step;
+    config.threads = opts.threads;
+    const core::WeightFaultReport report =
+        core::analyze_weight_faults(cs.qnet, cs.test_x, cs.test_y, config);
+    std::fputs(core::format_weight_faults(report).c_str(), stdout);
+    json.add("weight_fault_analysis", watch.millis(), report.evaluations,
+             threads);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parse_args(argc, argv);
+  try {
+    // `--cache-dir` installs the process-wide cache: every analysis above
+    // dispatches its P2 queries through verify::Scheduler, which probes it
+    // without any per-analysis wiring.
+    // Create the output directory up front: failing after a paper-scale
+    // analysis because the report has nowhere to go would waste the run.
+    if (opts.json_dir != ".") {
+      std::filesystem::create_directories(opts.json_dir);
+    }
+
+    std::unique_ptr<verify::QueryCache> cache;
+    std::optional<verify::ScopedQueryCache> guard;
+    if (!opts.cache_dir.empty()) {
+      std::filesystem::create_directories(opts.cache_dir);
+      cache = std::make_unique<verify::QueryCache>(verify::QueryCacheOptions{
+          .capacity = opts.cache_capacity,
+          .disk_path = opts.cache_dir + "/fannet-cache.jsonl"});
+      guard.emplace(cache.get());
+      const auto stats = cache->stats();
+      std::printf("query cache: %zu entries warm-started from %s\n",
+                  stats.entries, opts.cache_dir.c_str());
+    }
+
+    util::BenchJson json("cli_" + opts.command);
+    const int status = run_command(opts, json);
+    if (status == 0 && opts.command != "engines") {
+      if (cache) {
+        const auto stats = cache->stats();
+        std::printf(
+            "query cache: %llu hits, %llu misses, %zu entries "
+            "(%llu loaded from disk)\n",
+            static_cast<unsigned long long>(stats.hits),
+            static_cast<unsigned long long>(stats.misses), stats.entries,
+            static_cast<unsigned long long>(stats.disk_loaded));
+        json.add("cache_hits", 0.0, stats.hits, 1);
+        json.add("cache_misses", 0.0, stats.misses, 1);
+      }
+      const std::string path = json.write(opts.json_dir);
+      std::printf("wrote %s\n", path.c_str());
+    }
+    return status;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "fannet_cli: %s\n", error.what());
+    return 1;
+  }
+}
