@@ -104,7 +104,9 @@ NodeSensitivityReport analyze_sensitivity(
     if (std::find(bad.begin(), bad.end(), s) == bad.end()) correct.push_back(s);
   }
   const verify::Engine& engine = verify::engine(config.engine.name);
-  const verify::Scheduler scheduler({.threads = config.threads});
+  const verify::Scheduler scheduler(
+      {.threads = config.threads,
+       .intra_query_threads = config.intra_query_threads});
 
   // Directional: delta_i restricted to one sign, others full range.  Per
   // node and sign this is an existence query over the samples — decided as

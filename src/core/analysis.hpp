@@ -61,6 +61,9 @@ struct SensitivityConfig {
   /// directional probes per node run as one cancellable existence batch
   /// each; the per-(node, sample) solo bisections fan out independently.
   std::size_t threads = 0;
+  /// Intra-query worker budget per engine dispatch (see
+  /// verify::SchedulerOptions::intra_query_threads).
+  std::size_t intra_query_threads = 0;
 };
 
 [[nodiscard]] NodeSensitivityReport analyze_sensitivity(

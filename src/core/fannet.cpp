@@ -73,7 +73,9 @@ ToleranceReport Fannet::analyze_tolerance(const la::Matrix<i64>& inputs,
   const std::vector<std::size_t> bad = validate_p1(inputs, labels);
 
   const verify::Engine& engine = verify::engine(config.engine.name);
-  const verify::Scheduler scheduler({.threads = config.threads});
+  const verify::Scheduler scheduler(
+      {.threads = config.threads,
+       .intra_query_threads = config.intra_query_threads});
 
   report.per_sample.resize(inputs.rows());
   std::vector<std::size_t> correct;  // samples entering the noise analysis
@@ -179,16 +181,20 @@ std::vector<CorpusEntry> Fannet::extract_corpus(const la::Matrix<i64>& inputs,
   // P3 loop per sample: each new counterexample is blocked and the search
   // resumes — bnb_collect does exactly this by construction (boxes are
   // disjoint).  Samples are independent, so they fan out across workers;
-  // indexed slots keep the corpus in deterministic sample order.
+  // indexed slots keep the corpus in deterministic sample order, and
+  // bnb_collect itself is deterministic for any thread count, so leftover
+  // workers (fewer samples than threads) go into each sample's frontier.
   std::vector<std::vector<Counterexample>> per_sample(correct.size());
   const verify::Scheduler scheduler({.threads = threads});
+  verify::BnbOptions bnb_options;
+  bnb_options.threads = scheduler.intra_grant(correct.size());
   scheduler.parallel_for(correct.size(), [&](std::size_t i) {
     const std::size_t s = correct[i];
     const auto row = inputs.row(s);
     const std::size_t dims = row.size() + (bias_node ? 1 : 0);
     const Query q = make_query(row, labels[s],
                                NoiseBox::symmetric(dims, range), bias_node);
-    per_sample[i] = verify::bnb_collect(q, max_per_sample);
+    per_sample[i] = verify::bnb_collect(q, max_per_sample, bnb_options);
   });
 
   std::vector<CorpusEntry> corpus;

@@ -58,6 +58,10 @@ struct ToleranceConfig {
   /// Worker threads for the per-sample fan-out (0 = hardware concurrency,
   /// 1 = serial).  Results are identical for every thread count.
   std::size_t threads = 0;
+  /// Intra-query worker budget per engine dispatch (see
+  /// verify::SchedulerOptions::intra_query_threads): 0 = leftover threads
+  /// when the batch is smaller than the worker pool, N = fixed grant.
+  std::size_t intra_query_threads = 0;
 };
 
 struct SampleTolerance {

@@ -54,7 +54,13 @@ CsvTable parse_csv(const std::string& text) {
         row_has_content = true;
         break;
       case '\r':
-        break;  // handled by the following '\n' (or ignored if stray)
+        // Only a CRLF pair is a line ending (the '\n' ends the row); a
+        // stray '\r' inside an unquoted cell is data and must survive a
+        // to_csv/parse_csv round trip.
+        if (i + 1 < text.size() && text[i + 1] == '\n') break;
+        cell.push_back('\r');
+        row_has_content = true;
+        break;
       case '\n':
         end_row();
         break;

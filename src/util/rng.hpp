@@ -44,7 +44,11 @@ class Rng {
 
   /// Uniform integer in [lo, hi] inclusive (lo <= hi required).
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
-    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // The span is computed in uint64: `hi - lo` as signed would overflow
+    // for wide ranges (e.g. lo = -2, hi = INT64_MAX); unsigned wraparound
+    // is exact, with the full-range case landing on span == 0.
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
     // Debiased modulo (Lemire-style rejection kept simple).
     std::uint64_t x = next_u64();
     if (span != 0) {
@@ -52,7 +56,9 @@ class Rng {
       while (x >= limit) x = next_u64();
       x %= span;
     }
-    return lo + static_cast<std::int64_t>(x);
+    // lo + x in uint64 so the intermediate never overflows; the final
+    // value is in [lo, hi] and converts back exactly (two's complement).
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + x);
   }
 
   /// Uniform double in [0, 1).

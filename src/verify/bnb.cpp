@@ -1,9 +1,17 @@
 #include "verify/bnb.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "util/error.hpp"
-#include "verify/enumerate.hpp"
 #include "verify/interval.hpp"
 #include "verify/symbolic.hpp"
 
@@ -12,30 +20,6 @@ namespace fannet::verify {
 using util::i128;
 
 namespace {
-
-enum class BoxStatus { kNoFlipAnywhere, kFlipEverywhere, kUndecided };
-
-/// Classifies a whole box via the bounding engines.
-BoxStatus classify_box(const Query& q, const BnbOptions& options) {
-  const auto y = static_cast<std::size_t>(q.true_label);
-  if (options.use_symbolic) {
-    const MarginBounds mb = margin_bounds(q);
-    bool all_safe = true;
-    for (std::size_t k = 0; k < mb.lb.size(); ++k) {
-      if (k == y) continue;
-      const i128 needed = (k < y) ? 1 : 0;
-      if (mb.lb[k] < needed) all_safe = false;
-      // Flip-everywhere via k: O_k beats O_y on the whole box.
-      const bool flips = (k < y) ? (mb.ub[k] <= 0) : (mb.ub[k] < 0);
-      if (flips) return BoxStatus::kFlipEverywhere;
-    }
-    return all_safe ? BoxStatus::kNoFlipAnywhere : BoxStatus::kUndecided;
-  }
-  // IBP fallback: certificate only (no flip-everywhere detection).
-  return interval_verify(q).verdict == Verdict::kRobust
-             ? BoxStatus::kNoFlipAnywhere
-             : BoxStatus::kUndecided;
-}
 
 Counterexample make_cex(const Query& q, std::span<const int> deltas,
                         int mis_label) {
@@ -47,45 +31,281 @@ Counterexample make_cex(const Query& q, std::span<const int> deltas,
   return cex;
 }
 
-}  // namespace
-
-std::uint64_t bnb_stream(const Query& query,
-                         const std::function<bool(const Counterexample&)>& sink,
-                         BnbOptions options) {
-  query.validate();
-  std::uint64_t boxes = 0;
-  std::vector<NoiseBox> stack{query.box};
-  Query sub = query;
-
-  while (!stack.empty()) {
-    if (++boxes > options.max_boxes) {
-      throw ResourceLimit("bnb: box budget exceeded");
+/// Visits every grid point of `box` in ascending lexicographic order (the
+/// full noise vector, first dimension most significant), until `fn`
+/// returns false.  Lex order is what makes the top-K early stop sound:
+/// once a visited point reaches the prune bound, every later point does.
+template <typename Fn>
+void for_each_lex(const NoiseBox& box, Fn&& fn) {
+  std::vector<int> p(box.lo);
+  for (;;) {
+    if (!fn(p)) return;
+    std::size_t d = box.dims();
+    while (d > 0) {
+      if (++p[d - 1] <= box.hi[d - 1]) break;
+      p[d - 1] = box.lo[d - 1];
+      --d;
     }
-    NoiseBox box = std::move(stack.back());
-    stack.pop_back();
-    sub.box = box;
+    if (d == 0) return;
+  }
+}
+
+/// Work-stealing frontier of boxes: one deque per worker.  Owners push and
+/// pop at their own back (depth-first), idle workers steal the *oldest*
+/// half of a victim's deque — the shallowest boxes, which bisect into the
+/// most further work, so one steal keeps a thief busy for a while.
+/// Termination: a global in-flight count covers queued *and*
+/// being-processed boxes; when it hits zero no box exists and none can be
+/// created, so every worker drains out of pop().
+class Frontier {
+ public:
+  explicit Frontier(std::size_t workers) : lanes_(workers) {}
+
+  void push(std::size_t w, NoiseBox box) {
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    Lane& lane = lanes_[w];
+    const std::scoped_lock lock(lane.mutex);
+    lane.deque.push_back(std::move(box));
+  }
+
+  /// Pops the caller's newest box, stealing when its own lane is empty.
+  /// Returns false once the search is over: `quit` was raised, or the
+  /// frontier is globally drained.
+  bool pop(std::size_t w, NoiseBox& out, const std::atomic<bool>& quit) {
+    for (;;) {
+      if (quit.load(std::memory_order_acquire)) return false;
+      {
+        Lane& lane = lanes_[w];
+        const std::scoped_lock lock(lane.mutex);
+        if (!lane.deque.empty()) {
+          out = std::move(lane.deque.back());
+          lane.deque.pop_back();
+          return true;
+        }
+      }
+      if (steal_into(w)) continue;
+      if (in_flight_.load(std::memory_order_acquire) == 0) return false;
+      std::this_thread::yield();
+    }
+  }
+
+  /// Marks one popped box fully processed (its children, if any, were
+  /// pushed before this call, so in-flight never dips to zero early).
+  void done() { in_flight_.fetch_sub(1, std::memory_order_acq_rel); }
+
+ private:
+  struct Lane {
+    std::mutex mutex;
+    std::deque<NoiseBox> deque;
+  };
+
+  /// Steal-half: moves the older half of the first non-empty victim lane
+  /// into lane `w` (age order preserved).  Returns whether anything moved.
+  bool steal_into(std::size_t w) {
+    const std::size_t n = lanes_.size();
+    for (std::size_t off = 1; off < n; ++off) {
+      Lane& victim = lanes_[(w + off) % n];
+      std::deque<NoiseBox> loot;
+      {
+        const std::scoped_lock lock(victim.mutex);
+        const std::size_t have = victim.deque.size();
+        if (have == 0) continue;
+        const auto take = static_cast<std::ptrdiff_t>((have + 1) / 2);
+        loot.assign(std::make_move_iterator(victim.deque.begin()),
+                    std::make_move_iterator(victim.deque.begin() + take));
+        victim.deque.erase(victim.deque.begin(), victim.deque.begin() + take);
+      }
+      Lane& mine = lanes_[w];
+      const std::scoped_lock lock(mine.mutex);
+      for (NoiseBox& box : loot) mine.deque.push_back(std::move(box));
+      return true;
+    }
+    return false;
+  }
+
+  std::vector<Lane> lanes_;
+  std::atomic<std::size_t> in_flight_{0};
+};
+
+/// The K lexicographically-smallest counterexamples found so far, keyed by
+/// the full noise vector.  Once full, the largest member is the global
+/// frontier prune bound: a box whose lex-min corner (box.lo) is >= it
+/// cannot contribute, because frontier boxes are disjoint from every
+/// region already searched and the set only ever improves.
+class TopK {
+ public:
+  explicit TopK(std::size_t k) : k_(k) {}
+
+  void offer(const std::vector<int>& point, int mis_label) {
+    const std::scoped_lock lock(mutex_);
+    if (set_.size() == k_) {
+      const auto last = std::prev(set_.end());
+      if (!(point < last->first)) return;
+      set_.erase(last);
+    }
+    set_.emplace(point, mis_label);
+    version_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Worker-local bound cache: re-copies the bound only when the set
+  /// version moved, so the hot prune check is one relaxed atomic load.
+  /// Returns whether a bound exists (the set is full).
+  bool refresh(std::uint64_t& seen_version,
+               std::optional<std::vector<int>>& bound) const {
+    const std::uint64_t v = version_.load(std::memory_order_acquire);
+    if (v != seen_version) {
+      const std::scoped_lock lock(mutex_);
+      seen_version = version_.load(std::memory_order_relaxed);
+      if (set_.size() == k_) bound = std::prev(set_.end())->first;
+    }
+    return bound.has_value();
+  }
+
+  [[nodiscard]] std::map<std::vector<int>, int> take() {
+    return std::move(set_);
+  }
+
+ private:
+  std::size_t k_;
+  mutable std::mutex mutex_;
+  std::map<std::vector<int>, int> set_;  // full noise vector -> mis_label
+  std::atomic<std::uint64_t> version_{0};
+};
+
+struct Search {
+  const Query& query;
+  const BnbOptions& options;
+  /// Exhaustive-stream mode when set; top-K mode (via `topk`) otherwise.
+  const std::function<bool(const Counterexample&)>* sink = nullptr;
+  TopK* topk = nullptr;
+
+  Frontier frontier;
+  std::atomic<std::uint64_t> boxes{0};
+  std::atomic<bool> quit{false};
+  std::atomic<bool> exhausted{false};
+  std::atomic<bool> sink_stopped{false};
+  std::mutex sink_mutex;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  Search(const Query& q, const BnbOptions& o, std::size_t workers)
+      : query(q), options(o), frontier(workers) {}
+};
+
+/// Margin slack of a box under the given (parent) margin forms: how far
+/// the weakest margin lower bound sits above the flip threshold.  Negative
+/// slack means the box may flip; the most negative box is the most
+/// promising place to look for a witness (best-first policy).
+i128 margin_slack(const MarginForms& mf, std::size_t y, const NoiseBox& box) {
+  i128 slack = 0;
+  bool first = true;
+  for (std::size_t k = 0; k < mf.lo.size(); ++k) {
+    if (k == y) continue;
+    const i128 needed = (k < y) ? 1 : 0;
+    const i128 s = mf.lo[k].min_over(box) - needed;
+    if (first || s < slack) slack = s;
+    first = false;
+  }
+  return slack;
+}
+
+class Worker {
+ public:
+  Worker(Search& s, std::size_t index)
+      : s_(s), w_(index), sub_(s.query),
+        y_(static_cast<std::size_t>(s.query.true_label)) {}
+
+  void run() {
+    NoiseBox box;
+    while (s_.frontier.pop(w_, box, s_.quit)) {
+      try {
+        process(std::move(box));
+      } catch (...) {
+        const std::scoped_lock lock(s_.error_mutex);
+        if (!s_.first_error) s_.first_error = std::current_exception();
+        s_.quit.store(true, std::memory_order_release);
+      }
+      s_.frontier.done();
+    }
+  }
+
+ private:
+  /// Delivers one verified counterexample: into the top-K set, or to the
+  /// sink (serialized; a false return cancels the whole search).
+  void emit(const std::vector<int>& point, int mis_label) {
+    if (s_.topk != nullptr) {
+      s_.topk->offer(point, mis_label);
+      return;
+    }
+    const std::scoped_lock lock(s_.sink_mutex);
+    if (s_.sink_stopped.load(std::memory_order_relaxed)) return;
+    if (!(*s_.sink)(make_cex(s_.query, point, mis_label))) {
+      s_.sink_stopped.store(true, std::memory_order_relaxed);
+      s_.quit.store(true, std::memory_order_release);
+    }
+  }
+
+  /// Top-K frontier prune: true when the box cannot contain any point
+  /// below the current K-th smallest counterexample.
+  bool pruned_by_bound(const NoiseBox& box) {
+    if (s_.topk == nullptr) return false;
+    if (!s_.topk->refresh(bound_version_, bound_)) return false;
+    return !(box.lo < *bound_);
+  }
+
+  void process(NoiseBox box) {
+    const std::uint64_t seen =
+        s_.boxes.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (seen > s_.options.max_boxes) {
+      s_.exhausted.store(true, std::memory_order_relaxed);
+      s_.quit.store(true, std::memory_order_release);
+      return;
+    }
+    if (pruned_by_bound(box)) return;
 
     if (box.is_singleton()) {
-      const std::vector<int>& point = box.lo;
-      const int label = classify_under_noise(sub, point);
-      if (label != query.true_label) {
-        if (!sink(make_cex(query, point, label))) return boxes;
-      }
-      continue;
+      const int label = classify_under_noise(sub_, box.lo);
+      if (label != s_.query.true_label) emit(box.lo, label);
+      return;
     }
 
-    const BoxStatus status = classify_box(sub, options);
-    if (status == BoxStatus::kNoFlipAnywhere) continue;
-    if (status == BoxStatus::kFlipEverywhere) {
-      // Every grid point in the box is a counterexample: enumerate them
-      // directly (cheap exact evals; no further bounding needed).
-      bool keep_going = true;
-      enumerate_stream(sub, [&](const Counterexample& cex) {
-        keep_going = sink(cex);
-        return keep_going;
+    // Bound the whole box: certified-safe boxes are dropped, certified
+    // flip-everywhere boxes enumerate their (all-counterexample) points in
+    // lex order, undecided boxes bisect.
+    bool flips_everywhere = false;
+    bool all_safe = false;
+    MarginForms mf;
+    sub_.box = box;
+    if (s_.options.use_symbolic) {
+      mf = margin_forms(sub_);
+      all_safe = true;
+      for (std::size_t k = 0; k < mf.lo.size(); ++k) {
+        if (k == y_) continue;
+        const i128 needed = (k < y_) ? 1 : 0;
+        if (mf.lo[k].min_over(box) < needed) all_safe = false;
+        if (mf.hi[k].max_over(box) < needed) {  // O_k beats O_y everywhere
+          flips_everywhere = true;
+          break;
+        }
+      }
+    } else {
+      all_safe = interval_verify(sub_).verdict == Verdict::kRobust;
+    }
+    if (all_safe && !flips_everywhere) return;
+
+    if (flips_everywhere) {
+      for_each_lex(box, [&](const std::vector<int>& point) {
+        if (s_.quit.load(std::memory_order_acquire)) return false;
+        // Lex order: once the top-K bound is reached, no later point in
+        // this box can enter the set.
+        if (s_.topk != nullptr && s_.topk->refresh(bound_version_, bound_) &&
+            !(point < *bound_)) {
+          return false;
+        }
+        emit(point, classify_under_noise(sub_, point));
+        return true;
       });
-      if (!keep_going) return boxes;
-      continue;
+      return;
     }
 
     // Bisect the longest edge.
@@ -102,23 +322,106 @@ std::uint64_t bnb_stream(const Query& query,
     NoiseBox left = box, right = box;
     left.hi[dim] = mid;
     right.lo[dim] = mid + 1;
-    stack.push_back(std::move(right));
-    stack.push_back(std::move(left));
+
+    // Box-priority policy: the child pushed *last* is popped first.
+    bool left_first = true;
+    if (s_.options.policy == BnbOptions::Policy::kBestFirst &&
+        s_.options.use_symbolic) {
+      // Parent forms stay sound on sub-boxes, so scoring is O(dims) per
+      // margin — no re-propagation.  Ties keep the depth-first order.
+      left_first = margin_slack(mf, y_, left) <= margin_slack(mf, y_, right);
+    }
+    if (left_first) {
+      s_.frontier.push(w_, std::move(right));
+      s_.frontier.push(w_, std::move(left));
+    } else {
+      s_.frontier.push(w_, std::move(left));
+      s_.frontier.push(w_, std::move(right));
+    }
   }
-  return boxes;
+
+  Search& s_;
+  std::size_t w_;
+  Query sub_;  // per-worker scratch query (box rewritten per candidate)
+  std::size_t y_;
+  std::uint64_t bound_version_ = 0;
+  std::optional<std::vector<int>> bound_;
+};
+
+struct SearchOutcome {
+  std::map<std::vector<int>, int> found;  // top-K mode only
+  std::uint64_t boxes = 0;
+  bool exhausted = false;
+};
+
+/// Runs the branch-and-bound frontier to completion (or cancellation) and
+/// joins every worker.  `sink` selects exhaustive-stream mode; `top_k`
+/// (with null sink) selects deterministic smallest-K collection.
+SearchOutcome run_search(const Query& query, const BnbOptions& options,
+                         const std::function<bool(const Counterexample&)>* sink,
+                         std::size_t top_k) {
+  query.validate();
+  const std::size_t workers =
+      options.threads != 0
+          ? options.threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  Search search(query, options, workers);
+  std::optional<TopK> topk;
+  if (sink == nullptr) {
+    topk.emplace(top_k);
+    search.topk = &*topk;
+  } else {
+    search.sink = sink;
+  }
+  search.frontier.push(0, query.box);
+
+  if (workers == 1) {
+    Worker(search, 0).run();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&search, w] { Worker(search, w).run(); });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  if (search.first_error) std::rethrow_exception(search.first_error);
+
+  SearchOutcome outcome;
+  if (topk.has_value()) outcome.found = topk->take();
+  outcome.boxes = search.boxes.load();
+  outcome.exhausted = search.exhausted.load();
+  return outcome;
+}
+
+}  // namespace
+
+std::uint64_t bnb_stream(const Query& query,
+                         const std::function<bool(const Counterexample&)>& sink,
+                         BnbOptions options) {
+  const SearchOutcome outcome = run_search(query, options, &sink, 0);
+  if (outcome.exhausted) throw ResourceLimit("bnb: box budget exceeded");
+  return outcome.boxes;
 }
 
 VerifyResult bnb_verify(const Query& query, BnbOptions options) {
+  const SearchOutcome outcome = run_search(query, options, nullptr, 1);
   VerifyResult result;
-  result.verdict = Verdict::kRobust;
-  result.work = bnb_stream(
-      query,
-      [&](const Counterexample& cex) {
-        result.verdict = Verdict::kVulnerable;
-        result.counterexample = cex;
-        return false;
-      },
-      options);
+  result.work = outcome.boxes;
+  result.resource_limited = outcome.exhausted;
+  if (!outcome.found.empty()) {
+    // Sound even under budget exhaustion: every emitted point was exactly
+    // evaluated.  Within budget this is the lex-lowest counterexample;
+    // exhausted runs may return a non-minimal (still valid) witness,
+    // flagged resource_limited so it is never cached as canonical.
+    const auto& [point, mis_label] = *outcome.found.begin();
+    result.verdict = Verdict::kVulnerable;
+    result.counterexample = make_cex(query, point, mis_label);
+  } else {
+    result.verdict =
+        outcome.exhausted ? Verdict::kUnknown : Verdict::kRobust;
+  }
   return result;
 }
 
@@ -126,14 +429,14 @@ std::vector<Counterexample> bnb_collect(const Query& query,
                                         std::size_t max_count,
                                         BnbOptions options) {
   std::vector<Counterexample> out;
-  bnb_stream(
-      query,
-      [&](const Counterexample& cex) {
-        out.push_back(cex);
-        return out.size() < max_count;
-      },
-      options);
-  return out;
+  if (max_count == 0) return out;
+  const SearchOutcome outcome = run_search(query, options, nullptr, max_count);
+  if (outcome.exhausted) throw ResourceLimit("bnb: box budget exceeded");
+  out.reserve(outcome.found.size());
+  for (const auto& [point, mis_label] : outcome.found) {
+    out.push_back(make_cex(query, point, mis_label));
+  }
+  return out;  // std::map iteration = ascending lex order
 }
 
 }  // namespace fannet::verify

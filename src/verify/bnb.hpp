@@ -1,4 +1,5 @@
-// Complete branch-and-bound over the integer noise box.
+// Complete branch-and-bound over the integer noise box, parallelized with
+// a work-stealing shared frontier.
 //
 // Longest-edge bisection with symbolic-bound pruning; singleton boxes are
 // evaluated exactly, so on the integer noise grid this is a *decision
@@ -6,8 +7,39 @@
 // orders of magnitude fewer points than enumeration.  The streaming variant
 // implements the paper's P3 adversarial-noise-vector extraction loop —
 // boxes that provably contain no counterexample are skipped wholesale.
+//
+// Parallel execution (`BnbOptions::threads`) fans the box frontier across
+// per-worker deques: owners pop depth-first from their own back, idle
+// workers steal the oldest half of a victim's deque (the shallow boxes,
+// which split into the most further work).  Results stay deterministic for
+// any thread count:
+//
+//   - `bnb_verify` returns the *lexicographically lowest* counterexample
+//     in the box (full noise vector: input deltas, then the bias delta) —
+//     a pure function of the query, independent of exploration order — by
+//     continuing the search with every box at-or-above the best witness
+//     pruned, mirroring the lowest-index-witness guarantee of
+//     `Scheduler::run_until_witness`;
+//   - `bnb_collect` returns the `max_count` lexicographically smallest
+//     counterexamples in ascending order, via the same bound generalized
+//     to a top-K frontier prune;
+//   - `bnb_stream` delivers the complete counterexample set (sink calls
+//     are serialized; delivery *order* is unspecified beyond the
+//     single-worker case, but the delivered set is the whole box's).
+//
+// `VerifyResult::work` (boxes processed) is bit-deterministic only for
+// serial runs: with multiple workers the frontier prune depends on when
+// the best-so-far witness lands, so the box count — never the verdict or
+// the witness — varies run to run.  One carve-out: the guarantees above
+// hold for searches that complete within `max_boxes`.  Because the box
+// *count* is scheduling-dependent under multiple workers, a budget within
+// ~a tree-size of the actual tree can be exhausted in one run and not in
+// another, and an exhausted result (flagged `resource_limited`) is
+// kUnknown or a possibly-non-minimal witness.  Size budgets as a
+// runaway backstop (the default is 100M boxes), not as a tight cap.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "verify/query.hpp"
@@ -15,20 +47,40 @@
 namespace fannet::verify {
 
 struct BnbOptions {
-  std::uint64_t max_boxes = 100'000'000;  ///< throw ResourceLimit beyond this
+  std::uint64_t max_boxes = 100'000'000;  ///< box budget (see bnb_verify)
   bool use_symbolic = true;   ///< false = prune with plain IBP (ablation)
+  /// Intra-query worker count: 1 = serial (default), 0 = one worker per
+  /// hardware thread.  Verdicts and witnesses are identical for any value.
+  std::size_t threads = 1;
+  /// Box-priority policy: which child of a bisection is explored first.
+  ///   kDepthFirst  lower half first (the classic DFS order);
+  ///   kBestFirst   the child with the smallest symbolic margin slack —
+  ///                the one closest to flipping — first, so witnesses (and
+  ///                with them the frontier prune) land sooner on
+  ///                vulnerable queries.  Requires use_symbolic; falls back
+  ///                to depth-first under plain IBP.
+  enum class Policy : std::uint8_t { kDepthFirst, kBestFirst };
+  Policy policy = Policy::kDepthFirst;
 };
 
-/// Decision query: first counterexample or proof of robustness.
+/// Decision query: the lexicographically-lowest counterexample or proof of
+/// robustness.  Exhausting `max_boxes` never throws here: the result is
+/// kUnknown (with `work` = boxes processed) so schedulers and cascades
+/// degrade gracefully — or kVulnerable when a (verified, possibly not
+/// lex-minimal) witness was already in hand when the budget ran out.
 [[nodiscard]] VerifyResult bnb_verify(const Query& query, BnbOptions options = {});
 
-/// Collects up to `max_count` counterexamples (complete up to the cap).
+/// Collects the `max_count` lexicographically-smallest counterexamples, in
+/// ascending order (complete up to the cap; identical for any thread
+/// count).  Throws ResourceLimit if the box budget is exhausted.
 [[nodiscard]] std::vector<Counterexample> bnb_collect(const Query& query,
                                                       std::size_t max_count,
                                                       BnbOptions options = {});
 
 /// Streams every counterexample in the box to `sink` (return false to
-/// stop).  Returns the number of boxes processed.
+/// stop).  Sink calls are serialized but arrive in an unspecified order
+/// when `options.threads != 1`.  Returns the number of boxes processed.
+/// Throws ResourceLimit if the box budget is exhausted first.
 std::uint64_t bnb_stream(const Query& query,
                          const std::function<bool(const Counterexample&)>& sink,
                          BnbOptions options = {});

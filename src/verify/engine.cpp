@@ -57,6 +57,12 @@ class BnbEngine final : public Engine {
   [[nodiscard]] VerifyResult verify(const Query& query) const override {
     return bnb_verify(query);
   }
+  [[nodiscard]] VerifyResult verify_with(
+      const Query& query, const VerifyContext& context) const override {
+    BnbOptions options;
+    options.threads = std::max<std::size_t>(1, context.threads);
+    return bnb_verify(query, options);
+  }
 };
 
 }  // namespace
@@ -120,7 +126,46 @@ CascadeEngine::CascadeEngine(std::vector<std::string> stages)
   }
 }
 
+std::unique_ptr<CascadeEngine> CascadeEngine::with_stages(
+    std::vector<const Engine*> stages) {
+  if (stages.empty()) {
+    throw InvalidArgument("CascadeEngine: at least one stage required");
+  }
+  std::vector<std::string> names;
+  names.reserve(stages.size());
+  for (const Engine* stage : stages) {
+    if (stage == nullptr) throw InvalidArgument("CascadeEngine: null stage");
+    names.emplace_back(stage->name());
+  }
+  auto cascade = std::make_unique<CascadeEngine>(std::move(names));
+  cascade->preresolved_ = true;
+  cascade->resolved_ = std::move(stages);
+  return cascade;
+}
+
 VerifyResult CascadeEngine::verify(const Query& query) const {
+  return verify_with(query, VerifyContext{});
+}
+
+VerifyResult CascadeEngine::verify_with(const Query& query,
+                                        const VerifyContext& context) const {
+  if (!preresolved_) resolve_stages();
+  VerifyResult out;
+  std::uint64_t work = 0;
+  for (const Engine* stage : resolved_) {
+    VerifyResult r = stage->verify_with(query, context);
+    work += r.work;
+    if (r.verdict != Verdict::kUnknown) {
+      r.work = work;
+      return r;
+    }
+    out = std::move(r);
+  }
+  out.work = work;
+  return out;  // every stage answered kUnknown
+}
+
+void CascadeEngine::resolve_stages() const {
   std::call_once(resolve_once_, [this] {
     // Built locally and committed atomically: if a stage lookup throws,
     // call_once stays unsatisfied and a later retry must not see (or
@@ -132,19 +177,6 @@ VerifyResult CascadeEngine::verify(const Query& query) const {
     }
     resolved_ = std::move(stages);
   });
-  VerifyResult out;
-  std::uint64_t work = 0;
-  for (const Engine* stage : resolved_) {
-    VerifyResult r = stage->verify(query);
-    work += r.work;
-    if (r.verdict != Verdict::kUnknown) {
-      r.work = work;
-      return r;
-    }
-    out = std::move(r);
-  }
-  out.work = work;
-  return out;  // every stage answered kUnknown
 }
 
 }  // namespace fannet::verify

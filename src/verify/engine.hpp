@@ -35,6 +35,16 @@
 
 namespace fannet::verify {
 
+/// Per-call execution context the scheduler threads down to engines.
+/// Engines that can parallelize *within* one query (branch-and-bound's
+/// work-stealing frontier; the cascade forwards to its complete stage)
+/// honour `threads`; everything else ignores it.  Verdicts and witnesses
+/// are identical for every value — only wall-clock (and, for bnb, the
+/// `work` box count) depends on it.
+struct VerifyContext {
+  std::size_t threads = 1;  ///< intra-query worker budget (>= 1)
+};
+
 /// One P2 decision strategy.  Implementations must be stateless or
 /// internally synchronized: the scheduler calls `verify` concurrently.
 class Engine {
@@ -44,10 +54,12 @@ class Engine {
   /// Stable registry key ("bnb", "cascade", ...).
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
-  /// Complete engines never answer kUnknown; sound-only engines answer
-  /// kRobust or kUnknown but never produce a wrong verdict.  This flag
-  /// also selects the query-cache capability class
-  /// (verify/query_cache.hpp): all complete engines share cached verdicts.
+  /// Complete engines never answer kUnknown from the decision procedure
+  /// itself (a kUnknown can still surface when a *resource budget* runs
+  /// out, e.g. bnb's box cap); sound-only engines answer kRobust or
+  /// kUnknown but never produce a wrong verdict.  This flag also selects
+  /// the query-cache capability class (verify/query_cache.hpp): all
+  /// complete engines share cached verdicts.
   [[nodiscard]] virtual bool complete() const noexcept = 0;
 
   /// Decides the query exactly and deterministically.
@@ -55,6 +67,13 @@ class Engine {
   /// \return the verdict, a counterexample iff kVulnerable, and the
   ///   engine-specific `work` effort counter.
   [[nodiscard]] virtual VerifyResult verify(const Query& query) const = 0;
+
+  /// Context-aware entry point used by the scheduler; the default ignores
+  /// the context, so plain engines only implement `verify`.
+  [[nodiscard]] virtual VerifyResult verify_with(
+      const Query& query, const VerifyContext& /*context*/) const {
+    return verify(query);
+  }
 };
 
 /// String-keyed engine registry.  Thread-safe; lookups return references
@@ -97,18 +116,38 @@ class CascadeEngine final : public Engine {
                                                             "symbolic",
                                                             "bnb"});
 
+  /// Injected-stage portfolio: the engines are used directly, bypassing
+  /// the registry — for portfolios composed outside it (tests, custom
+  /// pipelines) so they never have to pollute the process-wide registry.
+  /// The pointed-to engines must outlive the cascade.  (A named factory,
+  /// not a constructor overload: a braced list of string literals would
+  /// otherwise be ambiguous against the registry-name constructor; by
+  /// pointer because the resolve-once flag makes the type immovable.)
+  [[nodiscard]] static std::unique_ptr<CascadeEngine> with_stages(
+      std::vector<const Engine*> stages);
+
   [[nodiscard]] std::string_view name() const noexcept override {
     return "cascade";
   }
   [[nodiscard]] bool complete() const noexcept override { return true; }
   [[nodiscard]] VerifyResult verify(const Query& query) const override;
+  /// Grants the whole context (the scheduler's leftover threads) to every
+  /// stage; the sound-only screens ignore it, so in practice the budget
+  /// lands on the final complete (bnb) stage.
+  [[nodiscard]] VerifyResult verify_with(
+      const Query& query, const VerifyContext& context) const override;
 
   [[nodiscard]] const std::vector<std::string>& stages() const noexcept {
     return stages_;
   }
 
  private:
+  /// Registry lookup of `stages_` into `resolved_` (first call only).
+  void resolve_stages() const;
+
   std::vector<std::string> stages_;
+  /// True when the stages were injected as pointers (already resolved).
+  bool preresolved_ = false;
   /// Stage engines resolved on first verify (registry entries are stable
   /// for the process lifetime), so the per-query hot path takes no lock.
   mutable std::once_flag resolve_once_;

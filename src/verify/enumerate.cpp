@@ -45,6 +45,7 @@ VerifyResult enumerate_find_first(const Query& query) {
 std::vector<Counterexample> enumerate_collect(const Query& query,
                                               std::size_t max_count) {
   std::vector<Counterexample> out;
+  if (max_count == 0) return out;  // cap checked before push, not after
   enumerate_stream(query, [&](const Counterexample& cex) {
     out.push_back(cex);
     return out.size() < max_count;

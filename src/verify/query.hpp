@@ -73,6 +73,12 @@ struct VerifyResult {
   Verdict verdict = Verdict::kUnknown;
   std::optional<Counterexample> counterexample;  // set iff kVulnerable
   std::uint64_t work = 0;  ///< engine-specific effort (evals / boxes / ...)
+  /// True when a resource budget (e.g. bnb's box cap) cut the search
+  /// short.  Such results are still *sound* (a kVulnerable witness is
+  /// verified; kUnknown is honest) but not canonical — the witness may
+  /// not be the lexicographically-lowest one and can vary run to run —
+  /// so the query cache never memoizes them.
+  bool resource_limited = false;
 };
 
 /// Shared exact evaluation: classify the base input under a noise vector

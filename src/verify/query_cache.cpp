@@ -400,18 +400,31 @@ void QueryCache::clear() {
 }
 
 VerifyResult cached_verify(QueryCache* cache, const Query& query,
-                           const Engine& engine, bool* hit) {
+                           const Engine& engine, const VerifyContext& context,
+                           bool* hit) {
   if (hit != nullptr) *hit = false;
-  if (cache == nullptr) return engine.verify(query);
+  if (cache == nullptr) return engine.verify_with(query, context);
   // Serialize the canonical key once; the miss path reuses it for insert.
   std::string key = canonical_key(query, capability_class(engine));
   if (auto cached = cache->lookup_by_key(key)) {
     if (hit != nullptr) *hit = true;
     return *std::move(cached);
   }
-  VerifyResult result = engine.verify(query);
-  cache->insert_by_key(std::move(key), result);
+  VerifyResult result = engine.verify_with(query, context);
+  // Budget-cut results (and a complete engine's kUnknown, which can only
+  // mean a budget cut) are sound but not canonical — the witness may not
+  // be the lex-lowest and can vary run to run — so never memoize them:
+  // a starved run must not poison later, better-funded ones.
+  if (!result.resource_limited &&
+      !(engine.complete() && result.verdict == Verdict::kUnknown)) {
+    cache->insert_by_key(std::move(key), result);
+  }
   return result;
+}
+
+VerifyResult cached_verify(QueryCache* cache, const Query& query,
+                           const Engine& engine, bool* hit) {
+  return cached_verify(cache, query, engine, VerifyContext{}, hit);
 }
 
 QueryCache* global_query_cache() noexcept {

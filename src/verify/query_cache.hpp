@@ -99,7 +99,8 @@ class QueryCache {
   /// Key-based probe/memoize used by `cached_verify` so the miss path
   /// serializes the canonical key once instead of per lookup-then-insert.
   friend VerifyResult cached_verify(QueryCache* cache, const Query& query,
-                                    const Engine& engine, bool* hit);
+                                    const Engine& engine,
+                                    const VerifyContext& context, bool* hit);
   [[nodiscard]] std::optional<VerifyResult> lookup_by_key(
       std::string_view key);
   void insert_by_key(std::string key, const VerifyResult& result);
@@ -138,9 +139,17 @@ class QueryCache {
 [[nodiscard]] std::string capability_class(const Engine& engine);
 
 /// Probe-verify-insert in one step: returns the cached result when
-/// present, otherwise runs `engine.verify(query)` and memoizes the
-/// verdict.  `cache` may be null (plain verify).  When `hit` is non-null
-/// it is set to whether the cache answered.
+/// present, otherwise runs `engine.verify_with(query, context)` and
+/// memoizes the verdict.  `cache` may be null (plain verify).  When `hit`
+/// is non-null it is set to whether the cache answered.
+///
+/// A kUnknown from a *complete* engine is a resource artifact (e.g. bnb's
+/// box budget ran out), not a stable fact about the query, so it is never
+/// memoized — a later run with a larger budget must re-decide.
+[[nodiscard]] VerifyResult cached_verify(QueryCache* cache, const Query& query,
+                                         const Engine& engine,
+                                         const VerifyContext& context,
+                                         bool* hit = nullptr);
 [[nodiscard]] VerifyResult cached_verify(QueryCache* cache, const Query& query,
                                          const Engine& engine,
                                          bool* hit = nullptr);

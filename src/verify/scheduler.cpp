@@ -11,7 +11,9 @@
 
 namespace fannet::verify {
 
-Scheduler::Scheduler(SchedulerOptions options) : cache_(options.cache) {
+Scheduler::Scheduler(SchedulerOptions options)
+    : intra_query_threads_(options.intra_query_threads),
+      cache_(options.cache) {
   threads_ = options.threads != 0
                  ? options.threads
                  : std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -21,9 +23,24 @@ QueryCache* Scheduler::effective_cache() const noexcept {
   return cache_ != nullptr ? cache_ : global_query_cache();
 }
 
+std::size_t Scheduler::intra_grant(std::size_t batch_size) const noexcept {
+  if (intra_query_threads_ != 0) return intra_query_threads_;
+  // Leftover threads: lanes the batch actually occupies, the rest handed
+  // to each engine dispatch.  A full batch grants 1 (pure across-queries
+  // fan-out); a lone query gets the whole budget.
+  const std::size_t lanes =
+      std::max<std::size_t>(1, std::min(threads_, batch_size));
+  return std::max<std::size_t>(1, threads_ / lanes);
+}
+
 VerifyResult Scheduler::verify_one(const Query& query, const Engine& engine,
                                    bool* hit) const {
-  return cached_verify(effective_cache(), query, engine, hit);
+  // Solo dispatches are usually probe chains inside a parallel_for lane,
+  // so the auto grant stays at 1; an explicit intra_query_threads setting
+  // is honoured as-is.
+  const VerifyContext context{
+      .threads = intra_query_threads_ != 0 ? intra_query_threads_ : 1};
+  return cached_verify(effective_cache(), query, engine, context, hit);
 }
 
 void Scheduler::parallel_for(std::size_t count,
@@ -67,11 +84,12 @@ std::vector<VerifyResult> Scheduler::run_all(std::span<const Query> queries,
                                              BatchStats* stats) const {
   const util::Stopwatch watch;
   QueryCache* const cache = effective_cache();
+  const VerifyContext context{.threads = intra_grant(queries.size())};
   std::vector<VerifyResult> results(queries.size());
   std::atomic<std::uint64_t> hits{0};
   parallel_for(queries.size(), [&](std::size_t i) {
     bool hit = false;
-    results[i] = cached_verify(cache, queries[i], engine, &hit);
+    results[i] = cached_verify(cache, queries[i], engine, context, &hit);
     if (hit) hits.fetch_add(1, std::memory_order_relaxed);
   });
   if (stats != nullptr) {
@@ -80,9 +98,9 @@ std::vector<VerifyResult> Scheduler::run_all(std::span<const Query> queries,
     stats->threads = std::min(threads_, std::max<std::size_t>(1, queries.size()));
     stats->total_work = 0;
     for (const VerifyResult& r : results) stats->total_work += r.work;
+    stats->cache_enabled = cache != nullptr;
     stats->cache_hits = hits.load();
-    stats->cache_misses =
-        cache != nullptr ? queries.size() - stats->cache_hits : 0;
+    stats->cache_misses = queries.size() - stats->cache_hits;
     stats->wall_ms = watch.millis();
   }
   return results;
@@ -94,6 +112,7 @@ std::optional<Scheduler::Witness> Scheduler::run_until_witness(
   const util::Stopwatch watch;
   QueryCache* const cache = effective_cache();
   const std::size_t count = queries.size();
+  const VerifyContext context{.threads = intra_grant(count)};
   std::vector<VerifyResult> results(count);
 
   // Cancellation bound: the lowest index known to be vulnerable.  Indices
@@ -117,7 +136,7 @@ std::optional<Scheduler::Witness> Scheduler::run_until_witness(
       if (i > bound.load(std::memory_order_acquire)) continue;  // cancelled
       try {
         bool hit = false;
-        results[i] = cached_verify(cache, queries[i], engine, &hit);
+        results[i] = cached_verify(cache, queries[i], engine, context, &hit);
         if (hit) cache_hits.fetch_add(1, std::memory_order_relaxed);
       } catch (...) {
         const std::scoped_lock lock(error_mutex);
@@ -152,9 +171,9 @@ std::optional<Scheduler::Witness> Scheduler::run_until_witness(
     stats->executed = num_executed.load();
     stats->threads = workers;
     stats->total_work = total_work.load();
+    stats->cache_enabled = cache != nullptr;
     stats->cache_hits = cache_hits.load();
-    stats->cache_misses =
-        cache != nullptr ? stats->executed - stats->cache_hits : 0;
+    stats->cache_misses = stats->executed - stats->cache_hits;
     stats->wall_ms = watch.millis();
   }
 

@@ -43,6 +43,17 @@ class QueryCache;
 struct SchedulerOptions {
   /// Worker count; 0 = one worker per hardware thread.
   std::size_t threads = 0;
+  /// Intra-query worker budget granted to each engine dispatch (via
+  /// `Engine::verify_with`), so inter- and intra-query parallelism share
+  /// one thread budget instead of oversubscribing.  0 (the default) means
+  /// *leftover threads*: when a batch has fewer queries than workers, the
+  /// idle workers are handed to the engines (branch-and-bound's
+  /// work-stealing frontier; the cascade forwards the grant to its final
+  /// bnb stage) — one hard query on an otherwise idle machine then uses
+  /// every core.  Full batches grant 1, i.e. the classic across-queries
+  /// fan-out.  Verdicts and witnesses are identical for every setting;
+  /// bnb's `work` box count is only bit-deterministic under a grant of 1.
+  std::size_t intra_query_threads = 0;
   /// Per-batch memoization layer probed before every engine dispatch.
   /// Null (the default) falls back to `global_query_cache()`, which is
   /// itself null unless a tool installed one — so caching is opt-in and
@@ -56,8 +67,13 @@ struct BatchStats {
   std::size_t executed = 0;   ///< queries actually decided (cancellation skips)
   std::size_t threads = 0;    ///< workers used for this batch
   std::uint64_t total_work = 0;  ///< sum of per-query VerifyResult::work
+  bool cache_enabled = false;      ///< whether a query cache was probed
   std::uint64_t cache_hits = 0;    ///< decided from the query cache
-  std::uint64_t cache_misses = 0;  ///< probed the cache, dispatched engine
+  /// Queries that dispatched an engine.  With no cache configured every
+  /// executed query is a miss (nothing could answer it), so
+  /// `cache_hits + cache_misses == executed` always holds; check
+  /// `cache_enabled` to tell "cache off" from "cache cold".
+  std::uint64_t cache_misses = 0;
   double wall_ms = 0.0;
 };
 
@@ -108,6 +124,15 @@ class Scheduler {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn) const;
 
+  /// Intra-query thread grant for a batch of `batch_size` jobs: the
+  /// explicit `intra_query_threads` setting when non-zero, otherwise the
+  /// leftover threads once the batch is spread across the workers
+  /// (>= 1).  This is the single budget-splitting policy — callers that
+  /// fan out engine-adjacent work themselves (e.g. extract_corpus's
+  /// per-sample bnb_collect loops) read their grant from here instead of
+  /// re-deriving it.
+  [[nodiscard]] std::size_t intra_grant(std::size_t batch_size) const noexcept;
+
  private:
   /// The cache batches go through: the per-scheduler override when set,
   /// else the process-wide cache (re-read per call, so installing a global
@@ -115,6 +140,7 @@ class Scheduler {
   [[nodiscard]] QueryCache* effective_cache() const noexcept;
 
   std::size_t threads_ = 1;
+  std::size_t intra_query_threads_ = 0;
   QueryCache* cache_ = nullptr;
 };
 

@@ -128,15 +128,15 @@ SymbolicBounds symbolic_bounds(const Query& q) {
   return out;
 }
 
-MarginBounds margin_bounds(const Query& q) {
+MarginForms margin_forms(const Query& q) {
   const SymbolicBounds sb = symbolic_bounds(q);
   const auto y = static_cast<std::size_t>(q.true_label);
   const std::size_t outs = sb.out_lo.size();
 
-  MarginBounds mb;
-  mb.lb.assign(outs, 0);
-  mb.ub.assign(outs, 0);
-  mb.unstable_relus = sb.unstable_relus;
+  MarginForms mf;
+  mf.lo.assign(outs, constant_form(q.noise_dims(), 0));
+  mf.hi.assign(outs, constant_form(q.noise_dims(), 0));
+  mf.unstable_relus = sb.unstable_relus;
   for (std::size_t k = 0; k < outs; ++k) {
     if (k == y) continue;
     // M_k = O_y - O_k at form level: shared coefficients cancel exactly.
@@ -144,8 +144,25 @@ MarginBounds margin_bounds(const Query& q) {
     add_scaled(lo_form, -1, sb.out_hi[k]);
     AffineForm hi_form = sb.out_hi[y];
     add_scaled(hi_form, -1, sb.out_lo[k]);
-    mb.lb[k] = lo_form.min_over(q.box);
-    mb.ub[k] = hi_form.max_over(q.box);
+    mf.lo[k] = std::move(lo_form);
+    mf.hi[k] = std::move(hi_form);
+  }
+  return mf;
+}
+
+MarginBounds margin_bounds(const Query& q) {
+  const MarginForms mf = margin_forms(q);
+  const auto y = static_cast<std::size_t>(q.true_label);
+  const std::size_t outs = mf.lo.size();
+
+  MarginBounds mb;
+  mb.lb.assign(outs, 0);
+  mb.ub.assign(outs, 0);
+  mb.unstable_relus = mf.unstable_relus;
+  for (std::size_t k = 0; k < outs; ++k) {
+    if (k == y) continue;
+    mb.lb[k] = mf.lo[k].min_over(q.box);
+    mb.ub[k] = mf.hi[k].max_over(q.box);
   }
   return mb;
 }

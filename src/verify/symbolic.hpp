@@ -47,4 +47,18 @@ struct MarginBounds {
 };
 [[nodiscard]] MarginBounds margin_bounds(const Query& query);
 
+/// The margin *forms* behind `margin_bounds`: lower/upper affine forms of
+/// M_k = O_y - O_k, valid for every noise vector inside the query's box.
+/// Because any sub-box is a subset of that box, evaluating the forms with
+/// `min_over`/`max_over` on a sub-box yields sound (if slightly looser)
+/// margin bounds without re-propagating the network — this is what lets
+/// branch-and-bound *score* candidate child boxes in O(dims) per margin
+/// (the best-first box-priority policy, DESIGN.md §4.4).
+struct MarginForms {
+  std::vector<AffineForm> lo;  // indexed by k (entry y is a zero form)
+  std::vector<AffineForm> hi;
+  std::uint64_t unstable_relus = 0;
+};
+[[nodiscard]] MarginForms margin_forms(const Query& query);
+
 }  // namespace fannet::verify

@@ -164,6 +164,45 @@ TEST(Scheduler, ExceptionsPropagateToCaller) {
   }
 }
 
+TEST(Scheduler, StatsCountEngineDispatchesAsMissesWithoutCache) {
+  // With no cache configured every executed query dispatched the engine:
+  // that is `executed` misses (not 0), with `cache_enabled` telling
+  // "cache off" apart from "cache cold".
+  const std::vector<Query> batch = mixed_batch(8, 9);
+  BatchStats stats;
+  (void)Scheduler({.threads = 2}).run_all(batch, engine("bnb"), &stats);
+  EXPECT_FALSE(stats.cache_enabled);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, batch.size());
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.executed);
+
+  BatchStats witness_stats;
+  (void)Scheduler({.threads = 2})
+      .run_until_witness(batch, engine("bnb"), &witness_stats);
+  EXPECT_FALSE(witness_stats.cache_enabled);
+  EXPECT_EQ(witness_stats.cache_misses, witness_stats.executed);
+}
+
+TEST(Scheduler, IntraQueryGrantsKeepVerdictsAndWitnessesIdentical) {
+  // A batch smaller than the pool hands leftover threads to each query's
+  // branch-and-bound frontier; verdicts and witnesses must not move.
+  const std::vector<Query> batch = mixed_batch(3, 14);
+  const Engine& cascade = engine("cascade");
+  const auto serial = Scheduler({.threads = 1}).run_all(batch, cascade);
+  for (const SchedulerOptions opts :
+       {SchedulerOptions{.threads = 8},                           // auto grant
+        SchedulerOptions{.threads = 4, .intra_query_threads = 2},  // fixed
+        SchedulerOptions{.threads = 2, .intra_query_threads = 8}}) {
+    const auto parallel = Scheduler(opts).run_all(batch, cascade);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].verdict, serial[i].verdict) << "index " << i;
+      EXPECT_EQ(parallel[i].counterexample, serial[i].counterexample)
+          << "index " << i;
+    }
+  }
+}
+
 TEST(Scheduler, EmptyBatchesAreNoOps) {
   const Scheduler scheduler;
   BatchStats stats;

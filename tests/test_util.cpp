@@ -133,6 +133,32 @@ TEST(Rng, UniformIntInRange) {
   }
 }
 
+TEST(Rng, UniformIntExtremeBoundsStayInRange) {
+  // Regression: `hi - lo` used to overflow int64 for wide ranges (UB);
+  // the span is now computed in uint64.  Every draw must stay in bounds
+  // even at the representable extremes.
+  Rng rng(17);
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  bool saw_negative = false, saw_positive = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t wide = rng.uniform_int(-2, kMax);
+    EXPECT_GE(wide, -2);
+    const std::int64_t full = rng.uniform_int(kMin, kMax);
+    saw_negative |= full < 0;
+    saw_positive |= full > 0;
+    const std::int64_t low = rng.uniform_int(kMin, kMin + 2);
+    EXPECT_GE(low, kMin);
+    EXPECT_LE(low, kMin + 2);
+  }
+  // The full-range case (span wraps to 0) must not collapse to one sign.
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+  // Degenerate single-point range.
+  EXPECT_EQ(rng.uniform_int(kMax, kMax), kMax);
+  EXPECT_EQ(rng.uniform_int(kMin, kMin), kMin);
+}
+
 TEST(Rng, UniformIntCoversRange) {
   Rng rng(11);
   std::vector<int> hits(9, 0);
@@ -213,6 +239,19 @@ TEST(Csv, UnterminatedQuoteThrows) {
 
 TEST(Csv, RoundTrip) {
   const CsvTable t{{"plain", "with,comma", "with\"quote"}, {"1", "-2", "3.5"}};
+  EXPECT_EQ(parse_csv(to_csv(t)), t);
+}
+
+TEST(Csv, StrayCarriageReturnIsCellData) {
+  // Only a CRLF pair is a line ending; a lone '\r' inside an unquoted
+  // cell used to be silently dropped.  It is data, and to_csv quotes it,
+  // so the round trip is exact.
+  const CsvTable parsed = parse_csv("a\rb,c\nd,e\r\n");
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0], (CsvRow{"a\rb", "c"}));
+  EXPECT_EQ(parsed[1], (CsvRow{"d", "e"}));  // CRLF still ends the row
+
+  const CsvTable t{{"pre\rpost", "plain"}, {"\r", "tail\r"}};
   EXPECT_EQ(parse_csv(to_csv(t)), t);
 }
 

@@ -276,14 +276,36 @@ TEST(Bnb, DirectionalBoxes) {
   }
 }
 
-TEST(Bnb, BoxBudgetEnforced) {
+TEST(Bnb, BoxBudgetDegradesToUnknownAtVerifyBoundary) {
+  // Budget exhaustion must not abort a whole scheduler batch: bnb_verify
+  // surfaces kUnknown (with the boxes processed recorded as work) instead
+  // of throwing.  The streaming APIs keep the ResourceLimit contract.
   const nn::QuantizedNetwork net = random_qnet(9);
   const std::vector<i64> x{50, 50, 50};
   const Query q = make_query(net, x, net.classify_noised(x, {}), 50);
   BnbOptions opt;
   opt.max_boxes = 3;
   opt.use_symbolic = false;  // weak pruning forces splitting
-  EXPECT_THROW(bnb_verify(q, opt), ResourceLimit);
+  const VerifyResult r = bnb_verify(q, opt);
+  EXPECT_EQ(r.verdict, Verdict::kUnknown);
+  EXPECT_FALSE(r.counterexample.has_value());
+  EXPECT_GE(r.work, opt.max_boxes);
+  EXPECT_THROW(bnb_stream(q, [](const Counterexample&) { return true; }, opt),
+               ResourceLimit);
+  EXPECT_THROW(bnb_collect(q, 10, opt), ResourceLimit);
+}
+
+TEST(Collect, ZeroCapReturnsNothing) {
+  // A max_count of 0 means "no counterexamples", not "one": the cap is
+  // checked before the push.  Use a certainly-vulnerable query.
+  const nn::QuantizedNetwork net = random_qnet(11);
+  const std::vector<i64> x{30, 60, 90};
+  const Query q = make_query(net, x, 1 - net.classify_noised(x, {}), 2);
+  ASSERT_EQ(enumerate_find_first(q).verdict, Verdict::kVulnerable);
+  EXPECT_TRUE(enumerate_collect(q, 0).empty());
+  EXPECT_TRUE(bnb_collect(q, 0).empty());
+  EXPECT_EQ(enumerate_collect(q, 1).size(), 1u);
+  EXPECT_EQ(bnb_collect(q, 1).size(), 1u);
 }
 
 TEST(Bnb, WorkIsFarBelowEnumeration) {

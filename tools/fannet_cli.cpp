@@ -37,6 +37,7 @@ struct Options {
   std::string command;
   std::string engine = "cascade";
   std::size_t threads = 0;          // 0 = hardware concurrency
+  std::size_t intra_threads = 0;    // 0 = leftover threads per query
   int start_range = 50;             // tolerance / boundary / weight-faults
   int range = 20;                   // bias / sensitivity probes + corpus
   int grid_lo = 5, grid_hi = 50, grid_step = 5;
@@ -63,6 +64,9 @@ commands
 flags
   --engine NAME        P2 decision engine (default: cascade)
   --threads N          worker threads, 0 = one per hardware thread (default 0)
+  --intra-threads N    worker budget inside each P2 query (branch-and-bound
+                       work-stealing frontier); 0 = grant the threads left
+                       over when a batch is smaller than the pool (default 0)
   --start-range N      initial noise range for tolerance/boundary (default 50)
   --range N            noise range for bias/sensitivity probes and corpus
                        extraction (default 20); scan limit for weight-faults
@@ -120,6 +124,10 @@ Options parse_args(int argc, char** argv) {
       opts.engine = value();
     } else if (flag == "--threads") {
       if (!parse_size(value(), opts.threads)) usage_error("bad --threads");
+    } else if (flag == "--intra-threads") {
+      if (!parse_size(value(), opts.intra_threads)) {
+        usage_error("bad --intra-threads");
+      }
     } else if (flag == "--start-range") {
       if (!parse_int(value(), opts.start_range) || opts.start_range < 1) {
         usage_error("bad --start-range");
@@ -189,6 +197,7 @@ core::ToleranceReport run_tolerance(const core::CaseStudy& cs,
   config.start_range = opts.start_range;
   config.engine = core::Engine{opts.engine};
   config.threads = opts.threads;
+  config.intra_query_threads = opts.intra_threads;
   return core::Fannet(cs.qnet).analyze_tolerance(cs.test_x, cs.test_y, config);
 }
 
@@ -263,6 +272,7 @@ int run_command(const Options& opts, util::BenchJson& json) {
     core::SensitivityConfig config;
     config.engine = core::Engine{opts.engine};
     config.threads = opts.threads;
+    config.intra_query_threads = opts.intra_threads;
     const core::NodeSensitivityReport report = core::analyze_sensitivity(
         fannet, cs.test_x, cs.test_y, opts.range, corpus, config);
     std::fputs(core::format_sensitivity(report).c_str(), stdout);
