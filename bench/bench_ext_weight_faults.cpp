@@ -2,9 +2,18 @@
 // Fig. 4's input-sensitivity panel): rank the network parameters by the
 // smallest exact perturbation that misclassifies a test sample, and
 // contrast parameter fragility with the input-noise tolerance.
+//
+// The bench is also the weight-fault engine's CI gate: the incremental
+// prefix-memoized scan (DESIGN.md §8) must produce a report bit-identical
+// to the naive whole-network rescan — for 1, 2 and 8 worker threads —
+// while performing strictly fewer per-layer evaluations, and its wall
+// speedup is gated and recorded in BENCH_weight_faults.json
+// (docs/bench-format.md).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "core/casestudy.hpp"
@@ -16,6 +25,112 @@
 namespace {
 
 using namespace fannet;
+
+/// Wall-clock gate for the incremental engine on the small cohort.  The
+/// measured local speedup is ~3-8x; the floor is deliberately loose so CI
+/// noise cannot trip it while a real regression (incremental no faster
+/// than naive) still fails.
+constexpr double kMinSpeedup = 1.15;
+
+/// Report identity *excluding* layer_evaluations — the one field that
+/// legitimately differs between the two engines (that is the point of the
+/// incremental evaluator).  Faults compare through WeightFault's memberwise
+/// operator==, so new fields join the gate automatically.
+bool reports_identical(const core::WeightFaultReport& a,
+                       const core::WeightFaultReport& b) {
+  return a.faults == b.faults && a.robust_weights == b.robust_weights &&
+         a.evaluations == b.evaluations &&
+         a.undecided_candidates == b.undecided_candidates && a.model == b.model;
+}
+
+/// Gate: naive-vs-incremental bit-identity, strictly-fewer layer
+/// evaluations, thread-count determinism, and the wall-clock speedup.
+int run_identity_and_speedup_gate(const core::CaseStudy& cs,
+                                  util::BenchJson& json) {
+  std::puts("=== Gate: incremental vs naive scan (small cohort) ===");
+  core::WeightFaultConfig config;
+  config.max_percent = 50;
+  config.threads = 1;
+
+  config.scan = core::FaultScan::kNaive;
+  const util::Stopwatch naive_watch;
+  const core::WeightFaultReport naive =
+      core::analyze_weight_faults(cs.qnet, cs.test_x, cs.test_y, config);
+  const double naive_ms = naive_watch.millis();
+
+  config.scan = core::FaultScan::kIncremental;
+  const util::Stopwatch inc_watch;
+  const core::WeightFaultReport incremental =
+      core::analyze_weight_faults(cs.qnet, cs.test_x, cs.test_y, config);
+  const double incremental_ms = inc_watch.millis();
+
+  if (!reports_identical(naive, incremental)) {
+    std::fprintf(stderr,
+                 "FAIL: incremental report differs from the naive scan\n");
+    return EXIT_FAILURE;
+  }
+  if (incremental.layer_evaluations >= naive.layer_evaluations) {
+    std::fprintf(stderr,
+                 "FAIL: incremental scan did not perform strictly fewer "
+                 "layer evaluations (%llu vs naive %llu)\n",
+                 static_cast<unsigned long long>(incremental.layer_evaluations),
+                 static_cast<unsigned long long>(naive.layer_evaluations));
+    return EXIT_FAILURE;
+  }
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    config.threads = threads;
+    const core::WeightFaultReport parallel =
+        core::analyze_weight_faults(cs.qnet, cs.test_x, cs.test_y, config);
+    if (!reports_identical(incremental, parallel) ||
+        parallel.layer_evaluations != incremental.layer_evaluations) {
+      std::fprintf(stderr, "FAIL: report differs at %zu threads\n", threads);
+      return EXIT_FAILURE;
+    }
+  }
+
+  const double speedup = naive_ms / incremental_ms;
+  std::printf("naive       %8.1f ms  (%llu layer evaluations)\n", naive_ms,
+              static_cast<unsigned long long>(naive.layer_evaluations));
+  std::printf("incremental %8.1f ms  (%llu layer evaluations)\n",
+              incremental_ms,
+              static_cast<unsigned long long>(incremental.layer_evaluations));
+  std::printf("speedup %.2fx, identical reports at 1/2/8 threads\n\n", speedup);
+  if (speedup < kMinSpeedup) {
+    std::fprintf(stderr, "FAIL: incremental speedup %.2fx below the %.2fx "
+                 "gate\n", speedup, kMinSpeedup);
+    return EXIT_FAILURE;
+  }
+  json.add("naive_scan", naive_ms, naive.layer_evaluations, 1);
+  json.add("incremental_scan", incremental_ms, incremental.layer_evaluations,
+           1);
+  json.add("speedup_x100_incremental", 100.0 * speedup, 0, 1);
+  return EXIT_SUCCESS;
+}
+
+/// Fault-model diversity: the same ranking under each corruption model.
+void run_fault_models(const core::CaseStudy& cs, util::BenchJson& json) {
+  std::puts("=== Fault-model diversity (small cohort) ===");
+  for (const core::FaultModel model :
+       {core::FaultModel::kPercentScale, core::FaultModel::kStuckAtZero,
+        core::FaultModel::kSignFlip, core::FaultModel::kBitFlip}) {
+    core::WeightFaultConfig config;
+    config.model = model;
+    const util::Stopwatch watch;
+    const core::WeightFaultReport report =
+        core::analyze_weight_faults(cs.qnet, cs.test_x, cs.test_y, config);
+    const double ms = watch.millis();
+    const std::size_t fragile = report.faults.size() - report.robust_weights;
+    std::printf("%-14s %4zu/%zu parameters fragile  (%llu evaluations%s)\n",
+                std::string(core::fault_model_name(model)).c_str(), fragile,
+                report.faults.size(),
+                static_cast<unsigned long long>(report.evaluations),
+                report.undecided_candidates > 0 ? ", some out of exact range"
+                                                : "");
+    json.add("fault_model_" + std::string(core::fault_model_name(model)), ms,
+             fragile, 1);
+  }
+  std::puts("");
+}
 
 std::uint64_t print_weight_faults() {
   const core::CaseStudy cs = core::build_case_study();
@@ -62,12 +177,22 @@ BENCHMARK(BM_WeightFaultScan)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::BenchJson json("ext_weight_faults");
+  util::BenchJson json("weight_faults");
+
+  const core::CaseStudy small =
+      core::build_case_study(core::small_case_study_config());
+  if (run_identity_and_speedup_gate(small, json) != EXIT_SUCCESS) {
+    return EXIT_FAILURE;
+  }
+  run_fault_models(small, json);
+
   const util::Stopwatch watch;
   const std::uint64_t evaluations = print_weight_faults();
   json.add("weight_fault_scan", watch.millis(), evaluations,
            std::thread::hardware_concurrency());
-  json.write();
+  const std::string path = json.write();
+  std::printf("wrote %s\n", path.c_str());
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -2,15 +2,96 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <sstream>
 
 #include "core/report.hpp"
+#include "util/checked.hpp"
 #include "util/error.hpp"
 #include "verify/scheduler.hpp"
 
 namespace fannet::core {
 
 using util::i64;
+using util::u64;
+
+std::string_view fault_model_name(FaultModel model) {
+  switch (model) {
+    case FaultModel::kPercentScale: return "percent";
+    case FaultModel::kStuckAtZero: return "stuck-at-zero";
+    case FaultModel::kSignFlip: return "sign-flip";
+    case FaultModel::kBitFlip: return "bit-flip";
+  }
+  throw InvalidArgument("fault_model_name: unknown model");
+}
+
+std::optional<FaultModel> fault_model_from_name(std::string_view name) {
+  for (const FaultModel m :
+       {FaultModel::kPercentScale, FaultModel::kStuckAtZero,
+        FaultModel::kSignFlip, FaultModel::kBitFlip}) {
+    if (name == fault_model_name(m)) return m;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// One injectable parameter value, in scan order (least severe first so the
+/// first flip found is the minimal one).
+struct FaultCandidate {
+  int severity = 0;  ///< model units (percent magnitude / bit index / 0)
+  int sign = 0;      ///< +1/-1 for kPercentScale, 0 otherwise
+  /// The faulted raw fixed-point value; nullopt when computing it already
+  /// left int64 (e.g. sign-flipping INT64_MIN, percent-scaling near the
+  /// edge) — counted as undecided like any other out-of-range candidate.
+  std::optional<i64> raw;
+};
+
+/// `compute` evaluated with overflow mapped to "undecidable candidate".
+std::optional<i64> faulted_raw_or_undecided(const auto& compute) {
+  try {
+    return compute();
+  } catch (const ArithmeticError&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<FaultCandidate> fault_candidates(const WeightFaultConfig& config,
+                                             i64 original) {
+  std::vector<FaultCandidate> out;
+  switch (config.model) {
+    case FaultModel::kPercentScale:
+      for (int magnitude = config.step; magnitude <= config.max_percent;
+           magnitude += config.step) {
+        for (const int sign : {+1, -1}) {
+          out.push_back({magnitude, sign, faulted_raw_or_undecided([&] {
+                           return nn::scaled_param_raw(original,
+                                                       sign * magnitude);
+                         })});
+        }
+      }
+      break;
+    case FaultModel::kStuckAtZero:
+      out.push_back({0, 0, 0});
+      break;
+    case FaultModel::kSignFlip:
+      out.push_back({0, 0, faulted_raw_or_undecided([&] {
+                       return util::checked_sub(0, original);
+                     })});
+      break;
+    case FaultModel::kBitFlip:
+      // Low bits first: a low-order flip is the least severe corruption, so
+      // the first hit is the minimal one, mirroring the percent scan.
+      for (int bit = 0; bit < 64; ++bit) {
+        const u64 flipped = static_cast<u64>(original) ^ (u64{1} << bit);
+        out.push_back({bit, 0, static_cast<i64>(flipped)});
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace
 
 WeightFaultReport analyze_weight_faults(const nn::QuantizedNetwork& net,
                                         const la::Matrix<i64>& inputs,
@@ -23,18 +104,27 @@ WeightFaultReport analyze_weight_faults(const nn::QuantizedNetwork& net,
     throw InvalidArgument("analyze_weight_faults: bad scan parameters");
   }
 
+  // The incremental engine memoizes one noise-free forward pass per sample
+  // (every candidate below re-evaluates only the faulted layer and its
+  // suffix); the naive engine keeps no state and rescans from layer 0.
+  std::optional<nn::PrefixEvaluator> prefix;
+  if (config.scan == FaultScan::kIncremental) prefix.emplace(net, inputs);
+
   // Only correctly-classified samples count (as in the noise analyses).
+  // PrefixEvaluator::base_class is the memoized value of the same
+  // classification, so the filter is engine-independent.
   std::vector<std::size_t> correct;
   for (std::size_t s = 0; s < inputs.rows(); ++s) {
-    if (net.classify_noised(inputs.row(s), {}) == labels[s]) {
-      correct.push_back(s);
-    }
+    const int cls = prefix ? prefix->base_class(s)
+                           : net.classify_noised(inputs.row(s), {});
+    if (cls == labels[s]) correct.push_back(s);
   }
 
-  // One task per parameter; each scans its magnitudes independently and
+  // One task per parameter; each scans its candidates independently and
   // writes into an indexed slot, so the scan order (and the report) is
   // identical for every thread count.
   WeightFaultReport report;
+  report.model = config.model;
   for (std::size_t li = 0; li < net.depth(); ++li) {
     const nn::QLayer& layer = net.layers()[li];
     for (std::size_t row = 0; row < layer.out_dim(); ++row) {
@@ -42,44 +132,86 @@ WeightFaultReport analyze_weight_faults(const nn::QuantizedNetwork& net,
         WeightFault fault;
         fault.layer = li;
         fault.row = row;
-        fault.col = (col == layer.in_dim()) ? ~std::size_t{0} : col;
+        fault.col = (col == layer.in_dim()) ? kBiasCol : col;
         report.faults.push_back(fault);
       }
     }
   }
 
   std::atomic<std::uint64_t> evaluations{0};
+  std::atomic<std::uint64_t> layer_evaluations{0};
+  std::atomic<std::uint64_t> undecided{0};
+  const std::size_t depth = net.depth();
   const verify::Scheduler scheduler({.threads = config.threads});
   scheduler.parallel_for(report.faults.size(), [&](std::size_t fi) {
     WeightFault& fault = report.faults[fi];
     const nn::QLayer& layer = net.layers()[fault.layer];
     const std::size_t col = fault.is_bias() ? layer.in_dim() : fault.col;
+    const i64 original = net.param_raw(fault.layer, fault.row, col);
+    const std::vector<FaultCandidate> candidates =
+        fault_candidates(config, original);
     std::uint64_t local_evals = 0;
+    std::uint64_t local_layer_evals = 0;
+    std::uint64_t local_undecided = 0;
 
-    // Scan |p| ascending so the first hit is the minimal one.
-    for (int magnitude = config.step;
-         magnitude <= config.max_percent && !fault.min_flip_percent;
-         magnitude += config.step) {
-      for (const int sign : {+1, -1}) {
-        const nn::QuantizedNetwork mutated =
-            net.with_scaled_param(fault.layer, fault.row, col,
-                                  sign * magnitude);
-        for (const std::size_t s : correct) {
-          ++local_evals;
-          if (mutated.classify_noised(inputs.row(s), {}) != labels[s]) {
-            fault.min_flip_percent = magnitude;
-            fault.flip_sign = sign;
-            fault.flipped_sample = s;
-            break;
-          }
-        }
-        if (fault.min_flip_percent) break;
+    // Incremental: per-thread scratch over the shared read-only memo.
+    // Naive: one private working copy per task, patched in place per
+    // candidate (patch/restore — never a whole-network copy per candidate).
+    nn::PrefixEvaluator::Scratch scratch;
+    std::optional<nn::QuantizedNetwork> naive_net;
+    if (!prefix) naive_net.emplace(net);
+
+    // Candidates are in ascending-severity order, so the first hit is the
+    // minimal one.
+    for (const FaultCandidate& candidate : candidates) {
+      if (fault.min_flip_percent) break;
+      if (!candidate.raw) {
+        ++local_undecided;
+        continue;
       }
+      // A no-op candidate (the faulted value equals the stored one, e.g.
+      // percent-scaling or stuck-at-zero on a zero weight) leaves the
+      // network bit-identical, so it can never flip a correctly-classified
+      // sample — skip the evaluation pass.  Both engines skip identically.
+      if (*candidate.raw == original) continue;
+      std::optional<nn::ScopedParamPatch> patch;
+      if (naive_net) {
+        patch.emplace(*naive_net, fault.layer, fault.row, col, *candidate.raw);
+      }
+      bool undecidable = false;
+      for (const std::size_t s : correct) {
+        ++local_evals;
+        local_layer_evals += prefix ? (depth - fault.layer) : depth;
+        int cls = 0;
+        try {
+          cls = prefix ? prefix->classify_patched(s, fault.layer, fault.row,
+                                                  col, *candidate.raw, scratch)
+                       : naive_net->classify_noised(inputs.row(s), {});
+        } catch (const ArithmeticError&) {
+          // The faulted value pushed an exact accumulation out of int64
+          // (possible for high-order bit flips).  Identical in both
+          // engines: skip the candidate, never guess.
+          undecidable = true;
+          break;
+        }
+        if (cls != labels[s]) {
+          fault.min_flip_percent = candidate.severity;
+          fault.flip_sign = candidate.sign;
+          fault.flipped_sample = s;
+          fault.flipped_raw = *candidate.raw;
+          break;
+        }
+      }
+      if (undecidable) ++local_undecided;
     }
     evaluations.fetch_add(local_evals, std::memory_order_relaxed);
+    layer_evaluations.fetch_add(local_layer_evals, std::memory_order_relaxed);
+    undecided.fetch_add(local_undecided, std::memory_order_relaxed);
   });
 
   report.evaluations = evaluations.load();
+  report.layer_evaluations = layer_evaluations.load();
+  report.undecided_candidates = undecided.load();
   for (const WeightFault& fault : report.faults) {
     if (!fault.min_flip_percent) ++report.robust_weights;
   }
@@ -100,9 +232,34 @@ std::vector<WeightFault> most_fragile_weights(const WeightFaultReport& report,
   return fragile;
 }
 
+namespace {
+
+std::string severity_cell(const WeightFaultReport& report,
+                          const WeightFault& f) {
+  switch (report.model) {
+    case FaultModel::kPercentScale:
+      return "+/-" + std::to_string(*f.min_flip_percent) + "%";
+    case FaultModel::kStuckAtZero: return "stuck@0";
+    case FaultModel::kSignFlip: return "sign";
+    case FaultModel::kBitFlip:
+      return "bit " + std::to_string(*f.min_flip_percent);
+  }
+  return "?";
+}
+
+std::string direction_cell(const WeightFaultReport& report,
+                           const WeightFault& f) {
+  if (report.model == FaultModel::kPercentScale) {
+    return f.flip_sign > 0 ? "+" : "-";
+  }
+  return "raw=" + std::to_string(f.flipped_raw);
+}
+
+}  // namespace
+
 std::string format_weight_faults(const WeightFaultReport& report,
                                  std::size_t top_count) {
-  TextTable t({"rank", "parameter", "min flip", "direction", "sample"});
+  TextTable t({"rank", "parameter", "min fault", "direction", "sample"});
   const auto fragile = most_fragile_weights(report, top_count);
   for (std::size_t i = 0; i < fragile.size(); ++i) {
     const WeightFault& f = fragile[i];
@@ -110,16 +267,20 @@ std::string format_weight_faults(const WeightFaultReport& report,
     name << "L" << f.layer << "[" << f.row << "]";
     if (f.is_bias()) name << ".bias";
     else name << "[" << f.col << "]";
-    t.add_row({std::to_string(i + 1), name.str(),
-               "+/-" + std::to_string(*f.min_flip_percent) + "%",
-               f.flip_sign > 0 ? "+" : "-",
-               std::to_string(f.flipped_sample)});
+    t.add_row({std::to_string(i + 1), name.str(), severity_cell(report, f),
+               direction_cell(report, f), std::to_string(f.flipped_sample)});
   }
   std::ostringstream out;
+  out << "fault model: " << fault_model_name(report.model) << "\n";
   out << t.to_string();
   out << "Parameters that never flip within the scanned range: "
       << report.robust_weights << "/" << report.faults.size() << "  ("
-      << report.evaluations << " exact evaluations)\n";
+      << report.evaluations << " exact evaluations, "
+      << report.layer_evaluations << " layer evaluations)\n";
+  if (report.undecided_candidates > 0) {
+    out << "Candidates beyond the exact int64 range (skipped): "
+        << report.undecided_candidates << "\n";
+  }
   return out.str();
 }
 

@@ -143,24 +143,166 @@ Network QuantizedNetwork::dequantize() const {
   return Network(std::move(layers));
 }
 
+i64& QuantizedNetwork::param_slot(std::size_t layer, std::size_t row,
+                                  std::size_t col) {
+  if (layer >= layers_.size()) {
+    throw InvalidArgument("QuantizedNetwork: layer out of range");
+  }
+  QLayer& l = layers_[layer];
+  if (row >= l.out_dim() || col > l.in_dim()) {
+    throw InvalidArgument("QuantizedNetwork: parameter index out of range");
+  }
+  return (col == l.in_dim()) ? l.bias[row] : l.weights(row, col);
+}
+
+i64 QuantizedNetwork::param_raw(std::size_t layer, std::size_t row,
+                                std::size_t col) const {
+  return const_cast<QuantizedNetwork*>(this)->param_slot(layer, row, col);
+}
+
+QuantizedNetwork QuantizedNetwork::with_param(std::size_t layer,
+                                              std::size_t row, std::size_t col,
+                                              i64 raw) const {
+  QuantizedNetwork copy = *this;
+  copy.param_slot(layer, row, col) = raw;
+  return copy;
+}
+
+i64 scaled_param_raw(i64 raw, i64 percent) {
+  const i128 scaled = static_cast<i128>(raw) * (100 + percent);
+  // Round half away from zero back onto the fixed-point grid.
+  const i128 adjust = (scaled >= 0) ? 50 : -50;
+  return util::narrow_i128((scaled + adjust) / 100);
+}
+
 QuantizedNetwork QuantizedNetwork::with_scaled_param(std::size_t layer,
                                                      std::size_t row,
                                                      std::size_t col,
                                                      i64 percent) const {
-  if (layer >= layers_.size()) {
-    throw InvalidArgument("with_scaled_param: layer out of range");
+  return with_param(layer, row, col,
+                    scaled_param_raw(param_raw(layer, row, col), percent));
+}
+
+ScopedParamPatch::ScopedParamPatch(QuantizedNetwork& net, std::size_t layer,
+                                   std::size_t row, std::size_t col, i64 raw)
+    : slot_(&net.param_slot(layer, row, col)), original_(*slot_) {
+  *slot_ = raw;
+}
+
+PrefixEvaluator::PrefixEvaluator(const QuantizedNetwork& net,
+                                 const la::Matrix<i64>& inputs)
+    : net_(&net) {
+  const std::size_t depth = net.depth();
+  bias_mult_.reserve(depth);
+  i64 act_scale = util::checked_mul(net.input_norm(), kNoiseDen);
+  for (std::size_t li = 0; li < depth; ++li) {
+    bias_mult_.push_back(act_scale);
+    act_scale = util::checked_mul(act_scale, util::Fixed::kScale);
   }
-  QuantizedNetwork copy = *this;
-  QLayer& l = copy.layers_[layer];
-  if (row >= l.out_dim() || col > l.in_dim()) {
-    throw InvalidArgument("with_scaled_param: parameter index out of range");
+
+  inputs_.reserve(inputs.rows());
+  pres_.reserve(inputs.rows());
+  base_class_.reserve(inputs.rows());
+  for (std::size_t s = 0; s < inputs.rows(); ++s) {
+    std::vector<i64> X = QuantizedNetwork::noised_inputs(inputs.row(s), {});
+    std::vector<std::vector<i64>> pre = net.eval_all(X);
+    base_class_.push_back(argmax_tie_low_i64(pre.back()));
+    inputs_.push_back(std::move(X));
+    pres_.push_back(std::move(pre));
   }
-  i64& raw = (col == l.in_dim()) ? l.bias[row] : l.weights(row, col);
-  const i128 scaled = static_cast<i128>(raw) * (100 + percent);
-  // Round half away from zero back onto the fixed-point grid.
-  const i128 adjust = (scaled >= 0) ? 50 : -50;
-  raw = util::narrow_i128((scaled + adjust) / 100);
-  return copy;
+}
+
+int PrefixEvaluator::base_class(std::size_t sample) const {
+  if (sample >= base_class_.size()) {
+    throw InvalidArgument("PrefixEvaluator: sample out of range");
+  }
+  return base_class_[sample];
+}
+
+int PrefixEvaluator::classify_patched(std::size_t sample, std::size_t layer,
+                                      std::size_t row, std::size_t col,
+                                      i64 raw, Scratch& scratch) const {
+  if (sample >= pres_.size()) {
+    throw InvalidArgument("PrefixEvaluator: sample out of range");
+  }
+  const std::size_t depth = net_->depth();
+  if (layer >= depth) {
+    throw InvalidArgument("PrefixEvaluator: layer out of range");
+  }
+  const QLayer& fl = net_->layers()[layer];
+  if (row >= fl.out_dim() || col > fl.in_dim()) {
+    throw InvalidArgument("PrefixEvaluator: parameter index out of range");
+  }
+
+  // Delta update of the one affected pre-activation: the patched row's
+  // accumulation equals the memoized one plus (raw' - raw) times the input
+  // the parameter multiplies — identical i128 algebra to re-summing the
+  // row, so overflow (narrow_i128) behaves exactly like a full rescan.
+  // The activation a weight multiplies is derived from the memoized
+  // pre-activations (X for layer 0, else ReLU of the previous layer's N).
+  const i64 old_raw = (col == fl.in_dim()) ? fl.bias[row] : fl.weights(row, col);
+  i64 input_value = 0;
+  if (col == fl.in_dim()) {
+    input_value = bias_mult_[layer];
+  } else if (layer == 0) {
+    input_value = inputs_[sample][col];
+  } else {
+    input_value = pres_[sample][layer - 1][col];
+    if (net_->layers()[layer - 1].relu) {
+      input_value = std::max<i64>(0, input_value);
+    }
+  }
+  const i128 patched_acc =
+      static_cast<i128>(pres_[sample][layer][row]) +
+      (static_cast<i128>(raw) - old_raw) * static_cast<i128>(input_value);
+  const i64 patched_pre = util::narrow_i128(patched_acc);
+  ++scratch.layer_evaluations;
+
+  if (layer + 1 == depth) {
+    // Output-layer fault: argmax over the memoized outputs with one entry
+    // substituted — no copies, no further layers.
+    const std::vector<i64>& out = pres_[sample][layer];
+    std::size_t best = 0;
+    i64 best_value = (row == 0) ? patched_pre : out[0];
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      const i64 v = (i == row) ? patched_pre : out[i];
+      if (v > best_value) {
+        best = i;
+        best_value = v;
+      }
+    }
+    return static_cast<int>(best);
+  }
+
+  // Activations entering layer+1 (ReLU of the memoized pre-activations)
+  // with entry `row` patched, then a full evaluation of the suffix layers.
+  const std::vector<i64>& memo_pre = pres_[sample][layer];
+  scratch.act.assign(memo_pre.begin(), memo_pre.end());
+  if (fl.relu) {
+    for (i64& v : scratch.act) v = std::max<i64>(0, v);
+  }
+  scratch.act[row] = fl.relu ? std::max<i64>(0, patched_pre) : patched_pre;
+
+  for (std::size_t li = layer + 1; li < depth; ++li) {
+    const QLayer& l = net_->layers()[li];
+    scratch.next.resize(l.out_dim());
+    for (std::size_t j = 0; j < l.out_dim(); ++j) {
+      i128 acc = static_cast<i128>(l.bias[j]) * bias_mult_[li];
+      const auto wrow = l.weights.row(j);
+      for (std::size_t i = 0; i < l.in_dim(); ++i) {
+        acc += static_cast<i128>(wrow[i]) * scratch.act[i];
+      }
+      scratch.next[j] = util::narrow_i128(acc);
+    }
+    ++scratch.layer_evaluations;
+    if (li + 1 < depth) {
+      if (l.relu) {
+        for (i64& v : scratch.next) v = std::max<i64>(0, v);
+      }
+      std::swap(scratch.act, scratch.next);
+    }
+  }
+  return argmax_tie_low_i64(scratch.next);
 }
 
 std::uint64_t QuantizedNetwork::fingerprint() const noexcept {

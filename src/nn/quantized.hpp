@@ -98,18 +98,127 @@ class QuantizedNetwork {
   /// the verify-layer query cache keys on it (DESIGN.md §7).
   [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 
+  /// Raw fixed-point value of one parameter.  `col` selects a weight;
+  /// `col == in_dim(layer)` selects the bias entry (the convention shared
+  /// by every parameter-addressed API on this class).
+  [[nodiscard]] util::i64 param_raw(std::size_t layer, std::size_t row,
+                                    std::size_t col) const;
+
+  /// Copy with parameter (layer, row, col) set to raw value `raw`.  The
+  /// generic single-parameter mutation used by the weight-fault analysis
+  /// (core/faults.hpp) for its non-percent fault models.
+  [[nodiscard]] QuantizedNetwork with_param(std::size_t layer, std::size_t row,
+                                            std::size_t col,
+                                            util::i64 raw) const;
+
   /// Copy with one parameter scaled by (100+percent)/100 (round half away
-  /// from zero on the raw fixed-point value).  `col` selects a weight;
-  /// `col == in_dim(layer)` selects the bias entry.  Used by the
-  /// weight-fault sensitivity extension (core/faults.hpp).
+  /// from zero on the raw fixed-point value; see scaled_param_raw).  Used
+  /// by the weight-fault sensitivity extension (core/faults.hpp).
   [[nodiscard]] QuantizedNetwork with_scaled_param(std::size_t layer,
                                                    std::size_t row,
                                                    std::size_t col,
                                                    util::i64 percent) const;
 
  private:
+  friend class ScopedParamPatch;
+
+  /// Throws InvalidArgument unless (layer, row, col) addresses a parameter;
+  /// returns the addressed raw slot.
+  [[nodiscard]] util::i64& param_slot(std::size_t layer, std::size_t row,
+                                      std::size_t col);
+
   std::vector<QLayer> layers_;
   util::i64 input_norm_ = 100;
+};
+
+/// The raw fixed-point value of `raw` scaled by (100+percent)/100 with
+/// round-half-away-from-zero — the arithmetic behind `with_scaled_param`,
+/// exposed so the incremental fault scan can compute candidate values
+/// without materializing a network copy.
+[[nodiscard]] util::i64 scaled_param_raw(util::i64 raw, util::i64 percent);
+
+/// RAII in-place single-parameter patch: sets (layer, row, col) of `net`
+/// to `raw` on construction and restores the original value on
+/// destruction — no whole-network copy.  The owner must not share `net`
+/// across threads (or fingerprint/cache it) while a patch is live; the
+/// weight-fault scan gives each worker task its own working copy.
+class ScopedParamPatch {
+ public:
+  ScopedParamPatch(QuantizedNetwork& net, std::size_t layer, std::size_t row,
+                   std::size_t col, util::i64 raw);
+  ~ScopedParamPatch() { *slot_ = original_; }
+
+  ScopedParamPatch(const ScopedParamPatch&) = delete;
+  ScopedParamPatch& operator=(const ScopedParamPatch&) = delete;
+
+  /// The pre-patch raw value (restored on destruction).
+  [[nodiscard]] util::i64 original() const noexcept { return original_; }
+
+ private:
+  util::i64* slot_;
+  util::i64 original_;
+};
+
+/// Memoized prefix evaluation for single-parameter perturbation scans
+/// (DESIGN.md §8).  Construction runs ONE noise-free forward pass per input
+/// row and records, per layer, the activations entering it and its
+/// pre-activations.  `classify_patched` then answers "what does sample s
+/// classify as when parameter (layer, row, col) is patched to raw value v?"
+/// starting at the faulted layer: a single-entry delta update rebuilds the
+/// one affected pre-activation from its memoized value, and only the layers
+/// *after* the fault are re-evaluated in full — the unchanged prefix is
+/// never recomputed.  Exact, not approximate: the delta update computes the
+/// identical i128 accumulation a from-scratch pass would, minus the terms
+/// the patch cannot change (see DESIGN.md §8 for the argument).
+///
+/// The evaluator holds a pointer to `net`; the network and the input matrix
+/// must outlive it.  All methods are const and safe to call concurrently;
+/// each thread brings its own `Scratch`.
+class PrefixEvaluator {
+ public:
+  /// Per-thread scratch buffers plus a diagnostic counter of the layers
+  /// this scratch actually produced (one per layer, whether by delta
+  /// update or full re-evaluation; a layer aborted by an overflow throw is
+  /// not counted).  Note the weight-fault report's `layer_evaluations` is
+  /// NOT this counter: the scan charges a deterministic analytic count
+  /// (depth minus faulted layer, per attempted evaluation) so the report
+  /// is bit-identical across thread counts even when candidates abort.
+  struct Scratch {
+    std::vector<util::i64> act;
+    std::vector<util::i64> next;
+    std::uint64_t layer_evaluations = 0;
+  };
+
+  /// Memoizes the noise-free forward pass of every row of `inputs`.
+  PrefixEvaluator(const QuantizedNetwork& net,
+                  const la::Matrix<util::i64>& inputs);
+
+  [[nodiscard]] std::size_t samples() const noexcept { return pres_.size(); }
+
+  /// Memoized noise-free classification of row `sample` (== classify_noised
+  /// with no deltas).
+  [[nodiscard]] int base_class(std::size_t sample) const;
+
+  /// Exact classification of row `sample` with parameter (layer, row, col)
+  /// patched to raw value `raw` (`col == in_dim(layer)` selects the bias).
+  /// Bit-identical — including ArithmeticError overflow behavior — to
+  /// `net.with_param(layer, row, col, raw).classify_noised(inputs.row(sample), {})`.
+  [[nodiscard]] int classify_patched(std::size_t sample, std::size_t layer,
+                                     std::size_t row, std::size_t col,
+                                     util::i64 raw, Scratch& scratch) const;
+
+ private:
+  const QuantizedNetwork* net_;
+  /// inputs_[s] = scaled noise-free inputs X; pres_[s][l] = layer l
+  /// pre-activations (N^l); bias_mult_[l] = the factor layer l's raw bias
+  /// is multiplied by (input_norm * 100 for layer 0, else the running
+  /// activation scale R_{l-1}).  Activations entering layer l are derived
+  /// on demand — X for l == 0, else ReLU?(pres_[l-1]) — rather than
+  /// memoized a second time.
+  std::vector<std::vector<util::i64>> inputs_;
+  std::vector<std::vector<std::vector<util::i64>>> pres_;
+  std::vector<util::i64> bias_mult_;
+  std::vector<int> base_class_;
 };
 
 /// Shared integer argmax rule: lowest index wins ties.

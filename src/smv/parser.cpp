@@ -21,7 +21,15 @@ struct Token {
   std::string text;
   i64 number = 0;
   int line = 0;
+  int column = 0;  ///< 1-based column of the token's first character
 };
+
+/// "line L, column C" — the position suffix every lexer/parser diagnostic
+/// carries.
+std::string at_position(const Token& t) {
+  return "at line " + std::to_string(t.line) + ", column " +
+         std::to_string(t.column);
+}
 
 class Lexer {
  public:
@@ -40,6 +48,7 @@ class Lexer {
     skip_space_and_comments();
     current_ = Token{};
     current_.line = line_;
+    current_.column = static_cast<int>(pos_ - line_start_) + 1;
     if (pos_ >= text_.size()) {
       current_.kind = Tok::kEof;
       return;
@@ -67,9 +76,11 @@ class Lexer {
       current_.text = text_.substr(start, pos_ - start);
       try {
         current_.number = std::stoll(current_.text);
-      } catch (const std::exception&) {
-        throw ParseError("SMV lexer: number out of range at line " +
-                         std::to_string(line_));
+      } catch (const std::out_of_range&) {
+        // An over-long literal must surface as the parser's own diagnostic
+        // (with its position), not as a leaked std::out_of_range.
+        throw ParseError("SMV lexer: number '" + current_.text +
+                         "' out of range " + at_position(current_));
       }
       return;
     }
@@ -109,8 +120,7 @@ class Lexer {
       case '!': current_.kind = Tok::kBang; return;
       default:
         throw ParseError("SMV lexer: unexpected character '" +
-                         std::string(1, c) + "' at line " +
-                         std::to_string(line_));
+                         std::string(1, c) + "' " + at_position(current_));
     }
   }
 
@@ -120,6 +130,7 @@ class Lexer {
       if (c == '\n') {
         ++line_;
         ++pos_;
+        line_start_ = pos_;
       } else if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
       } else if (c == '-' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
@@ -132,6 +143,7 @@ class Lexer {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  std::size_t line_start_ = 0;  ///< offset of the current line's first char
   int line_ = 1;
   Token current_;
 };
@@ -191,8 +203,7 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& message, const Token& at) {
-    throw ParseError("SMV parser: " + message + " at line " +
-                     std::to_string(at.line));
+    throw ParseError("SMV parser: " + message + " " + at_position(at));
   }
 
   Token expect(Tok kind) {

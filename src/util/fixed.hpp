@@ -8,6 +8,7 @@
 // never multiplies two quantized weights together.
 #pragma once
 
+#include <cmath>
 #include <compare>
 #include <cstdint>
 #include <string>
@@ -24,8 +25,13 @@ class Fixed {
 
   constexpr Fixed() noexcept = default;
 
-  /// Quantizes a double with round-half-away-from-zero.
+  /// Quantizes a double with round-half-away-from-zero.  NaN and ±inf are
+  /// rejected explicitly: both range comparisons below are false for NaN,
+  /// which would otherwise reach the float→int cast — undefined behavior.
   [[nodiscard]] static Fixed from_double(double v) {
+    if (!std::isfinite(v)) {
+      throw ArithmeticError("Fixed::from_double: non-finite value");
+    }
     const double scaled = v * static_cast<double>(kScale);
     const double rounded = (scaled >= 0.0) ? (scaled + 0.5) : (scaled - 0.5);
     if (rounded >= 9.2e18 || rounded <= -9.2e18) {

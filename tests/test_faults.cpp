@@ -2,6 +2,8 @@
 // the underlying parameter-perturbation primitive.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/casestudy.hpp"
 #include "core/faults.hpp"
 #include "nn/network.hpp"
@@ -134,6 +136,293 @@ TEST(WeightFaults, MostFragileSortedAscending) {
   if (!top.empty()) {
     const std::string text = format_weight_faults(report, 5);
     EXPECT_NE(text.find("rank"), std::string::npos);
+  }
+}
+
+// Field-by-field identity of two reports; layer_evaluations is compared
+// only when `include_layer_evals` (it legitimately differs between the
+// naive and incremental engines — that difference is the point).
+void expect_reports_identical(const WeightFaultReport& a,
+                              const WeightFaultReport& b,
+                              bool include_layer_evals) {
+  EXPECT_EQ(a.robust_weights, b.robust_weights);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.undecided_candidates, b.undecided_candidates);
+  EXPECT_EQ(a.model, b.model);
+  if (include_layer_evals) {
+    EXPECT_EQ(a.layer_evaluations, b.layer_evaluations);
+  }
+  ASSERT_EQ(a.faults.size(), b.faults.size());
+  for (std::size_t i = 0; i < a.faults.size(); ++i) {
+    const WeightFault& fa = a.faults[i];
+    const WeightFault& fb = b.faults[i];
+    EXPECT_EQ(fa.layer, fb.layer);
+    EXPECT_EQ(fa.row, fb.row);
+    EXPECT_EQ(fa.col, fb.col);
+    EXPECT_EQ(fa.min_flip_percent, fb.min_flip_percent) << "fault " << i;
+    EXPECT_EQ(fa.flip_sign, fb.flip_sign) << "fault " << i;
+    EXPECT_EQ(fa.flipped_sample, fb.flipped_sample) << "fault " << i;
+    EXPECT_EQ(fa.flipped_raw, fb.flipped_raw) << "fault " << i;
+  }
+  // Memberwise operator== backstop: fields added to WeightFault later are
+  // compared even before this helper learns to print them.
+  EXPECT_TRUE(a.faults == b.faults);
+}
+
+TEST(WeightFaults, IncrementalMatchesNaiveOnTrainedNet) {
+  const CaseStudy cs = build_case_study(small_case_study_config());
+  WeightFaultConfig config;
+  config.max_percent = 30;
+  config.step = 2;
+  config.threads = 1;
+
+  config.scan = FaultScan::kNaive;
+  const WeightFaultReport naive =
+      analyze_weight_faults(cs.qnet, cs.test_x, cs.test_y, config);
+
+  config.scan = FaultScan::kIncremental;
+  const WeightFaultReport incremental =
+      analyze_weight_faults(cs.qnet, cs.test_x, cs.test_y, config);
+  expect_reports_identical(naive, incremental, false);
+  // The incremental engine never re-evaluates the unchanged prefix, so its
+  // per-layer evaluation count is strictly lower.
+  EXPECT_LT(incremental.layer_evaluations, naive.layer_evaluations);
+  EXPECT_GT(incremental.layer_evaluations, 0u);
+
+  // Bit-identical (including the cost counters) for every thread count.
+  for (const std::size_t threads : {2, 8}) {
+    config.threads = threads;
+    const WeightFaultReport parallel =
+        analyze_weight_faults(cs.qnet, cs.test_x, cs.test_y, config);
+    expect_reports_identical(incremental, parallel, true);
+    config.scan = FaultScan::kNaive;
+    const WeightFaultReport naive_parallel =
+        analyze_weight_faults(cs.qnet, cs.test_x, cs.test_y, config);
+    expect_reports_identical(naive, naive_parallel, true);
+    config.scan = FaultScan::kIncremental;
+  }
+}
+
+TEST(WeightFaults, StepLargerThanMaxPercentScansNothing) {
+  const nn::QuantizedNetwork net = tiny_qnet();
+  la::Matrix<i64> inputs(1, 2);
+  inputs(0, 0) = 80; inputs(0, 1) = 30;
+  const std::vector<int> labels{net.classify_noised(inputs.row(0), {})};
+  WeightFaultConfig config;
+  config.max_percent = 5;
+  config.step = 7;  // first candidate magnitude already beyond the range
+  for (const FaultScan scan : {FaultScan::kIncremental, FaultScan::kNaive}) {
+    config.scan = scan;
+    const WeightFaultReport report =
+        analyze_weight_faults(net, inputs, labels, config);
+    EXPECT_EQ(report.robust_weights, report.faults.size());
+    EXPECT_EQ(report.evaluations, 0u);
+    EXPECT_EQ(report.layer_evaluations, 0u);
+  }
+}
+
+TEST(WeightFaults, OnlyBiasFragileNetwork) {
+  // All-zero weights: the classification is decided by the biases alone.
+  // Scaling a zero weight keeps it zero, so every weight is robust and
+  // only bias faults can flip — including for the incremental engine's
+  // output-layer shortcut (this net is single-layer).
+  nn::Layer only;
+  only.weights = la::MatrixD::from_rows({{0.0, 0.0}, {0.0, 0.0}});
+  only.bias = {0.5, 0.4999};
+  only.activation = nn::Activation::kLinear;
+  const nn::QuantizedNetwork net =
+      nn::QuantizedNetwork::quantize(nn::Network({only}), 100);
+
+  la::Matrix<i64> inputs(1, 2);
+  inputs(0, 0) = 10; inputs(0, 1) = 90;
+  const std::vector<int> labels{net.classify_noised(inputs.row(0), {})};
+  ASSERT_EQ(labels[0], 0);
+
+  WeightFaultConfig config;
+  config.max_percent = 10;
+  config.scan = FaultScan::kNaive;
+  const WeightFaultReport naive =
+      analyze_weight_faults(net, inputs, labels, config);
+  config.scan = FaultScan::kIncremental;
+  const WeightFaultReport incremental =
+      analyze_weight_faults(net, inputs, labels, config);
+  expect_reports_identical(naive, incremental, false);
+
+  std::size_t fragile_biases = 0;
+  for (const WeightFault& f : incremental.faults) {
+    if (!f.is_bias()) {
+      EXPECT_FALSE(f.min_flip_percent.has_value());
+    } else if (f.min_flip_percent) {
+      ++fragile_biases;
+    }
+  }
+  EXPECT_GT(fragile_biases, 0u);
+}
+
+TEST(WeightFaults, StuckAtZeroAndSignFlipMatchManualInjection) {
+  const nn::QuantizedNetwork net = tiny_qnet();
+  la::Matrix<i64> inputs(2, 2);
+  inputs(0, 0) = 80; inputs(0, 1) = 30;
+  inputs(1, 0) = 20; inputs(1, 1) = 90;
+  std::vector<int> labels(2);
+  for (std::size_t s = 0; s < 2; ++s) {
+    labels[s] = net.classify_noised(inputs.row(s), {});
+  }
+
+  for (const FaultModel model :
+       {FaultModel::kStuckAtZero, FaultModel::kSignFlip}) {
+    WeightFaultConfig config;
+    config.model = model;
+    config.scan = FaultScan::kNaive;
+    const WeightFaultReport naive =
+        analyze_weight_faults(net, inputs, labels, config);
+    config.scan = FaultScan::kIncremental;
+    const WeightFaultReport report =
+        analyze_weight_faults(net, inputs, labels, config);
+    expect_reports_identical(naive, report, false);
+    EXPECT_EQ(report.model, model);
+
+    for (const WeightFault& f : report.faults) {
+      const std::size_t col = f.is_bias() ? net.layers()[f.layer].in_dim()
+                                          : f.col;
+      const i64 original = net.param_raw(f.layer, f.row, col);
+      const i64 faulted = (model == FaultModel::kStuckAtZero) ? 0 : -original;
+      const auto mutated = net.with_param(f.layer, f.row, col, faulted);
+      bool flips = false;
+      for (std::size_t s = 0; s < 2; ++s) {
+        flips |= mutated.classify_noised(inputs.row(s), {}) != labels[s];
+      }
+      // The report must claim a flip exactly when injecting the fault by
+      // hand flips a sample.
+      EXPECT_EQ(f.min_flip_percent.has_value(), flips);
+      if (f.min_flip_percent) {
+        EXPECT_EQ(*f.min_flip_percent, 0);
+        EXPECT_EQ(f.flipped_raw, faulted);
+      }
+    }
+  }
+}
+
+TEST(WeightFaults, BitFlipIdentityOnTrainedTinyNet) {
+  const nn::QuantizedNetwork net = tiny_qnet();
+  la::Matrix<i64> inputs(2, 2);
+  inputs(0, 0) = 80; inputs(0, 1) = 30;
+  inputs(1, 0) = 20; inputs(1, 1) = 90;
+  std::vector<int> labels(2);
+  for (std::size_t s = 0; s < 2; ++s) {
+    labels[s] = net.classify_noised(inputs.row(s), {});
+  }
+
+  WeightFaultConfig config;
+  config.model = FaultModel::kBitFlip;
+  config.scan = FaultScan::kNaive;
+  const WeightFaultReport naive =
+      analyze_weight_faults(net, inputs, labels, config);
+  config.scan = FaultScan::kIncremental;
+  const WeightFaultReport incremental =
+      analyze_weight_faults(net, inputs, labels, config);
+  expect_reports_identical(naive, incremental, false);
+  EXPECT_LT(incremental.layer_evaluations, naive.layer_evaluations);
+}
+
+TEST(WeightFaults, BitFlipUndecidedCandidatesCountedIdentically) {
+  // out0 = 1.0*x + 0.5, out1 = 0.0*x - 3.0: the margin is so wide that no
+  // decidable bit flip of w00 or b0 can flip the argmax — but high-order
+  // flips push the exact accumulation out of int64, so both engines must
+  // skip (and count) the same candidates instead of guessing.
+  nn::Layer only;
+  only.weights = la::MatrixD::from_rows({{1.0}, {0.0}});
+  only.bias = {0.5, -3.0};
+  only.activation = nn::Activation::kLinear;
+  const nn::QuantizedNetwork net =
+      nn::QuantizedNetwork::quantize(nn::Network({only}), 100);
+
+  la::Matrix<i64> inputs(1, 1);
+  inputs(0, 0) = 10;
+  const std::vector<int> labels{net.classify_noised(inputs.row(0), {})};
+  ASSERT_EQ(labels[0], 0);
+
+  WeightFaultConfig config;
+  config.model = FaultModel::kBitFlip;
+  config.scan = FaultScan::kNaive;
+  const WeightFaultReport naive =
+      analyze_weight_faults(net, inputs, labels, config);
+  config.scan = FaultScan::kIncremental;
+  const WeightFaultReport incremental =
+      analyze_weight_faults(net, inputs, labels, config);
+  expect_reports_identical(naive, incremental, false);
+  EXPECT_GT(incremental.undecided_candidates, 0u);
+  // w10 = 0 still flips at a moderate bit (out1 grows past out0), so the
+  // model surfaces fragility and undecidability side by side.
+  bool some_flip = false;
+  for (const WeightFault& f : incremental.faults) {
+    some_flip |= f.min_flip_percent.has_value();
+  }
+  EXPECT_TRUE(some_flip);
+
+  for (const std::size_t threads : {2, 8}) {
+    config.threads = threads;
+    const WeightFaultReport parallel =
+        analyze_weight_faults(net, inputs, labels, config);
+    expect_reports_identical(incremental, parallel, true);
+  }
+}
+
+TEST(WeightFaults, OverflowingCandidateGenerationIsCountedNotFatal) {
+  // Parameter (0,0,0) holds INT64_MIN but multiplies a dead input (x0 = 0),
+  // so the base forward pass is exact — yet *computing* its sign-flipped or
+  // percent-scaled value overflows int64.  The scan must count such
+  // candidates as undecided, not abort the whole analysis.
+  const nn::QuantizedNetwork net =
+      tiny_qnet().with_param(0, 0, 0, std::numeric_limits<i64>::min());
+  la::Matrix<i64> inputs(1, 2);
+  inputs(0, 0) = 0; inputs(0, 1) = 30;
+  const std::vector<int> labels{net.classify_noised(inputs.row(0), {})};
+
+  for (const FaultModel model :
+       {FaultModel::kSignFlip, FaultModel::kPercentScale}) {
+    WeightFaultConfig config;
+    config.model = model;
+    config.max_percent = 10;
+    config.scan = FaultScan::kNaive;
+    const WeightFaultReport naive =
+        analyze_weight_faults(net, inputs, labels, config);
+    config.scan = FaultScan::kIncremental;
+    const WeightFaultReport incremental =
+        analyze_weight_faults(net, inputs, labels, config);
+    expect_reports_identical(naive, incremental, false);
+    EXPECT_GT(incremental.undecided_candidates, 0u)
+        << fault_model_name(model);
+  }
+}
+
+TEST(WeightFaults, FaultModelNamesRoundTrip) {
+  for (const FaultModel model :
+       {FaultModel::kPercentScale, FaultModel::kStuckAtZero,
+        FaultModel::kSignFlip, FaultModel::kBitFlip}) {
+    const auto back = fault_model_from_name(fault_model_name(model));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, model);
+  }
+  EXPECT_FALSE(fault_model_from_name("rowhammer").has_value());
+}
+
+TEST(WeightFaults, BiasColSentinelIsConsistent) {
+  WeightFault f;
+  f.col = kBiasCol;
+  EXPECT_TRUE(f.is_bias());
+  f.col = 0;
+  EXPECT_FALSE(f.is_bias());
+  // The scan emits kBiasCol (never in_dim) for bias entries.
+  const nn::QuantizedNetwork net = tiny_qnet();
+  la::Matrix<i64> inputs(1, 2);
+  inputs(0, 0) = 70; inputs(0, 1) = 40;
+  const std::vector<int> labels{net.classify_noised(inputs.row(0), {})};
+  const WeightFaultReport report =
+      analyze_weight_faults(net, inputs, labels, {20, 1});
+  for (const WeightFault& fault : report.faults) {
+    EXPECT_TRUE(fault.col == kBiasCol ||
+                fault.col < net.layers()[fault.layer].in_dim());
   }
 }
 

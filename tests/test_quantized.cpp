@@ -2,6 +2,8 @@
 // core every formal engine shares (DESIGN.md §4.1).
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "nn/network.hpp"
 #include "nn/quantized.hpp"
 #include "util/error.hpp"
@@ -120,6 +122,117 @@ TEST(Quantized, BadInputSizesThrow) {
   const std::vector<i64> wrong{1, 2, 3};
   EXPECT_THROW(q.eval_output(wrong), InvalidArgument);
   EXPECT_THROW(QuantizedNetwork::quantize(tiny_net(), 0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Single-parameter access and patching (the weight-fault substrate)
+// ---------------------------------------------------------------------------
+TEST(ParamAccess, ParamRawAndWithParam) {
+  const QuantizedNetwork q = QuantizedNetwork::quantize(tiny_net(), 100);
+  EXPECT_EQ(q.param_raw(0, 0, 0), 10'000);        // weight 1.0
+  EXPECT_EQ(q.param_raw(0, 1, 2), -2'500);        // bias -0.25 (col == in_dim)
+  const QuantizedNetwork patched = q.with_param(1, 0, 1, 777);
+  EXPECT_EQ(patched.param_raw(1, 0, 1), 777);
+  EXPECT_EQ(q.param_raw(1, 0, 1), 0);             // original untouched
+  EXPECT_THROW((void)q.param_raw(9, 0, 0), InvalidArgument);
+  EXPECT_THROW((void)q.with_param(0, 9, 0, 1), InvalidArgument);
+  EXPECT_THROW((void)q.with_param(0, 0, 9, 1), InvalidArgument);
+}
+
+TEST(ParamAccess, ScaledParamRawMatchesWithScaledParam) {
+  EXPECT_EQ(scaled_param_raw(10'000, 17), 11'700);
+  EXPECT_EQ(scaled_param_raw(-2'500, -50), -1'250);
+  EXPECT_EQ(scaled_param_raw(5'000, 33), 6'650);  // round half away from zero
+  const QuantizedNetwork q = QuantizedNetwork::quantize(tiny_net(), 100);
+  const QuantizedNetwork scaled = q.with_scaled_param(0, 0, 0, 17);
+  EXPECT_EQ(scaled.param_raw(0, 0, 0), scaled_param_raw(q.param_raw(0, 0, 0), 17));
+}
+
+TEST(ParamAccess, ScopedParamPatchRestoresOnDestruction) {
+  QuantizedNetwork q = QuantizedNetwork::quantize(tiny_net(), 100);
+  const std::uint64_t before = q.fingerprint();
+  {
+    const ScopedParamPatch patch(q, 0, 0, 0, 123);
+    EXPECT_EQ(patch.original(), 10'000);
+    EXPECT_EQ(q.param_raw(0, 0, 0), 123);
+    EXPECT_NE(q.fingerprint(), before);
+  }
+  EXPECT_EQ(q.param_raw(0, 0, 0), 10'000);
+  EXPECT_EQ(q.fingerprint(), before);
+  EXPECT_THROW(ScopedParamPatch(q, 5, 0, 0, 1), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// PrefixEvaluator: the incremental patched-classification path must be
+// bit-identical to mutating the network and evaluating from scratch, for
+// every parameter position (weights and biases, every layer) and a spread
+// of patched values.
+// ---------------------------------------------------------------------------
+TEST(PrefixEvaluator, MatchesFullEvaluationForEveryParam) {
+  const QuantizedNetwork q = QuantizedNetwork::quantize(tiny_net(), 100);
+  la::Matrix<i64> inputs(3, 2);
+  inputs(0, 0) = 80; inputs(0, 1) = 30;
+  inputs(1, 0) = 20; inputs(1, 1) = 90;
+  inputs(2, 0) = 55; inputs(2, 1) = 55;
+
+  const PrefixEvaluator prefix(q, inputs);
+  ASSERT_EQ(prefix.samples(), 3u);
+  PrefixEvaluator::Scratch scratch;
+
+  for (std::size_t s = 0; s < inputs.rows(); ++s) {
+    EXPECT_EQ(prefix.base_class(s), q.classify_noised(inputs.row(s), {}));
+  }
+  for (std::size_t li = 0; li < q.depth(); ++li) {
+    const QLayer& layer = q.layers()[li];
+    for (std::size_t row = 0; row < layer.out_dim(); ++row) {
+      for (std::size_t col = 0; col <= layer.in_dim(); ++col) {
+        const i64 original = q.param_raw(li, row, col);
+        for (const i64 raw :
+             {i64{0}, original, -original, original * 2 + 1, original - 12'345}) {
+          const QuantizedNetwork mutated = q.with_param(li, row, col, raw);
+          for (std::size_t s = 0; s < inputs.rows(); ++s) {
+            EXPECT_EQ(
+                prefix.classify_patched(s, li, row, col, raw, scratch),
+                mutated.classify_noised(inputs.row(s), {}))
+                << "layer " << li << " row " << row << " col " << col
+                << " raw " << raw << " sample " << s;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(scratch.layer_evaluations, 0u);
+}
+
+TEST(PrefixEvaluator, CountsOnlySuffixLayers) {
+  const QuantizedNetwork q = QuantizedNetwork::quantize(tiny_net(), 100);
+  la::Matrix<i64> inputs(1, 2);
+  inputs(0, 0) = 80; inputs(0, 1) = 30;
+  const PrefixEvaluator prefix(q, inputs);
+
+  PrefixEvaluator::Scratch scratch;
+  (void)prefix.classify_patched(0, 0, 0, 0, 42, scratch);
+  EXPECT_EQ(scratch.layer_evaluations, 2u);  // delta at layer 0 + layer 1
+  (void)prefix.classify_patched(0, 1, 0, 0, 42, scratch);
+  EXPECT_EQ(scratch.layer_evaluations, 3u);  // output-layer fault: +1 only
+}
+
+TEST(PrefixEvaluator, OverflowBehaviorMatchesFullEvaluation) {
+  const QuantizedNetwork q = QuantizedNetwork::quantize(tiny_net(), 100);
+  la::Matrix<i64> inputs(1, 2);
+  inputs(0, 0) = 80; inputs(0, 1) = 30;
+  const PrefixEvaluator prefix(q, inputs);
+  PrefixEvaluator::Scratch scratch;
+
+  // A near-int64-max weight overflows the exact accumulation in both paths.
+  const i64 huge = std::numeric_limits<i64>::max() / 2;
+  EXPECT_THROW((void)q.with_param(0, 0, 0, huge).classify_noised(
+                   inputs.row(0), {}),
+               ArithmeticError);
+  EXPECT_THROW((void)prefix.classify_patched(0, 0, 0, 0, huge, scratch),
+               ArithmeticError);
+  EXPECT_THROW((void)prefix.classify_patched(0, 9, 0, 0, 1, scratch),
+               InvalidArgument);
 }
 
 // ---------------------------------------------------------------------------

@@ -255,6 +255,31 @@ TEST(Parser, Errors) {
                ParseError);  // unbalanced paren
 }
 
+TEST(Parser, OverLongNumberLiteralIsAParseErrorWithPosition) {
+  // std::stoll overflows on the literal; that must surface as the parser's
+  // own diagnostic carrying line and column, not as a std::out_of_range.
+  try {
+    (void)parse_module("MODULE main\nVAR x : 0..99999999999999999999;\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("column 12"), std::string::npos) << what;
+  }
+}
+
+TEST(Parser, DiagnosticsCarryLineAndColumn) {
+  try {
+    (void)parse_module("MODULE main\nVAR x : 0..1;\n@\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("column 1"), std::string::npos) << what;
+  }
+}
+
 TEST(Printer, RoundTripIsExact) {
   const Module m1 = parse_module(kSampleModel);
   const std::string p1 = print_module(m1);

@@ -82,6 +82,17 @@ TEST(Fixed, FromDoubleRounds) {
   EXPECT_EQ(Fixed::from_double(-0.00006).raw(), -1); // away from zero
 }
 
+TEST(Fixed, FromDoubleRejectsNonFinite) {
+  // Regression: NaN passed both range guards (NaN >= x and NaN <= -x are
+  // both false) and reached the float->int cast — undefined behavior.
+  EXPECT_THROW((void)Fixed::from_double(std::numeric_limits<double>::quiet_NaN()),
+               ArithmeticError);
+  EXPECT_THROW((void)Fixed::from_double(std::numeric_limits<double>::infinity()),
+               ArithmeticError);
+  EXPECT_THROW((void)Fixed::from_double(-std::numeric_limits<double>::infinity()),
+               ArithmeticError);
+}
+
 TEST(Fixed, ArithmeticExact) {
   const Fixed a = Fixed::from_double(1.25);
   const Fixed b = Fixed::from_double(0.75);

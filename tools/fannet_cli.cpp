@@ -43,6 +43,7 @@ struct Options {
   int grid_lo = 5, grid_hi = 50, grid_step = 5;
   int bucket_width = 5;
   int step = 1;                     // weight-fault scan granularity
+  core::FaultModel fault_model = core::FaultModel::kPercentScale;
   std::size_t max_per_sample = 100; // corpus cap
   std::uint64_t seed = 42;          // synthetic-cohort seed
   bool small = false;               // fast small-cohort config
@@ -73,6 +74,9 @@ flags
   --grid LO:HI:STEP    noise grid of the tolerance report table (default 5:50:5)
   --bucket-width N     histogram bucket for `boundary` (default 5)
   --step N             percent granularity of the weight-fault scan (default 1)
+  --fault-model NAME   weight-fault corruption model: percent (default),
+                       stuck-at-zero, sign-flip, or bit-flip (single-bit
+                       corruption of the raw fixed-point word)
   --max-per-sample N   corpus cap per sample (default 100)
   --seed N             synthetic-cohort seed (default 42)
   --small              small fast cohort (CI/smoke runs; same code paths)
@@ -152,6 +156,14 @@ Options parse_args(int argc, char** argv) {
       if (!parse_int(value(), opts.step) || opts.step < 1) {
         usage_error("bad --step");
       }
+    } else if (flag == "--fault-model") {
+      const std::optional<core::FaultModel> model =
+          core::fault_model_from_name(value());
+      if (!model) {
+        usage_error("bad --fault-model, expected percent | stuck-at-zero | "
+                    "sign-flip | bit-flip");
+      }
+      opts.fault_model = *model;
     } else if (flag == "--max-per-sample") {
       if (!parse_size(value(), opts.max_per_sample)) {
         usage_error("bad --max-per-sample");
@@ -282,6 +294,7 @@ int run_command(const Options& opts, util::BenchJson& json) {
     config.max_percent = opts.range;
     config.step = opts.step;
     config.threads = opts.threads;
+    config.model = opts.fault_model;
     const core::WeightFaultReport report =
         core::analyze_weight_faults(cs.qnet, cs.test_x, cs.test_y, config);
     std::fputs(core::format_weight_faults(report).c_str(), stdout);
