@@ -64,6 +64,176 @@ BiasReport analyze_bias(const std::vector<CorpusEntry>& corpus,
   return report;
 }
 
+namespace {
+
+/// Directional existence probe shared by the batch path and the sweep
+/// campaign: is there ANY counterexample with delta at `node` strictly of
+/// `sign` while the other nodes roam ±range?  Decided as one cancellable
+/// existence batch over the correct samples (run_until_witness), so the
+/// answer is identical for every thread count.
+bool directional_possible(const Fannet& fannet,
+                          const verify::Scheduler& scheduler,
+                          const verify::Engine& engine,
+                          const la::Matrix<i64>& inputs,
+                          const std::vector<int>& labels,
+                          const std::vector<std::size_t>& correct,
+                          std::size_t node, int sign, int range) {
+  const std::size_t n = inputs.cols();
+  NoiseBox box = NoiseBox::symmetric(n, range);
+  if (sign > 0) box.lo[node] = 1; else box.hi[node] = -1;
+  if (box.lo[node] > box.hi[node]) return false;  // range 0: no strict direction
+  std::vector<verify::Query> batch;
+  batch.reserve(correct.size());
+  for (const std::size_t s : correct) {
+    batch.push_back(fannet.make_query(inputs.row(s), labels[s], box, false));
+  }
+  return scheduler.run_until_witness(batch, engine).has_value();
+}
+
+/// Eq.-3 probe shared by both paths: the minimal |delta_node| that flips
+/// `row` when ONLY that node is noised, found by one existence query at the
+/// full range plus a bisection; nullopt when the node never flips it.
+std::optional<int> solo_flip(const Fannet& fannet,
+                             const verify::Scheduler& scheduler,
+                             const verify::Engine& engine,
+                             std::span<const i64> row, int label,
+                             std::size_t node, std::size_t n, int range) {
+  NoiseBox solo;
+  solo.lo.assign(n, 0);
+  solo.hi.assign(n, 0);
+  solo.lo[node] = -range;
+  solo.hi[node] = range;
+  const auto r =
+      scheduler.verify_one(fannet.make_query(row, label, solo, false), engine);
+  if (r.verdict != Verdict::kVulnerable) return std::nullopt;
+  const int flip_at = std::max(std::abs(r.counterexample->deltas[node]), 1);
+  // Tighten: find the minimal |delta_node| that flips via bisection.
+  int lo = 1, hi = flip_at;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    NoiseBox probe = solo;
+    probe.lo[node] = -mid;
+    probe.hi[node] = mid;
+    if (scheduler
+            .verify_one(fannet.make_query(row, label, probe, false), engine)
+            .verdict == Verdict::kVulnerable) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+/// Sweep decomposition of analyze_sensitivity's probe fan-out (DESIGN.md
+/// §9).  Unit order: the 2n directional probes first (unit 2i = node i
+/// positive, 2i+1 = node i negative), then the n*|correct| Eq.-3 solo
+/// bisections in the batch path's task order (task % n = node, task / n =
+/// position in `correct`).  Unit rows:
+///
+///   directional: [unit, possible(0/1)]
+///   solo:        [unit, min_flip or -1]
+class SensitivityCampaign final : public verify::SweepCampaign {
+ public:
+  SensitivityCampaign(const Fannet& fannet, const la::Matrix<i64>& inputs,
+                      const std::vector<int>& labels, int range,
+                      const SensitivityConfig& config,
+                      std::vector<std::size_t> correct,
+                      NodeSensitivityReport& report)
+      : fannet_(fannet),
+        inputs_(inputs),
+        labels_(labels),
+        range_(range),
+        config_(config),
+        correct_(std::move(correct)),
+        report_(report),
+        engine_(verify::engine(config.engine.name)),
+        scheduler_({.threads = 1,
+                    .intra_query_threads = config.intra_query_threads}) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "sensitivity";
+  }
+
+  [[nodiscard]] std::uint64_t fingerprint() const override {
+    verify::SweepFingerprint fp;
+    fp.mix_bytes("sensitivity");
+    fp.mix_u64(fannet_.net().fingerprint());
+    fp.mix_i64(range_);
+    fp.mix_bytes(config_.engine.name);
+    verify::mix_dataset(fp, inputs_, labels_);
+    return fp.value();
+  }
+
+  [[nodiscard]] std::size_t units() const override {
+    return 2 * inputs_.cols() + inputs_.cols() * correct_.size();
+  }
+
+  [[nodiscard]] verify::SweepRows run_units(std::size_t begin,
+                                            std::size_t end) const override {
+    const std::size_t n = inputs_.cols();
+    verify::SweepRows rows;
+    rows.reserve(end - begin);
+    for (std::size_t u = begin; u < end; ++u) {
+      if (u < 2 * n) {
+        const std::size_t node = u / 2;
+        const int sign = (u % 2 == 0) ? +1 : -1;
+        const bool possible =
+            directional_possible(fannet_, scheduler_, engine_, inputs_,
+                                 labels_, correct_, node, sign, range_);
+        rows.push_back({static_cast<std::int64_t>(u), possible ? 1 : 0});
+      } else {
+        const std::size_t task = u - 2 * n;
+        const std::size_t node = task % n;
+        const std::size_t s = correct_[task / n];
+        const std::optional<int> flip =
+            solo_flip(fannet_, scheduler_, engine_, inputs_.row(s), labels_[s],
+                      node, n, range_);
+        rows.push_back(
+            {static_cast<std::int64_t>(u), flip ? *flip : std::int64_t{-1}});
+      }
+    }
+    return rows;
+  }
+
+  void absorb(std::size_t begin, std::size_t end,
+              const verify::SweepRows& rows) override {
+    if (rows.size() != end - begin) {
+      throw Error(
+          "sensitivity sweep: shard row count does not match its range");
+    }
+    const std::size_t n = inputs_.cols();
+    for (std::size_t u = begin; u < end; ++u) {
+      const std::vector<std::int64_t>& unit = rows[u - begin];
+      if (unit.size() != 2 || unit[0] != static_cast<std::int64_t>(u)) {
+        throw Error("sensitivity sweep: shard row does not fit the campaign");
+      }
+      if (u < 2 * n) {
+        const std::size_t node = u / 2;
+        (u % 2 == 0 ? report_.positive_possible
+                    : report_.negative_possible)[node] = unit[1] != 0;
+      } else if (unit[1] >= 0) {
+        std::optional<int>& best = report_.solo_flip_range[(u - 2 * n) % n];
+        const int flip = static_cast<int>(unit[1]);
+        if (!best.has_value() || flip < *best) best = flip;
+      }
+    }
+  }
+
+ private:
+  const Fannet& fannet_;
+  const la::Matrix<i64>& inputs_;
+  const std::vector<int>& labels_;
+  const int range_;
+  const SensitivityConfig& config_;
+  std::vector<std::size_t> correct_;
+  NodeSensitivityReport& report_;
+  const verify::Engine& engine_;
+  verify::Scheduler scheduler_;  ///< serial dispatch inside one shard
+};
+
+}  // namespace
+
 NodeSensitivityReport analyze_sensitivity(
     const Fannet& fannet, const la::Matrix<i64>& inputs,
     const std::vector<int>& labels, int range,
@@ -103,6 +273,17 @@ NodeSensitivityReport analyze_sensitivity(
   for (std::size_t s = 0; s < inputs.rows(); ++s) {
     if (std::find(bad.begin(), bad.end(), s) == bad.end()) correct.push_back(s);
   }
+  if (config.sweep.has_value()) {
+    // Resumable sharded path (DESIGN.md §9): the same directional and solo
+    // probes as journaled sweep units; bit-identical to the batch path.
+    SensitivityCampaign campaign(fannet, inputs, labels, range, config,
+                                 std::move(correct), report);
+    verify::SweepOptions options = *config.sweep;
+    if (options.threads == 0) options.threads = config.threads;
+    report.sweep = verify::SweepRunner(options).run(campaign);
+    return report;
+  }
+
   const verify::Engine& engine = verify::engine(config.engine.name);
   const verify::Scheduler scheduler(
       {.threads = config.threads,
@@ -113,19 +294,9 @@ NodeSensitivityReport analyze_sensitivity(
   // one batch with cancellation on the first witness.
   for (std::size_t i = 0; i < n; ++i) {
     for (const int sign : {+1, -1}) {
-      NoiseBox box = NoiseBox::symmetric(n, range);
-      if (sign > 0) box.lo[i] = 1; else box.hi[i] = -1;
-      if (box.lo[i] > box.hi[i]) continue;  // range 0: no strict direction
-      std::vector<verify::Query> batch;
-      batch.reserve(correct.size());
-      for (const std::size_t s : correct) {
-        batch.push_back(
-            fannet.make_query(inputs.row(s), labels[s], box, false));
-      }
-      const bool possible =
-          scheduler.run_until_witness(batch, engine).has_value();
       (sign > 0 ? report.positive_possible : report.negative_possible)[i] =
-          possible;
+          directional_possible(fannet, scheduler, engine, inputs, labels,
+                               correct, i, sign, range);
     }
   }
 
@@ -136,34 +307,8 @@ NodeSensitivityReport analyze_sensitivity(
   scheduler.parallel_for(pair_flip.size(), [&](std::size_t task) {
     const std::size_t i = task % n;
     const std::size_t s = correct[task / n];
-    const auto row = inputs.row(s);
-    NoiseBox solo;
-    solo.lo.assign(n, 0);
-    solo.hi.assign(n, 0);
-    solo.lo[i] = -range;
-    solo.hi[i] = range;
-    const auto r =
-        scheduler.verify_one(fannet.make_query(row, labels[s], solo, false),
-                             engine);
-    if (r.verdict != Verdict::kVulnerable) return;
-    const int flip_at = std::max(std::abs(r.counterexample->deltas[i]), 1);
-    // Tighten: find the minimal |delta_i| that flips via bisection.
-    int lo = 1, hi = flip_at;
-    while (lo < hi) {
-      const int mid = lo + (hi - lo) / 2;
-      NoiseBox probe = solo;
-      probe.lo[i] = -mid;
-      probe.hi[i] = mid;
-      if (scheduler
-              .verify_one(fannet.make_query(row, labels[s], probe, false),
-                          engine)
-              .verdict == Verdict::kVulnerable) {
-        hi = mid;
-      } else {
-        lo = mid + 1;
-      }
-    }
-    pair_flip[task] = lo;
+    pair_flip[task] = solo_flip(fannet, scheduler, engine, inputs.row(s),
+                                labels[s], i, n, range);
   });
   for (std::size_t task = 0; task < pair_flip.size(); ++task) {
     if (!pair_flip[task].has_value()) continue;

@@ -51,6 +51,12 @@ struct NodeSensitivityReport {
   /// within ±alpha never flips any correctly-classified sample; nullopt if
   /// the node never causes a flip up to the probed range.
   std::vector<std::optional<int>> solo_flip_range;
+
+  /// Sweep accounting when SensitivityConfig::sweep was engaged (default
+  /// otherwise: complete() is true).  The corpus histograms above are
+  /// always recomputed in full; the probe results are partial until the
+  /// campaign completes.
+  verify::SweepProgress sweep = {};
 };
 
 struct SensitivityConfig {
@@ -64,6 +70,12 @@ struct SensitivityConfig {
   /// Intra-query worker budget per engine dispatch (see
   /// verify::SchedulerOptions::intra_query_threads).
   std::size_t intra_query_threads = 0;
+  /// Opt-in resumable sharded execution of the probe fan-out (DESIGN.md
+  /// §9): directional and Eq.-3 solo probes become journaled sweep units;
+  /// an interrupted campaign resumes instead of restarting.  Reports are
+  /// bit-identical to the in-process path.  `sweep->threads` of 0 inherits
+  /// `threads` above.
+  std::optional<verify::SweepOptions> sweep = std::nullopt;
 };
 
 [[nodiscard]] NodeSensitivityReport analyze_sensitivity(

@@ -20,6 +20,177 @@ using verify::VerifyResult;
 
 std::string to_string(Engine e) { return e.name; }
 
+namespace {
+
+/// Per-sample range descent shared by the batch path and the sweep
+/// campaign: given the start-range screen result (must be kVulnerable),
+/// finds the minimal flipping range and its witness.  `queries` counts the
+/// descent probes only (the screen is accounted separately, once per
+/// correct sample).
+struct DescentOutcome {
+  std::optional<int> min_flip_range;
+  std::optional<Counterexample> witness;
+  std::uint64_t queries = 0;
+};
+
+DescentOutcome descend_sample(const Fannet& fannet,
+                              const verify::Scheduler& scheduler,
+                              const verify::Engine& engine,
+                              std::span<const i64> row, int label,
+                              const ToleranceConfig& config,
+                              const VerifyResult& at_max) {
+  DescentOutcome out;
+  const auto flips_at = [&](int range) {
+    ++out.queries;
+    const std::size_t dims = row.size() + (config.bias_node ? 1 : 0);
+    return scheduler.verify_one(
+        fannet.make_query(row, label, NoiseBox::symmetric(dims, range),
+                          config.bias_node),
+        engine);
+  };
+  if (config.descent == ToleranceConfig::Descent::kBinary) {
+    int lo = 1, hi = config.start_range;
+    std::optional<Counterexample> witness = at_max.counterexample;
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      VerifyResult r = flips_at(mid);
+      if (r.verdict == Verdict::kVulnerable) {
+        witness = r.counterexample;
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    out.min_flip_range = lo;
+    out.witness = witness;
+  } else {
+    // The paper's loop: start large, reduce until no counterexample.
+    std::optional<int> min_flip = config.start_range;
+    std::optional<Counterexample> witness = at_max.counterexample;
+    for (int range = config.start_range - 1; range >= 1; --range) {
+      VerifyResult r = flips_at(range);
+      if (r.verdict != Verdict::kVulnerable) break;
+      min_flip = range;
+      witness = r.counterexample;
+    }
+    out.min_flip_range = min_flip;
+    out.witness = witness;
+  }
+  return out;
+}
+
+/// Sweep decomposition of analyze_tolerance (DESIGN.md §9): one work unit
+/// per correctly-classified sample — its start-range screen plus, when
+/// vulnerable, the full range descent.  Unit rows:
+///
+///   survivor:   [sample, 0, descent_queries]
+///   vulnerable: [sample, 1, descent_queries, min_flip_range, mis_label,
+///                bias_delta, delta_0 .. delta_{n-1}]
+class ToleranceCampaign final : public verify::SweepCampaign {
+ public:
+  ToleranceCampaign(const Fannet& fannet, const la::Matrix<i64>& inputs,
+                    const std::vector<int>& labels,
+                    const ToleranceConfig& config,
+                    std::vector<std::size_t> correct, ToleranceReport& report)
+      : fannet_(fannet),
+        inputs_(inputs),
+        labels_(labels),
+        config_(config),
+        correct_(std::move(correct)),
+        report_(report),
+        engine_(verify::engine(config.engine.name)),
+        scheduler_({.threads = 1,
+                    .intra_query_threads = config.intra_query_threads}) {}
+
+  [[nodiscard]] std::string_view name() const override { return "tolerance"; }
+
+  [[nodiscard]] std::uint64_t fingerprint() const override {
+    verify::SweepFingerprint fp;
+    fp.mix_bytes("tolerance");
+    fp.mix_u64(fannet_.net().fingerprint());
+    fp.mix_i64(config_.start_range);
+    fp.mix_u64(config_.bias_node ? 1 : 0);
+    fp.mix_u64(static_cast<std::uint64_t>(config_.descent));
+    fp.mix_bytes(config_.engine.name);
+    verify::mix_dataset(fp, inputs_, labels_);
+    return fp.value();
+  }
+
+  [[nodiscard]] std::size_t units() const override { return correct_.size(); }
+
+  [[nodiscard]] verify::SweepRows run_units(std::size_t begin,
+                                            std::size_t end) const override {
+    verify::SweepRows rows;
+    rows.reserve(end - begin);
+    for (std::size_t u = begin; u < end; ++u) {
+      const std::size_t s = correct_[u];
+      const auto row = inputs_.row(s);
+      const std::size_t dims = row.size() + (config_.bias_node ? 1 : 0);
+      const VerifyResult at_max = scheduler_.verify_one(
+          fannet_.make_query(row, labels_[s],
+                             NoiseBox::symmetric(dims, config_.start_range),
+                             config_.bias_node),
+          engine_);
+      if (at_max.verdict != Verdict::kVulnerable) {
+        rows.push_back({static_cast<std::int64_t>(s), 0, 0});
+        continue;
+      }
+      const DescentOutcome outcome = descend_sample(
+          fannet_, scheduler_, engine_, row, labels_[s], config_, at_max);
+      std::vector<std::int64_t> unit{
+          static_cast<std::int64_t>(s), 1,
+          static_cast<std::int64_t>(outcome.queries),
+          *outcome.min_flip_range, outcome.witness->mis_label,
+          outcome.witness->bias_delta};
+      for (const int delta : outcome.witness->deltas) unit.push_back(delta);
+      rows.push_back(std::move(unit));
+    }
+    return rows;
+  }
+
+  void absorb(std::size_t begin, std::size_t end,
+              const verify::SweepRows& rows) override {
+    if (rows.size() != end - begin) {
+      throw Error("tolerance sweep: shard row count does not match its range");
+    }
+    const std::size_t n = inputs_.cols();
+    for (std::size_t u = begin; u < end; ++u) {
+      const std::vector<std::int64_t>& unit = rows[u - begin];
+      const std::size_t s = correct_[u];
+      if (unit.size() < 3 || unit[0] != static_cast<std::int64_t>(s)) {
+        throw Error("tolerance sweep: shard row does not fit the campaign");
+      }
+      report_.queries += 1 + static_cast<std::uint64_t>(unit[2]);
+      SampleTolerance& st = report_.per_sample[s];
+      if (unit[1] == 0) continue;  // survivor: no flip up to start_range
+      if (unit.size() != 6 + n) {
+        throw Error("tolerance sweep: malformed vulnerable-sample row");
+      }
+      st.min_flip_range = static_cast<int>(unit[3]);
+      Counterexample cex;
+      cex.mis_label = static_cast<int>(unit[4]);
+      cex.bias_delta = static_cast<int>(unit[5]);
+      cex.deltas.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        cex.deltas.push_back(static_cast<int>(unit[6 + i]));
+      }
+      st.witness = std::move(cex);
+    }
+  }
+
+ private:
+  const Fannet& fannet_;
+  const la::Matrix<i64>& inputs_;
+  const std::vector<int>& labels_;
+  const ToleranceConfig& config_;
+  std::vector<std::size_t> correct_;
+  ToleranceReport& report_;
+  const verify::Engine& engine_;
+  verify::Scheduler scheduler_;  ///< serial dispatch inside one shard
+};
+
+}  // namespace
+
 Query Fannet::make_query(std::span<const i64> x, int true_label,
                          const NoiseBox& box, bool bias_node) const {
   Query q;
@@ -72,11 +243,6 @@ ToleranceReport Fannet::analyze_tolerance(const la::Matrix<i64>& inputs,
   ToleranceReport report;
   const std::vector<std::size_t> bad = validate_p1(inputs, labels);
 
-  const verify::Engine& engine = verify::engine(config.engine.name);
-  const verify::Scheduler scheduler(
-      {.threads = config.threads,
-       .intra_query_threads = config.intra_query_threads});
-
   report.per_sample.resize(inputs.rows());
   std::vector<std::size_t> correct;  // samples entering the noise analysis
   for (std::size_t s = 0; s < inputs.rows(); ++s) {
@@ -88,72 +254,55 @@ ToleranceReport Fannet::analyze_tolerance(const la::Matrix<i64>& inputs,
     if (st.correct_without_noise) correct.push_back(s);
   }
 
-  // Phase 1: screen every correct sample at the full start range, batched
-  // through the scheduler.  Monotonicity (a counterexample in ±R stays
-  // available in every ±R' > R) means survivors here need no descent.
-  std::vector<Query> screen;
-  screen.reserve(correct.size());
-  for (const std::size_t s : correct) {
-    const auto row = inputs.row(s);
-    const std::size_t dims = row.size() + (config.bias_node ? 1 : 0);
-    screen.push_back(make_query(row, labels[s],
-                                NoiseBox::symmetric(dims, config.start_range),
-                                config.bias_node));
-  }
-  const std::vector<VerifyResult> at_max = scheduler.run_all(screen, engine);
+  if (config.sweep.has_value()) {
+    // Resumable sharded path (DESIGN.md §9): the same screens and descents,
+    // decomposed into per-sample units, journaled and resumable.  The
+    // report is bit-identical to the batch path below.
+    ToleranceCampaign campaign(*this, inputs, labels, config,
+                               std::move(correct), report);
+    verify::SweepOptions options = *config.sweep;
+    if (options.threads == 0) options.threads = config.threads;
+    report.sweep = verify::SweepRunner(options).run(campaign);
+  } else {
+    const verify::Engine& engine = verify::engine(config.engine.name);
+    const verify::Scheduler scheduler(
+        {.threads = config.threads,
+         .intra_query_threads = config.intra_query_threads});
 
-  // Phase 2: per-sample range descent for the vulnerable samples — each
-  // descent is an independent chain of queries, fanned out across workers.
-  std::vector<std::size_t> vulnerable;  // positions into `correct`
-  for (std::size_t i = 0; i < correct.size(); ++i) {
-    if (at_max[i].verdict == Verdict::kVulnerable) vulnerable.push_back(i);
-  }
-  std::atomic<std::uint64_t> descent_queries{0};
-  scheduler.parallel_for(vulnerable.size(), [&](std::size_t vi) {
-    const std::size_t i = vulnerable[vi];
-    const std::size_t s = correct[i];
-    SampleTolerance& st = report.per_sample[s];
-    const auto row = inputs.row(s);
-    std::uint64_t local_queries = 0;
-    const auto flips_at = [&](int range) {
-      ++local_queries;
+    // Phase 1: screen every correct sample at the full start range, batched
+    // through the scheduler.  Monotonicity (a counterexample in ±R stays
+    // available in every ±R' > R) means survivors here need no descent.
+    std::vector<Query> screen;
+    screen.reserve(correct.size());
+    for (const std::size_t s : correct) {
+      const auto row = inputs.row(s);
       const std::size_t dims = row.size() + (config.bias_node ? 1 : 0);
-      return scheduler.verify_one(make_query(row, labels[s],
-                                             NoiseBox::symmetric(dims, range),
-                                             config.bias_node),
-                                  engine);
-    };
-    if (config.descent == ToleranceConfig::Descent::kBinary) {
-      int lo = 1, hi = config.start_range;
-      std::optional<Counterexample> witness = at_max[i].counterexample;
-      while (lo < hi) {
-        const int mid = lo + (hi - lo) / 2;
-        VerifyResult r = flips_at(mid);
-        if (r.verdict == Verdict::kVulnerable) {
-          witness = r.counterexample;
-          hi = mid;
-        } else {
-          lo = mid + 1;
-        }
-      }
-      st.min_flip_range = lo;
-      st.witness = witness;
-    } else {
-      // The paper's loop: start large, reduce until no counterexample.
-      std::optional<int> min_flip = config.start_range;
-      std::optional<Counterexample> witness = at_max[i].counterexample;
-      for (int range = config.start_range - 1; range >= 1; --range) {
-        VerifyResult r = flips_at(range);
-        if (r.verdict != Verdict::kVulnerable) break;
-        min_flip = range;
-        witness = r.counterexample;
-      }
-      st.min_flip_range = min_flip;
-      st.witness = witness;
+      screen.push_back(make_query(row, labels[s],
+                                  NoiseBox::symmetric(dims, config.start_range),
+                                  config.bias_node));
     }
-    descent_queries.fetch_add(local_queries, std::memory_order_relaxed);
-  });
-  report.queries = correct.size() + descent_queries.load();
+    const std::vector<VerifyResult> at_max = scheduler.run_all(screen, engine);
+
+    // Phase 2: per-sample range descent for the vulnerable samples — each
+    // descent is an independent chain of queries, fanned out across workers.
+    std::vector<std::size_t> vulnerable;  // positions into `correct`
+    for (std::size_t i = 0; i < correct.size(); ++i) {
+      if (at_max[i].verdict == Verdict::kVulnerable) vulnerable.push_back(i);
+    }
+    std::atomic<std::uint64_t> descent_queries{0};
+    scheduler.parallel_for(vulnerable.size(), [&](std::size_t vi) {
+      const std::size_t i = vulnerable[vi];
+      const std::size_t s = correct[i];
+      SampleTolerance& st = report.per_sample[s];
+      const DescentOutcome outcome =
+          descend_sample(*this, scheduler, engine, inputs.row(s), labels[s],
+                         config, at_max[i]);
+      st.min_flip_range = outcome.min_flip_range;
+      st.witness = outcome.witness;
+      descent_queries.fetch_add(outcome.queries, std::memory_order_relaxed);
+    });
+    report.queries = correct.size() + descent_queries.load();
+  }
 
   // Tolerance: largest range with no flip among correct samples.
   int tolerance = config.start_range;

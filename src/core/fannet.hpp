@@ -15,6 +15,7 @@
 #include "la/matrix.hpp"
 #include "nn/quantized.hpp"
 #include "verify/query.hpp"
+#include "verify/sweep.hpp"
 
 namespace fannet::core {
 
@@ -62,6 +63,13 @@ struct ToleranceConfig {
   /// verify::SchedulerOptions::intra_query_threads): 0 = leftover threads
   /// when the batch is smaller than the worker pool, N = fixed grant.
   std::size_t intra_query_threads = 0;
+  /// Opt-in resumable sharded execution (DESIGN.md §9): when engaged, the
+  /// per-sample work runs through verify::SweepRunner — journaled to
+  /// `sweep->journal_path`, resumable after a crash, and chunkable across
+  /// invocations via `sweep->max_shards`.  Disengaged (the default) keeps
+  /// the classic in-process batch path; reports are bit-identical either
+  /// way.  `sweep->threads` of 0 inherits `threads` above.
+  std::optional<verify::SweepOptions> sweep = std::nullopt;
 };
 
 struct SampleTolerance {
@@ -80,6 +88,11 @@ struct ToleranceReport {
   int noise_tolerance = 0;
   std::vector<SampleTolerance> per_sample;
   std::uint64_t queries = 0;
+  /// Sweep accounting when ToleranceConfig::sweep was engaged (default
+  /// otherwise: complete() is true).  When `!sweep.complete()` the report
+  /// covers only the absorbed shards — `noise_tolerance` and `queries` are
+  /// partial aggregates until a later invocation finishes the campaign.
+  verify::SweepProgress sweep = {};
 };
 
 /// One corpus row for the bias/sensitivity analyses.

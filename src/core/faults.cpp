@@ -91,6 +91,185 @@ std::vector<FaultCandidate> fault_candidates(const WeightFaultConfig& config,
   return out;
 }
 
+/// One parameter's candidate scan, shared by the in-process fan-out and
+/// the sweep campaign: fills `fault`'s flip fields (if any candidate flips
+/// a correct sample) and accumulates the cost counters.  `prefix` selects
+/// the incremental engine; null falls back to the naive per-task patched
+/// copy of `net`.
+struct ParamScanCounters {
+  std::uint64_t evaluations = 0;
+  std::uint64_t layer_evaluations = 0;
+  std::uint64_t undecided = 0;
+};
+
+void scan_parameter(const nn::QuantizedNetwork& net,
+                    const la::Matrix<i64>& inputs,
+                    const std::vector<int>& labels,
+                    const WeightFaultConfig& config,
+                    const std::vector<std::size_t>& correct,
+                    const nn::PrefixEvaluator* prefix, WeightFault& fault,
+                    ParamScanCounters& counters) {
+  const std::size_t depth = net.depth();
+  const nn::QLayer& layer = net.layers()[fault.layer];
+  const std::size_t col = fault.is_bias() ? layer.in_dim() : fault.col;
+  const i64 original = net.param_raw(fault.layer, fault.row, col);
+  const std::vector<FaultCandidate> candidates =
+      fault_candidates(config, original);
+
+  // Incremental: per-call scratch over the shared read-only memo.
+  // Naive: one private working copy per parameter, patched in place per
+  // candidate (patch/restore — never a whole-network copy per candidate).
+  nn::PrefixEvaluator::Scratch scratch;
+  std::optional<nn::QuantizedNetwork> naive_net;
+  if (prefix == nullptr) naive_net.emplace(net);
+
+  // Candidates are in ascending-severity order, so the first hit is the
+  // minimal one.
+  for (const FaultCandidate& candidate : candidates) {
+    if (fault.min_flip_percent) break;
+    if (!candidate.raw) {
+      ++counters.undecided;
+      continue;
+    }
+    // A no-op candidate (the faulted value equals the stored one, e.g.
+    // percent-scaling or stuck-at-zero on a zero weight) leaves the
+    // network bit-identical, so it can never flip a correctly-classified
+    // sample — skip the evaluation pass.  Both engines skip identically.
+    if (*candidate.raw == original) continue;
+    std::optional<nn::ScopedParamPatch> patch;
+    if (naive_net) {
+      patch.emplace(*naive_net, fault.layer, fault.row, col, *candidate.raw);
+    }
+    bool undecidable = false;
+    for (const std::size_t s : correct) {
+      ++counters.evaluations;
+      counters.layer_evaluations += prefix ? (depth - fault.layer) : depth;
+      int cls = 0;
+      try {
+        cls = prefix ? prefix->classify_patched(s, fault.layer, fault.row,
+                                                col, *candidate.raw, scratch)
+                     : naive_net->classify_noised(inputs.row(s), {});
+      } catch (const ArithmeticError&) {
+        // The faulted value pushed an exact accumulation out of int64
+        // (possible for high-order bit flips).  Identical in both
+        // engines: skip the candidate, never guess.
+        undecidable = true;
+        break;
+      }
+      if (cls != labels[s]) {
+        fault.min_flip_percent = candidate.severity;
+        fault.flip_sign = candidate.sign;
+        fault.flipped_sample = s;
+        fault.flipped_raw = *candidate.raw;
+        break;
+      }
+    }
+    if (undecidable) ++counters.undecided;
+  }
+}
+
+/// Sweep decomposition of analyze_weight_faults (DESIGN.md §9): one work
+/// unit per parameter, in the report's scan order.  Unit rows:
+///
+///   [index, has_flip(0/1), severity, sign, flipped_sample, flipped_raw,
+///    evaluations, layer_evaluations, undecided]
+class WeightFaultCampaign final : public verify::SweepCampaign {
+ public:
+  WeightFaultCampaign(const nn::QuantizedNetwork& net,
+                      const la::Matrix<i64>& inputs,
+                      const std::vector<int>& labels,
+                      const WeightFaultConfig& config,
+                      std::vector<std::size_t> correct,
+                      const nn::PrefixEvaluator* prefix,
+                      WeightFaultReport& report)
+      : net_(net),
+        inputs_(inputs),
+        labels_(labels),
+        config_(config),
+        correct_(std::move(correct)),
+        prefix_(prefix),
+        report_(report) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "weight-faults";
+  }
+
+  [[nodiscard]] std::uint64_t fingerprint() const override {
+    verify::SweepFingerprint fp;
+    fp.mix_bytes("weight-faults");
+    fp.mix_u64(net_.fingerprint());
+    fp.mix_i64(config_.max_percent);
+    fp.mix_i64(config_.step);
+    fp.mix_u64(static_cast<std::uint64_t>(config_.model));
+    fp.mix_u64(static_cast<std::uint64_t>(config_.scan));
+    verify::mix_dataset(fp, inputs_, labels_);
+    return fp.value();
+  }
+
+  [[nodiscard]] std::size_t units() const override {
+    return report_.faults.size();
+  }
+
+  [[nodiscard]] verify::SweepRows run_units(std::size_t begin,
+                                            std::size_t end) const override {
+    verify::SweepRows rows;
+    rows.reserve(end - begin);
+    for (std::size_t u = begin; u < end; ++u) {
+      // Scan into a private copy of the skeleton entry: results reach the
+      // report only through absorb, journaled and fresh shards alike.
+      WeightFault fault = report_.faults[u];
+      ParamScanCounters counters;
+      scan_parameter(net_, inputs_, labels_, config_, correct_, prefix_,
+                     fault, counters);
+      rows.push_back({static_cast<std::int64_t>(u),
+                      fault.min_flip_percent ? 1 : 0,
+                      fault.min_flip_percent ? *fault.min_flip_percent : 0,
+                      fault.flip_sign,
+                      static_cast<std::int64_t>(fault.flipped_sample),
+                      fault.flipped_raw,
+                      static_cast<std::int64_t>(counters.evaluations),
+                      static_cast<std::int64_t>(counters.layer_evaluations),
+                      static_cast<std::int64_t>(counters.undecided)});
+    }
+    return rows;
+  }
+
+  void absorb(std::size_t begin, std::size_t end,
+              const verify::SweepRows& rows) override {
+    if (rows.size() != end - begin) {
+      throw Error(
+          "weight-fault sweep: shard row count does not match its range");
+    }
+    for (std::size_t u = begin; u < end; ++u) {
+      const std::vector<std::int64_t>& unit = rows[u - begin];
+      if (unit.size() != 9 || unit[0] != static_cast<std::int64_t>(u)) {
+        throw Error("weight-fault sweep: shard row does not fit the campaign");
+      }
+      WeightFault& fault = report_.faults[u];
+      if (unit[1] != 0) {
+        fault.min_flip_percent = static_cast<int>(unit[2]);
+        fault.flip_sign = static_cast<int>(unit[3]);
+        fault.flipped_sample = static_cast<std::size_t>(unit[4]);
+        fault.flipped_raw = unit[5];
+      } else {
+        ++report_.robust_weights;
+      }
+      report_.evaluations += static_cast<std::uint64_t>(unit[6]);
+      report_.layer_evaluations += static_cast<std::uint64_t>(unit[7]);
+      report_.undecided_candidates += static_cast<std::uint64_t>(unit[8]);
+    }
+  }
+
+ private:
+  const nn::QuantizedNetwork& net_;
+  const la::Matrix<i64>& inputs_;
+  const std::vector<int>& labels_;
+  const WeightFaultConfig& config_;
+  std::vector<std::size_t> correct_;
+  const nn::PrefixEvaluator* prefix_;
+  WeightFaultReport& report_;
+};
+
 }  // namespace
 
 WeightFaultReport analyze_weight_faults(const nn::QuantizedNetwork& net,
@@ -138,75 +317,31 @@ WeightFaultReport analyze_weight_faults(const nn::QuantizedNetwork& net,
     }
   }
 
+  if (config.sweep.has_value()) {
+    // Resumable sharded path (DESIGN.md §9): one journaled unit per
+    // parameter; a killed campaign resumes instead of rescanning.  The
+    // report is bit-identical to the in-process fan-out below.
+    WeightFaultCampaign campaign(net, inputs, labels, config,
+                                 std::move(correct),
+                                 prefix ? &*prefix : nullptr, report);
+    verify::SweepOptions options = *config.sweep;
+    if (options.threads == 0) options.threads = config.threads;
+    report.sweep = verify::SweepRunner(options).run(campaign);
+    return report;
+  }
+
   std::atomic<std::uint64_t> evaluations{0};
   std::atomic<std::uint64_t> layer_evaluations{0};
   std::atomic<std::uint64_t> undecided{0};
-  const std::size_t depth = net.depth();
   const verify::Scheduler scheduler({.threads = config.threads});
   scheduler.parallel_for(report.faults.size(), [&](std::size_t fi) {
-    WeightFault& fault = report.faults[fi];
-    const nn::QLayer& layer = net.layers()[fault.layer];
-    const std::size_t col = fault.is_bias() ? layer.in_dim() : fault.col;
-    const i64 original = net.param_raw(fault.layer, fault.row, col);
-    const std::vector<FaultCandidate> candidates =
-        fault_candidates(config, original);
-    std::uint64_t local_evals = 0;
-    std::uint64_t local_layer_evals = 0;
-    std::uint64_t local_undecided = 0;
-
-    // Incremental: per-thread scratch over the shared read-only memo.
-    // Naive: one private working copy per task, patched in place per
-    // candidate (patch/restore — never a whole-network copy per candidate).
-    nn::PrefixEvaluator::Scratch scratch;
-    std::optional<nn::QuantizedNetwork> naive_net;
-    if (!prefix) naive_net.emplace(net);
-
-    // Candidates are in ascending-severity order, so the first hit is the
-    // minimal one.
-    for (const FaultCandidate& candidate : candidates) {
-      if (fault.min_flip_percent) break;
-      if (!candidate.raw) {
-        ++local_undecided;
-        continue;
-      }
-      // A no-op candidate (the faulted value equals the stored one, e.g.
-      // percent-scaling or stuck-at-zero on a zero weight) leaves the
-      // network bit-identical, so it can never flip a correctly-classified
-      // sample — skip the evaluation pass.  Both engines skip identically.
-      if (*candidate.raw == original) continue;
-      std::optional<nn::ScopedParamPatch> patch;
-      if (naive_net) {
-        patch.emplace(*naive_net, fault.layer, fault.row, col, *candidate.raw);
-      }
-      bool undecidable = false;
-      for (const std::size_t s : correct) {
-        ++local_evals;
-        local_layer_evals += prefix ? (depth - fault.layer) : depth;
-        int cls = 0;
-        try {
-          cls = prefix ? prefix->classify_patched(s, fault.layer, fault.row,
-                                                  col, *candidate.raw, scratch)
-                       : naive_net->classify_noised(inputs.row(s), {});
-        } catch (const ArithmeticError&) {
-          // The faulted value pushed an exact accumulation out of int64
-          // (possible for high-order bit flips).  Identical in both
-          // engines: skip the candidate, never guess.
-          undecidable = true;
-          break;
-        }
-        if (cls != labels[s]) {
-          fault.min_flip_percent = candidate.severity;
-          fault.flip_sign = candidate.sign;
-          fault.flipped_sample = s;
-          fault.flipped_raw = *candidate.raw;
-          break;
-        }
-      }
-      if (undecidable) ++local_undecided;
-    }
-    evaluations.fetch_add(local_evals, std::memory_order_relaxed);
-    layer_evaluations.fetch_add(local_layer_evals, std::memory_order_relaxed);
-    undecided.fetch_add(local_undecided, std::memory_order_relaxed);
+    ParamScanCounters counters;
+    scan_parameter(net, inputs, labels, config, correct,
+                   prefix ? &*prefix : nullptr, report.faults[fi], counters);
+    evaluations.fetch_add(counters.evaluations, std::memory_order_relaxed);
+    layer_evaluations.fetch_add(counters.layer_evaluations,
+                                std::memory_order_relaxed);
+    undecided.fetch_add(counters.undecided, std::memory_order_relaxed);
   });
 
   report.evaluations = evaluations.load();

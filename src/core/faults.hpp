@@ -1,26 +1,28 @@
-// Extension: weight-fault sensitivity (the hardware-reliability twin of
-// the paper's input-noise analysis).
-//
-// Input noise models sensor/acquisition error; perturbing a *weight*
-// models memory faults, quantization drift, or aging in a hardware NN
-// accelerator.  For every parameter of the quantized network this analysis
-// finds the least severe fault under a chosen fault model that
-// misclassifies at least one correctly-classified test sample — ranking
-// the parameters whose storage needs the strongest protection, exactly how
-// §V-C.4 ranks the input nodes that need precise acquisition.  The fault
-// models follow the hardware-reliability literature (Duddu et al., "Fault
-// Tolerance of Neural Networks in Adversarial Settings"): proportional
-// drift, stuck-at-zero, sign flips, and single bit flips on the raw
-// fixed-point word.
-//
-// The scan is exact: every candidate fault is evaluated with the integer
-// evaluator (no bounds, no floats); completeness over the candidate grid
-// follows by exhaustion.  The default engine is *incremental*
-// (nn::PrefixEvaluator, DESIGN.md §8): per-sample activations are memoized
-// at every layer boundary once, and each candidate re-evaluates only the
-// faulted layer (a single-entry delta update) and the layers after it.
-// The naive whole-network rescan survives as the reference oracle; both
-// produce bit-identical reports.
+/// \file
+/// \brief Weight-fault sensitivity — the hardware-reliability twin of the
+///   paper's input-noise analysis (DESIGN.md §8).
+///
+/// Input noise models sensor/acquisition error; perturbing a *weight*
+/// models memory faults, quantization drift, or aging in a hardware NN
+/// accelerator.  For every parameter of the quantized network this analysis
+/// finds the least severe fault under a chosen fault model that
+/// misclassifies at least one correctly-classified test sample — ranking
+/// the parameters whose storage needs the strongest protection, exactly how
+/// §V-C.4 ranks the input nodes that need precise acquisition.  The fault
+/// models follow the hardware-reliability literature (Duddu et al., "Fault
+/// Tolerance of Neural Networks in Adversarial Settings"): proportional
+/// drift, stuck-at-zero, sign flips, and single bit flips on the raw
+/// fixed-point word.
+///
+/// The scan is exact: every candidate fault is evaluated with the integer
+/// evaluator (no bounds, no floats); completeness over the candidate grid
+/// follows by exhaustion.  The default engine is *incremental*
+/// (nn::PrefixEvaluator, DESIGN.md §8): per-sample activations are memoized
+/// at every layer boundary once, and each candidate re-evaluates only the
+/// faulted layer (a single-entry delta update) and the layers after it.
+/// The naive whole-network rescan survives as the reference oracle; both
+/// produce bit-identical reports.  Long scans can opt into resumable
+/// sharded execution via `WeightFaultConfig::sweep` (DESIGN.md §9).
 #pragma once
 
 #include <cstdint>
@@ -31,6 +33,7 @@
 
 #include "la/matrix.hpp"
 #include "nn/quantized.hpp"
+#include "verify/sweep.hpp"
 
 namespace fannet::core {
 
@@ -91,6 +94,11 @@ struct WeightFaultReport {
   /// kBitFlip faults); skipped and counted, never guessed at.
   std::uint64_t undecided_candidates = 0;
   FaultModel model = FaultModel::kPercentScale;
+  /// Sweep accounting when WeightFaultConfig::sweep was engaged (default
+  /// otherwise: complete() is true).  When incomplete, un-absorbed `faults`
+  /// entries keep their defaults and the counters cover absorbed shards
+  /// only.
+  verify::SweepProgress sweep = {};
 };
 
 /// Evaluation strategy for the scan.  kIncremental is the default;
@@ -107,6 +115,12 @@ struct WeightFaultConfig {
   std::size_t threads = 0;
   FaultModel model = FaultModel::kPercentScale;
   FaultScan scan = FaultScan::kIncremental;
+  /// Opt-in resumable sharded execution (DESIGN.md §9): one sweep unit per
+  /// parameter, journaled to `sweep->journal_path`, so a multi-hour fault
+  /// campaign killed mid-flight resumes instead of restarting from zero.
+  /// Reports are bit-identical to the in-process scan.  `sweep->threads`
+  /// of 0 inherits `threads` above.
+  std::optional<verify::SweepOptions> sweep = std::nullopt;
 };
 
 /// Scans every weight and bias of `net` against the correctly-classified

@@ -66,7 +66,7 @@ TEST(WeightFaults, MinimalityOfReportedPercent) {
     labels[s] = net.classify_noised(inputs.row(s), {});
   }
   const WeightFaultReport report =
-      analyze_weight_faults(net, inputs, labels, {50, 1});
+      analyze_weight_faults(net, inputs, labels, {.max_percent = 50, .step = 1});
   ASSERT_FALSE(report.faults.empty());
   for (const WeightFault& f : report.faults) {
     if (!f.min_flip_percent) continue;
@@ -102,7 +102,7 @@ TEST(WeightFaults, DeadWeightIsRobust) {
   inputs(0, 0) = 80; inputs(0, 1) = 30;
   const std::vector<int> labels{net.classify_noised(inputs.row(0), {})};
   const WeightFaultReport report =
-      analyze_weight_faults(net, inputs, labels, {50, 1});
+      analyze_weight_faults(net, inputs, labels, {.max_percent = 50, .step = 1});
   for (const WeightFault& f : report.faults) {
     if (f.layer == 1 && f.row == 0 && f.col == 1) {
       EXPECT_FALSE(f.min_flip_percent.has_value());
@@ -116,7 +116,7 @@ TEST(WeightFaults, ReportShapeAndCounts) {
   inputs(0, 0) = 70; inputs(0, 1) = 40;
   const std::vector<int> labels{net.classify_noised(inputs.row(0), {})};
   const WeightFaultReport report =
-      analyze_weight_faults(net, inputs, labels, {20, 1});
+      analyze_weight_faults(net, inputs, labels, {.max_percent = 20, .step = 1});
   // Parameters: layer0 2x(2+1) + layer1 2x(2+1) = 12.
   EXPECT_EQ(report.faults.size(), 12u);
   std::size_t robust = 0;
@@ -128,7 +128,7 @@ TEST(WeightFaults, ReportShapeAndCounts) {
 TEST(WeightFaults, MostFragileSortedAscending) {
   const CaseStudy cs = build_case_study(small_case_study_config());
   const WeightFaultReport report =
-      analyze_weight_faults(cs.qnet, cs.test_x, cs.test_y, {30, 2});
+      analyze_weight_faults(cs.qnet, cs.test_x, cs.test_y, {.max_percent = 30, .step = 2});
   const auto top = most_fragile_weights(report, 5);
   for (std::size_t i = 1; i < top.size(); ++i) {
     EXPECT_LE(*top[i - 1].min_flip_percent, *top[i].min_flip_percent);
@@ -419,7 +419,7 @@ TEST(WeightFaults, BiasColSentinelIsConsistent) {
   inputs(0, 0) = 70; inputs(0, 1) = 40;
   const std::vector<int> labels{net.classify_noised(inputs.row(0), {})};
   const WeightFaultReport report =
-      analyze_weight_faults(net, inputs, labels, {20, 1});
+      analyze_weight_faults(net, inputs, labels, {.max_percent = 20, .step = 1});
   for (const WeightFault& fault : report.faults) {
     EXPECT_TRUE(fault.col == kBiasCol ||
                 fault.col < net.layers()[fault.layer].in_dim());
@@ -429,12 +429,12 @@ TEST(WeightFaults, BiasColSentinelIsConsistent) {
 TEST(WeightFaults, BadConfigThrows) {
   const nn::QuantizedNetwork net = tiny_qnet();
   la::Matrix<i64> inputs(1, 2);
-  EXPECT_THROW(analyze_weight_faults(net, inputs, {0, 0}, {50, 1}),
+  EXPECT_THROW(analyze_weight_faults(net, inputs, {0, 0}, {.max_percent = 50, .step = 1}),
                InvalidArgument);
   la::Matrix<i64> ok(1, 2);
   ok(0, 0) = 50; ok(0, 1) = 50;
-  EXPECT_THROW(analyze_weight_faults(net, ok, {0}, {0, 1}), InvalidArgument);
-  EXPECT_THROW(analyze_weight_faults(net, ok, {0}, {10, 0}), InvalidArgument);
+  EXPECT_THROW(analyze_weight_faults(net, ok, {0}, {.max_percent = 0, .step = 1}), InvalidArgument);
+  EXPECT_THROW(analyze_weight_faults(net, ok, {0}, {.max_percent = 10, .step = 0}), InvalidArgument);
 }
 
 }  // namespace

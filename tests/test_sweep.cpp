@@ -1,0 +1,536 @@
+// Tests for the resumable sharded sweep orchestrator (verify/sweep.hpp,
+// DESIGN.md §9): runner mechanics on a toy campaign (resume skips
+// journaled shards, torn final lines are discarded, duplicates resolve
+// last-wins, mismatched journals are rejected) plus end-to-end identity of
+// the sweep path against the in-process analyses.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/fannet.hpp"
+#include "core/faults.hpp"
+#include "nn/network.hpp"
+#include "util/error.hpp"
+#include "verify/sweep.hpp"
+
+namespace fannet {
+namespace {
+
+using core::ToleranceConfig;
+using core::ToleranceReport;
+using core::WeightFaultConfig;
+using core::WeightFaultReport;
+using util::i64;
+using verify::SweepCampaign;
+using verify::SweepOptions;
+using verify::SweepProgress;
+using verify::SweepRows;
+using verify::SweepRunner;
+
+/// Unique journal path under the system temp dir, removed on destruction.
+struct TempJournal {
+  explicit TempJournal(const std::string& tag) {
+    static std::atomic<unsigned> counter{0};
+    path = (std::filesystem::temp_directory_path() /
+            ("fannet_sweep_" + tag + "_" + std::to_string(counter++) +
+             ".jsonl"))
+               .string();
+    std::filesystem::remove(path);
+  }
+  ~TempJournal() { std::filesystem::remove(path); }
+  std::string path;
+};
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+void write_lines(const std::string& path,
+                 const std::vector<std::string>& lines) {
+  std::ofstream out(path, std::ios::trunc);
+  for (const std::string& line : lines) out << line << '\n';
+}
+
+/// Toy campaign: unit u yields the row [u, (u+1)^2 * salt_factor]; the
+/// aggregate is the sum of the second column.  Counts executed units so
+/// tests can prove journaled shards are never re-executed.
+class SquareCampaign final : public SweepCampaign {
+ public:
+  explicit SquareCampaign(std::size_t units, std::int64_t factor = 1)
+      : units_(units), factor_(factor) {}
+
+  [[nodiscard]] std::string_view name() const override { return "square"; }
+  [[nodiscard]] std::uint64_t fingerprint() const override {
+    verify::SweepFingerprint fp;
+    fp.mix_bytes("square");
+    fp.mix_u64(units_);
+    fp.mix_i64(factor_);
+    return fp.value();
+  }
+  [[nodiscard]] std::size_t units() const override { return units_; }
+
+  [[nodiscard]] SweepRows run_units(std::size_t begin,
+                                    std::size_t end) const override {
+    SweepRows rows;
+    for (std::size_t u = begin; u < end; ++u) {
+      const auto v = static_cast<std::int64_t>(u + 1);
+      rows.push_back({static_cast<std::int64_t>(u), v * v * factor_});
+      executed_units.fetch_add(1);
+    }
+    return rows;
+  }
+
+  void absorb(std::size_t begin, std::size_t end,
+              const SweepRows& rows) override {
+    ASSERT_EQ(rows.size(), end - begin);
+    for (std::size_t u = begin; u < end; ++u) {
+      const auto& row = rows[u - begin];
+      ASSERT_EQ(row.size(), 2u);
+      ASSERT_EQ(row[0], static_cast<std::int64_t>(u));
+      sum += row[1];
+      ++absorbed_units;
+    }
+  }
+
+  std::int64_t sum = 0;
+  std::size_t absorbed_units = 0;
+  mutable std::atomic<std::uint64_t> executed_units{0};
+
+ private:
+  std::size_t units_;
+  std::int64_t factor_;
+};
+
+std::int64_t square_sum(std::size_t units) {
+  std::int64_t sum = 0;
+  for (std::size_t u = 0; u < units; ++u) {
+    const auto v = static_cast<std::int64_t>(u + 1);
+    sum += v * v;
+  }
+  return sum;
+}
+
+TEST(SweepRunner, InMemoryRunIsCompleteForAnyShardSizeAndThreads) {
+  for (const std::size_t shard_size : {std::size_t{1}, std::size_t{3},
+                                       std::size_t{7}, std::size_t{100}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      SquareCampaign campaign(10);
+      const SweepProgress progress =
+          SweepRunner({.shard_size = shard_size, .threads = threads})
+              .run(campaign);
+      EXPECT_TRUE(progress.complete());
+      EXPECT_EQ(progress.total_shards, (10 + shard_size - 1) / shard_size);
+      EXPECT_EQ(progress.executed_shards, progress.total_shards);
+      EXPECT_EQ(progress.resumed_shards, 0u);
+      EXPECT_EQ(progress.units_executed, 10u);
+      EXPECT_EQ(campaign.sum, square_sum(10));
+      EXPECT_EQ(campaign.absorbed_units, 10u);
+    }
+  }
+}
+
+TEST(SweepRunner, ZeroUnitCampaignIsTriviallyComplete) {
+  SquareCampaign campaign(0);
+  const SweepProgress progress = SweepRunner({.shard_size = 4}).run(campaign);
+  EXPECT_TRUE(progress.complete());
+  EXPECT_EQ(progress.total_shards, 0u);
+  EXPECT_EQ(campaign.sum, 0);
+}
+
+TEST(SweepRunner, EmptyJournalResumeEqualsColdRun) {
+  TempJournal journal("empty");
+  {  // an existing but empty file is a cold start, not an error
+    std::ofstream touch(journal.path);
+  }
+  SquareCampaign campaign(9);
+  const SweepProgress progress =
+      SweepRunner({.journal_path = journal.path, .shard_size = 2})
+          .run(campaign);
+  EXPECT_TRUE(progress.complete());
+  EXPECT_EQ(progress.resumed_shards, 0u);
+  EXPECT_EQ(progress.executed_shards, 5u);
+  EXPECT_EQ(progress.journal_skipped, 0u);
+  EXPECT_EQ(campaign.sum, square_sum(9));
+  // The journal now holds a header plus one line per shard.
+  EXPECT_EQ(read_lines(journal.path).size(), 6u);
+}
+
+TEST(SweepRunner, ResumeSkipsJournaledShardsAndMatchesColdRun) {
+  TempJournal journal("resume");
+  SquareCampaign partial(12);
+  const SweepProgress first =
+      SweepRunner(
+          {.journal_path = journal.path, .shard_size = 3, .max_shards = 2})
+          .run(partial);
+  EXPECT_FALSE(first.complete());
+  EXPECT_EQ(first.executed_shards, 2u);
+  EXPECT_EQ(first.pending_shards, 2u);
+  EXPECT_EQ(partial.executed_units.load(), 6u);
+  EXPECT_EQ(partial.absorbed_units, 6u);  // partial aggregate: 2 shards
+
+  SquareCampaign resumed(12);
+  const SweepProgress second =
+      SweepRunner({.journal_path = journal.path, .shard_size = 3})
+          .run(resumed);
+  EXPECT_TRUE(second.complete());
+  EXPECT_EQ(second.resumed_shards, 2u);
+  EXPECT_EQ(second.executed_shards, 2u);
+  // The journaled shards were never re-executed...
+  EXPECT_EQ(resumed.executed_units.load(), 6u);
+  // ...yet the aggregate matches an uninterrupted run exactly.
+  EXPECT_EQ(resumed.sum, square_sum(12));
+  EXPECT_EQ(resumed.absorbed_units, 12u);
+}
+
+TEST(SweepRunner, TornFinalLineIsDiscardedAndReExecuted) {
+  TempJournal journal("torn");
+  SquareCampaign cold(8);
+  (void)SweepRunner({.journal_path = journal.path, .shard_size = 2})
+      .run(cold);
+
+  // Simulate a crash mid-append: cut the final line in half.
+  std::vector<std::string> lines = read_lines(journal.path);
+  ASSERT_EQ(lines.size(), 5u);
+  lines.back() = lines.back().substr(0, lines.back().size() / 2);
+  write_lines(journal.path, lines);
+
+  SquareCampaign resumed(8);
+  const SweepProgress progress =
+      SweepRunner({.journal_path = journal.path, .shard_size = 2})
+          .run(resumed);
+  EXPECT_TRUE(progress.complete());
+  EXPECT_EQ(progress.journal_skipped, 1u);  // the torn line
+  EXPECT_EQ(progress.resumed_shards, 3u);
+  EXPECT_EQ(progress.executed_shards, 1u);  // only the torn shard re-runs
+  EXPECT_EQ(resumed.executed_units.load(), 2u);
+  EXPECT_EQ(resumed.sum, square_sum(8));
+}
+
+TEST(SweepRunner, TornLineWithoutNewlineDoesNotGlueTheNextAppend) {
+  TempJournal journal("glue");
+  SquareCampaign cold(8);
+  const SweepProgress first =
+      SweepRunner(
+          {.journal_path = journal.path, .shard_size = 2, .max_shards = 3})
+          .run(cold);
+  EXPECT_FALSE(first.complete());
+
+  // Crash mid-append: torn trailing bytes with NO newline.  The resume
+  // must start its own records on a fresh line, or the next completed
+  // shard's checkpoint is glued onto the torn bytes and lost.
+  {
+    std::ofstream torn(journal.path, std::ios::app);
+    torn << "{\"shard\":3,\"begin\":6,\"end\":8,\"bytes\":1";
+  }
+
+  SquareCampaign resumed(8);
+  const SweepProgress second =
+      SweepRunner({.journal_path = journal.path, .shard_size = 2})
+          .run(resumed);
+  EXPECT_TRUE(second.complete());
+  EXPECT_EQ(second.journal_skipped, 1u);
+  EXPECT_EQ(resumed.sum, square_sum(8));
+
+  // Proof the re-executed shard journaled cleanly despite the torn tail: a
+  // third run answers everything from the journal.
+  SquareCampaign warm(8);
+  const SweepProgress third =
+      SweepRunner({.journal_path = journal.path, .shard_size = 2})
+          .run(warm);
+  EXPECT_TRUE(third.complete());
+  EXPECT_EQ(third.executed_shards, 0u);
+  EXPECT_EQ(warm.executed_units.load(), 0u);
+  EXPECT_EQ(warm.sum, square_sum(8));
+}
+
+TEST(SweepRunner, DuplicateShardEntriesResolveLastWins) {
+  TempJournal journal("dup");
+  SquareCampaign cold(3);
+  (void)SweepRunner({.journal_path = journal.path, .shard_size = 1})
+      .run(cold);
+
+  // Insert a bogus shard-0 entry right after the header: the genuine line
+  // appended later in the file must win.
+  std::vector<std::string> lines = read_lines(journal.path);
+  ASSERT_EQ(lines.size(), 4u);
+  lines.insert(lines.begin() + 1,
+               "{\"shard\":0,\"begin\":0,\"end\":1,\"bytes\":9,"
+               "\"rows\":[[0,999]],\"done\":true}");
+  write_lines(journal.path, lines);
+
+  SquareCampaign resumed(3);
+  const SweepProgress progress =
+      SweepRunner({.journal_path = journal.path, .shard_size = 1})
+          .run(resumed);
+  EXPECT_TRUE(progress.complete());
+  EXPECT_EQ(progress.executed_shards, 0u);
+  EXPECT_EQ(resumed.executed_units.load(), 0u);
+  EXPECT_EQ(resumed.sum, square_sum(3));  // 999 lost to the later entry
+}
+
+TEST(SweepRunner, MismatchedJournalsAreRejectedWithClearErrors) {
+  TempJournal journal("mismatch");
+  SquareCampaign cold(6);
+  (void)SweepRunner({.journal_path = journal.path, .shard_size = 2})
+      .run(cold);
+
+  // Different campaign content (fingerprint mismatch).
+  SquareCampaign other_factor(6, 2);
+  try {
+    (void)SweepRunner({.journal_path = journal.path, .shard_size = 2})
+        .run(other_factor);
+    FAIL() << "fingerprint mismatch was not rejected";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("fingerprint"),
+              std::string::npos);
+  }
+
+  // Same campaign, different shard size: boundaries no longer line up.
+  SquareCampaign other_shards(6);
+  try {
+    (void)SweepRunner({.journal_path = journal.path, .shard_size = 3})
+        .run(other_shards);
+    FAIL() << "shard-size mismatch was not rejected";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("--shard-size"),
+              std::string::npos);
+  }
+}
+
+TEST(SweepRunner, ShardEntriesWithoutHeaderAreRejected) {
+  TempJournal journal("headerless");
+  write_lines(journal.path,
+              {"{\"shard\":0,\"begin\":0,\"end\":1,\"bytes\":9,"
+               "\"rows\":[[0,999]],\"done\":true}"});
+  SquareCampaign campaign(3);
+  EXPECT_THROW(
+      (void)SweepRunner({.journal_path = journal.path, .shard_size = 1})
+          .run(campaign),
+      Error);
+}
+
+TEST(SweepRunner, MaxShardsChunksDriveTheCampaignToCompletion) {
+  TempJournal journal("chunks");
+  std::size_t invocations = 0;
+  for (;;) {
+    SquareCampaign campaign(10);
+    const SweepProgress progress =
+        SweepRunner({.journal_path = journal.path,
+                     .shard_size = 2,
+                     .max_shards = 1})
+            .run(campaign);
+    ++invocations;
+    EXPECT_LE(campaign.executed_units.load(), 2u);
+    if (progress.complete()) {
+      EXPECT_EQ(campaign.sum, square_sum(10));
+      break;
+    }
+  }
+  EXPECT_EQ(invocations, 5u);  // one shard per invocation
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end identity of the sweep path against the in-process analyses.
+// ---------------------------------------------------------------------------
+
+nn::QuantizedNetwork tiny_qnet() {
+  nn::Layer hidden;
+  hidden.weights = la::MatrixD::from_rows({{1.0, -1.0}, {0.5, 0.5}});
+  hidden.bias = {0.0, -0.25};
+  hidden.activation = nn::Activation::kReLU;
+  nn::Layer out;
+  out.weights = la::MatrixD::from_rows({{1.0, 0.0}, {0.0, 2.0}});
+  out.bias = {0.1, 0.0};
+  out.activation = nn::Activation::kLinear;
+  return nn::QuantizedNetwork::quantize(nn::Network({hidden, out}), 100);
+}
+
+la::Matrix<i64> tiny_inputs() {
+  la::Matrix<i64> inputs(3, 2);
+  inputs(0, 0) = 80; inputs(0, 1) = 30;
+  inputs(1, 0) = 20; inputs(1, 1) = 90;
+  inputs(2, 0) = 55; inputs(2, 1) = 45;
+  return inputs;
+}
+
+std::vector<int> labels_for(const nn::QuantizedNetwork& net,
+                            const la::Matrix<i64>& inputs) {
+  std::vector<int> labels;
+  for (std::size_t s = 0; s < inputs.rows(); ++s) {
+    labels.push_back(net.classify_noised(inputs.row(s), {}));
+  }
+  return labels;
+}
+
+void expect_same_tolerance(const ToleranceReport& a, const ToleranceReport& b) {
+  EXPECT_EQ(a.noise_tolerance, b.noise_tolerance);
+  EXPECT_EQ(a.queries, b.queries);
+  ASSERT_EQ(a.per_sample.size(), b.per_sample.size());
+  for (std::size_t i = 0; i < a.per_sample.size(); ++i) {
+    EXPECT_EQ(a.per_sample[i].correct_without_noise,
+              b.per_sample[i].correct_without_noise);
+    EXPECT_EQ(a.per_sample[i].min_flip_range, b.per_sample[i].min_flip_range);
+    EXPECT_EQ(a.per_sample[i].witness, b.per_sample[i].witness);
+  }
+}
+
+TEST(SweepAnalyses, ToleranceSweepMatchesBatchPathAndResumes) {
+  const nn::QuantizedNetwork net = tiny_qnet();
+  const core::Fannet fannet(net);
+  const la::Matrix<i64> inputs = tiny_inputs();
+  const std::vector<int> labels = labels_for(net, inputs);
+
+  ToleranceConfig direct_config;
+  direct_config.start_range = 30;
+  direct_config.threads = 1;
+  const ToleranceReport direct =
+      fannet.analyze_tolerance(inputs, labels, direct_config);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    ToleranceConfig config = direct_config;
+    config.sweep = SweepOptions{.shard_size = 2, .threads = threads};
+    const ToleranceReport swept =
+        fannet.analyze_tolerance(inputs, labels, config);
+    EXPECT_TRUE(swept.sweep.complete());
+    expect_same_tolerance(direct, swept);
+  }
+
+  // Kill/resume cycle through the journal.
+  TempJournal journal("tolerance");
+  ToleranceConfig partial = direct_config;
+  partial.sweep = SweepOptions{.journal_path = journal.path, .max_shards = 1};
+  const ToleranceReport first =
+      fannet.analyze_tolerance(inputs, labels, partial);
+  EXPECT_FALSE(first.sweep.complete());
+
+  ToleranceConfig rest = direct_config;
+  rest.sweep = SweepOptions{.journal_path = journal.path};
+  const ToleranceReport resumed =
+      fannet.analyze_tolerance(inputs, labels, rest);
+  EXPECT_TRUE(resumed.sweep.complete());
+  EXPECT_EQ(resumed.sweep.resumed_shards, 1u);
+  expect_same_tolerance(direct, resumed);
+}
+
+TEST(SweepAnalyses, SensitivitySweepMatchesBatchPath) {
+  const nn::QuantizedNetwork net = tiny_qnet();
+  const core::Fannet fannet(net);
+  const la::Matrix<i64> inputs = tiny_inputs();
+  const std::vector<int> labels = labels_for(net, inputs);
+
+  core::SensitivityConfig direct_config;
+  direct_config.threads = 1;
+  const core::NodeSensitivityReport direct =
+      core::analyze_sensitivity(fannet, inputs, labels, 20, {}, direct_config);
+
+  core::SensitivityConfig config = direct_config;
+  config.sweep = SweepOptions{.shard_size = 3, .threads = 2};
+  const core::NodeSensitivityReport swept =
+      core::analyze_sensitivity(fannet, inputs, labels, 20, {}, config);
+
+  EXPECT_TRUE(swept.sweep.complete());
+  EXPECT_EQ(direct.positive_possible, swept.positive_possible);
+  EXPECT_EQ(direct.negative_possible, swept.negative_possible);
+  EXPECT_EQ(direct.solo_flip_range, swept.solo_flip_range);
+  EXPECT_EQ(direct.positive, swept.positive);
+  EXPECT_EQ(direct.negative, swept.negative);
+  EXPECT_EQ(direct.zero, swept.zero);
+}
+
+void expect_same_weight_faults(const WeightFaultReport& a,
+                               const WeightFaultReport& b) {
+  EXPECT_EQ(a.faults, b.faults);
+  EXPECT_EQ(a.robust_weights, b.robust_weights);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.layer_evaluations, b.layer_evaluations);
+  EXPECT_EQ(a.undecided_candidates, b.undecided_candidates);
+  EXPECT_EQ(a.model, b.model);
+}
+
+TEST(SweepAnalyses, WeightFaultSweepMatchesDirectScanAndResumes) {
+  const nn::QuantizedNetwork net = tiny_qnet();
+  const la::Matrix<i64> inputs = tiny_inputs();
+  const std::vector<int> labels = labels_for(net, inputs);
+
+  WeightFaultConfig direct_config{.max_percent = 40, .step = 1, .threads = 1};
+  const WeightFaultReport direct =
+      core::analyze_weight_faults(net, inputs, labels, direct_config);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    WeightFaultConfig config = direct_config;
+    config.sweep = SweepOptions{.shard_size = 5, .threads = threads};
+    const WeightFaultReport swept =
+        core::analyze_weight_faults(net, inputs, labels, config);
+    EXPECT_TRUE(swept.sweep.complete());
+    expect_same_weight_faults(direct, swept);
+  }
+
+  TempJournal journal("faults");
+  WeightFaultConfig partial = direct_config;
+  partial.sweep = SweepOptions{.journal_path = journal.path,
+                               .shard_size = 4,
+                               .max_shards = 2};
+  const WeightFaultReport first =
+      core::analyze_weight_faults(net, inputs, labels, partial);
+  EXPECT_FALSE(first.sweep.complete());
+  EXPECT_EQ(first.sweep.units_executed, 8u);
+
+  WeightFaultConfig rest = direct_config;
+  rest.sweep = SweepOptions{.journal_path = journal.path, .shard_size = 4};
+  const WeightFaultReport resumed =
+      core::analyze_weight_faults(net, inputs, labels, rest);
+  EXPECT_TRUE(resumed.sweep.complete());
+  EXPECT_EQ(resumed.sweep.resumed_shards, 2u);
+  EXPECT_EQ(resumed.sweep.units_executed, direct.faults.size() - 8u);
+  expect_same_weight_faults(direct, resumed);
+}
+
+TEST(SweepAnalyses, JournalFromDifferentGridOrNetworkIsRejected) {
+  const nn::QuantizedNetwork net = tiny_qnet();
+  const la::Matrix<i64> inputs = tiny_inputs();
+  const std::vector<int> labels = labels_for(net, inputs);
+
+  TempJournal journal("grid");
+  WeightFaultConfig config{.max_percent = 20, .step = 1, .threads = 1};
+  config.sweep = SweepOptions{.journal_path = journal.path};
+  (void)core::analyze_weight_faults(net, inputs, labels, config);
+
+  // Same journal, different scan grid: rejected, not silently mixed.
+  WeightFaultConfig wider = config;
+  wider.max_percent = 30;
+  try {
+    (void)core::analyze_weight_faults(net, inputs, labels, wider);
+    FAIL() << "grid mismatch was not rejected";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("fingerprint"),
+              std::string::npos);
+  }
+
+  // Same journal, different network: rejected too.
+  nn::Layer hidden;
+  hidden.weights = la::MatrixD::from_rows({{1.0, -1.0}, {0.5, 0.75}});
+  hidden.bias = {0.0, -0.25};
+  hidden.activation = nn::Activation::kReLU;
+  nn::Layer out;
+  out.weights = la::MatrixD::from_rows({{1.0, 0.0}, {0.0, 2.0}});
+  out.bias = {0.1, 0.0};
+  out.activation = nn::Activation::kLinear;
+  const nn::QuantizedNetwork other =
+      nn::QuantizedNetwork::quantize(nn::Network({hidden, out}), 100);
+  EXPECT_THROW(
+      (void)core::analyze_weight_faults(other, inputs, labels_for(other, inputs),
+                                        config),
+      Error);
+}
+
+}  // namespace
+}  // namespace fannet

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Dead-link checker for the repo's Markdown files (CI docs-lint step).
+
+Scans every tracked *.md file for inline Markdown links/images
+(``[text](target)``) and fails when a *relative* target does not exist on
+disk.  External schemes (http/https/mailto) and pure in-page anchors
+(``#section``) are skipped; a relative target's ``#fragment`` suffix is
+stripped before the existence check.  Fenced code blocks are ignored so
+example snippets cannot false-positive.
+
+Usage: python3 tools/check_links.py [repo-root]   (default: repo of this file)
+Exit codes: 0 all links resolve, 1 dead links found (each is listed).
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", ".claude"}
+# [text](target) with no nesting; target ends at the first unescaped ')'.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def links_in(path):
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK.finditer(line):
+                yield number, match.group(1)
+
+
+def main():
+    root = os.path.abspath(
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else os.path.join(os.path.dirname(__file__), os.pardir)
+    )
+    dead = []
+    checked = 0
+    for path in markdown_files(root):
+        for line, target in links_in(path):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):  # in-page anchor
+                continue
+            checked += 1
+            relative = target.split("#", 1)[0]
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), relative)
+            )
+            if not os.path.exists(resolved):
+                dead.append((os.path.relpath(path, root), line, target))
+    if dead:
+        for path, line, target in dead:
+            print(f"dead link: {path}:{line}: ({target})")
+        print(f"{len(dead)} dead link(s) out of {checked} checked")
+        return 1
+    print(f"all {checked} relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@
 #include "verify/engine.hpp"
 #include "verify/query_cache.hpp"
 #include "verify/scheduler.hpp"
+#include "verify/sweep.hpp"
 
 namespace {
 
@@ -50,6 +51,10 @@ struct Options {
   std::string cache_dir;            // empty = caching disabled
   std::size_t cache_capacity = 1u << 20;
   std::string json_dir = ".";
+  std::string analysis = "tolerance";  // campaign behind `sweep`
+  std::string journal;              // sweep checkpoint file (empty = none)
+  std::size_t shard_size = 0;       // sweep units per shard (0 = 1)
+  std::size_t max_shards = 0;       // sweep shard cap per invocation (0 = all)
 };
 
 constexpr const char* kUsage = R"(usage: fannet_cli <command> [flags]
@@ -61,6 +66,8 @@ commands
   boundary       classification-boundary proximity histogram
   weight-faults  weight-fault sensitivity ranking (hardware extension)
   engines        list the registered verification engines
+  sweep          resumable sharded campaign (tolerance | sensitivity |
+                 weight-faults) with a crash-tolerant checkpoint journal
 
 flags
   --engine NAME        P2 decision engine (default: cascade)
@@ -83,7 +90,18 @@ flags
   --cache-dir DIR      enable the query cache with a disk tier in DIR
   --cache-capacity N   in-memory LRU capacity (default 1048576)
   --json-dir DIR       where BENCH_cli_<command>.json is written (default .)
+  --analysis NAME      campaign behind `sweep`: tolerance (default),
+                       sensitivity, or weight-faults
+  --resume FILE        sweep checkpoint journal: created cold, resumed when
+                       it already has entries (--journal is a synonym)
+  --shard-size N       sweep work units per journaled shard (default 1)
+  --max-shards N       execute at most N shards this invocation, then exit 3
+                       with the rest pending (chunking across processes or
+                       machines; 0 = no cap, default)
   --help               this text
+
+exit codes: 0 success (sweep: campaign complete), 1 runtime failure,
+2 usage error, 3 sweep ran fine but shards are still pending (--max-shards)
 )";
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -174,6 +192,14 @@ Options parse_args(int argc, char** argv) {
       opts.seed = seed;
     } else if (flag == "--small") {
       opts.small = true;
+    } else if (flag == "--analysis") {
+      opts.analysis = value();
+    } else if (flag == "--resume" || flag == "--journal") {
+      opts.journal = value();
+    } else if (flag == "--shard-size") {
+      if (!parse_size(value(), opts.shard_size)) usage_error("bad --shard-size");
+    } else if (flag == "--max-shards") {
+      if (!parse_size(value(), opts.max_shards)) usage_error("bad --max-shards");
     } else if (flag == "--cache-dir") {
       opts.cache_dir = value();
     } else if (flag == "--cache-capacity") {
@@ -246,8 +272,19 @@ int run_command(const Options& opts, util::BenchJson& json) {
   // typo'd engine fails with the known names listed.
   if (opts.command != "tolerance" && opts.command != "boundary" &&
       opts.command != "bias" && opts.command != "sensitivity" &&
-      opts.command != "weight-faults") {
+      opts.command != "weight-faults" && opts.command != "sweep") {
     usage_error("unknown command " + opts.command);
+  }
+  if (opts.command == "sweep" && opts.analysis != "tolerance" &&
+      opts.analysis != "sensitivity" && opts.analysis != "weight-faults") {
+    usage_error("bad --analysis, expected tolerance | sensitivity | "
+                "weight-faults");
+  }
+  if (opts.command == "sweep" && opts.max_shards != 0 && opts.journal.empty()) {
+    // Without a journal a capped run discards its results on exit, so every
+    // invocation would redo the same first shards forever.
+    usage_error("--max-shards needs --resume FILE (a capped run without a "
+                "journal can never make progress)");
   }
   [[maybe_unused]] const verify::Engine& checked = verify::engine(opts.engine);
 
@@ -300,6 +337,105 @@ int run_command(const Options& opts, util::BenchJson& json) {
     std::fputs(core::format_weight_faults(report).c_str(), stdout);
     json.add("weight_fault_analysis", watch.millis(), report.evaluations,
              threads);
+  } else if (opts.command == "sweep") {
+    verify::SweepOptions sweep;
+    sweep.journal_path = opts.journal;
+    sweep.shard_size = opts.shard_size;
+    sweep.max_shards = opts.max_shards;
+    sweep.threads = opts.threads;
+
+    verify::SweepProgress progress;
+    if (opts.analysis == "tolerance") {
+      core::ToleranceConfig config;
+      config.start_range = opts.start_range;
+      config.engine = core::Engine{opts.engine};
+      config.threads = opts.threads;
+      config.intra_query_threads = opts.intra_threads;
+      config.sweep = sweep;
+      const core::ToleranceReport report =
+          fannet.analyze_tolerance(cs.test_x, cs.test_y, config);
+      progress = report.sweep;
+      if (progress.complete()) print_tolerance_table(report, opts);
+      json.add("sweep_tolerance", watch.millis(), report.queries, threads);
+    } else if (opts.analysis == "sensitivity") {
+      core::SensitivityConfig config;
+      config.engine = core::Engine{opts.engine};
+      config.threads = opts.threads;
+      config.intra_query_threads = opts.intra_threads;
+      config.sweep = sweep;
+      // Only the probe fan-out is journaled; the corpus exists just for
+      // the final report's histograms.  Journal-backed (possibly chunked)
+      // runs therefore probe first with an empty corpus — intermediate
+      // invocations skip the expensive P3 extraction entirely — and only
+      // a completing run extracts the corpus and re-aggregates, with
+      // every probe shard answered from the journal.
+      std::size_t corpus_size = 0;
+      core::NodeSensitivityReport report;
+      if (opts.journal.empty()) {
+        const auto corpus =
+            fannet.extract_corpus(cs.test_x, cs.test_y, opts.range,
+                                  opts.max_per_sample, false, opts.threads);
+        corpus_size = corpus.size();
+        report = core::analyze_sensitivity(fannet, cs.test_x, cs.test_y,
+                                           opts.range, corpus, config);
+      } else {
+        report = core::analyze_sensitivity(fannet, cs.test_x, cs.test_y,
+                                           opts.range, {}, config);
+        // The probe pass's progress reflects this invocation's real work;
+        // the re-aggregation below answers every shard from the journal.
+        progress = report.sweep;
+        if (progress.complete()) {
+          const auto corpus =
+              fannet.extract_corpus(cs.test_x, cs.test_y, opts.range,
+                                    opts.max_per_sample, false, opts.threads);
+          corpus_size = corpus.size();
+          report = core::analyze_sensitivity(fannet, cs.test_x, cs.test_y,
+                                             opts.range, corpus, config);
+        }
+      }
+      if (opts.journal.empty()) progress = report.sweep;
+      if (progress.complete()) {
+        std::fputs(core::format_sensitivity(report).c_str(), stdout);
+      }
+      json.add("sweep_sensitivity", watch.millis(), corpus_size, threads);
+    } else {  // weight-faults, validated above
+      core::WeightFaultConfig config;
+      config.max_percent = opts.range;
+      config.step = opts.step;
+      config.threads = opts.threads;
+      config.model = opts.fault_model;
+      config.sweep = sweep;
+      const core::WeightFaultReport report =
+          core::analyze_weight_faults(cs.qnet, cs.test_x, cs.test_y, config);
+      progress = report.sweep;
+      if (progress.complete()) {
+        std::fputs(core::format_weight_faults(report).c_str(), stdout);
+      }
+      json.add("sweep_weight_faults", watch.millis(), report.evaluations,
+               threads);
+    }
+
+    std::printf(
+        "\nsweep[%s]: %zu shards total | %zu resumed from journal | "
+        "%zu executed | %zu pending (%llu units executed",
+        opts.analysis.c_str(), progress.total_shards, progress.resumed_shards,
+        progress.executed_shards, progress.pending_shards,
+        static_cast<unsigned long long>(progress.units_executed));
+    if (progress.journal_skipped > 0) {
+      std::printf(", %zu torn/malformed journal lines discarded",
+                  progress.journal_skipped);
+    }
+    std::printf(")\n");
+    if (!progress.complete()) {
+      std::printf("sweep incomplete: rerun with the same --resume journal to "
+                  "continue (exit 3)\n");
+    }
+    json.add("sweep_shards_total", 0.0, progress.total_shards, 1);
+    json.add("sweep_shards_resumed", 0.0, progress.resumed_shards, 1);
+    json.add("sweep_shards_executed", 0.0, progress.executed_shards, 1);
+    json.add("sweep_shards_pending", 0.0, progress.pending_shards, 1);
+    json.add("sweep_units_executed", 0.0, progress.units_executed, 1);
+    return progress.complete() ? 0 : 3;
   }
   return 0;
 }
@@ -333,7 +469,8 @@ int main(int argc, char** argv) {
 
     util::BenchJson json("cli_" + opts.command);
     const int status = run_command(opts, json);
-    if (status == 0 && opts.command != "engines") {
+    // Exit 3 (sweep ran fine, shards pending) still reports and writes JSON.
+    if ((status == 0 || status == 3) && opts.command != "engines") {
       if (cache) {
         const auto stats = cache->stats();
         std::printf(
