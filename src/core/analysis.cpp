@@ -149,7 +149,8 @@ class SensitivityCampaign final : public verify::SweepCampaign {
         report_(report),
         engine_(verify::engine(config.engine.name)),
         scheduler_({.threads = 1,
-                    .intra_query_threads = config.intra_query_threads}) {}
+                    .intra_query_threads = config.intra_query_threads,
+                    .batch_hint = config.batch}) {}
 
   [[nodiscard]] std::string_view name() const override {
     return "sensitivity";
@@ -287,7 +288,8 @@ NodeSensitivityReport analyze_sensitivity(
   const verify::Engine& engine = verify::engine(config.engine.name);
   const verify::Scheduler scheduler(
       {.threads = config.threads,
-       .intra_query_threads = config.intra_query_threads});
+       .intra_query_threads = config.intra_query_threads,
+       .batch_hint = config.batch});
 
   // Directional: delta_i restricted to one sign, others full range.  Per
   // node and sign this is an existence query over the samples — decided as

@@ -70,6 +70,11 @@ struct SensitivityConfig {
   /// Intra-query worker budget per engine dispatch (see
   /// verify::SchedulerOptions::intra_query_threads).
   std::size_t intra_query_threads = 0;
+  /// SoA evaluation lanes per engine dispatch (DESIGN.md §10, forwarded as
+  /// verify::SchedulerOptions::batch_hint): 0 = auto
+  /// (nn::BatchEvaluator::kAutoBatch), 1 = the scalar reference path.
+  /// Reports are bit-identical for every value.
+  std::size_t batch = 0;
   /// Opt-in resumable sharded execution of the probe fan-out (DESIGN.md
   /// §9): directional and Eq.-3 solo probes become journaled sweep units;
   /// an interrupted campaign resumes instead of restarting.  Reports are

@@ -100,7 +100,8 @@ class ToleranceCampaign final : public verify::SweepCampaign {
         report_(report),
         engine_(verify::engine(config.engine.name)),
         scheduler_({.threads = 1,
-                    .intra_query_threads = config.intra_query_threads}) {}
+                    .intra_query_threads = config.intra_query_threads,
+                    .batch_hint = config.batch}) {}
 
   [[nodiscard]] std::string_view name() const override { return "tolerance"; }
 
@@ -267,7 +268,8 @@ ToleranceReport Fannet::analyze_tolerance(const la::Matrix<i64>& inputs,
     const verify::Engine& engine = verify::engine(config.engine.name);
     const verify::Scheduler scheduler(
         {.threads = config.threads,
-         .intra_query_threads = config.intra_query_threads});
+         .intra_query_threads = config.intra_query_threads,
+         .batch_hint = config.batch});
 
     // Phase 1: screen every correct sample at the full start range, batched
     // through the scheduler.  Monotonicity (a counterexample in ±R stays

@@ -63,6 +63,11 @@ struct ToleranceConfig {
   /// verify::SchedulerOptions::intra_query_threads): 0 = leftover threads
   /// when the batch is smaller than the worker pool, N = fixed grant.
   std::size_t intra_query_threads = 0;
+  /// SoA evaluation lanes per engine dispatch (DESIGN.md §10, forwarded as
+  /// verify::SchedulerOptions::batch_hint): 0 = auto
+  /// (nn::BatchEvaluator::kAutoBatch), 1 = the scalar reference path.
+  /// Reports are bit-identical for every value.
+  std::size_t batch = 0;
   /// Opt-in resumable sharded execution (DESIGN.md §9): when engaged, the
   /// per-sample work runs through verify::SweepRunner — journaled to
   /// `sweep->journal_path`, resumable after a crash, and chunkable across

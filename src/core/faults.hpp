@@ -115,6 +115,14 @@ struct WeightFaultConfig {
   std::size_t threads = 0;
   FaultModel model = FaultModel::kPercentScale;
   FaultScan scan = FaultScan::kIncremental;
+  /// SoA evaluation lanes for the incremental engine's batched suffix
+  /// re-evaluation (DESIGN.md §10): candidate x sample attempts sharing the
+  /// faulted layer are staged together and re-evaluated through one
+  /// vectorized kernel.  0 = auto (nn::BatchEvaluator::kAutoBatch), 1 = the
+  /// scalar reference path; the naive oracle engine always runs scalar.
+  /// Reports are bit-identical for every value (deliberately excluded from
+  /// the sweep fingerprint, like `threads`).
+  std::size_t batch = 0;
   /// Opt-in resumable sharded execution (DESIGN.md §9): one sweep unit per
   /// parameter, journaled to `sweep->journal_path`, so a multi-hour fault
   /// campaign killed mid-flight resumes instead of restarting from zero.

@@ -1,5 +1,7 @@
 #include "nn/quantized.hpp"
 
+#include <string>
+
 #include "util/checked.hpp"
 #include "util/error.hpp"
 
@@ -7,6 +9,49 @@ namespace fannet::nn {
 
 using util::i128;
 using util::i64;
+
+void QuantizedNetwork::copy_fingerprint_from(
+    const QuantizedNetwork& other) noexcept {
+  // Read the flag FIRST (acquire): only a flag observed true guarantees the
+  // paired value store is visible.  Reading the value first could pair a
+  // stale value with a flag published by a concurrent fingerprint() call.
+  if (other.fp_valid_.load(std::memory_order_acquire)) {
+    fp_value_.store(other.fp_value_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    fp_valid_.store(true, std::memory_order_release);
+  } else {
+    fp_valid_.store(false, std::memory_order_release);
+  }
+}
+
+QuantizedNetwork::QuantizedNetwork(const QuantizedNetwork& other)
+    : layers_(other.layers_), input_norm_(other.input_norm_) {
+  copy_fingerprint_from(other);
+}
+
+QuantizedNetwork& QuantizedNetwork::operator=(const QuantizedNetwork& other) {
+  if (this != &other) {
+    layers_ = other.layers_;
+    input_norm_ = other.input_norm_;
+    copy_fingerprint_from(other);
+  }
+  return *this;
+}
+
+QuantizedNetwork::QuantizedNetwork(QuantizedNetwork&& other) noexcept
+    : layers_(std::move(other.layers_)), input_norm_(other.input_norm_) {
+  copy_fingerprint_from(other);
+}
+
+QuantizedNetwork& QuantizedNetwork::operator=(
+    QuantizedNetwork&& other) noexcept {
+  if (this != &other) {
+    layers_ = std::move(other.layers_);
+    input_norm_ = other.input_norm_;
+    copy_fingerprint_from(other);
+  }
+  return *this;
+}
 
 QuantizedNetwork QuantizedNetwork::quantize(const Network& net,
                                             i64 input_norm) {
@@ -56,7 +101,11 @@ i128 QuantizedNetwork::scale_at(std::size_t index) const {
 std::vector<i64> QuantizedNetwork::noised_inputs(std::span<const i64> x,
                                                  std::span<const int> deltas) {
   if (!deltas.empty() && deltas.size() != x.size()) {
-    throw InvalidArgument("noised_inputs: delta size mismatch");
+    throw InvalidArgument("noised_inputs: deltas size " +
+                          std::to_string(deltas.size()) +
+                          " does not match inputs size " +
+                          std::to_string(x.size()) +
+                          " (deltas must be empty or one entry per input)");
   }
   std::vector<i64> X(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -152,6 +201,9 @@ i64& QuantizedNetwork::param_slot(std::size_t layer, std::size_t row,
   if (row >= l.out_dim() || col > l.in_dim()) {
     throw InvalidArgument("QuantizedNetwork: parameter index out of range");
   }
+  // The caller writes through the returned slot, so the memoized
+  // fingerprint is stale the moment this hands out mutable access.
+  invalidate_fingerprint();
   return (col == l.in_dim()) ? l.bias[row] : l.weights(row, col);
 }
 
@@ -185,7 +237,9 @@ QuantizedNetwork QuantizedNetwork::with_scaled_param(std::size_t layer,
 
 ScopedParamPatch::ScopedParamPatch(QuantizedNetwork& net, std::size_t layer,
                                    std::size_t row, std::size_t col, i64 raw)
-    : slot_(&net.param_slot(layer, row, col)), original_(*slot_) {
+    : net_(&net),
+      slot_(&net.param_slot(layer, row, col)),
+      original_(*slot_) {
   *slot_ = raw;
 }
 
@@ -306,6 +360,9 @@ int PrefixEvaluator::classify_patched(std::size_t sample, std::size_t layer,
 }
 
 std::uint64_t QuantizedNetwork::fingerprint() const noexcept {
+  if (fp_valid_.load(std::memory_order_acquire)) {
+    return fp_value_.load(std::memory_order_relaxed);
+  }
   // FNV-1a, folding every parameter as little-endian 64-bit words.  The
   // byte order is fixed (not memcpy of host ints) so the hash — and with it
   // the query cache's disk tier — is stable across platforms.
@@ -329,6 +386,9 @@ std::uint64_t QuantizedNetwork::fingerprint() const noexcept {
     }
     for (const i64 b : l.bias) mix(static_cast<std::uint64_t>(b));
   }
+  // Value before flag (release): a reader that sees the flag sees the hash.
+  fp_value_.store(h, std::memory_order_relaxed);
+  fp_valid_.store(true, std::memory_order_release);
   return h;
 }
 

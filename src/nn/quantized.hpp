@@ -19,6 +19,7 @@
 // checked narrowing back to int64.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -28,6 +29,8 @@
 #include "util/fixed.hpp"
 
 namespace fannet::nn {
+
+class BatchEvaluator;  // batched SoA forward evaluation (batch_eval.hpp)
 
 /// Percent denominator for relative noise: x' = x * (100 + delta) / 100.
 inline constexpr util::i64 kNoiseDen = 100;
@@ -45,6 +48,13 @@ struct QLayer {
 class QuantizedNetwork {
  public:
   QuantizedNetwork() = default;
+  // Hand-written only because the fingerprint cache members are atomics
+  // (non-copyable); parameter data copies/moves verbatim either way.
+  QuantizedNetwork(const QuantizedNetwork& other);
+  QuantizedNetwork& operator=(const QuantizedNetwork& other);
+  QuantizedNetwork(QuantizedNetwork&& other) noexcept;
+  QuantizedNetwork& operator=(QuantizedNetwork&& other) noexcept;
+  ~QuantizedNetwork() = default;
 
   /// Quantizes every weight/bias of `net` to Fixed.  `input_norm` is the
   /// factor the raw integer inputs were divided by for training (the
@@ -65,7 +75,8 @@ class QuantizedNetwork {
   [[nodiscard]] util::i128 scale_at(std::size_t index) const;
 
   /// Applies integer-percent noise: X_i = x_i * (100 + delta_i).
-  /// `deltas` may be empty (no noise) or one entry per input.
+  /// `deltas` must be empty (no noise) or have exactly one entry per
+  /// input; any other size throws InvalidArgument naming both sizes.
   [[nodiscard]] static std::vector<util::i64> noised_inputs(
       std::span<const util::i64> x, std::span<const int> deltas);
 
@@ -96,6 +107,13 @@ class QuantizedNetwork {
   /// equal fingerprints iff they compute the same function parameter-for-
   /// parameter (up to 64-bit hashing), independent of object identity —
   /// the verify-layer query cache keys on it (DESIGN.md §7).
+  ///
+  /// Memoized: the hash is computed once and cached until a mutation
+  /// funnels through `param_slot` (with_param, ScopedParamPatch) — sweep
+  /// cache probes no longer re-hash every weight.  The cache is a pair of
+  /// atomics (value published before the valid flag with release/acquire),
+  /// so concurrent probes of a stable network are race-free; a probe that
+  /// loses the race just recomputes the same deterministic hash.
   [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 
   /// Raw fixed-point value of one parameter.  `col` selects a weight;
@@ -123,12 +141,27 @@ class QuantizedNetwork {
   friend class ScopedParamPatch;
 
   /// Throws InvalidArgument unless (layer, row, col) addresses a parameter;
-  /// returns the addressed raw slot.
+  /// returns the addressed raw slot.  Every mutation goes through here, so
+  /// it also invalidates the memoized fingerprint.
   [[nodiscard]] util::i64& param_slot(std::size_t layer, std::size_t row,
                                       std::size_t col);
 
+  /// Drops the memoized fingerprint (next call recomputes).
+  void invalidate_fingerprint() const noexcept {
+    fp_valid_.store(false, std::memory_order_release);
+  }
+
+  /// Adopts `other`'s memoized fingerprint flag-first (see the .cpp note
+  /// on why the read order matters).
+  void copy_fingerprint_from(const QuantizedNetwork& other) noexcept;
+
   std::vector<QLayer> layers_;
   util::i64 input_norm_ = 100;
+  /// Memoized fingerprint: `fp_value_` is published before `fp_valid_`
+  /// (release) and read after it (acquire), so readers never see the flag
+  /// without the value.
+  mutable std::atomic<std::uint64_t> fp_value_{0};
+  mutable std::atomic<bool> fp_valid_{false};
 };
 
 /// The raw fixed-point value of `raw` scaled by (100+percent)/100 with
@@ -146,7 +179,12 @@ class ScopedParamPatch {
  public:
   ScopedParamPatch(QuantizedNetwork& net, std::size_t layer, std::size_t row,
                    std::size_t col, util::i64 raw);
-  ~ScopedParamPatch() { *slot_ = original_; }
+  ~ScopedParamPatch() {
+    *slot_ = original_;
+    // The restore bypasses param_slot, so drop the memoized fingerprint
+    // explicitly (a fingerprint taken while patched must not survive).
+    net_->invalidate_fingerprint();
+  }
 
   ScopedParamPatch(const ScopedParamPatch&) = delete;
   ScopedParamPatch& operator=(const ScopedParamPatch&) = delete;
@@ -155,6 +193,7 @@ class ScopedParamPatch {
   [[nodiscard]] util::i64 original() const noexcept { return original_; }
 
  private:
+  QuantizedNetwork* net_;
   util::i64* slot_;
   util::i64 original_;
 };
@@ -206,6 +245,40 @@ class PrefixEvaluator {
   [[nodiscard]] int classify_patched(std::size_t sample, std::size_t layer,
                                      std::size_t row, std::size_t col,
                                      util::i64 raw, Scratch& scratch) const;
+
+  /// One lane of a batched suffix re-evaluation: sample `sample` with the
+  /// parameter (shared `layer`, `row`, `col`) patched to raw value `raw`.
+  struct PatchLane {
+    std::size_t sample = 0;
+    std::size_t row = 0;
+    std::size_t col = 0;  ///< in_dim(layer) selects the bias, as everywhere
+    util::i64 raw = 0;
+  };
+
+  /// Reusable buffers for classify_patched_batch; `labels`/`overflow` are
+  /// its per-lane results.
+  struct BatchScratch {
+    std::vector<util::u64> act;
+    std::vector<util::u64> next;
+    std::vector<util::i64> patched_pre;
+    std::vector<util::i64> best;
+    std::vector<std::uint8_t> overflow;  ///< scalar path would throw here
+    std::vector<int> labels;
+  };
+
+  /// Batched classify_patched over lanes that share a faulted layer: the
+  /// per-lane delta updates run scalar, then ONE SoA pass (batch_eval.hpp's
+  /// kernel, via `evaluator`'s precomputed bounds) re-evaluates the suffix
+  /// layers for every lane at once — the weight-fault scan's per-layer
+  /// dispatch amortized across candidates.  `scratch.labels[t]` equals
+  /// classify_patched(lane t); lanes where the scalar call would throw
+  /// ArithmeticError come back with `scratch.overflow[t]` set instead
+  /// (their labels are unspecified; re-run the scalar path to reproduce
+  /// the exception).  `evaluator` must be bound to the same network.
+  void classify_patched_batch(const BatchEvaluator& evaluator,
+                              std::size_t layer,
+                              std::span<const PatchLane> lanes,
+                              BatchScratch& scratch) const;
 
  private:
   const QuantizedNetwork* net_;

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "nn/batch_eval.hpp"
 #include "util/error.hpp"
 #include "verify/interval.hpp"
 #include "verify/symbolic.hpp"
@@ -294,6 +295,12 @@ class Worker {
     if (all_safe && !flips_everywhere) return;
 
     if (flips_everywhere) {
+      const std::size_t lanes =
+          nn::BatchEvaluator::resolve_batch(s_.options.batch);
+      if (lanes > 1) {
+        drain_flips_box_batched(box, lanes);
+        return;
+      }
       for_each_lex(box, [&](const std::vector<int>& point) {
         if (s_.quit.load(std::memory_order_acquire)) return false;
         // Lex order: once the top-K bound is reached, no later point in
@@ -340,12 +347,60 @@ class Worker {
     }
   }
 
+  /// Batched flips-everywhere drain: stages chunks of the box's lex-order
+  /// points through the SoA kernel, then replays them in order with the
+  /// same quit / top-K-bound checks (and the same emissions) as the scalar
+  /// loop.  Lanes the kernel flags as overflowing re-run the scalar path,
+  /// which throws the genuine ArithmeticError the scalar loop would.
+  void drain_flips_box_batched(const NoiseBox& box, std::size_t lanes) {
+    if (!evaluator_) {
+      evaluator_.emplace(*s_.query.net);
+      batch_.emplace(evaluator_->make_batch());
+    }
+    const std::size_t n = s_.query.x.size();
+    std::vector<int> p(box.lo);
+    bool done = false;
+    while (!done) {
+      batch_->clear();
+      points_.clear();
+      while (points_.size() < lanes && !done) {
+        const int bias_delta = s_.query.bias_node ? p[n] : 0;
+        batch_->push_noised(s_.query.x, std::span<const int>(p).subspan(0, n),
+                            nn::kNoiseDen + bias_delta);
+        points_.push_back(p);
+        // Lex advance, last dimension fastest (for_each_lex's order).
+        std::size_t d = box.dims();
+        while (d > 0) {
+          if (++p[d - 1] <= box.hi[d - 1]) break;
+          p[d - 1] = box.lo[d - 1];
+          --d;
+        }
+        done = (d == 0);
+      }
+      evaluator_->run(*batch_);
+      for (std::size_t t = 0; t < points_.size(); ++t) {
+        if (s_.quit.load(std::memory_order_acquire)) return;
+        if (s_.topk != nullptr && s_.topk->refresh(bound_version_, bound_) &&
+            !(points_[t] < *bound_)) {
+          return;
+        }
+        const int label = batch_->overflowed(t)
+                              ? classify_under_noise(sub_, points_[t])
+                              : batch_->label(t);
+        emit(points_[t], label);
+      }
+    }
+  }
+
   Search& s_;
   std::size_t w_;
   Query sub_;  // per-worker scratch query (box rewritten per candidate)
   std::size_t y_;
   std::uint64_t bound_version_ = 0;
   std::optional<std::vector<int>> bound_;
+  std::optional<nn::BatchEvaluator> evaluator_;  // lazy: flips drains only
+  std::optional<nn::BatchEvaluator::Batch> batch_;
+  std::vector<std::vector<int>> points_;
 };
 
 struct SearchOutcome {

@@ -61,6 +61,13 @@ struct BnbOptions {
   ///                to depth-first under plain IBP.
   enum class Policy : std::uint8_t { kDepthFirst, kBestFirst };
   Policy policy = Policy::kDepthFirst;
+  /// SoA evaluation lanes used when a certified flips-everywhere region
+  /// drains its points (DESIGN.md §10): 0 = auto
+  /// (nn::BatchEvaluator::kAutoBatch), 1 = the scalar reference path.
+  /// Singleton boxes always evaluate scalar (one point at a time cannot
+  /// batch).  Verdicts, witnesses and emitted sets are identical for every
+  /// value.
+  std::size_t batch = 0;
 };
 
 /// Decision query: the lexicographically-lowest counterexample or proof of

@@ -24,6 +24,13 @@ class EnumerateEngine final : public Engine {
   [[nodiscard]] VerifyResult verify(const Query& query) const override {
     return enumerate_find_first(query);
   }
+  [[nodiscard]] VerifyResult verify_with(
+      const Query& query, const VerifyContext& context) const override {
+    EnumerateOptions options;
+    options.batch = context.batch_hint;
+    options.threads = std::max<std::size_t>(1, context.threads);
+    return enumerate_find_first(query, options);
+  }
 };
 
 class IntervalEngine final : public Engine {
@@ -61,6 +68,7 @@ class BnbEngine final : public Engine {
       const Query& query, const VerifyContext& context) const override {
     BnbOptions options;
     options.threads = std::max<std::size_t>(1, context.threads);
+    options.batch = context.batch_hint;
     return bnb_verify(query, options);
   }
 };

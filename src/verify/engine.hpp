@@ -38,11 +38,17 @@ namespace fannet::verify {
 /// Per-call execution context the scheduler threads down to engines.
 /// Engines that can parallelize *within* one query (branch-and-bound's
 /// work-stealing frontier; the cascade forwards to its complete stage)
-/// honour `threads`; everything else ignores it.  Verdicts and witnesses
-/// are identical for every value — only wall-clock (and, for bnb, the
-/// `work` box count) depends on it.
+/// honour `threads`; engines that evaluate grids of noise vectors
+/// (enumerate, bnb's flips-everywhere drains) honour `batch_hint` by
+/// staging that many SoA lanes per forward pass (DESIGN.md §10); everything
+/// else ignores them.  Verdicts and witnesses are identical for every
+/// value — only wall-clock (and, for bnb, the `work` box count under
+/// threads > 1) depends on them.
 struct VerifyContext {
   std::size_t threads = 1;  ///< intra-query worker budget (>= 1)
+  /// SoA evaluation lanes per batched forward pass: 0 = auto
+  /// (nn::BatchEvaluator::kAutoBatch), 1 = the scalar reference path.
+  std::size_t batch_hint = 0;
 };
 
 /// One P2 decision strategy.  Implementations must be stateless or

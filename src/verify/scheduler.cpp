@@ -13,6 +13,7 @@ namespace fannet::verify {
 
 Scheduler::Scheduler(SchedulerOptions options)
     : intra_query_threads_(options.intra_query_threads),
+      batch_hint_(options.batch_hint),
       cache_(options.cache) {
   threads_ = options.threads != 0
                  ? options.threads
@@ -39,7 +40,8 @@ VerifyResult Scheduler::verify_one(const Query& query, const Engine& engine,
   // so the auto grant stays at 1; an explicit intra_query_threads setting
   // is honoured as-is.
   const VerifyContext context{
-      .threads = intra_query_threads_ != 0 ? intra_query_threads_ : 1};
+      .threads = intra_query_threads_ != 0 ? intra_query_threads_ : 1,
+      .batch_hint = batch_hint_};
   return cached_verify(effective_cache(), query, engine, context, hit);
 }
 
@@ -84,7 +86,8 @@ std::vector<VerifyResult> Scheduler::run_all(std::span<const Query> queries,
                                              BatchStats* stats) const {
   const util::Stopwatch watch;
   QueryCache* const cache = effective_cache();
-  const VerifyContext context{.threads = intra_grant(queries.size())};
+  const VerifyContext context{.threads = intra_grant(queries.size()),
+                              .batch_hint = batch_hint_};
   std::vector<VerifyResult> results(queries.size());
   std::atomic<std::uint64_t> hits{0};
   parallel_for(queries.size(), [&](std::size_t i) {
@@ -112,7 +115,8 @@ std::optional<Scheduler::Witness> Scheduler::run_until_witness(
   const util::Stopwatch watch;
   QueryCache* const cache = effective_cache();
   const std::size_t count = queries.size();
-  const VerifyContext context{.threads = intra_grant(count)};
+  const VerifyContext context{.threads = intra_grant(count),
+                              .batch_hint = batch_hint_};
   std::vector<VerifyResult> results(count);
 
   // Cancellation bound: the lowest index known to be vulnerable.  Indices

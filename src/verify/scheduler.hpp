@@ -54,6 +54,12 @@ struct SchedulerOptions {
   /// fan-out.  Verdicts and witnesses are identical for every setting;
   /// bnb's `work` box count is only bit-deterministic under a grant of 1.
   std::size_t intra_query_threads = 0;
+  /// SoA evaluation lanes granted to every engine dispatch (via
+  /// `VerifyContext::batch_hint`): 0 = auto (nn::BatchEvaluator::kAutoBatch),
+  /// 1 = the scalar reference path.  Grid-walking engines (enumerate, bnb)
+  /// stage this many noise vectors per vectorized forward pass
+  /// (DESIGN.md §10); results are bit-identical for every value.
+  std::size_t batch_hint = 0;
   /// Per-batch memoization layer probed before every engine dispatch.
   /// Null (the default) falls back to `global_query_cache()`, which is
   /// itself null unless a tool installed one — so caching is opt-in and
@@ -141,6 +147,7 @@ class Scheduler {
 
   std::size_t threads_ = 1;
   std::size_t intra_query_threads_ = 0;
+  std::size_t batch_hint_ = 0;
   QueryCache* cache_ = nullptr;
 };
 

@@ -1,0 +1,488 @@
+// Bit-identity tests for the batched SoA evaluator (DESIGN.md §10): every
+// lane of a batch must reproduce the scalar oracle exactly — outputs,
+// argmax ties, and overflow behavior (scalar throw == batched lane flag) —
+// at every batch size, and every consumer of the kernel (enumerate,
+// PrefixEvaluator suffix re-eval, the weight-fault scan) must produce
+// reports bit-identical to its scalar path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/faults.hpp"
+#include "la/matrix.hpp"
+#include "nn/batch_eval.hpp"
+#include "nn/network.hpp"
+#include "nn/quantized.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "verify/enumerate.hpp"
+#include "verify/query.hpp"
+
+namespace fannet::nn {
+namespace {
+
+using util::i64;
+
+QuantizedNetwork random_qnet(std::uint64_t seed, std::size_t inputs = 4,
+                             std::size_t hidden = 10, std::size_t out = 3) {
+  return QuantizedNetwork::quantize(Network::random({inputs, hidden, out}, seed),
+                                    100);
+}
+
+/// One random lane: inputs in [1,100], deltas in [-30,30], bias factor in
+/// [70,130].
+struct Lane {
+  std::vector<i64> x;
+  std::vector<int> deltas;
+  i64 bias_factor = 100;
+};
+
+Lane random_lane(util::Rng& rng, std::size_t dims) {
+  Lane lane;
+  for (std::size_t i = 0; i < dims; ++i) {
+    lane.x.push_back(rng.uniform_int(1, 100));
+    lane.deltas.push_back(static_cast<int>(rng.uniform_int(-30, 30)));
+  }
+  lane.bias_factor = rng.uniform_int(70, 130);
+  return lane;
+}
+
+// ---------------------------------------------------------------------------
+// Forward-pass identity at the ISSUE's gate batch sizes.
+// ---------------------------------------------------------------------------
+TEST(BatchEval, MatchesScalarOracleAtEveryBatchSize) {
+  const QuantizedNetwork q = random_qnet(11);
+  const BatchEvaluator evaluator(q);
+  util::Rng rng(99);
+
+  for (const std::size_t batch_size : {1u, 7u, 64u, 1000u}) {
+    BatchEvaluator::Batch batch = evaluator.make_batch();
+    std::vector<Lane> staged;
+    for (std::size_t t = 0; t < batch_size; ++t) {
+      staged.push_back(random_lane(rng, q.input_dim()));
+      batch.push_noised(staged.back().x, staged.back().deltas,
+                        staged.back().bias_factor);
+    }
+    ASSERT_EQ(batch.lanes(), batch_size);
+    evaluator.run(batch);
+
+    for (std::size_t t = 0; t < batch_size; ++t) {
+      const auto X =
+          QuantizedNetwork::noised_inputs(staged[t].x, staged[t].deltas);
+      ASSERT_FALSE(batch.overflowed(t));
+      const auto expect = q.eval_output(X, staged[t].bias_factor);
+      const auto got = batch.outputs(t);
+      ASSERT_EQ(got.size(), expect.size());
+      for (std::size_t k = 0; k < expect.size(); ++k) {
+        EXPECT_EQ(got[k], expect[k]) << "batch " << batch_size << " lane "
+                                     << t << " output " << k;
+      }
+      EXPECT_EQ(batch.label(t), q.classify(X, staged[t].bias_factor));
+    }
+    // clear() keeps buffers but drops lanes; the batch is reusable.
+    batch.clear();
+    EXPECT_EQ(batch.lanes(), 0u);
+  }
+}
+
+TEST(BatchEval, PushScaledMatchesEvalOutput) {
+  const QuantizedNetwork q = random_qnet(5);
+  const BatchEvaluator evaluator(q);
+  BatchEvaluator::Batch batch = evaluator.make_batch();
+  util::Rng rng(7);
+
+  std::vector<std::vector<i64>> staged;
+  for (std::size_t t = 0; t < 9; ++t) {
+    const Lane lane = random_lane(rng, q.input_dim());
+    staged.push_back(QuantizedNetwork::noised_inputs(lane.x, lane.deltas));
+    batch.push_scaled(staged.back(), kNoiseDen);
+  }
+  evaluator.run(batch);
+  for (std::size_t t = 0; t < staged.size(); ++t) {
+    const auto expect = q.eval_output(staged[t]);
+    const auto got = batch.outputs(t);
+    for (std::size_t k = 0; k < expect.size(); ++k) {
+      EXPECT_EQ(got[k], expect[k]);
+    }
+  }
+}
+
+TEST(BatchEval, ArgmaxTiesResolveLowPerLane) {
+  // Identity net (outputs == scaled inputs): stage deliberate ties and
+  // check each lane against the scalar tie rule.
+  constexpr std::size_t kOut = 3;
+  Layer out;
+  std::vector<std::vector<double>> rows(kOut, std::vector<double>(kOut, 0.0));
+  for (std::size_t i = 0; i < kOut; ++i) rows[i][i] = 1.0;
+  out.weights = la::MatrixD::from_rows(rows);
+  out.bias = std::vector<double>(kOut, 0.0);
+  out.activation = Activation::kLinear;
+  const QuantizedNetwork q = QuantizedNetwork::quantize(Network({out}), 100);
+  const BatchEvaluator evaluator(q);
+  BatchEvaluator::Batch batch = evaluator.make_batch();
+
+  const std::vector<std::vector<i64>> cases = {
+      {70, 70, 70}, {90, 90, 10}, {90, 10, 90}, {10, 90, 90}, {10, 20, 90}};
+  for (const auto& x : cases) {
+    batch.push_noised(x, {}, kNoiseDen);
+  }
+  evaluator.run(batch);
+  for (std::size_t t = 0; t < cases.size(); ++t) {
+    EXPECT_EQ(batch.label(t),
+              q.classify(QuantizedNetwork::noised_inputs(cases[t], {})));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Overflow parity: a flagged lane is exactly a lane whose scalar
+// evaluation throws ArithmeticError, and flagged lanes never disturb their
+// neighbours.
+// ---------------------------------------------------------------------------
+TEST(BatchEval, OverflowLaneFlagsExactlyWhereScalarThrows) {
+  const QuantizedNetwork q = random_qnet(3);
+  // A near-int64-max weight overflows the exact accumulation for every
+  // input (the scalar path throws; the batch flags).
+  const QuantizedNetwork huge =
+      q.with_param(0, 0, 0, std::numeric_limits<i64>::max() / 2);
+  const BatchEvaluator evaluator(huge);
+  BatchEvaluator::Batch batch = evaluator.make_batch();
+  util::Rng rng(17);
+  std::vector<Lane> staged;
+  for (std::size_t t = 0; t < 6; ++t) {
+    staged.push_back(random_lane(rng, huge.input_dim()));
+    batch.push_noised(staged[t].x, staged[t].deltas, staged[t].bias_factor);
+  }
+  evaluator.run(batch);
+  for (std::size_t t = 0; t < staged.size(); ++t) {
+    EXPECT_THROW(
+        (void)huge.classify(
+            QuantizedNetwork::noised_inputs(staged[t].x, staged[t].deltas),
+            staged[t].bias_factor),
+        ArithmeticError);
+    EXPECT_TRUE(batch.overflowed(t));
+  }
+}
+
+TEST(BatchEval, MixedOverflowLanesStayInert) {
+  // Per-lane bias factors: extreme lanes flag (scalar throws on the
+  // input_norm * bias_factor product), normal lanes still match scalar —
+  // a flagged neighbour must not perturb them.
+  const QuantizedNetwork q = QuantizedNetwork::quantize(
+      Network::random({3, 6, 2}, 23), 100);
+  const BatchEvaluator evaluator(q);
+  BatchEvaluator::Batch batch = evaluator.make_batch();
+  util::Rng rng(29);
+
+  std::vector<Lane> staged;
+  for (std::size_t t = 0; t < 10; ++t) {
+    staged.push_back(random_lane(rng, q.input_dim()));
+    if (t % 3 == 1) staged[t].bias_factor = std::numeric_limits<i64>::max();
+    batch.push_noised(staged[t].x, staged[t].deltas, staged[t].bias_factor);
+  }
+  evaluator.run(batch);
+  for (std::size_t t = 0; t < staged.size(); ++t) {
+    const auto X =
+        QuantizedNetwork::noised_inputs(staged[t].x, staged[t].deltas);
+    if (t % 3 == 1) {
+      EXPECT_THROW((void)q.classify(X, staged[t].bias_factor),
+                   ArithmeticError);
+      EXPECT_TRUE(batch.overflowed(t));
+    } else {
+      ASSERT_FALSE(batch.overflowed(t));
+      EXPECT_EQ(batch.label(t), q.classify(X, staged[t].bias_factor));
+      const auto expect = q.eval_output(X, staged[t].bias_factor);
+      const auto got = batch.outputs(t);
+      for (std::size_t k = 0; k < expect.size(); ++k) {
+        EXPECT_EQ(got[k], expect[k]);
+      }
+    }
+  }
+}
+
+TEST(BatchEval, ScaleChainOverflowFlagsEveryLane) {
+  // Five layers push the running activation scale past int64: the scalar
+  // evaluator throws for EVERY input of such a net, so the batch flags
+  // every lane (and the evaluator constructor still must not throw).
+  const Network deep = Network::random({2, 2, 2, 2, 2, 2}, 31);
+  const QuantizedNetwork q = QuantizedNetwork::quantize(deep, 100);
+  const std::vector<i64> x{50, 50};
+  EXPECT_THROW((void)q.classify_noised(x, {}), ArithmeticError);
+
+  const BatchEvaluator evaluator(q);
+  BatchEvaluator::Batch batch = evaluator.make_batch();
+  batch.push_noised(x, {}, kNoiseDen);
+  batch.push_noised(x, {}, kNoiseDen);
+  evaluator.run(batch);
+  EXPECT_TRUE(batch.overflowed(0));
+  EXPECT_TRUE(batch.overflowed(1));
+}
+
+TEST(BatchEval, PushNoisedValidatesSpanSizes) {
+  const QuantizedNetwork q = random_qnet(41);
+  const BatchEvaluator evaluator(q);
+  BatchEvaluator::Batch batch = evaluator.make_batch();
+  const std::vector<i64> wrong{1, 2};          // net wants 4 inputs
+  const std::vector<i64> right{1, 2, 3, 4};
+  const std::vector<int> bad_deltas{5};
+  EXPECT_THROW(batch.push_noised(wrong, {}, 100), InvalidArgument);
+  EXPECT_THROW(batch.push_noised(right, bad_deltas, 100), InvalidArgument);
+  EXPECT_THROW((void)BatchEvaluator(QuantizedNetwork()).make_batch(),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Batched suffix re-evaluation: classify_patched_batch lane t ==
+// classify_patched(lane t) for every parameter position and value,
+// including values whose scalar evaluation throws.
+// ---------------------------------------------------------------------------
+TEST(BatchEval, ClassifyPatchedBatchMatchesScalarEverywhere) {
+  const QuantizedNetwork q = random_qnet(53, 3, 5, 2);
+  la::Matrix<i64> inputs(4, 3);
+  util::Rng rng(59);
+  for (std::size_t s = 0; s < inputs.rows(); ++s) {
+    for (std::size_t i = 0; i < inputs.cols(); ++i) {
+      inputs(s, i) = rng.uniform_int(1, 100);
+    }
+  }
+  const PrefixEvaluator prefix(q, inputs);
+  const BatchEvaluator evaluator(q);
+  PrefixEvaluator::Scratch scalar_scratch;
+  PrefixEvaluator::BatchScratch scratch;
+
+  for (std::size_t li = 0; li < q.depth(); ++li) {
+    const QLayer& layer = q.layers()[li];
+    for (std::size_t row = 0; row < layer.out_dim(); ++row) {
+      for (std::size_t col = 0; col <= layer.in_dim(); ++col) {
+        const i64 original = q.param_raw(li, row, col);
+        for (const i64 raw : {i64{0}, -original, original * 3 + 7,
+                              std::numeric_limits<i64>::max() / 2}) {
+          // One lane per sample, all sharing (layer, row, col, raw).
+          std::vector<PrefixEvaluator::PatchLane> lanes;
+          for (std::size_t s = 0; s < inputs.rows(); ++s) {
+            lanes.push_back({s, row, col, raw});
+          }
+          prefix.classify_patched_batch(evaluator, li, lanes, scratch);
+          for (std::size_t t = 0; t < lanes.size(); ++t) {
+            int expect = -1;
+            bool threw = false;
+            try {
+              expect = prefix.classify_patched(t, li, row, col, raw,
+                                               scalar_scratch);
+            } catch (const ArithmeticError&) {
+              threw = true;
+            }
+            if (threw) {
+              EXPECT_TRUE(scratch.overflow[t] != 0)
+                  << "layer " << li << " row " << row << " col " << col;
+            } else {
+              ASSERT_TRUE(scratch.overflow[t] == 0)
+                  << "layer " << li << " row " << row << " col " << col
+                  << " raw " << raw;
+              EXPECT_EQ(scratch.labels[t], expect)
+                  << "layer " << li << " row " << row << " col " << col
+                  << " raw " << raw << " lane " << t;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchEval, ClassifyPatchedBatchMixedLanes) {
+  // Lanes with different rows/cols/raws in ONE batch (what the fault scan
+  // actually stages) — only the faulted layer must be shared.
+  const QuantizedNetwork q = random_qnet(61, 3, 5, 2);
+  la::Matrix<i64> inputs(3, 3);
+  util::Rng rng(67);
+  for (std::size_t s = 0; s < inputs.rows(); ++s) {
+    for (std::size_t i = 0; i < inputs.cols(); ++i) {
+      inputs(s, i) = rng.uniform_int(1, 100);
+    }
+  }
+  const PrefixEvaluator prefix(q, inputs);
+  const BatchEvaluator evaluator(q);
+  PrefixEvaluator::Scratch scalar_scratch;
+  PrefixEvaluator::BatchScratch scratch;
+
+  for (std::size_t li = 0; li < q.depth(); ++li) {
+    const QLayer& layer = q.layers()[li];
+    std::vector<PrefixEvaluator::PatchLane> lanes;
+    for (std::size_t row = 0; row < layer.out_dim(); ++row) {
+      for (std::size_t s = 0; s < inputs.rows(); ++s) {
+        const std::size_t col = (row + s) % (layer.in_dim() + 1);
+        const i64 raw = q.param_raw(li, row, col) * 2 - 31;
+        lanes.push_back({s, row, col, raw});
+      }
+    }
+    prefix.classify_patched_batch(evaluator, li, lanes, scratch);
+    for (std::size_t t = 0; t < lanes.size(); ++t) {
+      ASSERT_TRUE(scratch.overflow[t] == 0);
+      EXPECT_EQ(scratch.labels[t],
+                prefix.classify_patched(lanes[t].sample, li, lanes[t].row,
+                                        lanes[t].col, lanes[t].raw,
+                                        scalar_scratch))
+          << "layer " << li << " lane " << t;
+    }
+  }
+}
+
+TEST(BatchEval, ClassifyPatchedBatchValidatesArguments) {
+  const QuantizedNetwork q = random_qnet(71, 3, 5, 2);
+  const QuantizedNetwork other = random_qnet(72, 3, 5, 2);
+  la::Matrix<i64> inputs(1, 3);
+  inputs(0, 0) = 50; inputs(0, 1) = 60; inputs(0, 2) = 70;
+  const PrefixEvaluator prefix(q, inputs);
+  const BatchEvaluator evaluator(q);
+  const BatchEvaluator wrong_net(other);
+  PrefixEvaluator::BatchScratch scratch;
+  const std::vector<PrefixEvaluator::PatchLane> lanes = {{0, 0, 0, 42}};
+
+  EXPECT_THROW(prefix.classify_patched_batch(wrong_net, 0, lanes, scratch),
+               InvalidArgument);
+  EXPECT_THROW(prefix.classify_patched_batch(evaluator, 9, lanes, scratch),
+               InvalidArgument);
+  const std::vector<PrefixEvaluator::PatchLane> bad_row = {{0, 99, 0, 42}};
+  EXPECT_THROW(prefix.classify_patched_batch(evaluator, 0, bad_row, scratch),
+               InvalidArgument);
+  const std::vector<PrefixEvaluator::PatchLane> bad_sample = {{9, 0, 0, 42}};
+  EXPECT_THROW(prefix.classify_patched_batch(evaluator, 0, bad_sample,
+                                             scratch),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Enumerate identity: batched (and parallel) grid walks return exactly the
+// scalar results — verdict, witness, work count, collected sets.
+// ---------------------------------------------------------------------------
+verify::Query make_query(const QuantizedNetwork& net, std::vector<i64> x,
+                         int label, int range, bool bias_node = false) {
+  verify::Query q;
+  q.net = &net;
+  q.x = std::move(x);
+  q.true_label = label;
+  q.box = verify::NoiseBox::symmetric(q.x.size() + (bias_node ? 1 : 0), range);
+  q.bias_node = bias_node;
+  return q;
+}
+
+TEST(BatchEval, EnumerateBatchedMatchesScalar) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const QuantizedNetwork q = QuantizedNetwork::quantize(
+        Network::random({3, 6, 2}, seed), 100);
+    const std::vector<i64> x{60, 40, 80};
+    const int label = q.classify_noised(x, {});
+    for (const bool bias_node : {false, true}) {
+      const verify::Query query = make_query(q, x, label, 4, bias_node);
+
+      const verify::VerifyResult scalar =
+          verify::enumerate_find_first(query, {.batch = 1});
+      for (const std::size_t batch : {0u, 5u, 64u}) {
+        const verify::VerifyResult batched =
+            verify::enumerate_find_first(query, {.batch = batch});
+        EXPECT_EQ(batched.verdict, scalar.verdict) << "seed " << seed;
+        EXPECT_EQ(batched.work, scalar.work) << "seed " << seed;
+        ASSERT_EQ(batched.counterexample.has_value(),
+                  scalar.counterexample.has_value());
+        if (scalar.counterexample) {
+          EXPECT_EQ(batched.counterexample->deltas,
+                    scalar.counterexample->deltas);
+          EXPECT_EQ(batched.counterexample->bias_delta,
+                    scalar.counterexample->bias_delta);
+          EXPECT_EQ(batched.counterexample->mis_label,
+                    scalar.counterexample->mis_label);
+        }
+        // Parallel find_first: same verdict/witness/work for any threads.
+        const verify::VerifyResult parallel = verify::enumerate_find_first(
+            query, {.batch = batch, .threads = 4});
+        EXPECT_EQ(parallel.verdict, scalar.verdict);
+        EXPECT_EQ(parallel.work, scalar.work);
+        if (scalar.counterexample) {
+          EXPECT_EQ(parallel.counterexample->deltas,
+                    scalar.counterexample->deltas);
+        }
+      }
+
+      const auto scalar_set = verify::enumerate_collect(query, 1000,
+                                                        {.batch = 1});
+      const auto batched_set = verify::enumerate_collect(query, 1000, {});
+      ASSERT_EQ(batched_set.size(), scalar_set.size());
+      for (std::size_t k = 0; k < scalar_set.size(); ++k) {
+        EXPECT_EQ(batched_set[k].deltas, scalar_set[k].deltas);
+        EXPECT_EQ(batched_set[k].bias_delta, scalar_set[k].bias_delta);
+        EXPECT_EQ(batched_set[k].mis_label, scalar_set[k].mis_label);
+      }
+    }
+  }
+}
+
+TEST(BatchEval, EnumerateStreamEarlyStopCountsLikeScalar) {
+  const QuantizedNetwork q = QuantizedNetwork::quantize(
+      Network::random({3, 6, 2}, 2), 100);
+  const std::vector<i64> x{60, 40, 80};
+  const verify::Query query = make_query(q, x, q.classify_noised(x, {}), 6);
+
+  // Stop after the 3rd counterexample: visited counts must agree exactly
+  // (lanes staged past the stop are uncounted by design).
+  const auto count_until = [&](std::size_t batch) {
+    std::size_t hits = 0;
+    return verify::enumerate_stream(
+        query,
+        [&](const verify::Counterexample&) { return ++hits < 3; },
+        {.batch = batch});
+  };
+  const std::uint64_t scalar = count_until(1);
+  EXPECT_EQ(count_until(0), scalar);
+  EXPECT_EQ(count_until(7), scalar);
+}
+
+// ---------------------------------------------------------------------------
+// Weight-fault scan identity: the batched incremental engine reproduces
+// the scalar incremental report bit-for-bit — including the cost counters
+// and the undecided accounting on overflow-heavy bit-flip scans.
+// ---------------------------------------------------------------------------
+TEST(BatchEval, WeightFaultScanBatchedMatchesScalar) {
+  const QuantizedNetwork q = random_qnet(83, 3, 5, 2);
+  la::Matrix<i64> inputs(5, 3);
+  std::vector<int> labels;
+  util::Rng rng(89);
+  for (std::size_t s = 0; s < inputs.rows(); ++s) {
+    for (std::size_t i = 0; i < inputs.cols(); ++i) {
+      inputs(s, i) = rng.uniform_int(1, 100);
+    }
+    labels.push_back(static_cast<int>(s % 2));
+  }
+
+  for (const core::FaultModel model :
+       {core::FaultModel::kPercentScale, core::FaultModel::kBitFlip}) {
+    core::WeightFaultConfig scalar_config;
+    scalar_config.model = model;
+    scalar_config.max_percent = 30;
+    scalar_config.step = 3;
+    scalar_config.threads = 1;
+    scalar_config.batch = 1;  // scalar reference path
+    const core::WeightFaultReport scalar =
+        core::analyze_weight_faults(q, inputs, labels, scalar_config);
+
+    for (const std::size_t batch : {0u, 3u, 64u}) {
+      core::WeightFaultConfig config = scalar_config;
+      config.batch = batch;
+      config.threads = (batch == 3) ? 4 : 1;  // also cross with threading
+      const core::WeightFaultReport batched =
+          core::analyze_weight_faults(q, inputs, labels, config);
+      EXPECT_EQ(batched.faults, scalar.faults) << "batch " << batch;
+      EXPECT_EQ(batched.robust_weights, scalar.robust_weights);
+      EXPECT_EQ(batched.evaluations, scalar.evaluations) << "batch " << batch;
+      EXPECT_EQ(batched.layer_evaluations, scalar.layer_evaluations)
+          << "batch " << batch;
+      EXPECT_EQ(batched.undecided_candidates, scalar.undecided_candidates)
+          << "model " << static_cast<int>(model) << " batch " << batch;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fannet::nn

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <string>
 
 #include "nn/network.hpp"
 #include "nn/quantized.hpp"
@@ -51,6 +52,22 @@ TEST(Quantized, NoisedInputsSizeMismatchThrows) {
   const std::vector<i64> x{1, 2};
   const std::vector<int> d{1};
   EXPECT_THROW(QuantizedNetwork::noised_inputs(x, d), InvalidArgument);
+}
+
+TEST(Quantized, NoisedInputsMismatchNamesBothSizes) {
+  // The message must name which field is wrong and both sizes — a bare
+  // "size mismatch" loses the 30 seconds it takes to find out which span
+  // was mis-built.
+  const std::vector<i64> x{1, 2, 3};
+  const std::vector<int> d{1, 2, 3, 4, 5};
+  try {
+    (void)QuantizedNetwork::noised_inputs(x, d);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("deltas size 5"), std::string::npos) << message;
+    EXPECT_NE(message.find("inputs size 3"), std::string::npos) << message;
+  }
 }
 
 TEST(Quantized, MatchesHandComputedValues) {
@@ -122,6 +139,128 @@ TEST(Quantized, BadInputSizesThrow) {
   const std::vector<i64> wrong{1, 2, 3};
   EXPECT_THROW(q.eval_output(wrong), InvalidArgument);
   EXPECT_THROW(QuantizedNetwork::quantize(tiny_net(), 0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases: the oracle suite the batched SoA kernel (nn/batch_eval.hpp)
+// is checked against — degenerate shapes, extreme bias factors, and argmax
+// ties at every output position must be pinned down here first.
+// ---------------------------------------------------------------------------
+TEST(QuantizedEdge, ZeroLayerNetworkThrowsEverywhere) {
+  const QuantizedNetwork empty;
+  const std::vector<i64> X{100};
+  EXPECT_THROW((void)empty.input_dim(), InvalidArgument);
+  EXPECT_THROW((void)empty.output_dim(), InvalidArgument);
+  EXPECT_THROW((void)empty.eval_output(X), InvalidArgument);
+  EXPECT_THROW((void)empty.eval_all(X), InvalidArgument);
+  EXPECT_THROW((void)empty.classify(X), InvalidArgument);
+}
+
+TEST(QuantizedEdge, SingleNeuronLayersEvaluateExactly) {
+  // 1 -> 1 -> 1: hidden = relu(2u), out = 1 - hidden.
+  Layer hidden;
+  hidden.weights = la::MatrixD::from_rows({{2.0}});
+  hidden.bias = {0.0};
+  hidden.activation = Activation::kReLU;
+  Layer out;
+  out.weights = la::MatrixD::from_rows({{-1.0}});
+  out.bias = {1.0};
+  out.activation = Activation::kLinear;
+  const QuantizedNetwork q =
+      QuantizedNetwork::quantize(Network({hidden, out}), 100);
+
+  const auto X = QuantizedNetwork::noised_inputs({{50}}, {});  // u = 0.5
+  const auto all = q.eval_all(X);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0][0], 100'000'000);  // 1.0 * 1e8
+  EXPECT_EQ(all[1][0], 0);            // (1 - 1.0) * 1e12
+  EXPECT_EQ(q.classify(X), 0);        // single class: always 0
+
+  // Negative pre-activation: relu zeroes it, out = 1.0 exactly.
+  const auto Xneg = QuantizedNetwork::noised_inputs({{50}}, {{-200}});
+  EXPECT_EQ(q.eval_output(Xneg)[0], 1'000'000'000'000);
+}
+
+TEST(QuantizedEdge, ExtremeBiasFactorScalesExactlyOrThrows) {
+  const QuantizedNetwork q = QuantizedNetwork::quantize(tiny_net(), 100);
+  const auto X = QuantizedNetwork::noised_inputs({{100, 50}}, {});
+  const auto clean = q.eval_all(X, /*bias_factor=*/100);
+
+  // Layer-0 bias contribution is linear in the factor: each +100 adds one
+  // more copy of the quantized bias (-0.25 on hidden neuron 1).
+  const auto big = q.eval_all(X, /*bias_factor=*/10'000);
+  EXPECT_EQ(big[0][0], clean[0][0]);
+  EXPECT_EQ(big[0][1], clean[0][1] - 25'000'000 * i64{99});
+
+  // A factor that overflows input_norm * bias_factor must throw, never
+  // silently wrap.
+  EXPECT_THROW((void)q.eval_all(X, std::numeric_limits<i64>::max()),
+               ArithmeticError);
+  EXPECT_THROW((void)q.classify(X, std::numeric_limits<i64>::max()),
+               ArithmeticError);
+}
+
+TEST(QuantizedEdge, ArgmaxTieResolvesLowAtEveryOutputPosition) {
+  // Identity single-layer net: outputs are the (scaled) inputs, so ties can
+  // be staged at any pair of positions.
+  constexpr std::size_t kOut = 4;
+  Layer out;
+  std::vector<std::vector<double>> rows(kOut, std::vector<double>(kOut, 0.0));
+  for (std::size_t i = 0; i < kOut; ++i) rows[i][i] = 1.0;
+  out.weights = la::MatrixD::from_rows(rows);
+  out.bias = std::vector<double>(kOut, 0.0);
+  out.activation = Activation::kLinear;
+  const QuantizedNetwork q = QuantizedNetwork::quantize(Network({out}), 100);
+
+  // All-equal: the tie cascade resolves to index 0.
+  EXPECT_EQ(q.classify(QuantizedNetwork::noised_inputs(
+                std::vector<i64>(kOut, 70), {})),
+            0);
+  // Every pair (i, j): a two-way tie for the max resolves to i.
+  for (std::size_t i = 0; i < kOut; ++i) {
+    for (std::size_t j = i + 1; j < kOut; ++j) {
+      std::vector<i64> x(kOut, 10);
+      x[i] = 90;
+      x[j] = 90;
+      EXPECT_EQ(q.classify(QuantizedNetwork::noised_inputs(x, {})),
+                static_cast<int>(i))
+          << "tie at " << i << "," << j;
+    }
+  }
+  // A strict max at each position wins outright.
+  for (std::size_t k = 0; k < kOut; ++k) {
+    std::vector<i64> x(kOut, 10);
+    x[k] = 90;
+    EXPECT_EQ(q.classify(QuantizedNetwork::noised_inputs(x, {})),
+              static_cast<int>(k));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint memoization: repeated probes hit the cache; every mutation
+// path (with_param, ScopedParamPatch) invalidates it, and copies carry the
+// cache without aliasing it.
+// ---------------------------------------------------------------------------
+TEST(Quantized, FingerprintMemoizedAndInvalidated) {
+  QuantizedNetwork q = QuantizedNetwork::quantize(tiny_net(), 100);
+  const i64 original = q.param_raw(0, 0, 0);
+  const std::uint64_t fp = q.fingerprint();
+  EXPECT_EQ(q.fingerprint(), fp);  // memoized probe, same value
+
+  const QuantizedNetwork copy = q;  // cache travels with the copy
+  EXPECT_EQ(copy.fingerprint(), fp);
+
+  // with_param invalidates on the mutated copy — and the cache is not
+  // stale: patching the original value back restores the fingerprint.
+  const QuantizedNetwork patched = q.with_param(0, 0, 0, 123);
+  EXPECT_NE(patched.fingerprint(), fp);
+  EXPECT_EQ(patched.with_param(0, 0, 0, original).fingerprint(), fp);
+
+  {
+    const ScopedParamPatch patch(q, 0, 0, 0, 777);
+    EXPECT_NE(q.fingerprint(), fp);  // cache invalidated by the patch
+  }
+  EXPECT_EQ(q.fingerprint(), fp);  // ...and by its restore
 }
 
 // ---------------------------------------------------------------------------

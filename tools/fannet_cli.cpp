@@ -39,6 +39,7 @@ struct Options {
   std::string engine = "cascade";
   std::size_t threads = 0;          // 0 = hardware concurrency
   std::size_t intra_threads = 0;    // 0 = leftover threads per query
+  std::size_t batch = 0;            // SoA lanes; 0 = auto, 1 = scalar
   int start_range = 50;             // tolerance / boundary / weight-faults
   int range = 20;                   // bias / sensitivity probes + corpus
   int grid_lo = 5, grid_hi = 50, grid_step = 5;
@@ -75,6 +76,10 @@ flags
   --intra-threads N    worker budget inside each P2 query (branch-and-bound
                        work-stealing frontier); 0 = grant the threads left
                        over when a batch is smaller than the pool (default 0)
+  --batch N            SoA evaluation lanes per vectorized forward pass
+                       (tolerance, boundary, sensitivity, weight-faults);
+                       0 = auto, 1 = the scalar reference path (default 0);
+                       results are bit-identical for every value
   --start-range N      initial noise range for tolerance/boundary (default 50)
   --range N            noise range for bias/sensitivity probes and corpus
                        extraction (default 20); scan limit for weight-faults
@@ -150,6 +155,8 @@ Options parse_args(int argc, char** argv) {
       if (!parse_size(value(), opts.intra_threads)) {
         usage_error("bad --intra-threads");
       }
+    } else if (flag == "--batch") {
+      if (!parse_size(value(), opts.batch)) usage_error("bad --batch");
     } else if (flag == "--start-range") {
       if (!parse_int(value(), opts.start_range) || opts.start_range < 1) {
         usage_error("bad --start-range");
@@ -236,6 +243,7 @@ core::ToleranceReport run_tolerance(const core::CaseStudy& cs,
   config.engine = core::Engine{opts.engine};
   config.threads = opts.threads;
   config.intra_query_threads = opts.intra_threads;
+  config.batch = opts.batch;
   return core::Fannet(cs.qnet).analyze_tolerance(cs.test_x, cs.test_y, config);
 }
 
@@ -322,6 +330,7 @@ int run_command(const Options& opts, util::BenchJson& json) {
     config.engine = core::Engine{opts.engine};
     config.threads = opts.threads;
     config.intra_query_threads = opts.intra_threads;
+    config.batch = opts.batch;
     const core::NodeSensitivityReport report = core::analyze_sensitivity(
         fannet, cs.test_x, cs.test_y, opts.range, corpus, config);
     std::fputs(core::format_sensitivity(report).c_str(), stdout);
@@ -332,6 +341,7 @@ int run_command(const Options& opts, util::BenchJson& json) {
     config.step = opts.step;
     config.threads = opts.threads;
     config.model = opts.fault_model;
+    config.batch = opts.batch;
     const core::WeightFaultReport report =
         core::analyze_weight_faults(cs.qnet, cs.test_x, cs.test_y, config);
     std::fputs(core::format_weight_faults(report).c_str(), stdout);
@@ -351,6 +361,7 @@ int run_command(const Options& opts, util::BenchJson& json) {
       config.engine = core::Engine{opts.engine};
       config.threads = opts.threads;
       config.intra_query_threads = opts.intra_threads;
+      config.batch = opts.batch;
       config.sweep = sweep;
       const core::ToleranceReport report =
           fannet.analyze_tolerance(cs.test_x, cs.test_y, config);
@@ -362,6 +373,7 @@ int run_command(const Options& opts, util::BenchJson& json) {
       config.engine = core::Engine{opts.engine};
       config.threads = opts.threads;
       config.intra_query_threads = opts.intra_threads;
+      config.batch = opts.batch;
       config.sweep = sweep;
       // Only the probe fan-out is journaled; the corpus exists just for
       // the final report's histograms.  Journal-backed (possibly chunked)
@@ -404,6 +416,7 @@ int run_command(const Options& opts, util::BenchJson& json) {
       config.step = opts.step;
       config.threads = opts.threads;
       config.model = opts.fault_model;
+      config.batch = opts.batch;
       config.sweep = sweep;
       const core::WeightFaultReport report =
           core::analyze_weight_faults(cs.qnet, cs.test_x, cs.test_y, config);
