@@ -1,0 +1,203 @@
+// CI gate for the SAT-backed P2 engine (DESIGN.md §11).
+//
+// Three gates, all hard failures:
+//   1. Verdict identity: on a seeded cohort of small nets the "sat" engine
+//      must return exactly the enumeration oracle's verdict.
+//   2. Witness bit-identity: on every vulnerable query the decoded witness
+//      must equal the bnb engine's canonical lexicographically-lowest
+//      counterexample, field for field.
+//   3. Inprocessing must win: on hard robust instances (deep UNSAT search)
+//      the full inprocessing suite must spend fewer total conflicts than
+//      the bare CDCL loop.  Conflicts are deterministic, so unlike a wall
+//      gate this cannot flake on a loaded CI machine; wall time is still
+//      recorded in the JSON for the PR-over-PR trajectory.
+//
+// Headline numbers land in BENCH_sat_engine.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "mc/sat_engine.hpp"
+#include "nn/network.hpp"
+#include "util/benchjson.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "verify/engine.hpp"
+#include "verify/enumerate.hpp"
+
+namespace {
+
+using namespace fannet;
+using util::i64;
+using verify::Query;
+using verify::Verdict;
+using verify::VerifyResult;
+
+nn::QuantizedNetwork random_qnet(std::uint64_t seed, std::size_t inputs,
+                                 std::size_t hidden) {
+  const nn::Network net = nn::Network::random({inputs, hidden, 2}, seed);
+  return nn::QuantizedNetwork::quantize(net, 100);
+}
+
+Query make_query(const nn::QuantizedNetwork& net, std::vector<i64> x,
+                 int label, int range, bool bias_node = false) {
+  Query q;
+  q.net = &net;
+  q.x = std::move(x);
+  q.true_label = label;
+  q.box = verify::NoiseBox::symmetric(q.x.size() + (bias_node ? 1 : 0), range);
+  q.bias_node = bias_node;
+  return q;
+}
+
+// ---------------------------------------------------------------------------
+// Gates 1 + 2: verdict identity vs the enumeration oracle and witness
+// bit-identity vs bnb on a seeded cohort of small nets.
+// ---------------------------------------------------------------------------
+int run_identity_gates(util::BenchJson& json) {
+  std::puts("-- gate: sat verdicts == enumerate, sat witnesses == bnb --");
+  double wall_ms = 0.0;
+  std::uint64_t conflicts = 0;
+  int vulnerable = 0, robust = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const nn::QuantizedNetwork net = random_qnet(seed, 2, 3);
+    util::Rng rng(seed * 613 + 7);
+    std::vector<i64> x(2);
+    for (auto& v : x) v = rng.uniform_int(1, 100);
+    const int actual = net.classify_noised(x, {});
+    // Half the cohort asks about the wrong label (vulnerable at the zero
+    // vector), half about the right one (real search).
+    const int label = rng.bernoulli(0.5) ? 1 - actual : actual;
+    const bool bias = rng.bernoulli(0.5);
+    const Query q = make_query(net, x, label, 2, bias);
+
+    const util::Stopwatch watch;
+    const VerifyResult ours = mc::sat_verify(q, mc::SatVerifyOptions{});
+    wall_ms += watch.millis();
+    conflicts += ours.work;
+
+    const VerifyResult truth = verify::enumerate_find_first(q);
+    if (ours.verdict != truth.verdict || ours.resource_limited) {
+      std::fprintf(stderr, "FAIL: verdict mismatch at seed %llu\n",
+                   static_cast<unsigned long long>(seed));
+      return EXIT_FAILURE;
+    }
+    if (ours.verdict == Verdict::kVulnerable) {
+      ++vulnerable;
+      const VerifyResult bnb = verify::engine("bnb").verify(q);
+      if (!ours.counterexample.has_value() || !bnb.counterexample.has_value() ||
+          !(*ours.counterexample == *bnb.counterexample)) {
+        std::fprintf(stderr, "FAIL: witness differs from bnb at seed %llu\n",
+                     static_cast<unsigned long long>(seed));
+        return EXIT_FAILURE;
+      }
+    } else {
+      ++robust;
+    }
+  }
+  if (vulnerable == 0 || robust == 0) {
+    std::fprintf(stderr, "FAIL: cohort did not cover both verdicts "
+                 "(%d vulnerable, %d robust)\n", vulnerable, robust);
+    return EXIT_FAILURE;
+  }
+  std::printf("identity cohort: %d vulnerable + %d robust, %.1f ms, "
+              "%llu conflicts\n", vulnerable, robust, wall_ms,
+              static_cast<unsigned long long>(conflicts));
+  json.add("identity_cohort", wall_ms, conflicts, 1);
+  return EXIT_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Gate 3: on hard robust instances the inprocessing suite must beat the
+// bare CDCL loop on total conflicts.
+// ---------------------------------------------------------------------------
+int run_inprocess_gate(util::BenchJson& json) {
+  std::puts("-- gate: inprocessing beats bare CDCL on hard robust UNSAT --");
+  // Robust queries on wider nets: the refutation has to cover the whole
+  // noise box, which is where search depth (and thus inprocessing) matters.
+  std::vector<Query> instances;
+  std::vector<nn::QuantizedNetwork> nets;  // keep Query::net pointers alive
+  nets.reserve(32);
+  for (std::uint64_t seed = 100; seed < 132 && instances.size() < 4; ++seed) {
+    nets.push_back(random_qnet(seed, 2, 6));
+    util::Rng rng(seed);
+    std::vector<i64> x{rng.uniform_int(1, 100), rng.uniform_int(1, 100)};
+    const Query q = make_query(nets.back(), x,
+                               nets.back().classify_noised(x, {}), 2);
+    if (verify::enumerate_find_first(q).verdict == Verdict::kRobust) {
+      instances.push_back(q);
+    } else {
+      nets.pop_back();
+    }
+  }
+  if (instances.size() < 4) {
+    std::fputs("FAIL: could not assemble the hard robust cohort\n", stderr);
+    return EXIT_FAILURE;
+  }
+
+  const auto run_suite = [&](const sat::InprocessOptions& opts, double* ms) {
+    std::uint64_t conflicts = 0;
+    const util::Stopwatch watch;
+    for (const Query& q : instances) {
+      mc::SatVerifyOptions options;
+      options.inprocess = opts;
+      const VerifyResult r = mc::sat_verify(q, options);
+      if (r.verdict != Verdict::kRobust) return static_cast<std::uint64_t>(0);
+      conflicts += r.work;
+    }
+    *ms = watch.millis();
+    return conflicts;
+  };
+
+  double ms_off = 0.0, ms_on = 0.0;
+  const std::uint64_t off = run_suite({}, &ms_off);
+  const std::uint64_t on = run_suite(sat::InprocessOptions::all(), &ms_on);
+  if (off == 0 || on == 0) {
+    std::fputs("FAIL: a hard instance was not proven robust\n", stderr);
+    return EXIT_FAILURE;
+  }
+  std::printf("conflicts: bare %llu (%.1f ms) vs inprocessed %llu (%.1f ms)\n",
+              static_cast<unsigned long long>(off), ms_off,
+              static_cast<unsigned long long>(on), ms_on);
+  json.add("hard_robust_bare", ms_off, off, 1);
+  json.add("hard_robust_inprocessed", ms_on, on, 1);
+  if (on >= off) {
+    std::fprintf(stderr, "FAIL: inprocessing did not reduce conflicts "
+                 "(%llu >= %llu)\n", static_cast<unsigned long long>(on),
+                 static_cast<unsigned long long>(off));
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks (skipped by CI's --benchmark_filter=__gates_only__).
+// ---------------------------------------------------------------------------
+void BM_SatEngine(benchmark::State& state) {
+  const nn::QuantizedNetwork net = random_qnet(9, 2, 4);
+  const std::vector<i64> x{40, 75};
+  const Query q = make_query(net, x, net.classify_noised(x, {}),
+                             static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc::sat_verify(q, mc::SatVerifyOptions{}).verdict);
+  }
+}
+BENCHMARK(BM_SatEngine)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::BenchJson json("sat_engine");
+
+  if (run_identity_gates(json) != EXIT_SUCCESS) return EXIT_FAILURE;
+  if (run_inprocess_gate(json) != EXIT_SUCCESS) return EXIT_FAILURE;
+
+  const std::string path = json.write();
+  std::printf("wrote %s\n", path.c_str());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include "core/translate.hpp"
 #include "mc/bmc.hpp"
 #include "mc/explicit.hpp"
+#include "mc/sat_engine.hpp"
 
 namespace fannet::mc {
 
@@ -53,6 +54,7 @@ namespace fannet::verify::detail {
 void register_translation_engines(EngineRegistry& registry) {
   registry.add(std::make_unique<mc::ExplicitMcEngine>());
   registry.add(std::make_unique<mc::BmcEngine>());
+  registry.add(std::make_unique<mc::SatEngine>());
 }
 
 }  // namespace fannet::verify::detail

@@ -1,0 +1,150 @@
+#include "mc/sat_engine.hpp"
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/tseitin.hpp"
+#include "core/translate.hpp"
+#include "mc/compile.hpp"
+#include "sat/solver.hpp"
+
+namespace fannet::mc {
+
+using circuit::Circuit;
+using circuit::CLit;
+using circuit::TseitinEncoder;
+using circuit::Word;
+using verify::Verdict;
+using verify::VerifyResult;
+
+VerifyResult sat_verify(const verify::Query& query,
+                        const SatVerifyOptions& options, sat::ProofLog* proof) {
+  query.validate();
+  const core::Translation t = core::translate_sample(query);
+  const SmvCompiler compiler(t.module);
+  Circuit c;
+  sat::Solver solver;
+  // Attach the proof before the first clause so the log is a self-contained
+  // DRAT certificate of the whole CNF.
+  solver.set_proof(proof);
+  solver.set_conflict_limit(options.conflict_budget);
+  solver.set_propagation_limit(options.propagation_budget);
+  solver.set_inprocess(options.inprocess);
+  TseitinEncoder enc(c, solver);
+
+  // Unroll exactly one transition: the initial state is s_init (the property
+  // holds vacuously there) and every s_eval successor re-chooses the noise
+  // over the whole box, so a violation exists iff one exists at depth 1.
+  const std::vector<Word> state0 = compiler.make_state_inputs(c);
+  enc.assert_true(compiler.init_constraint(c, state0));
+  const SmvCompiler::Step step = compiler.step(c, state0);
+  enc.assert_true(step.valid);
+  const smv::ExprId property = t.module.specs().front().expr;
+  // Assert the violation as a unit clause (not an assumption): a kUnsat
+  // answer is then a plain refutation, checkable without assumptions.
+  enc.assert_true(~compiler.compile_bool(c, property, step.next));
+
+  // Pre-encode everything the incremental phase will touch *before* the
+  // first solve — inprocessing (BVE in particular) forbids new clauses over
+  // removed variables.  That is: the noise words themselves, plus one
+  // threshold literal le[d][m] <=> (delta_d <= m) per interior grid value,
+  // frozen so they survive as assumption literals.
+  const std::size_t dims = query.noise_dims();
+  std::vector<std::vector<sat::Lit>> le(dims);
+  std::vector<Word> delta_words(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    delta_words[d] = step.next[t.layout.delta_vars[d]];
+    (void)enc.lits(delta_words[d]);
+    const int lo = query.box.lo[d];
+    const int hi = query.box.hi[d];
+    le[d].reserve(static_cast<std::size_t>(hi - lo));
+    for (int m = lo; m < hi; ++m) {
+      const Word bound = Circuit::word_const(m, Circuit::min_width(m));
+      const sat::Lit l = enc.lit(c.leq_signed(delta_words[d], bound));
+      solver.set_frozen(l.var());
+      le[d].push_back(l);
+    }
+  }
+
+  VerifyResult out;
+  const sat::SolveResult first = solver.solve();
+  out.work = solver.stats().conflicts;
+  if (first == sat::SolveResult::kUnsat) {
+    out.verdict = Verdict::kRobust;
+    return out;
+  }
+  if (first == sat::SolveResult::kUnknown) {
+    out.verdict = Verdict::kUnknown;
+    out.resource_limited = true;
+    return out;
+  }
+
+  // Refine to the lexicographically lowest witness: dimension 0 is most
+  // significant, the bias dimension (when present) least.  Per dimension,
+  // binary-search the least achievable value under pins of the earlier
+  // dimensions; the solver's model always realizes the current best, so a
+  // budget expiry mid-search still leaves a valid (just non-canonical)
+  // witness.
+  std::vector<sat::Lit> pins;
+  bool limited = false;
+  for (std::size_t d = 0; d < dims && !limited; ++d) {
+    const int lo = query.box.lo[d];
+    int lo_s = lo;
+    int hi_s = static_cast<int>(enc.decode_word(delta_words[d]));
+    while (lo_s < hi_s) {
+      const int mid = lo_s + (hi_s - lo_s) / 2;
+      std::vector<sat::Lit> assume = pins;
+      assume.push_back(le[d][static_cast<std::size_t>(mid - lo)]);
+      const sat::SolveResult r = solver.solve(assume);
+      if (r == sat::SolveResult::kSat) {
+        hi_s = static_cast<int>(enc.decode_word(delta_words[d]));
+      } else if (r == sat::SolveResult::kUnsat) {
+        lo_s = mid + 1;
+      } else {
+        limited = true;
+        break;
+      }
+    }
+    if (hi_s < query.box.hi[d]) {
+      pins.push_back(le[d][static_cast<std::size_t>(hi_s - lo)]);
+    }
+    if (hi_s > lo) {
+      pins.push_back(~le[d][static_cast<std::size_t>(hi_s - 1 - lo)]);
+    }
+  }
+
+  // The model from the last kSat solve realizes every pinned dimension's
+  // minimum (and some achievable value for the rest on budget expiry).
+  std::vector<int> witness(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    witness[d] = static_cast<int>(enc.decode_word(delta_words[d]));
+  }
+  verify::Counterexample cex;
+  cex.deltas.assign(witness.begin(),
+                    witness.begin() + static_cast<std::ptrdiff_t>(query.x.size()));
+  cex.bias_delta = query.bias_node ? witness.back() : 0;
+  cex.mis_label = verify::classify_under_noise(query, witness);
+  out.verdict = Verdict::kVulnerable;
+  out.counterexample = std::move(cex);
+  out.work = solver.stats().conflicts;
+  out.resource_limited = limited;
+  return out;
+}
+
+VerifyResult SatEngine::verify(const verify::Query& query) const {
+  return sat_verify(query, SatVerifyOptions{});
+}
+
+VerifyResult SatEngine::verify_with(const verify::Query& query,
+                                    const verify::VerifyContext& context) const {
+  SatVerifyOptions options;
+  if (context.conflict_budget != 0) {
+    options.conflict_budget = context.conflict_budget;
+  }
+  if (context.propagation_budget != 0) {
+    options.propagation_budget = context.propagation_budget;
+  }
+  return sat_verify(query, options);
+}
+
+}  // namespace fannet::mc

@@ -1,6 +1,8 @@
 #include "sat/dimacs.hpp"
 
+#include <climits>
 #include <sstream>
+#include <string>
 
 #include "sat/solver.hpp"
 #include "util/error.hpp"
@@ -12,7 +14,7 @@ Cnf parse_dimacs(const std::string& text) {
   Cnf cnf;
   std::string token;
   bool have_header = false;
-  std::size_t declared_clauses = 0;
+  long long declared_clauses = 0;
   Clause current;
 
   while (in >> token) {
@@ -22,10 +24,21 @@ Cnf parse_dimacs(const std::string& text) {
       continue;
     }
     if (token == "p") {
+      // Read signed so "p cnf -3 -1" is rejected rather than wrapping to a
+      // huge unsigned count / garbage num_vars.
       std::string fmt;
-      if (!(in >> fmt >> cnf.num_vars >> declared_clauses) || fmt != "cnf") {
+      long long declared_vars = 0;
+      if (!(in >> fmt >> declared_vars >> declared_clauses) || fmt != "cnf") {
         throw ParseError("parse_dimacs: bad problem line");
       }
+      if (declared_vars < 0 || declared_clauses < 0) {
+        throw ParseError(
+            "parse_dimacs: negative variable or clause count in problem line");
+      }
+      if (declared_vars > INT_MAX) {
+        throw ParseError("parse_dimacs: declared variable count too large");
+      }
+      cnf.num_vars = static_cast<int>(declared_vars);
       have_header = true;
       continue;
     }
@@ -49,6 +62,12 @@ Cnf parse_dimacs(const std::string& text) {
   }
   if (!current.empty()) {
     throw ParseError("parse_dimacs: clause missing terminating 0");
+  }
+  if (have_header &&
+      cnf.clauses.size() != static_cast<std::size_t>(declared_clauses)) {
+    throw ParseError("parse_dimacs: header declares " +
+                     std::to_string(declared_clauses) + " clauses but " +
+                     std::to_string(cnf.clauses.size()) + " were given");
   }
   return cnf;
 }

@@ -1,0 +1,315 @@
+#include "sat/drat.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+
+namespace fannet::sat {
+namespace {
+
+constexpr std::uint64_t kDefaultPropagationBudget = 50'000'000;
+
+/// Minimal counting-based unit propagator for proof checking.  Clauses are
+/// kept as literal lists; propagation walks full occurrence lists.  That is
+/// asymptotically worse than two-watched literals, but the checker is run on
+/// test-sized logs where simplicity (and independence from the solver's
+/// propagation code) matters more than speed; the budget bounds the worst
+/// case either way.
+class CheckerDb {
+ public:
+  struct CheckClause {
+    Clause lits;
+    bool deleted = false;
+  };
+
+  explicit CheckerDb(std::uint64_t budget) : budget_(budget) {}
+
+  void ensure_var(Var v) {
+    if (static_cast<std::size_t>(v) >= assigns_.size()) {
+      assigns_.resize(static_cast<std::size_t>(v) + 1, LBool::kUndef);
+      occurs_.resize(2 * (static_cast<std::size_t>(v) + 1));
+    }
+  }
+
+  /// Adds a clause to the database and indexes it.  Returns its id.
+  std::size_t add(const Clause& lits) {
+    std::size_t id = clauses_.size();
+    clauses_.push_back({lits, false});
+    for (Lit l : lits) {
+      ensure_var(l.var());
+      occurs_[static_cast<std::size_t>(l.code())].push_back(id);
+    }
+    return id;
+  }
+
+  /// Marks the first live clause with exactly these literals (as a set) as
+  /// deleted.  Missing clauses are ignored: the solver logs deletions of its
+  /// *simplified* internal clause forms, and a checker that keeps the
+  /// original clauses only propagates more — which never un-verifies a
+  /// correct proof.
+  void remove(const Clause& lits) {
+    Clause key = normalized(lits);
+    for (std::size_t id = 0; id < clauses_.size(); ++id) {
+      if (!clauses_[id].deleted && normalized(clauses_[id].lits) == key) {
+        clauses_[id].deleted = true;
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] LBool value(Lit l) const {
+    LBool v = assigns_[static_cast<std::size_t>(l.var())];
+    if (v == LBool::kUndef) return LBool::kUndef;
+    bool val = (v == LBool::kTrue) != l.negated();
+    return val ? LBool::kTrue : LBool::kFalse;
+  }
+
+  /// Enqueues `l` as true; returns false if it contradicts the current
+  /// assignment.
+  bool enqueue(Lit l) {
+    ensure_var(l.var());
+    LBool v = value(l);
+    if (v == LBool::kFalse) return false;
+    if (v == LBool::kUndef) {
+      assigns_[static_cast<std::size_t>(l.var())] =
+          l.negated() ? LBool::kFalse : LBool::kTrue;
+      trail_.push_back(l);
+    }
+    return true;
+  }
+
+  enum class PropResult : std::uint8_t { kConflict, kFixpoint, kBudget };
+
+  /// Unit-propagates to fixpoint over all live clauses.
+  PropResult propagate() {
+    while (head_ < trail_.size()) {
+      Lit l = trail_[head_++];
+      // Clauses containing ~l may have become unit or empty.
+      const auto& occ = occurs_[static_cast<std::size_t>((~l).code())];
+      for (std::size_t id : occ) {
+        const CheckClause& c = clauses_[id];
+        if (c.deleted) continue;
+        if (++propagations_ > budget_) return PropResult::kBudget;
+        Lit unit = kUndefLit;
+        bool satisfied = false;
+        int unassigned = 0;
+        for (Lit cl : c.lits) {
+          LBool v = value(cl);
+          if (v == LBool::kTrue) {
+            satisfied = true;
+            break;
+          }
+          if (v == LBool::kUndef) {
+            if (cl == unit) continue;  // duplicate literal, count once
+            ++unassigned;
+            unit = cl;
+            if (unassigned > 1) break;
+          }
+        }
+        if (satisfied || unassigned > 1) continue;
+        if (unassigned == 0) return PropResult::kConflict;
+        if (!enqueue(unit)) return PropResult::kConflict;
+      }
+    }
+    return PropResult::kFixpoint;
+  }
+
+  /// Undoes every assignment made after `mark` (a previous trail size).
+  void backtrack_to(std::size_t mark) {
+    while (trail_.size() > mark) {
+      assigns_[static_cast<std::size_t>(trail_.back().var())] = LBool::kUndef;
+      trail_.pop_back();
+    }
+    head_ = std::min(head_, trail_.size());
+  }
+
+  [[nodiscard]] std::size_t trail_size() const { return trail_.size(); }
+  [[nodiscard]] std::uint64_t propagations() const { return propagations_; }
+
+ private:
+  static Clause normalized(const Clause& lits) {
+    Clause key = lits;
+    std::sort(key.begin(), key.end(),
+              [](Lit a, Lit b) { return a.code() < b.code(); });
+    key.erase(std::unique(key.begin(), key.end()), key.end());
+    return key;
+  }
+
+  std::vector<CheckClause> clauses_;
+  std::vector<std::vector<std::size_t>> occurs_;  // lit code -> clause ids
+  std::vector<LBool> assigns_;
+  std::vector<Lit> trail_;
+  std::size_t head_ = 0;
+  std::uint64_t propagations_ = 0;
+  std::uint64_t budget_;
+};
+
+std::string describe_clause(const Clause& lits) {
+  std::ostringstream out;
+  out << "(";
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    if (i != 0) out << " ";
+    out << lits[i].to_string();
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace
+
+std::size_t ProofLog::derivations() const noexcept {
+  std::size_t n = 0;
+  for (const Line& line : lines_) {
+    if (line.kind == Kind::kDerive) ++n;
+  }
+  return n;
+}
+
+Cnf ProofLog::formula() const {
+  Cnf cnf;
+  int max_var = -1;
+  for (const Line& line : lines_) {
+    for (Lit l : line.lits) max_var = std::max(max_var, l.var());
+    if (line.kind == Kind::kInput) cnf.clauses.push_back(line.lits);
+  }
+  cnf.num_vars = max_var + 1;
+  return cnf;
+}
+
+std::string ProofLog::to_drat() const {
+  std::ostringstream out;
+  for (const Line& line : lines_) {
+    if (line.kind == Kind::kInput) continue;
+    if (line.kind == Kind::kDelete) out << "d ";
+    for (Lit l : line.lits) out << l.to_string() << " ";
+    out << "0\n";
+  }
+  return out.str();
+}
+
+ProofCheckResult check_proof(const ProofLog& proof,
+                             std::span<const Lit> assumptions,
+                             std::uint64_t propagation_budget) {
+  if (propagation_budget == 0) propagation_budget = kDefaultPropagationBudget;
+  CheckerDb db(propagation_budget);
+  ProofCheckResult result;
+
+  auto out_of_budget = [&] {
+    result.status = ProofCheckResult::Status::kBudget;
+    result.detail = "propagation budget exhausted";
+    result.propagations = db.propagations();
+    return result;
+  };
+
+  // Top-level units are propagated once and stay on the trail; RUP checks
+  // below push/pop on top of them.
+  auto assert_and_propagate = [&](const Clause& lits) -> CheckerDb::PropResult {
+    db.add(lits);  // ensures every variable exists
+    // Evaluate the clause under the current root trail: it may arrive
+    // already unit — or falsified (the log records clauses *before* the
+    // solver's own level-0 simplification, e.g. a clause whose literals
+    // are all false under earlier units) — and occurrence-driven
+    // propagation alone would never revisit it.
+    Lit unit = kUndefLit;
+    bool satisfied = false;
+    int unassigned = 0;
+    for (Lit l : lits) {
+      const LBool v = db.value(l);
+      if (v == LBool::kTrue) {
+        satisfied = true;
+        break;
+      }
+      if (v == LBool::kUndef) {
+        if (l == unit) continue;  // duplicate literal, count once
+        ++unassigned;
+        unit = l;
+        if (unassigned > 1) break;
+      }
+    }
+    if (satisfied || unassigned > 1) return CheckerDb::PropResult::kFixpoint;
+    if (unassigned == 0) return CheckerDb::PropResult::kConflict;
+    if (!db.enqueue(unit)) return CheckerDb::PropResult::kConflict;
+    return db.propagate();
+  };
+
+  bool proved_empty = false;  // derived the empty clause (or a root conflict)
+  std::size_t line_no = 0;
+  for (const ProofLog::Line& line : proof.lines()) {
+    ++line_no;
+    if (proved_empty) break;  // UNSAT already certified; rest is moot
+    switch (line.kind) {
+      case ProofLog::Kind::kInput: {
+        CheckerDb::PropResult r = assert_and_propagate(line.lits);
+        if (r == CheckerDb::PropResult::kBudget) return out_of_budget();
+        if (r == CheckerDb::PropResult::kConflict) {
+          proved_empty = true;  // formula is root-conflicting on its own
+        }
+        break;
+      }
+      case ProofLog::Kind::kDelete:
+        db.remove(line.lits);
+        break;
+      case ProofLog::Kind::kDerive: {
+        // RUP check: assume the negation of every literal, propagate, and
+        // demand a conflict.
+        std::size_t mark = db.trail_size();
+        bool conflict = false;
+        for (Lit l : line.lits) {
+          db.ensure_var(l.var());
+          if (!db.enqueue(~l)) {
+            conflict = true;
+            break;
+          }
+        }
+        if (!conflict) {
+          CheckerDb::PropResult r = db.propagate();
+          if (r == CheckerDb::PropResult::kBudget) return out_of_budget();
+          conflict = (r == CheckerDb::PropResult::kConflict);
+        }
+        db.backtrack_to(mark);
+        if (!conflict) {
+          result.status = ProofCheckResult::Status::kFailed;
+          result.detail = "derivation " + std::to_string(line_no) + " " +
+                          describe_clause(line.lits) + " is not RUP";
+          result.propagations = db.propagations();
+          return result;
+        }
+        // The clause checked out; install it (units go on the root trail).
+        CheckerDb::PropResult r = assert_and_propagate(line.lits);
+        if (r == CheckerDb::PropResult::kBudget) return out_of_budget();
+        if (r == CheckerDb::PropResult::kConflict) proved_empty = true;
+        break;
+      }
+    }
+  }
+
+  // Final step: the verified clause set plus the assumptions must conflict.
+  if (!proved_empty) {
+    bool conflict = false;
+    for (Lit l : assumptions) {
+      db.ensure_var(l.var());
+      if (!db.enqueue(l)) {
+        conflict = true;
+        break;
+      }
+    }
+    if (!conflict) {
+      CheckerDb::PropResult r = db.propagate();
+      if (r == CheckerDb::PropResult::kBudget) return out_of_budget();
+      conflict = (r == CheckerDb::PropResult::kConflict);
+    }
+    if (!conflict) {
+      result.status = ProofCheckResult::Status::kFailed;
+      result.detail =
+          "formula + derivations + assumptions propagate without conflict";
+      result.propagations = db.propagations();
+      return result;
+    }
+  }
+
+  result.status = ProofCheckResult::Status::kVerified;
+  result.propagations = db.propagations();
+  return result;
+}
+
+}  // namespace fannet::sat

@@ -1,0 +1,102 @@
+// DRAT proof logging and a bounded in-tree checker (DESIGN.md §11).
+//
+// The CDCL solver (and every inprocessing pass) can log its reasoning into a
+// ProofLog: each clause it derives — learnt clauses, vivified/strengthened
+// clauses, variable-elimination resolvents, equivalent-literal rewrites,
+// failed-assumption conflict clauses — is an *addition* line, and each clause
+// it discards is a *deletion* line.  Every addition the solver produces has
+// the RUP property (reverse unit propagation: asserting the negation of the
+// clause and propagating over the formula plus the previously derived
+// clauses yields a conflict), so the log is a valid DRUP/DRAT proof and
+// `check_proof` validates it clause by clause with plain unit propagation —
+// no trust in the solver.  An UNSAT answer is *certified* when the check
+// reaches a conflict from the formula, the verified derivations, and the
+// solve's assumptions alone.
+//
+// The checker is bounded: a propagation budget turns a pathological log into
+// an honest kBudget answer instead of a hang, mirroring the solver's own
+// kUnknown-on-resource-limit convention.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sat/dimacs.hpp"
+#include "sat/types.hpp"
+
+namespace fannet::sat {
+
+/// In-memory DRAT transcript.  Records three kinds of line:
+///   kInput   — a clause of the original formula (as handed to add_clause,
+///              *before* the solver's level-0 simplifications), so the log
+///              is a self-contained certificate;
+///   kDerive  — a clause the solver derived (must be RUP at its position);
+///   kDelete  — a clause the solver discarded (checker drops it if present).
+class ProofLog {
+ public:
+  enum class Kind : std::uint8_t { kInput, kDerive, kDelete };
+
+  struct Line {
+    Kind kind = Kind::kDerive;
+    Clause lits;
+  };
+
+  void add_input(std::span<const Lit> lits) { push(Kind::kInput, lits); }
+  void add_derived(std::span<const Lit> lits) { push(Kind::kDerive, lits); }
+  void add_deletion(std::span<const Lit> lits) { push(Kind::kDelete, lits); }
+
+  [[nodiscard]] const std::vector<Line>& lines() const noexcept {
+    return lines_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return lines_.empty(); }
+  void clear() { lines_.clear(); }
+
+  /// Number of kDerive lines (the proof proper).
+  [[nodiscard]] std::size_t derivations() const noexcept;
+
+  /// The input clauses as a Cnf (num_vars = 1 + the largest var mentioned
+  /// anywhere in the log, so assumptions over input vars always fit).
+  [[nodiscard]] Cnf formula() const;
+
+  /// Standard textual DRAT of the kDerive/kDelete lines ("d " prefix for
+  /// deletions, clauses 0-terminated, 1-based DIMACS literals).
+  [[nodiscard]] std::string to_drat() const;
+
+ private:
+  void push(Kind kind, std::span<const Lit> lits) {
+    lines_.push_back({kind, Clause(lits.begin(), lits.end())});
+  }
+
+  std::vector<Line> lines_;
+};
+
+/// Outcome of a bounded proof check.
+struct ProofCheckResult {
+  enum class Status : std::uint8_t {
+    kVerified,  ///< every derivation is RUP and UNSAT follows
+    kFailed,    ///< some derivation is not RUP, or no conflict at the end
+    kBudget,    ///< the propagation budget ran out before a verdict
+  };
+  Status status = Status::kFailed;
+  std::string detail;                 ///< human-readable failure description
+  std::uint64_t propagations = 0;     ///< work the checker performed
+
+  [[nodiscard]] bool verified() const noexcept {
+    return status == Status::kVerified;
+  }
+};
+
+/// Forward DRUP check of `proof` (its kInput lines are the formula):
+/// every kDerive line must be RUP with respect to the clauses present at
+/// that point; afterwards the formula plus the derived clauses plus the
+/// `assumptions` units must propagate to a conflict.  With no assumptions
+/// this certifies plain UNSAT; with assumptions it certifies UNSAT-under-
+/// assumptions (the solver's kUnsat from solve(assumptions)).
+/// `propagation_budget` bounds total checker work (0 = default 50M).
+[[nodiscard]] ProofCheckResult check_proof(
+    const ProofLog& proof, std::span<const Lit> assumptions = {},
+    std::uint64_t propagation_budget = 0);
+
+}  // namespace fannet::sat

@@ -1,0 +1,664 @@
+// Inprocessing passes for the CDCL solver (DESIGN.md §11).
+//
+// All passes run at decision level 0 on a propagation fixpoint, after the
+// reason pointers of root-assigned variables have been cleared (so any
+// clause may be deleted without leaving dangling pointers).  Every derived
+// clause is logged to the attached ProofLog *before* the clause it replaces
+// is deleted; every derivation is RUP (reverse unit propagation), so the
+// bounded DRUP checker in sat/drat.cpp validates the whole transcript:
+//
+//   - remove_satisfied: stripping root-false literals yields a clause whose
+//     negation propagates the stripped literals false and falsifies the
+//     original clause.
+//   - SCC substitution: rewriting x -> r under the binary clauses that make
+//     x and r equivalent; asserting the rewritten clause's negation forces
+//     ~x through a binary and falsifies the original clause.  A literal
+//     equivalent to its own negation yields two RUP units and UNSAT.
+//   - (Self-)subsumption: the strengthened clause is the resolvent of the
+//     subsumer and the target.
+//   - Vivification: the kept prefix is exactly the assumption set whose
+//     negation propagated to conflict (or to an implied literal).
+//   - BVE: each resolvent's negation makes both parents unit on the
+//     eliminated variable.  Resolvents are derived before the parents are
+//     deleted; learnt clauses mentioning the variable are deleted (sound:
+//     they are redundant).  Model reconstruction restores the eliminated
+//     variables afterwards, so callers always see a full model.
+#include <algorithm>
+#include <array>
+#include <cstddef>
+
+#include "sat/solver_impl.hpp"
+
+namespace fannet::sat {
+
+namespace {
+
+/// Propagation cap for one vivification round: keeps inprocessing a small,
+/// deterministic fraction of the solve budget.
+constexpr std::uint64_t kVivifyPropagationBudget = 2'000'000;
+/// BVE cost guards (MiniSat-style "grow = 0" elimination).
+constexpr std::size_t kBveMaxOccurrences = 20;
+constexpr std::size_t kBveMaxResolventLen = 20;
+
+}  // namespace
+
+bool Solver::Impl::root_propagate() {
+  InternalClause* conflict = propagate();
+  // Clear root reasons: passes may delete any clause afterwards.
+  for (const Lit p : trail) reason[p.var()] = nullptr;
+  if (conflict != nullptr) {
+    log_derived(Clause{});
+    ok = false;
+    return false;
+  }
+  return true;
+}
+
+bool Solver::Impl::root_enqueue(Lit l) {
+  // The caller has already logged the unit clause {l} as a derivation.
+  if (value(l) == LBool::kTrue) return true;
+  if (value(l) == LBool::kFalse) {
+    log_derived(Clause{});
+    ok = false;
+    return false;
+  }
+  unchecked_enqueue(l, nullptr);
+  reason[l.var()] = nullptr;
+  return root_propagate();
+}
+
+void Solver::Impl::kill_clause(InternalClause* c) {
+  detach(c);
+  log_deleted(c->lits);
+  c->dead = true;
+  ++owner->stats_.deleted_clauses;
+}
+
+void Solver::Impl::sweep_dead() {
+  const auto prune = [](std::vector<std::unique_ptr<InternalClause>>& v) {
+    std::erase_if(v, [](const std::unique_ptr<InternalClause>& c) {
+      return c->dead;
+    });
+  };
+  prune(problem_clauses);
+  prune(learnt_clauses);
+}
+
+void Solver::Impl::remove_satisfied() {
+  const auto scrub = [&](std::vector<std::unique_ptr<InternalClause>>& list) {
+    for (const auto& cp : list) {
+      InternalClause* c = cp.get();
+      if (c->dead || !ok) continue;
+      bool satisfied = false;
+      bool has_false = false;
+      for (const Lit l : c->lits) {
+        const LBool v = value(l);
+        if (v == LBool::kTrue) satisfied = true;
+        if (v == LBool::kFalse) has_false = true;
+      }
+      if (satisfied) {
+        kill_clause(c);
+        ++inprocess_counters.satisfied_removed;
+        continue;
+      }
+      if (!has_false) continue;
+      Clause stripped;
+      stripped.reserve(c->lits.size());
+      for (const Lit l : c->lits) {
+        if (value(l) != LBool::kFalse) stripped.push_back(l);
+      }
+      // At a propagation fixpoint an unsatisfied clause keeps >= 2 free
+      // literals (one free literal would have propagated; zero would have
+      // conflicted), so the stripped clause attaches directly.
+      inprocess_counters.strengthened_lits += c->lits.size() - stripped.size();
+      detach(c);
+      log_derived(stripped);
+      log_deleted(c->lits);
+      c->lits = std::move(stripped);
+      attach(c);
+    }
+  };
+  scrub(problem_clauses);
+  scrub(learnt_clauses);
+}
+
+// ---------------------------------------------------------------------------
+// SCC-based equivalent-literal substitution
+// ---------------------------------------------------------------------------
+void Solver::Impl::pass_scc() {
+  const std::size_t n_lits = 2 * static_cast<std::size_t>(num_vars());
+  // Binary implication graph: clause (a | b) contributes ~a -> b, ~b -> a.
+  // Problem binaries only: substitution rewrites problem clauses with a
+  // derive-before-delete transcript (preserving the implication chains the
+  // proof checker replays), but learnt clauses are simply killed — an
+  // equivalence justified through a learnt binary would lose its
+  // derivation path mid-pass.
+  std::vector<std::vector<std::int32_t>> adj(n_lits);
+  const auto add_edges = [&](const InternalClause* c) {
+    if (c->dead || c->lits.size() != 2) return;
+    const Lit a = c->lits[0], b = c->lits[1];
+    adj[static_cast<std::size_t>((~a).code())].push_back(b.code());
+    adj[static_cast<std::size_t>((~b).code())].push_back(a.code());
+  };
+  for (const auto& c : problem_clauses) add_edges(c.get());
+
+  // Iterative Tarjan SCC over literal nodes.
+  constexpr std::int32_t kUnvisited = -1;
+  std::vector<std::int32_t> index(n_lits, kUnvisited);
+  std::vector<std::int32_t> lowlink(n_lits, 0);
+  std::vector<char> on_stack(n_lits, 0);
+  std::vector<std::int32_t> stack;
+  std::vector<std::int32_t> comp_of(n_lits, kUnvisited);
+  std::int32_t next_index = 0;
+  std::int32_t next_comp = 0;
+
+  struct Frame {
+    std::int32_t node;
+    std::size_t child;
+  };
+  std::vector<Frame> frames;
+  for (std::size_t root = 0; root < n_lits; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({static_cast<std::int32_t>(root), 0});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto node = static_cast<std::size_t>(f.node);
+      if (f.child == 0) {
+        index[node] = lowlink[node] = next_index++;
+        stack.push_back(f.node);
+        on_stack[node] = 1;
+      }
+      if (f.child < adj[node].size()) {
+        const std::int32_t succ = adj[node][f.child++];
+        const auto s = static_cast<std::size_t>(succ);
+        if (index[s] == kUnvisited) {
+          frames.push_back({succ, 0});
+        } else if (on_stack[s]) {
+          lowlink[node] = std::min(lowlink[node], index[s]);
+        }
+        continue;
+      }
+      if (lowlink[node] == index[node]) {
+        while (true) {
+          const std::int32_t w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = 0;
+          comp_of[static_cast<std::size_t>(w)] = next_comp;
+          if (w == f.node) break;
+        }
+        ++next_comp;
+      }
+      const std::int32_t done = f.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        const auto parent = static_cast<std::size_t>(frames.back().node);
+        lowlink[parent] =
+            std::min(lowlink[parent], lowlink[static_cast<std::size_t>(done)]);
+      }
+    }
+  }
+
+  // Group literals by component.
+  std::vector<std::vector<Lit>> comps(static_cast<std::size_t>(next_comp));
+  for (std::size_t code = 0; code < n_lits; ++code) {
+    comps[static_cast<std::size_t>(comp_of[code])].push_back(
+        Lit::from_code(static_cast<std::int32_t>(code)));
+  }
+
+  // Occurrence lists by variable (live clauses, both kinds) for rewriting.
+  std::vector<std::vector<InternalClause*>> occ(
+      static_cast<std::size_t>(num_vars()));
+  const auto index_clause = [&](InternalClause* c) {
+    if (c->dead) return;
+    for (const Lit l : c->lits) occ[static_cast<std::size_t>(l.var())].push_back(c);
+  };
+  for (const auto& c : problem_clauses) index_clause(c.get());
+  for (const auto& c : learnt_clauses) index_clause(c.get());
+
+  for (const auto& comp : comps) {
+    if (!ok) return;
+    if (comp.size() < 2) continue;
+    // Contradiction: l and ~l strongly connected means UNSAT.  Both units
+    // are RUP through the binary implication chains, then the empty clause.
+    for (const Lit l : comp) {
+      if (std::find(comp.begin(), comp.end(), ~l) != comp.end()) {
+        log_derived(std::array{~l});
+        log_derived(std::array{l});
+        log_derived(Clause{});
+        ok = false;
+        return;
+      }
+    }
+    // Representative: prefer a frozen member (it can never be substituted
+    // away), then the lowest literal code for determinism.
+    Lit rep = kUndefLit;
+    for (const Lit l : comp) {
+      if (value(l) != LBool::kUndef || removed(l.var())) continue;
+      const bool better =
+          rep.is_undef() ||
+          (frozen[l.var()] && !frozen[rep.var()]) ||
+          (frozen[l.var()] == static_cast<bool>(frozen[rep.var()]) &&
+           l.code() < rep.code());
+      if (better) rep = l;
+    }
+    if (rep.is_undef()) continue;
+    for (const Lit m : comp) {
+      if (!ok) return;
+      const Var x = m.var();
+      if (x == rep.var() || frozen[x] || removed(x) ||
+          value(x) != LBool::kUndef) {
+        continue;
+      }
+      // m == rep, so Lit(x, false) == (m.negated() ? ~rep : rep).
+      const Lit x_equals = m.negated() ? ~rep : rep;
+      // Derive the two direct equivalence binaries first, while the
+      // implication chains proving them are intact: each rewrite below is
+      // then RUP by resolution with these clauses regardless of which chain
+      // binaries the rewrites themselves consume.  They exist only in the
+      // proof transcript (the solver is eliminating x) and are deleted once
+      // the substitution completes.
+      const Clause link_fwd{~Lit(x, false), x_equals};  // x -> x_equals
+      const Clause link_bwd{Lit(x, false), ~x_equals};  // x_equals -> x
+      log_derived(link_fwd);
+      log_derived(link_bwd);
+      for (InternalClause* c : occ[static_cast<std::size_t>(x)]) {
+        if (c->dead) continue;
+        bool mentions = false;
+        for (const Lit l : c->lits) mentions = mentions || l.var() == x;
+        if (!mentions) continue;
+        if (c->learnt) {
+          // Redundant clause: cheaper to drop than to rewrite.
+          kill_clause(c);
+          continue;
+        }
+        Clause mapped;
+        mapped.reserve(c->lits.size());
+        bool satisfied = false;
+        for (const Lit l : c->lits) {
+          const Lit t = l.var() == x ? (l.negated() ? ~x_equals : x_equals) : l;
+          if (value(t) == LBool::kTrue) satisfied = true;
+          if (value(t) == LBool::kFalse) continue;
+          mapped.push_back(t);
+        }
+        std::sort(mapped.begin(), mapped.end(),
+                  [](Lit a, Lit b) { return a.code() < b.code(); });
+        bool taut = false;
+        Clause dedup;
+        for (const Lit l : mapped) {
+          if (!dedup.empty() && l == dedup.back()) continue;
+          if (!dedup.empty() && l == ~dedup.back()) taut = true;
+          dedup.push_back(l);
+        }
+        if (satisfied || taut) {
+          kill_clause(c);
+          continue;
+        }
+        detach(c);
+        log_derived(dedup);
+        log_deleted(c->lits);
+        if (dedup.size() == 1) {
+          c->dead = true;
+          ++owner->stats_.deleted_clauses;
+          if (!root_enqueue(dedup[0])) return;
+        } else {
+          c->lits = std::move(dedup);
+          attach(c);
+          // The clause now mentions the representative; index it so a later
+          // substitution of the representative's class would still find it.
+          occ[static_cast<std::size_t>(x_equals.var())].push_back(c);
+        }
+      }
+      log_deleted(link_fwd);
+      log_deleted(link_bwd);
+      var_state[x] = VarState::kSubstituted;
+      extension.push_back({ExtEntry::Kind::kEquiv, Lit(x, false), x_equals, {}});
+      ++inprocess_counters.substituted_vars;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Subsumption and self-subsumption
+// ---------------------------------------------------------------------------
+void Solver::Impl::pass_subsume() {
+  const std::size_t n_lits = 2 * static_cast<std::size_t>(num_vars());
+  std::vector<std::vector<InternalClause*>> occ(n_lits);
+  const auto index_clause = [&](InternalClause* c) {
+    if (c->dead) return;
+    for (const Lit l : c->lits) {
+      occ[static_cast<std::size_t>(l.code())].push_back(c);
+    }
+  };
+  for (const auto& c : problem_clauses) index_clause(c.get());
+  for (const auto& c : learnt_clauses) index_clause(c.get());
+
+  std::vector<char> mark(n_lits, 0);
+  // Subsumers are problem clauses only: deleting a problem clause subsumed
+  // by a *learnt* clause would let a later reduce_db() round drop both.
+  const std::size_t n_problem = problem_clauses.size();
+  for (std::size_t ci = 0; ci < n_problem; ++ci) {
+    if (!ok) return;
+    InternalClause* c = problem_clauses[ci].get();
+    if (c->dead) continue;
+    for (const Lit l : c->lits) mark[static_cast<std::size_t>(l.code())] = 1;
+    // Probe the occurrence lists of the least-occurring literal and of its
+    // complement: a subsumed clause contains every literal of c, so it is
+    // in the first list; a self-subsumption target contains every literal
+    // of c but one *flipped*, so when the flipped one is exactly the probe
+    // literal the target only shows up in the complement's list.
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < c->lits.size(); ++k) {
+      if (occ[static_cast<std::size_t>(c->lits[k].code())].size() <
+          occ[static_cast<std::size_t>(c->lits[best].code())].size()) {
+        best = k;
+      }
+    }
+    std::vector<InternalClause*> candidates =
+        occ[static_cast<std::size_t>(c->lits[best].code())];
+    const auto& flipped = occ[static_cast<std::size_t>((~c->lits[best]).code())];
+    candidates.insert(candidates.end(), flipped.begin(), flipped.end());
+    for (std::size_t di = 0; di < candidates.size(); ++di) {
+      InternalClause* d = candidates[di];
+      if (d == c || d->dead || d->lits.size() < c->lits.size()) continue;
+      std::size_t matched = 0;
+      std::size_t negated = 0;
+      Lit neg_lit = kUndefLit;
+      for (const Lit q : d->lits) {
+        if (mark[static_cast<std::size_t>(q.code())] != 0) {
+          ++matched;
+        } else if (mark[static_cast<std::size_t>((~q).code())] != 0) {
+          ++negated;
+          neg_lit = q;
+        }
+      }
+      if (matched == c->lits.size()) {
+        kill_clause(d);
+        ++inprocess_counters.subsumed;
+      } else if (matched + 1 == c->lits.size() && negated == 1) {
+        // Self-subsumption: d is strengthened by resolving with c on
+        // neg_lit.  The resolvent is RUP, logged before the original goes.
+        Clause stronger;
+        stronger.reserve(d->lits.size() - 1);
+        for (const Lit q : d->lits) {
+          if (q != neg_lit) stronger.push_back(q);
+        }
+        detach(d);
+        log_derived(stronger);
+        log_deleted(d->lits);
+        ++inprocess_counters.self_subsumed;
+        if (stronger.size() == 1) {
+          d->dead = true;
+          ++owner->stats_.deleted_clauses;
+          const Lit unit = stronger[0];
+          for (const Lit l : c->lits) {
+            mark[static_cast<std::size_t>(l.code())] = 0;
+          }
+          if (!root_enqueue(unit)) return;
+          for (const Lit l : c->lits) {
+            mark[static_cast<std::size_t>(l.code())] = 1;
+          }
+        } else {
+          d->lits = std::move(stronger);
+          attach(d);
+        }
+      }
+    }
+    for (const Lit l : c->lits) mark[static_cast<std::size_t>(l.code())] = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Clause vivification
+// ---------------------------------------------------------------------------
+void Solver::Impl::pass_vivify() {
+  const std::uint64_t start = owner->stats_.propagations;
+  const std::size_t n_problem = problem_clauses.size();
+  for (std::size_t ci = 0; ci < n_problem; ++ci) {
+    if (!ok) return;
+    if (owner->stats_.propagations - start > kVivifyPropagationBudget) break;
+    InternalClause* c = problem_clauses[ci].get();
+    if (c->dead || c->lits.size() < 2) continue;
+    bool root_satisfied = false;
+    for (const Lit l : c->lits) root_satisfied |= value(l) == LBool::kTrue;
+    if (root_satisfied) {
+      kill_clause(c);
+      ++inprocess_counters.vivify_deleted;
+      continue;
+    }
+    detach(c);
+    // Assume the negation of each literal in turn; stop early when the
+    // prefix already propagates to conflict or implies a later literal.
+    Clause kept;
+    bool done = false;
+    for (const Lit l : c->lits) {
+      const LBool v = value(l);
+      if (v == LBool::kFalse) continue;  // implied false by the prefix
+      if (v == LBool::kTrue) {           // prefix implies l: clause is RUP
+        kept.push_back(l);
+        done = true;
+        break;
+      }
+      new_decision_level();
+      unchecked_enqueue(~l, nullptr);
+      if (propagate() != nullptr) {
+        kept.push_back(l);
+        done = true;
+        break;
+      }
+      kept.push_back(l);
+    }
+    (void)done;
+    cancel_until(0);
+    if (kept.size() >= c->lits.size()) {
+      attach(c);
+      continue;
+    }
+    if (kept.empty()) {
+      // Every literal became root-false mid-pass while the clause was
+      // detached: the formula is UNSAT.
+      log_derived(Clause{});
+      c->dead = true;
+      ++owner->stats_.deleted_clauses;
+      ok = false;
+      return;
+    }
+    bool now_satisfied = false;
+    for (const Lit l : kept) now_satisfied |= value(l) == LBool::kTrue;
+    if (now_satisfied) {
+      // Shrunk to a clause satisfied at the root: just delete the original.
+      log_deleted(c->lits);
+      c->dead = true;
+      ++owner->stats_.deleted_clauses;
+      ++inprocess_counters.vivify_deleted;
+      continue;
+    }
+    log_derived(kept);
+    log_deleted(c->lits);
+    ++inprocess_counters.vivify_shrunk;
+    if (kept.size() == 1) {
+      c->dead = true;
+      ++owner->stats_.deleted_clauses;
+      if (!root_enqueue(kept[0])) return;
+    } else {
+      c->lits = std::move(kept);
+      attach(c);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded variable elimination
+// ---------------------------------------------------------------------------
+void Solver::Impl::pass_bve() {
+  const std::size_t n_lits = 2 * static_cast<std::size_t>(num_vars());
+  std::vector<std::vector<InternalClause*>> occ(n_lits);
+  for (const auto& cp : problem_clauses) {
+    InternalClause* c = cp.get();
+    if (c->dead) continue;
+    for (const Lit l : c->lits) {
+      occ[static_cast<std::size_t>(l.code())].push_back(c);
+    }
+  }
+  std::vector<std::vector<InternalClause*>> learnt_occ(
+      static_cast<std::size_t>(num_vars()));
+  for (const auto& cp : learnt_clauses) {
+    InternalClause* c = cp.get();
+    if (c->dead) continue;
+    for (const Lit l : c->lits) {
+      learnt_occ[static_cast<std::size_t>(l.var())].push_back(c);
+    }
+  }
+
+  const auto live_side = [&](Lit l, std::vector<InternalClause*>& out) {
+    out.clear();
+    for (InternalClause* c : occ[static_cast<std::size_t>(l.code())]) {
+      if (c->dead) continue;
+      bool mentions = false;
+      for (const Lit q : c->lits) mentions = mentions || q == l;
+      if (mentions) out.push_back(c);
+    }
+  };
+
+  std::vector<InternalClause*> pos, neg;
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (!ok) return;
+    if (frozen[v] || removed(v) || value(v) != LBool::kUndef) continue;
+    const Lit pl(v, false), nl(v, true);
+    live_side(pl, pos);
+    live_side(nl, neg);
+    if (pos.empty() && neg.empty()) continue;
+    if (pos.size() + neg.size() > kBveMaxOccurrences) continue;
+
+    // Distribute: collect all non-tautological resolvents; bail out if the
+    // clause count would grow or a resolvent gets too long.
+    std::vector<Clause> resolvents;
+    bool abort = false;
+    for (const InternalClause* p : pos) {
+      for (const InternalClause* n : neg) {
+        Clause r;
+        r.reserve(p->lits.size() + n->lits.size());
+        for (const Lit l : p->lits) {
+          if (l != pl) r.push_back(l);
+        }
+        for (const Lit l : n->lits) {
+          if (l != nl) r.push_back(l);
+        }
+        std::sort(r.begin(), r.end(),
+                  [](Lit a, Lit b) { return a.code() < b.code(); });
+        bool taut = false;
+        bool satisfied = false;
+        Clause dedup;
+        for (const Lit l : r) {
+          if (!dedup.empty() && l == dedup.back()) continue;
+          if (!dedup.empty() && l == ~dedup.back()) taut = true;
+          if (value(l) == LBool::kTrue) satisfied = true;
+          if (value(l) == LBool::kFalse) continue;
+          dedup.push_back(l);
+        }
+        if (taut || satisfied) continue;
+        if (dedup.size() > kBveMaxResolventLen) {
+          abort = true;
+          break;
+        }
+        resolvents.push_back(std::move(dedup));
+        if (resolvents.size() > pos.size() + neg.size()) {
+          abort = true;
+          break;
+        }
+      }
+      if (abort) break;
+    }
+    if (abort) continue;
+
+    // Commit.  Order matters for the proof: resolvents are RUP only while
+    // their parents are still present, so log them all first; and unit
+    // resolvents are enqueued only after the parents are detached, so their
+    // propagation cannot assign through clauses that are about to vanish.
+    for (const Clause& r : resolvents) log_derived(r);
+
+    // Model reconstruction: store the smaller side (its clauses all contain
+    // `keep`), defaulting the variable so the *other* side is satisfied.
+    const Lit keep = pos.size() <= neg.size() ? pl : nl;
+    const auto& side = pos.size() <= neg.size() ? pos : neg;
+    for (const InternalClause* c : side) {
+      extension.push_back({ExtEntry::Kind::kClause, keep, kUndefLit, c->lits});
+    }
+    extension.push_back({ExtEntry::Kind::kDefault, ~keep, kUndefLit, {}});
+
+    for (InternalClause* c : pos) kill_clause(c);
+    for (InternalClause* c : neg) kill_clause(c);
+    for (InternalClause* c : learnt_occ[static_cast<std::size_t>(v)]) {
+      if (c->dead) continue;
+      bool mentions = false;
+      for (const Lit q : c->lits) mentions = mentions || q.var() == v;
+      if (mentions) kill_clause(c);
+    }
+    var_state[v] = VarState::kEliminated;
+    ++inprocess_counters.eliminated_vars;
+    inprocess_counters.bve_resolvents += resolvents.size();
+
+    std::vector<Lit> units;
+    for (Clause& r : resolvents) {
+      if (r.size() == 1) {
+        units.push_back(r[0]);
+        continue;
+      }
+      auto nc = std::make_unique<InternalClause>();
+      nc->lits = std::move(r);
+      attach(nc.get());
+      for (const Lit l : nc->lits) {
+        occ[static_cast<std::size_t>(l.code())].push_back(nc.get());
+      }
+      problem_clauses.push_back(std::move(nc));
+    }
+    for (const Lit u : units) {
+      if (!root_enqueue(u)) return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver and model reconstruction
+// ---------------------------------------------------------------------------
+void Solver::Impl::inprocess() {
+  if (!root_propagate()) return;
+  ++inprocess_counters.rounds;
+  remove_satisfied();
+  if (ok && inprocess_opts.scc) pass_scc();
+  if (ok && inprocess_opts.subsume) pass_subsume();
+  if (ok && inprocess_opts.vivify) pass_vivify();
+  if (ok && inprocess_opts.bve) pass_bve();
+  sweep_dead();
+}
+
+void Solver::Impl::extend_model() {
+  if (extension.empty()) return;
+  const auto lit_true = [&](Lit l) {
+    const LBool v = model[static_cast<std::size_t>(l.var())];
+    const bool val = v == LBool::kTrue;  // kUndef reads as false
+    return val != l.negated();
+  };
+  const auto make_true = [&](Lit l) {
+    model[static_cast<std::size_t>(l.var())] =
+        l.negated() ? LBool::kFalse : LBool::kTrue;
+  };
+  for (auto it = extension.rbegin(); it != extension.rend(); ++it) {
+    switch (it->kind) {
+      case ExtEntry::Kind::kDefault:
+        make_true(it->a);
+        break;
+      case ExtEntry::Kind::kClause: {
+        bool satisfied = false;
+        for (const Lit l : it->lits) satisfied = satisfied || lit_true(l);
+        if (!satisfied) make_true(it->a);
+        break;
+      }
+      case ExtEntry::Kind::kEquiv:
+        // a must take the truth value of the representative literal b.
+        make_true(lit_true(it->b) ? it->a : ~it->a);
+        break;
+    }
+  }
+}
+
+}  // namespace fannet::sat

@@ -1,0 +1,58 @@
+// Inprocessing configuration and statistics for the CDCL solver.
+//
+// Each simplification pass is individually toggleable so the differential
+// fuzz oracle (tests/test_sat_fuzz.cpp) can diff every on/off combination
+// against the plain solver, and so callers can trade preprocessing effort
+// against search effort per workload.  All passes run at decision level 0,
+// preserve satisfiability (bounded variable elimination and equivalent-
+// literal substitution preserve it *projected onto the remaining variables*;
+// full models are rebuilt by model reconstruction, DESIGN.md §11), and log
+// every derived/deleted clause to the attached ProofLog.
+#pragma once
+
+#include <cstdint>
+
+namespace fannet::sat {
+
+/// Which inprocessing passes Solver runs at the start of a solve whenever
+/// the clause database changed since the last run.  Default: all off — a
+/// default-constructed Solver behaves exactly like the plain CDCL core.
+struct InprocessOptions {
+  /// Clause vivification: re-derive each clause under unit propagation and
+  /// keep the (often shorter) prefix that already propagates to conflict.
+  bool vivify = false;
+  /// Subsumption (drop clauses containing another clause) and
+  /// self-subsumption (strengthen clauses by resolution with a
+  /// near-subsuming clause).
+  bool subsume = false;
+  /// Bounded variable elimination by clause distribution, with model
+  /// reconstruction for the eliminated variables.
+  bool bve = false;
+  /// SCC-based equivalent-literal substitution over the binary implication
+  /// graph (also derives UNSAT when a literal is equivalent to its own
+  /// negation).
+  bool scc = false;
+
+  [[nodiscard]] static constexpr InprocessOptions all() noexcept {
+    return {true, true, true, true};
+  }
+  [[nodiscard]] constexpr bool any() const noexcept {
+    return vivify || subsume || bve || scc;
+  }
+};
+
+/// Cumulative inprocessing effect counters (across all rounds).
+struct InprocessStats {
+  std::uint64_t rounds = 0;             ///< inprocess() invocations that ran
+  std::uint64_t satisfied_removed = 0;  ///< root-satisfied clauses dropped
+  std::uint64_t strengthened_lits = 0;  ///< root-false literals stripped
+  std::uint64_t subsumed = 0;           ///< clauses deleted by subsumption
+  std::uint64_t self_subsumed = 0;      ///< literals removed by self-subsumption
+  std::uint64_t vivify_shrunk = 0;      ///< clauses shortened by vivification
+  std::uint64_t vivify_deleted = 0;     ///< clauses vivification proved redundant
+  std::uint64_t eliminated_vars = 0;    ///< variables removed by BVE
+  std::uint64_t bve_resolvents = 0;     ///< resolvent clauses BVE added
+  std::uint64_t substituted_vars = 0;   ///< variables rewritten by SCC
+};
+
+}  // namespace fannet::sat

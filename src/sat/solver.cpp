@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sat/drat.hpp"
+#include "sat/solver_impl.hpp"
 #include "util/error.hpp"
 
 namespace fannet::sat {
@@ -28,462 +30,438 @@ double luby(double y, int x) {
 
 }  // namespace
 
-struct Solver::Impl {
-  // ---- clause storage -----------------------------------------------------
-  struct InternalClause {
-    std::vector<Lit> lits;
-    double activity = 0.0;
-    bool learnt = false;
-  };
+Var Solver::Impl::new_var() {
+  const Var v = num_vars();
+  assigns.push_back(LBool::kUndef);
+  polarity.push_back(0);
+  level.push_back(0);
+  reason.push_back(nullptr);
+  activity.push_back(0.0);
+  seen.push_back(0);
+  watches.emplace_back();
+  watches.emplace_back();
+  frozen.push_back(0);
+  var_state.push_back(VarState::kActive);
+  heap_pos.push_back(-1);
+  heap_insert(v);
+  return v;
+}
 
-  struct Watcher {
-    InternalClause* clause = nullptr;
-    Lit blocker = kUndefLit;
-  };
-
-  std::vector<std::unique_ptr<InternalClause>> problem_clauses;
-  std::vector<std::unique_ptr<InternalClause>> learnt_clauses;
-
-  // ---- assignment state ---------------------------------------------------
-  std::vector<LBool> assigns;               // per var
-  std::vector<char> polarity;               // saved phase (1 = last was true)
-  std::vector<int> level;                   // per var
-  std::vector<InternalClause*> reason;      // per var
-  std::vector<Lit> trail;
-  std::vector<int> trail_lim;               // decision-level boundaries
-  std::size_t qhead = 0;
-  std::vector<std::vector<Watcher>> watches;  // indexed by Lit::code()
-  bool ok = true;
-
-  // ---- VSIDS --------------------------------------------------------------
-  std::vector<double> activity;
-  double var_inc = 1.0;
-  static constexpr double kVarDecay = 0.95;
-  double clause_inc = 1.0;
-  static constexpr double kClauseDecay = 0.999;
-
-  // Indexed binary max-heap over variable activity.
-  std::vector<Var> heap;
-  std::vector<int> heap_pos;  // per var; -1 = absent
-
-  // ---- scratch ------------------------------------------------------------
-  std::vector<char> seen;
-  std::vector<Lit> analyze_clear;
-  std::vector<Lit> assumptions;
-  std::vector<LBool> model;  // snapshot of assigns at the last kSat answer
-
-  Solver* owner = nullptr;
-
-  // ========================================================================
-  [[nodiscard]] int num_vars() const { return static_cast<int>(assigns.size()); }
-  [[nodiscard]] int decision_level() const {
-    return static_cast<int>(trail_lim.size());
+// ---- heap -----------------------------------------------------------------
+bool Solver::Impl::heap_less(Var a, Var b) const {
+  return activity[a] < activity[b];
+}
+void Solver::Impl::heap_percolate_up(int i) {
+  const Var v = heap[i];
+  while (i > 0) {
+    const int parent = (i - 1) >> 1;
+    if (!heap_less(heap[parent], v)) break;
+    heap[i] = heap[parent];
+    heap_pos[heap[i]] = i;
+    i = parent;
   }
-  [[nodiscard]] LBool value(Var v) const { return assigns[v]; }
-  [[nodiscard]] LBool value(Lit p) const {
-    const LBool v = assigns[p.var()];
-    if (v == LBool::kUndef) return LBool::kUndef;
-    return lbool_from((v == LBool::kTrue) != p.negated());
+  heap[i] = v;
+  heap_pos[v] = i;
+}
+void Solver::Impl::heap_percolate_down(int i) {
+  const Var v = heap[i];
+  const int n = static_cast<int>(heap.size());
+  while (true) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_less(heap[child], heap[child + 1])) ++child;
+    if (!heap_less(v, heap[child])) break;
+    heap[i] = heap[child];
+    heap_pos[heap[i]] = i;
+    i = child;
   }
+  heap[i] = v;
+  heap_pos[v] = i;
+}
+void Solver::Impl::heap_insert(Var v) {
+  if (heap_pos[v] >= 0) return;
+  heap.push_back(v);
+  heap_pos[v] = static_cast<int>(heap.size()) - 1;
+  heap_percolate_up(heap_pos[v]);
+}
+Var Solver::Impl::heap_pop() {
+  const Var top = heap[0];
+  heap_pos[top] = -1;
+  heap[0] = heap.back();
+  heap.pop_back();
+  if (!heap.empty()) {
+    heap_pos[heap[0]] = 0;
+    heap_percolate_down(0);
+  }
+  return top;
+}
 
-  Var new_var() {
-    const Var v = num_vars();
-    assigns.push_back(LBool::kUndef);
-    polarity.push_back(0);
-    level.push_back(0);
-    reason.push_back(nullptr);
-    activity.push_back(0.0);
-    seen.push_back(0);
-    watches.emplace_back();
-    watches.emplace_back();
-    heap_pos.push_back(-1);
+void Solver::Impl::bump_var(Var v) {
+  activity[v] += var_inc;
+  if (activity[v] > 1e100) {
+    for (auto& a : activity) a *= 1e-100;
+    var_inc *= 1e-100;
+  }
+  if (heap_pos[v] >= 0) heap_percolate_up(heap_pos[v]);
+}
+void Solver::Impl::decay_var_activity() { var_inc /= kVarDecay; }
+
+void Solver::Impl::bump_clause(InternalClause& c) {
+  c.activity += clause_inc;
+  if (c.activity > 1e20) {
+    for (auto& cl : learnt_clauses) cl->activity *= 1e-20;
+    clause_inc *= 1e-20;
+  }
+}
+void Solver::Impl::decay_clause_activity() { clause_inc /= kClauseDecay; }
+
+// ---- assignment -----------------------------------------------------------
+void Solver::Impl::unchecked_enqueue(Lit p, InternalClause* from) {
+  assigns[p.var()] = lbool_from(!p.negated());
+  level[p.var()] = decision_level();
+  reason[p.var()] = from;
+  trail.push_back(p);
+}
+
+void Solver::Impl::new_decision_level() {
+  trail_lim.push_back(static_cast<int>(trail.size()));
+}
+
+void Solver::Impl::cancel_until(int target_level) {
+  if (decision_level() <= target_level) return;
+  const int lim = trail_lim[target_level];
+  for (int i = static_cast<int>(trail.size()) - 1; i >= lim; --i) {
+    const Var v = trail[i].var();
+    polarity[v] = trail[i].negated() ? 0 : 1;  // phase saving
+    assigns[v] = LBool::kUndef;
+    reason[v] = nullptr;
     heap_insert(v);
-    return v;
   }
+  trail.resize(lim);
+  trail_lim.resize(target_level);
+  qhead = trail.size();
+}
 
-  // ---- heap ---------------------------------------------------------------
-  [[nodiscard]] bool heap_less(Var a, Var b) const {
-    return activity[a] < activity[b];
-  }
-  void heap_percolate_up(int i) {
-    const Var v = heap[i];
-    while (i > 0) {
-      const int parent = (i - 1) >> 1;
-      if (!heap_less(heap[parent], v)) break;
-      heap[i] = heap[parent];
-      heap_pos[heap[i]] = i;
-      i = parent;
-    }
-    heap[i] = v;
-    heap_pos[v] = i;
-  }
-  void heap_percolate_down(int i) {
-    const Var v = heap[i];
-    const int n = static_cast<int>(heap.size());
-    while (true) {
-      int child = 2 * i + 1;
-      if (child >= n) break;
-      if (child + 1 < n && heap_less(heap[child], heap[child + 1])) ++child;
-      if (!heap_less(v, heap[child])) break;
-      heap[i] = heap[child];
-      heap_pos[heap[i]] = i;
-      i = child;
-    }
-    heap[i] = v;
-    heap_pos[v] = i;
-  }
-  void heap_insert(Var v) {
-    if (heap_pos[v] >= 0) return;
-    heap.push_back(v);
-    heap_pos[v] = static_cast<int>(heap.size()) - 1;
-    heap_percolate_up(heap_pos[v]);
-  }
-  Var heap_pop() {
-    const Var top = heap[0];
-    heap_pos[top] = -1;
-    heap[0] = heap.back();
-    heap.pop_back();
-    if (!heap.empty()) {
-      heap_pos[heap[0]] = 0;
-      heap_percolate_down(0);
-    }
-    return top;
-  }
-
-  void bump_var(Var v) {
-    activity[v] += var_inc;
-    if (activity[v] > 1e100) {
-      for (auto& a : activity) a *= 1e-100;
-      var_inc *= 1e-100;
-    }
-    if (heap_pos[v] >= 0) heap_percolate_up(heap_pos[v]);
-  }
-  void decay_var_activity() { var_inc /= kVarDecay; }
-
-  void bump_clause(InternalClause& c) {
-    c.activity += clause_inc;
-    if (c.activity > 1e20) {
-      for (auto& cl : learnt_clauses) cl->activity *= 1e-20;
-      clause_inc *= 1e-20;
-    }
-  }
-  void decay_clause_activity() { clause_inc /= kClauseDecay; }
-
-  // ---- assignment ---------------------------------------------------------
-  void unchecked_enqueue(Lit p, InternalClause* from) {
-    assigns[p.var()] = lbool_from(!p.negated());
-    level[p.var()] = decision_level();
-    reason[p.var()] = from;
-    trail.push_back(p);
-  }
-
-  void new_decision_level() { trail_lim.push_back(static_cast<int>(trail.size())); }
-
-  void cancel_until(int target_level) {
-    if (decision_level() <= target_level) return;
-    const int lim = trail_lim[target_level];
-    for (int i = static_cast<int>(trail.size()) - 1; i >= lim; --i) {
-      const Var v = trail[i].var();
-      polarity[v] = trail[i].negated() ? 0 : 1;  // phase saving
-      assigns[v] = LBool::kUndef;
-      reason[v] = nullptr;
-      heap_insert(v);
-    }
-    trail.resize(lim);
-    trail_lim.resize(target_level);
-    qhead = trail.size();
-  }
-
-  // ---- watches ------------------------------------------------------------
-  void attach(InternalClause* c) {
-    watches[(~c->lits[0]).code()].push_back({c, c->lits[1]});
-    watches[(~c->lits[1]).code()].push_back({c, c->lits[0]});
-  }
-  void detach(InternalClause* c) {
-    for (int k = 0; k < 2; ++k) {
-      auto& ws = watches[(~c->lits[k]).code()];
-      for (std::size_t i = 0; i < ws.size(); ++i) {
-        if (ws[i].clause == c) {
-          ws[i] = ws.back();
-          ws.pop_back();
-          break;
-        }
-      }
-    }
-  }
-
-  /// Unit propagation; returns the conflicting clause or nullptr.
-  InternalClause* propagate() {
-    InternalClause* conflict = nullptr;
-    while (qhead < trail.size()) {
-      const Lit p = trail[qhead++];
-      ++owner->stats_.propagations;
-      auto& ws = watches[p.code()];
-      std::size_t i = 0, j = 0;
-      while (i < ws.size()) {
-        const Watcher w = ws[i];
-        if (value(w.blocker) == LBool::kTrue) {
-          ws[j++] = ws[i++];
-          continue;
-        }
-        InternalClause& c = *w.clause;
-        const Lit false_lit = ~p;
-        if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
-        ++i;
-        // Invariant: c.lits[1] == false_lit.
-        const Lit first = c.lits[0];
-        if (value(first) == LBool::kTrue) {
-          ws[j++] = {&c, first};
-          continue;
-        }
-        bool found_watch = false;
-        for (std::size_t k = 2; k < c.lits.size(); ++k) {
-          if (value(c.lits[k]) != LBool::kFalse) {
-            std::swap(c.lits[1], c.lits[k]);
-            watches[(~c.lits[1]).code()].push_back({&c, first});
-            found_watch = true;
-            break;
-          }
-        }
-        if (found_watch) continue;
-        // Clause is unit or conflicting under the current assignment.
-        ws[j++] = {&c, first};
-        if (value(first) == LBool::kFalse) {
-          conflict = &c;
-          qhead = trail.size();
-          while (i < ws.size()) ws[j++] = ws[i++];
-        } else {
-          unchecked_enqueue(first, &c);
-        }
-      }
-      ws.resize(j);
-      if (conflict != nullptr) break;
-    }
-    return conflict;
-  }
-
-  // ---- conflict analysis --------------------------------------------------
-  /// 1UIP learning.  Fills `out_learnt` (first literal = asserting literal)
-  /// and returns the backtrack level.
-  int analyze(InternalClause* conflict, std::vector<Lit>& out_learnt) {
-    out_learnt.clear();
-    out_learnt.push_back(kUndefLit);  // slot for the asserting literal
-    int path_count = 0;
-    Lit p = kUndefLit;
-    int index = static_cast<int>(trail.size()) - 1;
-
-    do {
-      bump_clause(*conflict);
-      const std::size_t start = p.is_undef() ? 0 : 1;
-      for (std::size_t k = start; k < conflict->lits.size(); ++k) {
-        const Lit q = conflict->lits[k];
-        if (!seen[q.var()] && level[q.var()] > 0) {
-          bump_var(q.var());
-          seen[q.var()] = 1;
-          if (level[q.var()] >= decision_level()) {
-            ++path_count;
-          } else {
-            out_learnt.push_back(q);
-          }
-        }
-      }
-      while (!seen[trail[index].var()]) --index;
-      p = trail[index--];
-      conflict = reason[p.var()];
-      seen[p.var()] = 0;
-      --path_count;
-    } while (path_count > 0);
-    out_learnt[0] = ~p;
-
-    // Conflict-clause minimization (local): a literal is redundant if its
-    // reason clause exists and every other literal in it is already seen.
-    analyze_clear.assign(out_learnt.begin(), out_learnt.end());
-    std::size_t keep = 1;
-    for (std::size_t k = 1; k < out_learnt.size(); ++k) {
-      const Lit q = out_learnt[k];
-      InternalClause* r = reason[q.var()];
-      bool redundant = (r != nullptr);
-      if (redundant) {
-        for (std::size_t m = 1; m < r->lits.size(); ++m) {
-          const Lit x = r->lits[m];
-          if (!seen[x.var()] && level[x.var()] > 0) {
-            redundant = false;
-            break;
-          }
-        }
-      }
-      if (!redundant) out_learnt[keep++] = q;
-    }
-    out_learnt.resize(keep);
-    for (const Lit q : analyze_clear) seen[q.var()] = 0;
-
-    // Backtrack level: highest level among the non-asserting literals.
-    int bt_level = 0;
-    if (out_learnt.size() > 1) {
-      std::size_t max_i = 1;
-      for (std::size_t k = 2; k < out_learnt.size(); ++k) {
-        if (level[out_learnt[k].var()] > level[out_learnt[max_i].var()]) {
-          max_i = k;
-        }
-      }
-      std::swap(out_learnt[1], out_learnt[max_i]);
-      bt_level = level[out_learnt[1].var()];
-    }
-    return bt_level;
-  }
-
-  /// After a final conflict on assumption `p`: collect the subset of
-  /// assumptions implying the conflict into owner->conflict_.
-  void analyze_final(Lit p) {
-    owner->conflict_.clear();
-    owner->conflict_.push_back(~p);
-    if (decision_level() == 0) return;
-    seen[p.var()] = 1;
-    for (int i = static_cast<int>(trail.size()) - 1; i >= trail_lim[0]; --i) {
-      const Var v = trail[i].var();
-      if (!seen[v]) continue;
-      if (reason[v] == nullptr) {
-        owner->conflict_.push_back(~trail[i]);
-      } else {
-        for (std::size_t k = 1; k < reason[v]->lits.size(); ++k) {
-          const Lit q = reason[v]->lits[k];
-          if (level[q.var()] > 0) seen[q.var()] = 1;
-        }
-      }
-      seen[v] = 0;
-    }
-    seen[p.var()] = 0;
-  }
-
-  // ---- learnt-clause management -------------------------------------------
-  [[nodiscard]] bool is_locked(const InternalClause* c) const {
-    const Lit first = c->lits[0];
-    return reason[first.var()] == c && value(first) == LBool::kTrue;
-  }
-
-  void reduce_db() {
-    std::sort(learnt_clauses.begin(), learnt_clauses.end(),
-              [](const auto& a, const auto& b) {
-                if ((a->lits.size() == 2) != (b->lits.size() == 2)) {
-                  return a->lits.size() == 2;  // keep binaries
-                }
-                return a->activity > b->activity;
-              });
-    const std::size_t keep_count = learnt_clauses.size() / 2;
-    std::vector<std::unique_ptr<InternalClause>> kept;
-    kept.reserve(keep_count + 8);
-    for (std::size_t i = 0; i < learnt_clauses.size(); ++i) {
-      auto& c = learnt_clauses[i];
-      if (i < keep_count || c->lits.size() == 2 || is_locked(c.get())) {
-        kept.push_back(std::move(c));
-      } else {
-        detach(c.get());
-        ++owner->stats_.deleted_clauses;
-      }
-    }
-    learnt_clauses = std::move(kept);
-  }
-
-  // ---- top-level search ---------------------------------------------------
-  Lit pick_branch_lit() {
-    while (!heap.empty()) {
-      const Var v = heap[0];
-      if (value(v) == LBool::kUndef) {
-        heap_pop();
-        return Lit(v, polarity[v] == 0);
-      }
-      heap_pop();
-    }
-    return kUndefLit;
-  }
-
-  /// One restart-bounded search episode.
-  SolveResult search(std::int64_t conflict_budget, std::size_t max_learnts) {
-    std::vector<Lit> learnt;
-    std::int64_t conflicts_here = 0;
-    while (true) {
-      InternalClause* conflict = propagate();
-      if (conflict != nullptr) {
-        ++owner->stats_.conflicts;
-        ++conflicts_here;
-        if (decision_level() == 0) return SolveResult::kUnsat;
-        const int bt = analyze(conflict, learnt);
-        cancel_until(bt);
-        if (learnt.size() == 1) {
-          unchecked_enqueue(learnt[0], nullptr);
-        } else {
-          auto c = std::make_unique<InternalClause>();
-          c->lits = learnt;
-          c->learnt = true;
-          bump_clause(*c);
-          attach(c.get());
-          unchecked_enqueue(learnt[0], c.get());
-          learnt_clauses.push_back(std::move(c));
-          ++owner->stats_.learnt_clauses;
-        }
-        decay_var_activity();
-        decay_clause_activity();
-        if (owner->conflict_limit_ != 0 &&
-            owner->stats_.conflicts >= owner->conflict_limit_) {
-          cancel_until(0);
-          return SolveResult::kUnknown;
-        }
-        continue;
-      }
-      // No conflict.
-      if (conflict_budget >= 0 && conflicts_here >= conflict_budget) {
-        cancel_until(0);
-        return SolveResult::kUnknown;  // restart
-      }
-      if (learnt_clauses.size() >= max_learnts + trail.size()) reduce_db();
-
-      // Respect assumptions before free decisions.
-      Lit next = kUndefLit;
-      while (decision_level() < static_cast<int>(assumptions.size())) {
-        const Lit a = assumptions[decision_level()];
-        if (value(a) == LBool::kTrue) {
-          new_decision_level();  // already implied; dummy level keeps indexing
-        } else if (value(a) == LBool::kFalse) {
-          analyze_final(a);
-          return SolveResult::kUnsat;
-        } else {
-          next = a;
-          break;
-        }
-      }
-      if (next.is_undef()) {
-        next = pick_branch_lit();
-        if (next.is_undef()) return SolveResult::kSat;  // all assigned
-        ++owner->stats_.decisions;
-      }
-      new_decision_level();
-      unchecked_enqueue(next, nullptr);
-    }
-  }
-
-  SolveResult solve_internal() {
-    if (!ok) return SolveResult::kUnsat;
-    owner->conflict_.clear();
-    std::size_t max_learnts =
-        std::max<std::size_t>(1000, problem_clauses.size() / 3);
-    SolveResult result = SolveResult::kUnknown;
-    for (int restarts = 0; result == SolveResult::kUnknown; ++restarts) {
-      const double budget = 100.0 * luby(2.0, restarts);
-      result = search(static_cast<std::int64_t>(budget), max_learnts);
-      if (result == SolveResult::kUnknown) {
-        ++owner->stats_.restarts;
-        max_learnts = max_learnts + max_learnts / 10;
-      }
-      if (owner->conflict_limit_ != 0 &&
-          owner->stats_.conflicts >= owner->conflict_limit_) {
+// ---- watches --------------------------------------------------------------
+void Solver::Impl::attach(InternalClause* c) {
+  watches[(~c->lits[0]).code()].push_back({c, c->lits[1]});
+  watches[(~c->lits[1]).code()].push_back({c, c->lits[0]});
+}
+void Solver::Impl::detach(InternalClause* c) {
+  for (int k = 0; k < 2; ++k) {
+    auto& ws = watches[(~c->lits[k]).code()];
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i].clause == c) {
+        ws[i] = ws.back();
+        ws.pop_back();
         break;
       }
     }
-    if (result == SolveResult::kSat) model = assigns;
-    cancel_until(0);
-    return result;
   }
-};
+}
+
+/// Unit propagation; returns the conflicting clause or nullptr.
+Solver::Impl::InternalClause* Solver::Impl::propagate() {
+  InternalClause* conflict = nullptr;
+  while (qhead < trail.size()) {
+    const Lit p = trail[qhead++];
+    ++owner->stats_.propagations;
+    auto& ws = watches[p.code()];
+    std::size_t i = 0, j = 0;
+    while (i < ws.size()) {
+      const Watcher w = ws[i];
+      if (value(w.blocker) == LBool::kTrue) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      InternalClause& c = *w.clause;
+      const Lit false_lit = ~p;
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      ++i;
+      // Invariant: c.lits[1] == false_lit.
+      const Lit first = c.lits[0];
+      if (value(first) == LBool::kTrue) {
+        ws[j++] = {&c, first};
+        continue;
+      }
+      bool found_watch = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != LBool::kFalse) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches[(~c.lits[1]).code()].push_back({&c, first});
+          found_watch = true;
+          break;
+        }
+      }
+      if (found_watch) continue;
+      // Clause is unit or conflicting under the current assignment.
+      ws[j++] = {&c, first};
+      if (value(first) == LBool::kFalse) {
+        conflict = &c;
+        qhead = trail.size();
+        while (i < ws.size()) ws[j++] = ws[i++];
+      } else {
+        unchecked_enqueue(first, &c);
+      }
+    }
+    ws.resize(j);
+    if (conflict != nullptr) break;
+  }
+  return conflict;
+}
+
+// ---- conflict analysis ----------------------------------------------------
+/// 1UIP learning.  Fills `out_learnt` (first literal = asserting literal)
+/// and returns the backtrack level.
+int Solver::Impl::analyze(InternalClause* conflict,
+                          std::vector<Lit>& out_learnt) {
+  out_learnt.clear();
+  out_learnt.push_back(kUndefLit);  // slot for the asserting literal
+  int path_count = 0;
+  Lit p = kUndefLit;
+  int index = static_cast<int>(trail.size()) - 1;
+
+  do {
+    bump_clause(*conflict);
+    const std::size_t start = p.is_undef() ? 0 : 1;
+    for (std::size_t k = start; k < conflict->lits.size(); ++k) {
+      const Lit q = conflict->lits[k];
+      if (!seen[q.var()] && level[q.var()] > 0) {
+        bump_var(q.var());
+        seen[q.var()] = 1;
+        if (level[q.var()] >= decision_level()) {
+          ++path_count;
+        } else {
+          out_learnt.push_back(q);
+        }
+      }
+    }
+    while (!seen[trail[index].var()]) --index;
+    p = trail[index--];
+    conflict = reason[p.var()];
+    seen[p.var()] = 0;
+    --path_count;
+  } while (path_count > 0);
+  out_learnt[0] = ~p;
+
+  // Conflict-clause minimization (local): a literal is redundant if its
+  // reason clause exists and every other literal in it is already seen.
+  analyze_clear.assign(out_learnt.begin(), out_learnt.end());
+  std::size_t keep = 1;
+  for (std::size_t k = 1; k < out_learnt.size(); ++k) {
+    const Lit q = out_learnt[k];
+    InternalClause* r = reason[q.var()];
+    bool redundant = (r != nullptr);
+    if (redundant) {
+      for (std::size_t m = 1; m < r->lits.size(); ++m) {
+        const Lit x = r->lits[m];
+        if (!seen[x.var()] && level[x.var()] > 0) {
+          redundant = false;
+          break;
+        }
+      }
+    }
+    if (!redundant) out_learnt[keep++] = q;
+  }
+  out_learnt.resize(keep);
+  for (const Lit q : analyze_clear) seen[q.var()] = 0;
+
+  // Backtrack level: highest level among the non-asserting literals.
+  int bt_level = 0;
+  if (out_learnt.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t k = 2; k < out_learnt.size(); ++k) {
+      if (level[out_learnt[k].var()] > level[out_learnt[max_i].var()]) {
+        max_i = k;
+      }
+    }
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    bt_level = level[out_learnt[1].var()];
+  }
+  return bt_level;
+}
+
+/// After a final conflict on assumption `p`: collect the subset of
+/// assumptions implying the conflict into owner->conflict_.
+void Solver::Impl::analyze_final(Lit p) {
+  owner->conflict_.clear();
+  owner->conflict_.push_back(~p);
+  if (decision_level() == 0) {
+    log_derived(owner->conflict_);
+    return;
+  }
+  seen[p.var()] = 1;
+  for (int i = static_cast<int>(trail.size()) - 1; i >= trail_lim[0]; --i) {
+    const Var v = trail[i].var();
+    if (!seen[v]) continue;
+    if (reason[v] == nullptr) {
+      owner->conflict_.push_back(~trail[i]);
+    } else {
+      for (std::size_t k = 1; k < reason[v]->lits.size(); ++k) {
+        const Lit q = reason[v]->lits[k];
+        if (level[q.var()] > 0) seen[q.var()] = 1;
+      }
+    }
+    seen[v] = 0;
+  }
+  seen[p.var()] = 0;
+  // The final conflict clause (negated failed assumptions) is RUP with
+  // respect to the current clause database: asserting the collected
+  // assumptions replays the propagation chain that produced the conflict.
+  log_derived(owner->conflict_);
+}
+
+// ---- learnt-clause management ---------------------------------------------
+bool Solver::Impl::is_locked(const InternalClause* c) const {
+  const Lit first = c->lits[0];
+  return reason[first.var()] == c && value(first) == LBool::kTrue;
+}
+
+void Solver::Impl::reduce_db() {
+  std::sort(learnt_clauses.begin(), learnt_clauses.end(),
+            [](const auto& a, const auto& b) {
+              if ((a->lits.size() == 2) != (b->lits.size() == 2)) {
+                return a->lits.size() == 2;  // keep binaries
+              }
+              return a->activity > b->activity;
+            });
+  const std::size_t keep_count = learnt_clauses.size() / 2;
+  std::vector<std::unique_ptr<InternalClause>> kept;
+  kept.reserve(keep_count + 8);
+  for (std::size_t i = 0; i < learnt_clauses.size(); ++i) {
+    auto& c = learnt_clauses[i];
+    if (i < keep_count || c->lits.size() == 2 || is_locked(c.get())) {
+      kept.push_back(std::move(c));
+    } else {
+      detach(c.get());
+      log_deleted(c->lits);
+      ++owner->stats_.deleted_clauses;
+    }
+  }
+  learnt_clauses = std::move(kept);
+}
+
+// ---- top-level search -----------------------------------------------------
+Lit Solver::Impl::pick_branch_lit() {
+  while (!heap.empty()) {
+    const Var v = heap[0];
+    if (value(v) == LBool::kUndef && !removed(v)) {
+      heap_pop();
+      return Lit(v, polarity[v] == 0);
+    }
+    heap_pop();
+  }
+  return kUndefLit;
+}
+
+bool Solver::Impl::out_of_budget() const {
+  if (owner->conflict_limit_ != 0 &&
+      owner->stats_.conflicts >= owner->conflict_limit_) {
+    return true;
+  }
+  return owner->propagation_limit_ != 0 &&
+         owner->stats_.propagations >= owner->propagation_limit_;
+}
+
+/// One restart-bounded search episode.
+SolveResult Solver::Impl::search(std::int64_t conflict_budget,
+                                 std::size_t max_learnts) {
+  std::vector<Lit> learnt;
+  std::int64_t conflicts_here = 0;
+  while (true) {
+    InternalClause* conflict = propagate();
+    if (conflict != nullptr) {
+      ++owner->stats_.conflicts;
+      ++conflicts_here;
+      if (decision_level() == 0) {
+        log_derived(Clause{});
+        ok = false;
+        return SolveResult::kUnsat;
+      }
+      const int bt = analyze(conflict, learnt);
+      log_derived(learnt);
+      cancel_until(bt);
+      if (learnt.size() == 1) {
+        unchecked_enqueue(learnt[0], nullptr);
+      } else {
+        auto c = std::make_unique<InternalClause>();
+        c->lits = learnt;
+        c->learnt = true;
+        bump_clause(*c);
+        attach(c.get());
+        unchecked_enqueue(learnt[0], c.get());
+        learnt_clauses.push_back(std::move(c));
+        ++owner->stats_.learnt_clauses;
+      }
+      decay_var_activity();
+      decay_clause_activity();
+      if (out_of_budget()) {
+        cancel_until(0);
+        return SolveResult::kUnknown;
+      }
+      continue;
+    }
+    // No conflict.
+    if (out_of_budget()) {
+      cancel_until(0);
+      return SolveResult::kUnknown;
+    }
+    if (conflict_budget >= 0 && conflicts_here >= conflict_budget) {
+      cancel_until(0);
+      return SolveResult::kUnknown;  // restart
+    }
+    if (learnt_clauses.size() >= max_learnts + trail.size()) reduce_db();
+
+    // Respect assumptions before free decisions.
+    Lit next = kUndefLit;
+    while (decision_level() < static_cast<int>(assumptions.size())) {
+      const Lit a = assumptions[decision_level()];
+      if (value(a) == LBool::kTrue) {
+        new_decision_level();  // already implied; dummy level keeps indexing
+      } else if (value(a) == LBool::kFalse) {
+        analyze_final(a);
+        return SolveResult::kUnsat;
+      } else {
+        next = a;
+        break;
+      }
+    }
+    if (next.is_undef()) {
+      next = pick_branch_lit();
+      if (next.is_undef()) return SolveResult::kSat;  // all assigned
+      ++owner->stats_.decisions;
+    }
+    new_decision_level();
+    unchecked_enqueue(next, nullptr);
+  }
+}
+
+SolveResult Solver::Impl::solve_internal() {
+  owner->conflict_.clear();
+  if (ok && inprocess_opts.any() && inprocess_dirty) {
+    inprocess();
+    inprocess_dirty = false;
+  }
+  if (!ok) return SolveResult::kUnsat;
+  std::size_t max_learnts =
+      std::max<std::size_t>(1000, problem_clauses.size() / 3);
+  SolveResult result = SolveResult::kUnknown;
+  for (int restarts = 0; result == SolveResult::kUnknown; ++restarts) {
+    const double budget = 100.0 * luby(2.0, restarts);
+    result = search(static_cast<std::int64_t>(budget), max_learnts);
+    if (result == SolveResult::kUnknown) {
+      ++owner->stats_.restarts;
+      max_learnts = max_learnts + max_learnts / 10;
+    }
+    if (out_of_budget()) break;
+  }
+  if (result == SolveResult::kSat) {
+    model = assigns;
+    extend_model();
+  }
+  cancel_until(0);
+  return result;
+}
 
 Solver::Solver() : impl_(std::make_unique<Impl>()) { impl_->owner = this; }
 Solver::~Solver() = default;
@@ -500,26 +478,39 @@ bool Solver::add_clause(Clause lits) {
   if (s.decision_level() != 0) {
     throw InvalidArgument("Solver::add_clause: only at decision level 0");
   }
+  for (const Lit p : lits) {
+    if (p.var() < 0 || p.var() >= s.num_vars()) {
+      throw InvalidArgument("Solver::add_clause: literal out of range");
+    }
+    if (s.removed(p.var())) {
+      throw InvalidArgument(
+          "Solver::add_clause: variable was removed by inprocessing "
+          "(freeze it with set_frozen before solving)");
+    }
+  }
+  // Log the caller's clause before simplification: the proof's input lines
+  // must be the formula as added, not the solver's internal form.
+  if (s.proof != nullptr) s.proof->add_input(lits);
+  s.inprocess_dirty = true;
   // Sort/dedup; drop clauses that are trivially true or contain true lits.
   std::sort(lits.begin(), lits.end(),
             [](Lit a, Lit b) { return a.code() < b.code(); });
   Clause out;
   Lit prev = kUndefLit;
   for (const Lit p : lits) {
-    if (p.var() < 0 || p.var() >= s.num_vars()) {
-      throw InvalidArgument("Solver::add_clause: literal out of range");
-    }
     if (s.value(p) == LBool::kTrue || p == ~prev) return true;  // satisfied/taut
     if (s.value(p) != LBool::kFalse && p != prev) out.push_back(p);
     prev = p;
   }
   if (out.empty()) {
+    s.log_derived(Clause{});
     s.ok = false;
     return false;
   }
   if (out.size() == 1) {
     s.unchecked_enqueue(out[0], nullptr);
     if (s.propagate() != nullptr) {
+      s.log_derived(Clause{});
       s.ok = false;
       return false;
     }
@@ -535,6 +526,16 @@ bool Solver::add_clause(Clause lits) {
 SolveResult Solver::solve() { return solve({}); }
 
 SolveResult Solver::solve(std::span<const Lit> assumptions) {
+  for (const Lit a : assumptions) {
+    if (a.var() < 0 || a.var() >= impl_->num_vars()) {
+      throw InvalidArgument("Solver::solve: assumption out of range");
+    }
+    if (impl_->removed(a.var())) {
+      throw InvalidArgument(
+          "Solver::solve: assumption variable was removed by inprocessing "
+          "(freeze it with set_frozen before solving)");
+    }
+  }
   impl_->assumptions.assign(assumptions.begin(), assumptions.end());
   const SolveResult r = impl_->solve_internal();
   impl_->assumptions.clear();
@@ -548,5 +549,33 @@ bool Solver::model_value(Var v) const {
   if (static_cast<std::size_t>(v) >= impl_->model.size()) return false;
   return impl_->model[v] == LBool::kTrue;
 }
+
+void Solver::set_inprocess(InprocessOptions options) noexcept {
+  impl_->inprocess_opts = options;
+  impl_->inprocess_dirty = true;
+}
+
+const InprocessStats& Solver::inprocess_stats() const noexcept {
+  return impl_->inprocess_counters;
+}
+
+void Solver::set_frozen(Var v, bool frozen) {
+  if (v < 0 || v >= impl_->num_vars()) {
+    throw InvalidArgument("Solver::set_frozen: variable out of range");
+  }
+  if (frozen && impl_->removed(v)) {
+    throw InvalidArgument("Solver::set_frozen: variable was already removed");
+  }
+  impl_->frozen[v] = frozen ? 1 : 0;
+}
+
+bool Solver::is_removed(Var v) const {
+  if (v < 0 || v >= impl_->num_vars()) {
+    throw InvalidArgument("Solver::is_removed: variable out of range");
+  }
+  return impl_->removed(v);
+}
+
+void Solver::set_proof(ProofLog* proof) noexcept { impl_->proof = proof; }
 
 }  // namespace fannet::sat

@@ -1,12 +1,17 @@
-// CDCL SAT solver (the SAT substrate behind bounded model checking).
+// CDCL SAT solver (the SAT substrate behind bounded model checking and the
+// "sat" verify engine).
 //
 // A from-scratch conflict-driven clause-learning solver with the standard
 // modern architecture: two-watched-literal propagation with blockers, first
 // unique-implication-point conflict analysis with clause minimization, EVSIDS
 // variable activity, phase saving, Luby-sequence restarts, activity-driven
-// learnt-clause deletion, and incremental solving under assumptions.  The
-// design follows MiniSat's; everything is implemented here from the
-// published algorithms.
+// learnt-clause deletion, and incremental solving under assumptions.  On top
+// of the search core sit an optional inprocessing suite (vivification,
+// subsumption/self-subsumption, bounded variable elimination with model
+// reconstruction, SCC equivalent-literal substitution — sat/inprocess.hpp)
+// and optional DRAT proof logging (sat/drat.hpp) so every kUnsat answer can
+// be independently certified.  The design follows MiniSat's; everything is
+// implemented here from the published algorithms.
 #pragma once
 
 #include <cstdint>
@@ -14,9 +19,12 @@
 #include <span>
 #include <vector>
 
+#include "sat/inprocess.hpp"
 #include "sat/types.hpp"
 
 namespace fannet::sat {
+
+class ProofLog;
 
 struct SolverStats {
   std::uint64_t decisions = 0;
@@ -41,17 +49,23 @@ class Solver {
 
   /// Adds a clause (empty clause or conflicting unit makes the instance
   /// permanently UNSAT).  Returns false iff the instance became UNSAT.
+  /// Throws InvalidArgument if a literal references a variable removed by
+  /// inprocessing (freeze such variables up front with set_frozen).
   bool add_clause(Clause lits);
   bool add_clause(std::initializer_list<Lit> lits) {
     return add_clause(Clause(lits));
   }
 
   /// Solves the current formula; with `assumptions`, solves under those
-  /// temporary unit assumptions (they do not persist).
+  /// temporary unit assumptions (they do not persist).  Assumption
+  /// variables must not have been removed by inprocessing (throws
+  /// InvalidArgument) — freeze them with set_frozen before solving.
   [[nodiscard]] SolveResult solve();
   [[nodiscard]] SolveResult solve(std::span<const Lit> assumptions);
 
   /// Model access after kSat.  Unassigned variables read as false.
+  /// Variables removed by inprocessing report their reconstructed value, so
+  /// the model satisfies the formula as originally added.
   [[nodiscard]] bool model_value(Var v) const;
   [[nodiscard]] bool model_value(Lit l) const {
     return model_value(l.var()) != l.negated();
@@ -63,10 +77,38 @@ class Solver {
     return conflict_;
   }
 
-  /// Abort search (returning kUnknown) after this many conflicts (0 = off).
+  /// Abort search (returning kUnknown) after this many cumulative
+  /// conflicts (0 = off).
   void set_conflict_limit(std::uint64_t limit) noexcept {
     conflict_limit_ = limit;
   }
+
+  /// Abort search (returning kUnknown) after this many cumulative
+  /// propagations (0 = off).  Together with the conflict limit this maps
+  /// caller deadlines onto kUnknown — the solver never hangs.
+  void set_propagation_limit(std::uint64_t limit) noexcept {
+    propagation_limit_ = limit;
+  }
+
+  /// Selects the inprocessing passes to run at the start of each solve in
+  /// which the clause database changed.  Default: none (the plain solver).
+  void set_inprocess(InprocessOptions options) noexcept;
+  [[nodiscard]] const InprocessStats& inprocess_stats() const noexcept;
+
+  /// Protects a variable from being eliminated or substituted away by
+  /// inprocessing.  Required for variables used in future assumptions or
+  /// future clauses.
+  void set_frozen(Var v, bool frozen = true);
+  /// True once inprocessing removed the variable (eliminated/substituted).
+  [[nodiscard]] bool is_removed(Var v) const;
+
+  /// Attaches a DRAT transcript: every added clause is logged as input and
+  /// every learnt/derived (and deleted) clause as a proof line, so a kUnsat
+  /// answer can be replayed by sat::check_proof.  Pass nullptr to detach.
+  /// The log must outlive the solver or the detach.  Attach before adding
+  /// clauses — the log is a self-contained certificate only if it saw the
+  /// whole formula.
+  void set_proof(ProofLog* proof) noexcept;
 
   [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
 
@@ -75,6 +117,7 @@ class Solver {
   std::unique_ptr<Impl> impl_;
   std::vector<Lit> conflict_;
   std::uint64_t conflict_limit_ = 0;
+  std::uint64_t propagation_limit_ = 0;
   SolverStats stats_;
 
   friend struct Impl;

@@ -1,0 +1,168 @@
+// Internal definition of Solver::Impl — the CDCL engine state shared by the
+// search core (sat/solver.cpp) and the inprocessing passes
+// (sat/inprocess.cpp).  Not part of the public API.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sat/drat.hpp"
+#include "sat/inprocess.hpp"
+#include "sat/solver.hpp"
+#include "sat/types.hpp"
+
+namespace fannet::sat {
+
+struct Solver::Impl {
+  // ---- clause storage -----------------------------------------------------
+  struct InternalClause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learnt = false;
+    /// Marked by inprocessing; swept (and its unique_ptr destroyed) at the
+    /// end of the round.  Dead clauses are always detached first.
+    bool dead = false;
+  };
+
+  struct Watcher {
+    InternalClause* clause = nullptr;
+    Lit blocker = kUndefLit;
+  };
+
+  std::vector<std::unique_ptr<InternalClause>> problem_clauses;
+  std::vector<std::unique_ptr<InternalClause>> learnt_clauses;
+
+  // ---- assignment state ---------------------------------------------------
+  std::vector<LBool> assigns;               // per var
+  std::vector<char> polarity;               // saved phase (1 = last was true)
+  std::vector<int> level;                   // per var
+  std::vector<InternalClause*> reason;      // per var
+  std::vector<Lit> trail;
+  std::vector<int> trail_lim;               // decision-level boundaries
+  std::size_t qhead = 0;
+  std::vector<std::vector<Watcher>> watches;  // indexed by Lit::code()
+  bool ok = true;
+
+  // ---- VSIDS --------------------------------------------------------------
+  std::vector<double> activity;
+  double var_inc = 1.0;
+  static constexpr double kVarDecay = 0.95;
+  double clause_inc = 1.0;
+  static constexpr double kClauseDecay = 0.999;
+
+  // Indexed binary max-heap over variable activity.
+  std::vector<Var> heap;
+  std::vector<int> heap_pos;  // per var; -1 = absent
+
+  // ---- inprocessing -------------------------------------------------------
+  /// Variable disposition: removed vars are skipped by branching, rejected
+  /// in clauses/assumptions, and valued by model reconstruction.
+  enum class VarState : char { kActive, kEliminated, kSubstituted };
+  std::vector<char> frozen;         // per var: protected from removal
+  std::vector<VarState> var_state;  // per var
+
+  /// Model-reconstruction stack, processed in reverse after each kSat.
+  /// BVE pushes the stored side's clauses (kClause entries, the eliminated
+  /// side literal in `a`) followed by one kDefault (the literal to make
+  /// true by default); SCC substitution pushes kEquiv (`a` must equal
+  /// literal `b`).  Reverse order guarantees every literal an entry reads
+  /// was reconstructed by a later-pushed entry already.
+  struct ExtEntry {
+    enum class Kind : char { kClause, kDefault, kEquiv };
+    Kind kind = Kind::kDefault;
+    Lit a = kUndefLit;
+    Lit b = kUndefLit;  // kEquiv only: the representative literal
+    Clause lits;        // kClause only: a clause containing `a`
+  };
+  std::vector<ExtEntry> extension;
+
+  InprocessOptions inprocess_opts{};
+  InprocessStats inprocess_counters{};
+  /// Set by add_clause; inprocessing runs only when the DB changed.
+  bool inprocess_dirty = true;
+
+  ProofLog* proof = nullptr;
+
+  // ---- scratch ------------------------------------------------------------
+  std::vector<char> seen;
+  std::vector<Lit> analyze_clear;
+  std::vector<Lit> assumptions;
+  std::vector<LBool> model;  // snapshot of assigns at the last kSat answer
+
+  Solver* owner = nullptr;
+
+  // ========================================================================
+  [[nodiscard]] int num_vars() const { return static_cast<int>(assigns.size()); }
+  [[nodiscard]] int decision_level() const {
+    return static_cast<int>(trail_lim.size());
+  }
+  [[nodiscard]] LBool value(Var v) const { return assigns[v]; }
+  [[nodiscard]] LBool value(Lit p) const {
+    const LBool v = assigns[p.var()];
+    if (v == LBool::kUndef) return LBool::kUndef;
+    return lbool_from((v == LBool::kTrue) != p.negated());
+  }
+  [[nodiscard]] bool removed(Var v) const {
+    return var_state[v] != VarState::kActive;
+  }
+
+  // ---- defined in solver.cpp ---------------------------------------------
+  Var new_var();
+  [[nodiscard]] bool heap_less(Var a, Var b) const;
+  void heap_percolate_up(int i);
+  void heap_percolate_down(int i);
+  void heap_insert(Var v);
+  Var heap_pop();
+  void bump_var(Var v);
+  void decay_var_activity();
+  void bump_clause(InternalClause& c);
+  void decay_clause_activity();
+  void unchecked_enqueue(Lit p, InternalClause* from);
+  void new_decision_level();
+  void cancel_until(int target_level);
+  void attach(InternalClause* c);
+  void detach(InternalClause* c);
+  InternalClause* propagate();
+  int analyze(InternalClause* conflict, std::vector<Lit>& out_learnt);
+  void analyze_final(Lit p);
+  [[nodiscard]] bool is_locked(const InternalClause* c) const;
+  void reduce_db();
+  Lit pick_branch_lit();
+  [[nodiscard]] bool out_of_budget() const;
+  SolveResult search(std::int64_t conflict_budget, std::size_t max_learnts);
+  SolveResult solve_internal();
+
+  // Proof-logging helpers (no-ops when no log is attached).
+  void log_derived(std::span<const Lit> lits) {
+    if (proof != nullptr) proof->add_derived(lits);
+  }
+  void log_deleted(std::span<const Lit> lits) {
+    if (proof != nullptr) proof->add_deletion(lits);
+  }
+
+  // ---- defined in inprocess.cpp ------------------------------------------
+  /// Runs the enabled passes at decision level 0.  May set ok = false (with
+  /// the empty clause logged).  Called from solve_internal.
+  void inprocess();
+  /// Unit-propagates at the root and clears the reason pointers of all
+  /// root-assigned variables so passes may delete any clause.  Returns
+  /// false on a root conflict (ok is cleared and the empty clause logged).
+  bool root_propagate();
+  /// Enqueues a derived root unit and propagates (same contract).
+  bool root_enqueue(Lit l);
+  /// Drops root-satisfied clauses and strips root-false literals.
+  void remove_satisfied();
+  void pass_scc();
+  void pass_subsume();
+  void pass_vivify();
+  void pass_bve();
+  /// Marks a clause dead: detaches, logs the deletion, leaves the corpse
+  /// for sweep_dead().
+  void kill_clause(InternalClause* c);
+  /// Erases dead clauses from both clause vectors.
+  void sweep_dead();
+  /// Extends `model` with reconstructed values for removed variables.
+  void extend_model();
+};
+
+}  // namespace fannet::sat

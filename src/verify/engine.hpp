@@ -18,9 +18,10 @@
 ///     cascade      interval -> symbolic -> bnb         exact    complete
 ///     explicit-mc  SMV translation + explicit-state MC exact    complete
 ///     bmc          SMV translation + CDCL bounded MC   exact    complete
+///     sat          CNF bit-blast + CDCL + inprocessing exact    complete
 ///
-/// The two MC-backed engines live in src/mc/engine_adapters.cpp (they need
-/// the SMV translation layer); the registry pulls them in at startup via
+/// The MC/SAT-backed engines live in src/mc (they need the SMV translation
+/// layer); the registry pulls them in at startup via
 /// `detail::register_translation_engines`.
 #pragma once
 
@@ -49,6 +50,13 @@ struct VerifyContext {
   /// SoA evaluation lanes per batched forward pass: 0 = auto
   /// (nn::BatchEvaluator::kAutoBatch), 1 = the scalar reference path.
   std::size_t batch_hint = 0;
+  /// Per-query CDCL conflict budget for SAT-backed engines ("sat"): when a
+  /// solve exceeds it the engine answers kUnknown with resource_limited
+  /// set instead of hanging.  0 = the engine's default budget.
+  std::uint64_t conflict_budget = 0;
+  /// Per-query unit-propagation budget for SAT-backed engines; same
+  /// semantics as conflict_budget.  0 = the engine's default budget.
+  std::uint64_t propagation_budget = 0;
 };
 
 /// One P2 decision strategy.  Implementations must be stateless or
@@ -162,8 +170,8 @@ class CascadeEngine final : public Engine {
 
 namespace detail {
 /// Defined in src/mc/engine_adapters.cpp: registers the SMV-translation
-/// backed engines ("explicit-mc", "bmc").  Declared here so the registry
-/// can seed them without a header dependency on the MC layer.
+/// backed engines ("explicit-mc", "bmc", "sat").  Declared here so the
+/// registry can seed them without a header dependency on the MC layer.
 void register_translation_engines(EngineRegistry& registry);
 }  // namespace detail
 

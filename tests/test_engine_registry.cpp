@@ -42,7 +42,7 @@ TEST(EngineRegistry, SeedsEveryBuiltinStrategy) {
   const std::vector<std::string> names = registry().names();
   for (const char* expected :
        {"bmc", "bnb", "cascade", "enumerate", "explicit-mc", "interval",
-        "symbolic"}) {
+        "sat", "symbolic"}) {
     EXPECT_TRUE(registry().contains(expected)) << expected;
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end());
     EXPECT_EQ(registry().get(expected).name(), expected);
@@ -53,6 +53,7 @@ TEST(EngineRegistry, SeedsEveryBuiltinStrategy) {
   EXPECT_TRUE(engine("enumerate").complete());
   EXPECT_TRUE(engine("bnb").complete());
   EXPECT_TRUE(engine("cascade").complete());
+  EXPECT_TRUE(engine("sat").complete());
   EXPECT_FALSE(engine("interval").complete());
   EXPECT_FALSE(engine("symbolic").complete());
 }

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "sat/dimacs.hpp"
+#include "sat/drat.hpp"
 #include "sat/solver.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -252,6 +253,302 @@ TEST(Dimacs, LoadIntoSolver) {
   ASSERT_EQ(s.solve(), SolveResult::kSat);
   EXPECT_TRUE(s.model_value(0));
   EXPECT_TRUE(s.model_value(1));
+}
+
+TEST(Dimacs, ClauseCountMismatchRejected) {
+  // Regression: the header's clause count used to be read and ignored, so a
+  // truncated file parsed as a (weaker) formula without any error.
+  EXPECT_THROW(parse_dimacs("p cnf 3 2\n1 0\n"), ParseError);
+  EXPECT_THROW(parse_dimacs("p cnf 3 1\n1 0\n2 0\n"), ParseError);
+  EXPECT_NO_THROW(parse_dimacs("p cnf 3 2\n1 0\n2 0\n"));
+}
+
+TEST(Dimacs, NegativeHeaderCountsRejected) {
+  // Regression: "p cnf -3 1" used to garble num_vars (and a negative clause
+  // count wrapped through an unsigned read) instead of failing.
+  EXPECT_THROW(parse_dimacs("p cnf -3 1\n1 0\n"), ParseError);
+  EXPECT_THROW(parse_dimacs("p cnf 3 -1\n1 0\n"), ParseError);
+  EXPECT_THROW(parse_dimacs("p cnf -3 -1\n"), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: assumptions, budgets, determinism across solver state.
+// ---------------------------------------------------------------------------
+TEST(Solver, ConflictAssumptionsAreSubsetAndSufficient) {
+  // !a | !b plus an irrelevant assumption c: the final conflict must be a
+  // subset of the assumptions, and re-solving under that subset alone must
+  // still be UNSAT (it is a genuine unsatisfiable core over assumptions).
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  s.add_clause({Lit(a, true), Lit(b, true)});
+  const std::array assumptions{Lit(c, false), Lit(a, false), Lit(b, false)};
+  ASSERT_EQ(s.solve(assumptions), SolveResult::kUnsat);
+  // The final conflict holds the *negations* of the failed assumptions
+  // ("these cannot all hold"), MiniSat-style.
+  const std::vector<Lit> core = s.conflict_assumptions();
+  ASSERT_FALSE(core.empty());
+  std::vector<Lit> failed;
+  for (const Lit l : core) {
+    EXPECT_NE(std::find(assumptions.begin(), assumptions.end(), ~l),
+              assumptions.end())
+        << "conflict literal " << l.to_string()
+        << " is not a negated assumption";
+    failed.push_back(~l);
+  }
+  EXPECT_EQ(s.solve(failed), SolveResult::kUnsat);
+  // Without assumptions the formula itself is still satisfiable.
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(Solver, VerdictsStableAcrossRepeatedSolves) {
+  // Phase saving and restart state persist between solve() calls; neither
+  // may ever change a verdict, only the path to it.
+  for (const std::uint64_t seed : {3u, 7u, 11u}) {
+    const RandomCnf rc = random_3sat(10, 43, seed);
+    Solver s;
+    (void)load_cnf(s, rc.cnf);
+    const SolveResult first = s.solve();
+    for (int round = 0; round < 4; ++round) {
+      EXPECT_EQ(s.solve(), first) << "seed=" << seed << " round=" << round;
+    }
+    EXPECT_EQ(first == SolveResult::kSat, rc.brute_sat);
+  }
+}
+
+TEST(Solver, ConflictBudgetExpiryPopulatesStats) {
+  Solver s;
+  build_php(s, 8, 7);
+  s.set_conflict_limit(10);
+  EXPECT_EQ(s.solve(), SolveResult::kUnknown);
+  EXPECT_GE(s.stats().conflicts, 10u);
+  EXPECT_GT(s.stats().propagations, 0u);
+  EXPECT_GT(s.stats().decisions, 0u);
+  // Raising the budget lets the same solver finish the job.
+  s.set_conflict_limit(0);
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(Solver, PropagationBudgetExpiryReturnsUnknown) {
+  Solver s;
+  build_php(s, 8, 7);
+  s.set_propagation_limit(200);
+  EXPECT_EQ(s.solve(), SolveResult::kUnknown);
+  EXPECT_GE(s.stats().propagations, 200u);
+  s.set_propagation_limit(0);
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+// ---------------------------------------------------------------------------
+// Inprocessing
+// ---------------------------------------------------------------------------
+
+/// All 16 on/off combinations of the four passes.
+InprocessOptions combo(unsigned mask) {
+  InprocessOptions o;
+  o.vivify = (mask & 1u) != 0;
+  o.subsume = (mask & 2u) != 0;
+  o.bve = (mask & 4u) != 0;
+  o.scc = (mask & 8u) != 0;
+  return o;
+}
+
+TEST(Inprocess, VerdictsAndModelsAgreeAcrossAllCombinations) {
+  for (const std::uint64_t seed : {2u, 5u, 13u}) {
+    const RandomCnf rc = random_3sat(10, 43, seed);
+    for (unsigned mask = 0; mask < 16; ++mask) {
+      Solver s;
+      s.set_inprocess(combo(mask));
+      (void)load_cnf(s, rc.cnf);
+      const SolveResult r = s.solve();
+      EXPECT_EQ(r == SolveResult::kSat, rc.brute_sat)
+          << "seed=" << seed << " mask=" << mask;
+      if (r == SolveResult::kSat) {
+        for (const Clause& cl : rc.cnf.clauses) {
+          bool sat = false;
+          for (const Lit l : cl) sat = sat || s.model_value(l);
+          EXPECT_TRUE(sat) << "seed=" << seed << " mask=" << mask
+                           << ": model violates a clause after reconstruction";
+        }
+      }
+    }
+  }
+}
+
+TEST(Inprocess, BveEliminatesAndReconstructs) {
+  // x appears in two clauses only: (x | a) & (!x | b).  BVE eliminates x
+  // (single resolvent a | b); the model must still satisfy both originals.
+  Solver s;
+  s.set_inprocess({.vivify = false, .subsume = false, .bve = true, .scc = false});
+  const Var x = s.new_var(), a = s.new_var(), b = s.new_var();
+  s.add_clause({Lit(x, false), Lit(a, false)});
+  s.add_clause({Lit(x, true), Lit(b, false)});
+  // Force a and b so x's reconstructed value is what decides the originals.
+  s.add_clause({Lit(a, true), Lit(b, true)});
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.is_removed(x));
+  EXPECT_GE(s.inprocess_stats().eliminated_vars, 1u);
+  EXPECT_TRUE(s.model_value(Lit(x, false)) || s.model_value(Lit(a, false)));
+  EXPECT_TRUE(s.model_value(Lit(x, true)) || s.model_value(Lit(b, false)));
+}
+
+TEST(Inprocess, RemovedVariablesRejectNewClausesAndAssumptions) {
+  Solver s;
+  s.set_inprocess(InprocessOptions::all());
+  const Var x = s.new_var(), a = s.new_var(), b = s.new_var();
+  s.add_clause({Lit(x, false), Lit(a, false)});
+  s.add_clause({Lit(x, true), Lit(b, false)});
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  ASSERT_TRUE(s.is_removed(x));
+  EXPECT_THROW((void)s.add_clause({Lit(x, false)}), InvalidArgument);
+  EXPECT_THROW((void)s.solve(std::array{Lit(x, false)}), InvalidArgument);
+  EXPECT_THROW(s.set_frozen(x), InvalidArgument);
+}
+
+TEST(Inprocess, FrozenVariablesSurviveForAssumptions) {
+  Solver s;
+  s.set_inprocess(InprocessOptions::all());
+  const Var x = s.new_var(), a = s.new_var(), b = s.new_var();
+  s.set_frozen(x);
+  s.add_clause({Lit(x, false), Lit(a, false)});
+  s.add_clause({Lit(x, true), Lit(b, false)});
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_FALSE(s.is_removed(x));
+  ASSERT_EQ(s.solve(std::array{Lit(x, false)}), SolveResult::kSat);
+  EXPECT_TRUE(s.model_value(x));
+  ASSERT_EQ(s.solve(std::array{Lit(x, true)}), SolveResult::kSat);
+  EXPECT_FALSE(s.model_value(x));
+}
+
+TEST(Inprocess, SccSubstitutesEquivalentLiterals) {
+  // a <-> b via the two binaries; (a | c) keeps the instance nontrivial
+  // without forcing anything at the root.  One of a/b is substituted; the
+  // model must keep them equal.
+  Solver s;
+  s.set_inprocess({.vivify = false, .subsume = false, .bve = false, .scc = true});
+  const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  s.add_clause({Lit(a, true), Lit(b, false)});   // a -> b
+  s.add_clause({Lit(b, true), Lit(a, false)});   // b -> a
+  s.add_clause({Lit(a, false), Lit(c, false)});
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_GE(s.inprocess_stats().substituted_vars, 1u);
+  EXPECT_EQ(s.model_value(a), s.model_value(b));
+}
+
+TEST(Inprocess, SccDetectsContradictoryCycle) {
+  // p <-> q and p <-> !q puts p and !p in one strongly connected component,
+  // so the instance is UNSAT purely from the binary implication graph — and
+  // the derivation (two units plus the empty clause) must check as a proof.
+  Solver s;
+  s.set_inprocess({.vivify = false, .subsume = false, .bve = false, .scc = true});
+  ProofLog proof;
+  s.set_proof(&proof);
+  const Var p = s.new_var(), q = s.new_var();
+  s.add_clause({Lit(p, true), Lit(q, false)});
+  s.add_clause({Lit(q, true), Lit(p, false)});
+  s.add_clause({Lit(p, true), Lit(q, true)});
+  s.add_clause({Lit(q, false), Lit(p, false)});
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+  EXPECT_TRUE(check_proof(proof).verified());
+}
+
+TEST(Inprocess, SubsumptionDropsAndStrengthens) {
+  Solver s;
+  s.set_inprocess({.vivify = false, .subsume = true, .bve = false, .scc = false});
+  const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  s.add_clause({Lit(a, false), Lit(b, false)});
+  s.add_clause({Lit(a, false), Lit(b, false), Lit(c, false)});  // subsumed
+  s.add_clause({Lit(a, true), Lit(b, false), Lit(c, false)});   // self-subsumed
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  const InprocessStats& st = s.inprocess_stats();
+  EXPECT_GE(st.subsumed, 1u);
+  EXPECT_GE(st.self_subsumed, 1u);
+}
+
+TEST(Inprocess, StatsAccumulateOnHardInstance) {
+  Solver s;
+  s.set_inprocess(InprocessOptions::all());
+  build_php(s, 6, 5);
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+  EXPECT_GE(s.inprocess_stats().rounds, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// DRAT proof logging
+// ---------------------------------------------------------------------------
+TEST(Drat, PigeonholeProofChecksAcrossAllInprocessCombinations) {
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    Solver s;
+    ProofLog proof;
+    s.set_proof(&proof);
+    s.set_inprocess(combo(mask));
+    build_php(s, 5, 4);
+    ASSERT_EQ(s.solve(), SolveResult::kUnsat) << "mask=" << mask;
+    EXPECT_GT(proof.derivations(), 0u) << "mask=" << mask;
+    const ProofCheckResult r = check_proof(proof);
+    EXPECT_TRUE(r.verified()) << "mask=" << mask << ": " << r.detail;
+  }
+}
+
+TEST(Drat, AssumptionUnsatCarriesCheckableProof) {
+  Solver s;
+  ProofLog proof;
+  s.set_proof(&proof);
+  const Var a = s.new_var(), b = s.new_var();
+  s.add_clause({Lit(a, true), Lit(b, true)});
+  const std::array assumptions{Lit(a, false), Lit(b, false)};
+  ASSERT_EQ(s.solve(assumptions), SolveResult::kUnsat);
+  EXPECT_TRUE(check_proof(proof, assumptions).verified());
+  // The failed-assumption subset (conflict_assumptions holds its negation)
+  // is itself a sufficient context.
+  std::vector<Lit> failed;
+  for (const Lit l : s.conflict_assumptions()) failed.push_back(~l);
+  EXPECT_TRUE(check_proof(proof, failed).verified());
+  // Without the assumptions the formula is satisfiable, so the same log
+  // must NOT check as a plain refutation.
+  EXPECT_FALSE(check_proof(proof).verified());
+}
+
+TEST(Drat, AddClauseConflictLogsEmptyClause) {
+  Solver s;
+  ProofLog proof;
+  s.set_proof(&proof);
+  const Var v = s.new_var();
+  s.add_clause({Lit(v, false)});
+  EXPECT_FALSE(s.add_clause({Lit(v, true)}));
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+  EXPECT_TRUE(check_proof(proof).verified());
+}
+
+TEST(Drat, CheckerRejectsBogusDerivation) {
+  ProofLog proof;
+  const Lit a(0, false), b(1, false);
+  proof.add_input(std::array{a, b});
+  proof.add_derived(std::array{a});  // not RUP: asserting !a does not conflict
+  const ProofCheckResult r = check_proof(proof);
+  EXPECT_FALSE(r.verified());
+  EXPECT_NE(r.detail.find("not RUP"), std::string::npos) << r.detail;
+}
+
+TEST(Drat, CheckerBudgetReturnsHonestAnswer) {
+  Solver s;
+  ProofLog proof;
+  s.set_proof(&proof);
+  build_php(s, 6, 5);
+  ASSERT_EQ(s.solve(), SolveResult::kUnsat);
+  const ProofCheckResult r = check_proof(proof, {}, 10);
+  EXPECT_EQ(r.status, ProofCheckResult::Status::kBudget);
+  EXPECT_FALSE(r.verified());
+}
+
+TEST(Drat, TextualDratExportMentionsDeletions) {
+  Solver s;
+  ProofLog proof;
+  s.set_proof(&proof);
+  build_php(s, 5, 4);
+  ASSERT_EQ(s.solve(), SolveResult::kUnsat);
+  const std::string text = proof.to_drat();
+  EXPECT_NE(text.find("0\n"), std::string::npos);
+  EXPECT_EQ(proof.formula().num_vars, 20);
 }
 
 }  // namespace

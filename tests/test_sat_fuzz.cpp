@@ -1,0 +1,204 @@
+// Differential fuzz oracle for the CDCL solver (ISSUE: every inprocessing
+// combination must agree with brute force on random small CNFs).
+//
+// For each seeded random instance and each of the 16 on/off combinations of
+// the inprocessing passes:
+//   - the verdict must equal the brute-force enumerator's,
+//   - a kSat answer's model must satisfy every clause (model reconstruction
+//     included),
+//   - a kUnsat answer must carry a DRAT transcript that the bounded checker
+//     verifies — plain, and under random frozen assumptions,
+//   - conflict_assumptions() must be a negated subset of the assumptions
+//     that is itself sufficient for UNSAT.
+// On any mismatch a greedy shrinker minimizes the instance (drop clauses,
+// then literals, while the failure reproduces) and prints it as DIMACS so
+// the failure is immediately replayable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "sat/dimacs.hpp"
+#include "sat/drat.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace fannet::sat {
+namespace {
+
+InprocessOptions combo(unsigned mask) {
+  InprocessOptions o;
+  o.vivify = (mask & 1u) != 0;
+  o.subsume = (mask & 2u) != 0;
+  o.bve = (mask & 4u) != 0;
+  o.scc = (mask & 8u) != 0;
+  return o;
+}
+
+/// Brute-force satisfiability of `cnf` with `forced` literals pinned true.
+bool brute_sat(const Cnf& cnf, const std::vector<Lit>& forced = {}) {
+  const int n = cnf.num_vars;
+  for (std::uint32_t m = 0; m < (1u << n); ++m) {
+    const auto lit_true = [m](Lit l) {
+      return (((m >> l.var()) & 1u) != 0) != l.negated();
+    };
+    bool all = std::all_of(forced.begin(), forced.end(), lit_true);
+    for (const Clause& cl : cnf.clauses) {
+      if (!all) break;
+      all = std::any_of(cl.begin(), cl.end(), lit_true);
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+/// Random CNF with mixed clause lengths (units through 4-literal clauses).
+Cnf random_cnf(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Cnf cnf;
+  cnf.num_vars = static_cast<int>(rng.uniform_int(4, 11));
+  const int clauses =
+      static_cast<int>(rng.uniform_int(2, 5) * static_cast<std::uint64_t>(cnf.num_vars));
+  for (int c = 0; c < clauses; ++c) {
+    Clause cl;
+    const int len = static_cast<int>(rng.uniform_int(1, 4));
+    for (int k = 0; k < len; ++k) {
+      cl.emplace_back(static_cast<Var>(rng.uniform_int(0, cnf.num_vars - 1)),
+                      rng.bernoulli(0.5));
+    }
+    cnf.clauses.push_back(std::move(cl));
+  }
+  return cnf;
+}
+
+/// Runs one solver configuration against the oracle.  Returns an empty
+/// string on agreement, else a description of the failure.
+std::string check_once(const Cnf& cnf, unsigned mask,
+                       const std::vector<Lit>& assumptions) {
+  const bool expect_sat = brute_sat(cnf, assumptions);
+  Solver s;
+  ProofLog proof;
+  s.set_proof(&proof);
+  s.set_inprocess(combo(mask));
+  (void)load_cnf(s, cnf);
+  // Inprocessing only runs inside solve(), so freezing after loading (but
+  // before the first solve) is early enough.
+  for (const Lit a : assumptions) s.set_frozen(a.var());
+  const SolveResult r = s.solve(assumptions);
+  if (r == SolveResult::kUnknown) return "unexpected kUnknown (no budget set)";
+  if ((r == SolveResult::kSat) != expect_sat) {
+    return std::string("verdict mismatch: solver says ") +
+           (r == SolveResult::kSat ? "SAT" : "UNSAT") + ", brute force says " +
+           (expect_sat ? "SAT" : "UNSAT");
+  }
+  if (r == SolveResult::kSat) {
+    for (const Lit a : assumptions) {
+      if (!s.model_value(a)) return "model violates assumption " + a.to_string();
+    }
+    for (std::size_t i = 0; i < cnf.clauses.size(); ++i) {
+      bool sat = false;
+      for (const Lit l : cnf.clauses[i]) sat = sat || s.model_value(l);
+      if (!sat) return "model violates clause " + std::to_string(i);
+    }
+    return {};
+  }
+  // kUnsat: the DRAT transcript must check under the solve's assumptions...
+  const ProofCheckResult pc = check_proof(proof, assumptions);
+  if (!pc.verified()) return "UNSAT proof rejected: " + pc.detail;
+  // ...and the failed-assumption core must be a negated subset that is
+  // itself sufficient.
+  std::vector<Lit> failed;
+  for (const Lit l : s.conflict_assumptions()) {
+    if (std::find(assumptions.begin(), assumptions.end(), ~l) ==
+        assumptions.end()) {
+      return "conflict literal " + l.to_string() + " is not a negated assumption";
+    }
+    failed.push_back(~l);
+  }
+  if (s.solve(failed) != SolveResult::kUnsat) {
+    return "failed-assumption core is not itself UNSAT";
+  }
+  return {};
+}
+
+/// Greedy minimization: drop whole clauses, then single literals, as long
+/// as the failure keeps reproducing.
+Cnf shrink(Cnf cnf, unsigned mask, const std::vector<Lit>& assumptions) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < cnf.clauses.size(); ++i) {
+      Cnf smaller = cnf;
+      smaller.clauses.erase(smaller.clauses.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      if (!check_once(smaller, mask, assumptions).empty()) {
+        cnf = std::move(smaller);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) continue;
+    for (std::size_t i = 0; i < cnf.clauses.size() && !progress; ++i) {
+      for (std::size_t k = 0; k < cnf.clauses[i].size(); ++k) {
+        Cnf smaller = cnf;
+        smaller.clauses[i].erase(smaller.clauses[i].begin() +
+                                 static_cast<std::ptrdiff_t>(k));
+        if (!check_once(smaller, mask, assumptions).empty()) {
+          cnf = std::move(smaller);
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+  return cnf;
+}
+
+void run_fuzz_case(const Cnf& cnf, unsigned mask,
+                   const std::vector<Lit>& assumptions) {
+  const std::string failure = check_once(cnf, mask, assumptions);
+  if (failure.empty()) return;
+  const Cnf minimal = shrink(cnf, mask, assumptions);
+  std::string assume_text;
+  for (const Lit a : assumptions) assume_text += a.to_string() + " ";
+  ADD_FAILURE() << failure << "\ninprocess mask: " << mask
+                << "\nassumptions: " << (assume_text.empty() ? "(none)" : assume_text)
+                << "\nminimized instance:\n"
+                << to_dimacs(minimal);
+}
+
+class SatFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SatFuzz, AllInprocessCombinationsAgreeWithBruteForce) {
+  const Cnf cnf = random_cnf(GetParam() * 7919 + 17);
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    run_fuzz_case(cnf, mask, {});
+  }
+}
+
+TEST_P(SatFuzz, FrozenAssumptionsAgreeWithBruteForce) {
+  const std::uint64_t seed = GetParam() * 104729 + 5;
+  const Cnf cnf = random_cnf(seed);
+  util::Rng rng(seed ^ 0x5eedu);
+  std::vector<Lit> assumptions;
+  const int count = static_cast<int>(rng.uniform_int(1, 3));
+  for (int i = 0; i < count; ++i) {
+    const Var v = static_cast<Var>(rng.uniform_int(0, cnf.num_vars - 1));
+    const Lit a(v, rng.bernoulli(0.5));
+    if (std::find_if(assumptions.begin(), assumptions.end(), [v](Lit l) {
+          return l.var() == v;
+        }) == assumptions.end()) {
+      assumptions.push_back(a);
+    }
+  }
+  // The plain core and the full suite bracket the combination space; the
+  // no-assumption sweep above covers every mask.
+  for (const unsigned mask : {0u, 15u}) {
+    run_fuzz_case(cnf, mask, assumptions);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatFuzz, testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace fannet::sat
