@@ -275,6 +275,12 @@ NodeSensitivityReport analyze_sensitivity(
     if (std::find(bad.begin(), bad.end(), s) == bad.end()) correct.push_back(s);
   }
   if (config.sweep.has_value()) {
+    if (config.deadline_ms != 0) {
+      // Journaled shard rows must be time-independent to be resumable;
+      // see analyze_tolerance for the same restriction.
+      throw InvalidArgument(
+          "analyze_sensitivity: deadline_ms cannot be combined with sweep");
+    }
     // Resumable sharded path (DESIGN.md §9): the same directional and solo
     // probes as journaled sweep units; bit-identical to the batch path.
     SensitivityCampaign campaign(fannet, inputs, labels, range, config,
@@ -289,7 +295,8 @@ NodeSensitivityReport analyze_sensitivity(
   const verify::Scheduler scheduler(
       {.threads = config.threads,
        .intra_query_threads = config.intra_query_threads,
-       .batch_hint = config.batch});
+       .batch_hint = config.batch,
+       .deadline_ms = config.deadline_ms});
 
   // Directional: delta_i restricted to one sign, others full range.  Per
   // node and sign this is an existence query over the samples — decided as
@@ -317,6 +324,7 @@ NodeSensitivityReport analyze_sensitivity(
     std::optional<int>& best = report.solo_flip_range[task % n];
     if (!best.has_value() || *pair_flip[task] < *best) best = pair_flip[task];
   }
+  report.deadline_expired = scheduler.deadline_expired_total();
   return report;
 }
 

@@ -57,6 +57,11 @@ struct NodeSensitivityReport {
   /// always recomputed in full; the probe results are partial until the
   /// campaign completes.
   verify::SweepProgress sweep = {};
+
+  /// Probes cut short by SensitivityConfig::deadline_ms (0 when no
+  /// deadline was set, or none expired).  Non-zero means the directional /
+  /// solo results above may under-report what a full run would find.
+  std::uint64_t deadline_expired = 0;
 };
 
 struct SensitivityConfig {
@@ -75,6 +80,13 @@ struct SensitivityConfig {
   /// (nn::BatchEvaluator::kAutoBatch), 1 = the scalar reference path.
   /// Reports are bit-identical for every value.
   std::size_t batch = 0;
+  /// Per-query wall-clock deadline in milliseconds (0 = none), forwarded
+  /// as verify::SchedulerOptions::deadline_ms.  Expired probes resolve
+  /// kUnknown — "direction not shown possible" / "no solo flip found" —
+  /// and are counted in NodeSensitivityReport::deadline_expired.
+  /// Incompatible with `sweep` (journaled shard rows must be
+  /// time-independent to be resumable) — rejected with InvalidArgument.
+  std::uint64_t deadline_ms = 0;
   /// Opt-in resumable sharded execution of the probe fan-out (DESIGN.md
   /// §9): directional and Eq.-3 solo probes become journaled sweep units;
   /// an interrupted campaign resumes instead of restarting.  Reports are

@@ -256,6 +256,13 @@ ToleranceReport Fannet::analyze_tolerance(const la::Matrix<i64>& inputs,
   }
 
   if (config.sweep.has_value()) {
+    if (config.deadline_ms != 0) {
+      // A journaled shard row must mean the same thing on every re-run;
+      // deadline-cut rows depend on wall-clock timing and would make a
+      // resumed campaign diverge from an uninterrupted one.
+      throw InvalidArgument(
+          "analyze_tolerance: deadline_ms cannot be combined with sweep");
+    }
     // Resumable sharded path (DESIGN.md §9): the same screens and descents,
     // decomposed into per-sample units, journaled and resumable.  The
     // report is bit-identical to the batch path below.
@@ -269,7 +276,8 @@ ToleranceReport Fannet::analyze_tolerance(const la::Matrix<i64>& inputs,
     const verify::Scheduler scheduler(
         {.threads = config.threads,
          .intra_query_threads = config.intra_query_threads,
-         .batch_hint = config.batch});
+         .batch_hint = config.batch,
+         .deadline_ms = config.deadline_ms});
 
     // Phase 1: screen every correct sample at the full start range, batched
     // through the scheduler.  Monotonicity (a counterexample in ±R stays
@@ -304,6 +312,7 @@ ToleranceReport Fannet::analyze_tolerance(const la::Matrix<i64>& inputs,
       descent_queries.fetch_add(outcome.queries, std::memory_order_relaxed);
     });
     report.queries = correct.size() + descent_queries.load();
+    report.deadline_expired = scheduler.deadline_expired_total();
   }
 
   // Tolerance: largest range with no flip among correct samples.

@@ -68,6 +68,14 @@ struct ToleranceConfig {
   /// (nn::BatchEvaluator::kAutoBatch), 1 = the scalar reference path.
   /// Reports are bit-identical for every value.
   std::size_t batch = 0;
+  /// Per-query wall-clock deadline in milliseconds (0 = none), forwarded
+  /// as verify::SchedulerOptions::deadline_ms.  An expired probe resolves
+  /// kUnknown — treated as "no flip found at that range" — so the reported
+  /// tolerance can only err toward the optimistic side; the cut is never
+  /// silent: ToleranceReport::deadline_expired counts the expired probes.
+  /// Incompatible with `sweep` (journaled shard rows must be
+  /// time-independent to be resumable) — rejected with InvalidArgument.
+  std::uint64_t deadline_ms = 0;
   /// Opt-in resumable sharded execution (DESIGN.md §9): when engaged, the
   /// per-sample work runs through verify::SweepRunner — journaled to
   /// `sweep->journal_path`, resumable after a crash, and chunkable across
@@ -93,6 +101,10 @@ struct ToleranceReport {
   int noise_tolerance = 0;
   std::vector<SampleTolerance> per_sample;
   std::uint64_t queries = 0;
+  /// Probes cut short by ToleranceConfig::deadline_ms (0 when no deadline
+  /// was set, or none expired).  Non-zero means `noise_tolerance` is an
+  /// optimistic bound: an expired probe counts as "no flip at that range".
+  std::uint64_t deadline_expired = 0;
   /// Sweep accounting when ToleranceConfig::sweep was engaged (default
   /// otherwise: complete() is true).  When `!sweep.complete()` the report
   /// covers only the absorbed shards — `noise_tolerance` and `queries` are

@@ -359,8 +359,11 @@ bool Solver::Impl::out_of_budget() const {
       owner->stats_.conflicts >= owner->conflict_limit_) {
     return true;
   }
-  return owner->propagation_limit_ != 0 &&
-         owner->stats_.propagations >= owner->propagation_limit_;
+  if (owner->propagation_limit_ != 0 &&
+      owner->stats_.propagations >= owner->propagation_limit_) {
+    return true;
+  }
+  return owner->stop_ && owner->stop_();
 }
 
 /// One restart-bounded search episode.

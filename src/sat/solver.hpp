@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -90,6 +91,15 @@ class Solver {
     propagation_limit_ = limit;
   }
 
+  /// Installs a cooperative stop callback, polled wherever the budget
+  /// limits are (after each conflict, at every decision point, and at the
+  /// restart boundary): a true return aborts the solve with kUnknown,
+  /// leaving the clause database (and all learnt clauses) intact so a
+  /// later solve resumes incrementally.  This is how callers map
+  /// wall-clock deadlines, cancellation tokens, and cooperative yields
+  /// onto the solver without a watchdog thread.  Pass nullptr to detach.
+  void set_stop(std::function<bool()> stop) { stop_ = std::move(stop); }
+
   /// Selects the inprocessing passes to run at the start of each solve in
   /// which the clause database changed.  Default: none (the plain solver).
   void set_inprocess(InprocessOptions options) noexcept;
@@ -118,6 +128,7 @@ class Solver {
   std::vector<Lit> conflict_;
   std::uint64_t conflict_limit_ = 0;
   std::uint64_t propagation_limit_ = 0;
+  std::function<bool()> stop_;
   SolverStats stats_;
 
   friend struct Impl;

@@ -15,6 +15,7 @@
 #include "util/error.hpp"
 #include "verify/interval.hpp"
 #include "verify/symbolic.hpp"
+#include "verify/task.hpp"
 
 namespace fannet::verify {
 
@@ -70,11 +71,17 @@ class Frontier {
   }
 
   /// Pops the caller's newest box, stealing when its own lane is empty.
-  /// Returns false once the search is over: `quit` was raised, or the
-  /// frontier is globally drained.
-  bool pop(std::size_t w, NoiseBox& out, const std::atomic<bool>& quit) {
+  /// Returns false once the search is over — `quit` was raised or the
+  /// frontier is globally drained — or, when `yield` is set, once a step
+  /// quota asks the workers to park (the frontier stays intact for the
+  /// next step; popped boxes are always fully processed).
+  bool pop(std::size_t w, NoiseBox& out, const std::atomic<bool>& quit,
+           const std::atomic<bool>* yield = nullptr) {
     for (;;) {
       if (quit.load(std::memory_order_acquire)) return false;
+      if (yield != nullptr && yield->load(std::memory_order_acquire)) {
+        return false;
+      }
       {
         Lane& lane = lanes_[w];
         const std::scoped_lock lock(lane.mutex);
@@ -93,6 +100,12 @@ class Frontier {
   /// Marks one popped box fully processed (its children, if any, were
   /// pushed before this call, so in-flight never dips to zero early).
   void done() { in_flight_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  /// True when no box is queued or being processed — the search space is
+  /// fully explored (checked between steps, when no worker is running).
+  [[nodiscard]] bool drained() const noexcept {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  }
 
  private:
   struct Lane {
@@ -189,6 +202,16 @@ struct Search {
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
+  /// Deadline/cancel source (BnbOptions::budget); polled per box and every
+  /// ~256 drain points.  Always non-null once the search is set up.
+  const Budget* budget = nullptr;
+  /// Cooperative step machinery (BnbTask only).  When `yield` is non-null,
+  /// workers set it — and park at their next pop — once `boxes` reaches
+  /// `step_target` or `extra_yield` fires (the task's pause flag).
+  std::atomic<bool>* yield = nullptr;
+  std::uint64_t step_target = 0;
+  std::function<bool()> extra_yield;
+
   Search(const Query& q, const BnbOptions& o, std::size_t workers)
       : query(q), options(o), frontier(workers) {}
 };
@@ -218,7 +241,7 @@ class Worker {
 
   void run() {
     NoiseBox box;
-    while (s_.frontier.pop(w_, box, s_.quit)) {
+    while (s_.frontier.pop(w_, box, s_.quit, s_.yield)) {
       try {
         process(std::move(box));
       } catch (...) {
@@ -227,6 +250,11 @@ class Worker {
         s_.quit.store(true, std::memory_order_release);
       }
       s_.frontier.done();
+      if (s_.yield != nullptr &&
+          (s_.boxes.load(std::memory_order_relaxed) >= s_.step_target ||
+           (s_.extra_yield && s_.extra_yield()))) {
+        s_.yield->store(true, std::memory_order_release);
+      }
     }
   }
 
@@ -254,10 +282,21 @@ class Worker {
     return !(box.lo < *bound_);
   }
 
+  /// Periodic deadline/cancel poll inside flips-everywhere drains: maps an
+  /// expiry onto the exhausted path (witnesses already emitted stay
+  /// valid).  Strided so the steady_clock read is amortized.
+  bool drain_interrupted() {
+    if ((++poll_ & 255u) != 0) return false;
+    if (!s_.budget->interrupted()) return false;
+    s_.exhausted.store(true, std::memory_order_relaxed);
+    s_.quit.store(true, std::memory_order_release);
+    return true;
+  }
+
   void process(NoiseBox box) {
     const std::uint64_t seen =
         s_.boxes.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (seen > s_.options.max_boxes) {
+    if (seen > s_.options.max_boxes || s_.budget->interrupted()) {
       s_.exhausted.store(true, std::memory_order_relaxed);
       s_.quit.store(true, std::memory_order_release);
       return;
@@ -303,6 +342,7 @@ class Worker {
       }
       for_each_lex(box, [&](const std::vector<int>& point) {
         if (s_.quit.load(std::memory_order_acquire)) return false;
+        if (drain_interrupted()) return false;
         // Lex order: once the top-K bound is reached, no later point in
         // this box can enter the set.
         if (s_.topk != nullptr && s_.topk->refresh(bound_version_, bound_) &&
@@ -380,6 +420,7 @@ class Worker {
       evaluator_->run(*batch_);
       for (std::size_t t = 0; t < points_.size(); ++t) {
         if (s_.quit.load(std::memory_order_acquire)) return;
+        if (drain_interrupted()) return;
         if (s_.topk != nullptr && s_.topk->refresh(bound_version_, bound_) &&
             !(points_[t] < *bound_)) {
           return;
@@ -396,6 +437,7 @@ class Worker {
   std::size_t w_;
   Query sub_;  // per-worker scratch query (box rewritten per candidate)
   std::size_t y_;
+  std::uint32_t poll_ = 0;  // drain_interrupted stride counter
   std::uint64_t bound_version_ = 0;
   std::optional<std::vector<int>> bound_;
   std::optional<nn::BatchEvaluator> evaluator_;  // lazy: flips drains only
@@ -422,6 +464,7 @@ SearchOutcome run_search(const Query& query, const BnbOptions& options,
           : std::max<std::size_t>(1, std::thread::hardware_concurrency());
 
   Search search(query, options, workers);
+  search.budget = &options.budget;
   std::optional<TopK> topk;
   if (sink == nullptr) {
     topk.emplace(top_k);
@@ -450,18 +493,10 @@ SearchOutcome run_search(const Query& query, const BnbOptions& options,
   return outcome;
 }
 
-}  // namespace
-
-std::uint64_t bnb_stream(const Query& query,
-                         const std::function<bool(const Counterexample&)>& sink,
-                         BnbOptions options) {
-  const SearchOutcome outcome = run_search(query, options, &sink, 0);
-  if (outcome.exhausted) throw ResourceLimit("bnb: box budget exceeded");
-  return outcome.boxes;
-}
-
-VerifyResult bnb_verify(const Query& query, BnbOptions options) {
-  const SearchOutcome outcome = run_search(query, options, nullptr, 1);
+/// Decision-query result from a finished top-1 search (shared by
+/// bnb_verify and the task path, so both compose identically).
+[[nodiscard]] VerifyResult compose_decision(const Query& query,
+                                            SearchOutcome outcome) {
   VerifyResult result;
   result.work = outcome.boxes;
   result.resource_limited = outcome.exhausted;
@@ -474,10 +509,94 @@ VerifyResult bnb_verify(const Query& query, BnbOptions options) {
     result.verdict = Verdict::kVulnerable;
     result.counterexample = make_cex(query, point, mis_label);
   } else {
-    result.verdict =
-        outcome.exhausted ? Verdict::kUnknown : Verdict::kRobust;
+    result.verdict = outcome.exhausted ? Verdict::kUnknown : Verdict::kRobust;
   }
   return result;
+}
+
+/// Native resumable task: owns the Search (frontier, top-1 set, box
+/// counter) across steps.  Each step re-arms the box quota, runs the
+/// worker pool until the quota is hit / the frontier drains / the search
+/// quits, and joins the workers — so between steps no thread is running
+/// and the checkpoint is just the parked frontier.  Exploration *order*
+/// is all that pausing perturbs, and the lex-lowest-witness guarantee is
+/// order-independent.
+class BnbTask final : public EngineTask {
+ public:
+  BnbTask(Query query, BnbOptions options)
+      : EngineTask(options.budget),
+        query_(std::move(query)),
+        options_(std::move(options)) {}
+
+ private:
+  bool step_impl(std::uint64_t max_work, VerifyResult& out) override {
+    if (!search_.has_value()) {
+      query_.validate();
+      workers_ = options_.threads != 0
+                     ? options_.threads
+                     : std::max<std::size_t>(
+                           1, std::thread::hardware_concurrency());
+      search_.emplace(query_, options_, workers_);
+      topk_.emplace(1);
+      search_->topk = &*topk_;
+      search_->budget = &budget();
+      search_->yield = &yield_;
+      search_->extra_yield = [this] { return should_yield(); };
+      search_->frontier.push(0, query_.box);
+    }
+    yield_.store(false, std::memory_order_relaxed);
+    search_->step_target =
+        search_->boxes.load(std::memory_order_relaxed) + max_work;
+
+    if (workers_ == 1) {
+      Worker(*search_, 0).run();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers_);
+      for (std::size_t w = 0; w < workers_; ++w) {
+        pool.emplace_back([this, w] { Worker(*search_, w).run(); });
+      }
+      for (std::thread& t : pool) t.join();
+    }
+    if (search_->first_error) std::rethrow_exception(search_->first_error);
+
+    const bool finished = search_->quit.load(std::memory_order_acquire) ||
+                          search_->frontier.drained();
+    if (!finished) return false;  // parked on the step quota / a pause
+    SearchOutcome outcome;
+    outcome.found = topk_->take();
+    outcome.boxes = search_->boxes.load();
+    outcome.exhausted = search_->exhausted.load();
+    out = compose_decision(query_, std::move(outcome));
+    return true;
+  }
+
+  Query query_;
+  BnbOptions options_;
+  std::size_t workers_ = 1;
+  std::optional<Search> search_;  // constructed on the first step
+  std::optional<TopK> topk_;
+  std::atomic<bool> yield_{false};
+};
+
+}  // namespace
+
+std::uint64_t bnb_stream(const Query& query,
+                         const std::function<bool(const Counterexample&)>& sink,
+                         BnbOptions options) {
+  const SearchOutcome outcome = run_search(query, options, &sink, 0);
+  if (outcome.exhausted) throw ResourceLimit("bnb: box budget exceeded");
+  return outcome.boxes;
+}
+
+VerifyResult bnb_verify(const Query& query, BnbOptions options) {
+  return compose_decision(query, run_search(query, options, nullptr, 1));
+}
+
+std::unique_ptr<EngineTask> make_bnb_task(const Query& query,
+                                          const BnbOptions& options) {
+  query.validate();
+  return std::make_unique<BnbTask>(query, options);
 }
 
 std::vector<Counterexample> bnb_collect(const Query& query,

@@ -41,10 +41,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
+#include "verify/budget.hpp"
 #include "verify/query.hpp"
 
 namespace fannet::verify {
+
+class EngineTask;
 
 struct BnbOptions {
   std::uint64_t max_boxes = 100'000'000;  ///< box budget (see bnb_verify)
@@ -68,6 +72,13 @@ struct BnbOptions {
   /// batch).  Verdicts, witnesses and emitted sets are identical for every
   /// value.
   std::size_t batch = 0;
+  /// Unified resource budget (verify/budget.hpp).  A wall-clock deadline
+  /// or cancellation maps onto the exhausted path: the search stops at the
+  /// next box boundary (or mid-drain, every ~256 points) and the result is
+  /// kUnknown + `resource_limited` — or a valid witness already in hand,
+  /// also flagged.  `budget.max_boxes` is mapped onto `max_boxes` by the
+  /// engine adapter; deadline/cancel are polled here directly.
+  Budget budget = {};
 };
 
 /// Decision query: the lexicographically-lowest counterexample or proof of
@@ -91,5 +102,14 @@ struct BnbOptions {
 std::uint64_t bnb_stream(const Query& query,
                          const std::function<bool(const Counterexample&)>& sink,
                          BnbOptions options = {});
+
+/// Native resumable task for the decision query (verify/task.hpp): the
+/// work-stealing frontier is checkpointed between steps, each step
+/// processing ~`max_work` boxes before the workers park.  Pause/resume
+/// only changes worker scheduling — the lex-lowest-witness guarantee is
+/// order-independent, so verdict and witness are bit-identical to
+/// `bnb_verify` at any step size and thread count.
+[[nodiscard]] std::unique_ptr<EngineTask> make_bnb_task(
+    const Query& query, const BnbOptions& options = {});
 
 }  // namespace fannet::verify

@@ -8,6 +8,7 @@
 #include "verify/enumerate.hpp"
 #include "verify/interval.hpp"
 #include "verify/symbolic.hpp"
+#include "verify/task.hpp"
 
 namespace fannet::verify {
 
@@ -30,6 +31,19 @@ class EnumerateEngine final : public Engine {
     options.batch = context.batch_hint;
     options.threads = std::max<std::size_t>(1, context.threads);
     return enumerate_find_first(query, options);
+  }
+  [[nodiscard]] EngineCaps caps() const noexcept override {
+    return EngineCaps{.complete = true,
+                      .deadline = true,
+                      .budget = false,
+                      .native_task = true};
+  }
+  [[nodiscard]] std::unique_ptr<EngineTask> make_task(
+      const Query& query, const VerifyContext& context) const override {
+    EnumerateOptions options;
+    options.batch = context.batch_hint;
+    options.threads = std::max<std::size_t>(1, context.threads);
+    return make_enumerate_task(query, options, context.budget);
   }
 };
 
@@ -66,14 +80,84 @@ class BnbEngine final : public Engine {
   }
   [[nodiscard]] VerifyResult verify_with(
       const Query& query, const VerifyContext& context) const override {
+    return bnb_verify(query, resolve_options(context));
+  }
+  [[nodiscard]] EngineCaps caps() const noexcept override {
+    return EngineCaps{.complete = true,
+                      .deadline = true,
+                      .budget = true,
+                      .native_task = true};
+  }
+  [[nodiscard]] std::unique_ptr<EngineTask> make_task(
+      const Query& query, const VerifyContext& context) const override {
+    return make_bnb_task(query, resolve_options(context));
+  }
+
+ private:
+  [[nodiscard]] static BnbOptions resolve_options(
+      const VerifyContext& context) {
     BnbOptions options;
     options.threads = std::max<std::size_t>(1, context.threads);
     options.batch = context.batch_hint;
-    return bnb_verify(query, options);
+    options.budget = context.budget;
+    if (context.budget.max_boxes > 0) {
+      options.max_boxes = context.budget.max_boxes;
+    }
+    return options;
   }
 };
 
+/// Staged pipeline task for the cascade: one native sub-task per stage,
+/// advanced one bounded sub-step per parent step.  A stage deciding the
+/// query (or the last stage finishing) finalizes with work accumulated
+/// across every stage that ran — the exact composition rule of
+/// CascadeEngine::verify_with.  A deadline/cancel expiry truncates the
+/// pipeline instead of starting the next stage (flagged resource_limited,
+/// since the skipped stages might have decided).
+class CascadeTask final : public EngineTask {
+ public:
+  CascadeTask(std::vector<const Engine*> stages, Query query,
+              VerifyContext context)
+      : EngineTask(context.budget),
+        stages_(std::move(stages)),
+        query_(std::move(query)),
+        context_(std::move(context)) {}
+
+ private:
+  bool step_impl(std::uint64_t max_work, VerifyResult& out) override {
+    if (sub_ == nullptr) {
+      sub_ = stages_[stage_]->make_task(query_, context_);
+    }
+    if (sub_->step(max_work) != TaskState::kDone) return false;
+    out = sub_->result();
+    work_ += out.work;
+    const bool last = stage_ + 1 >= stages_.size();
+    const bool truncated =
+        !last && out.verdict == Verdict::kUnknown && interrupted();
+    if (out.verdict != Verdict::kUnknown || last || truncated) {
+      out.work = work_;
+      if (truncated) out.resource_limited = true;
+      return true;
+    }
+    ++stage_;
+    sub_.reset();
+    return false;
+  }
+
+  std::vector<const Engine*> stages_;
+  Query query_;
+  VerifyContext context_;
+  std::size_t stage_ = 0;
+  std::unique_ptr<EngineTask> sub_;
+  std::uint64_t work_ = 0;
+};
+
 }  // namespace
+
+std::unique_ptr<EngineTask> Engine::make_task(
+    const Query& query, const VerifyContext& context) const {
+  return make_generic_task(*this, query, context);
+}
 
 void EngineRegistry::add(std::unique_ptr<Engine> engine) {
   if (engine == nullptr) throw InvalidArgument("EngineRegistry::add: null");
@@ -171,6 +255,12 @@ VerifyResult CascadeEngine::verify_with(const Query& query,
   }
   out.work = work;
   return out;  // every stage answered kUnknown
+}
+
+std::unique_ptr<EngineTask> CascadeEngine::make_task(
+    const Query& query, const VerifyContext& context) const {
+  if (!preresolved_) resolve_stages();
+  return std::make_unique<CascadeTask>(resolved_, query, context);
 }
 
 void CascadeEngine::resolve_stages() const {

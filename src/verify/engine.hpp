@@ -32,9 +32,12 @@
 #include <string_view>
 #include <vector>
 
+#include "verify/budget.hpp"
 #include "verify/query.hpp"
 
 namespace fannet::verify {
+
+class EngineTask;
 
 /// Per-call execution context the scheduler threads down to engines.
 /// Engines that can parallelize *within* one query (branch-and-bound's
@@ -50,13 +53,26 @@ struct VerifyContext {
   /// SoA evaluation lanes per batched forward pass: 0 = auto
   /// (nn::BatchEvaluator::kAutoBatch), 1 = the scalar reference path.
   std::size_t batch_hint = 0;
-  /// Per-query CDCL conflict budget for SAT-backed engines ("sat"): when a
-  /// solve exceeds it the engine answers kUnknown with resource_limited
-  /// set instead of hanging.  0 = the engine's default budget.
-  std::uint64_t conflict_budget = 0;
-  /// Per-query unit-propagation budget for SAT-backed engines; same
-  /// semantics as conflict_budget.  0 = the engine's default budget.
-  std::uint64_t propagation_budget = 0;
+  /// Unified resource budget (verify/budget.hpp): wall-clock deadline,
+  /// box/conflict/propagation caps, cooperative cancellation.  Engines map
+  /// the caps they understand onto their own limits and answer kUnknown
+  /// with resource_limited set when one fires — never a hang, never a
+  /// wrong verdict.  Default = unlimited (engine defaults apply).
+  Budget budget = {};
+};
+
+/// Capability descriptor for one engine, surfaced by `Engine::caps()` —
+/// what the CLI's `engines` table prints and what a serving layer uses for
+/// admission control.
+struct EngineCaps {
+  bool complete = false;     ///< mirrors Engine::complete()
+  /// Cooperatively honours Budget::deadline / Budget::cancel with bounded
+  /// overshoot (native-task engines).  Engines without it still finalize
+  /// an expired task before the *next* step, but a started blocking call
+  /// runs to completion.
+  bool deadline = false;
+  bool budget = false;       ///< honours a work cap (boxes / conflicts)
+  bool native_task = false;  ///< make_task checkpoints between steps
 };
 
 /// One P2 decision strategy.  Implementations must be stateless or
@@ -88,6 +104,21 @@ class Engine {
       const Query& query, const VerifyContext& /*context*/) const {
     return verify(query);
   }
+
+  /// Capability introspection; the default claims nothing beyond
+  /// completeness.  Engines with native tasks override.
+  [[nodiscard]] virtual EngineCaps caps() const noexcept {
+    return EngineCaps{.complete = complete()};
+  }
+
+  /// Creates a resumable task for the query (verify/task.hpp).  The
+  /// default wraps `verify_with` in a single-step generic adapter; engines
+  /// with long-running loops override with a native incremental task that
+  /// checkpoints between steps.  The query is copied; the network it
+  /// points to (and the context's cancel token, if any) must outlive the
+  /// task.
+  [[nodiscard]] virtual std::unique_ptr<EngineTask> make_task(
+      const Query& query, const VerifyContext& context) const;
 };
 
 /// String-keyed engine registry.  Thread-safe; lookups return references
@@ -149,6 +180,18 @@ class CascadeEngine final : public Engine {
   /// stage; the sound-only screens ignore it, so in practice the budget
   /// lands on the final complete (bnb) stage.
   [[nodiscard]] VerifyResult verify_with(
+      const Query& query, const VerifyContext& context) const override;
+  /// Deadline/budget support is inherited from the stages (the final bnb
+  /// stage polls them natively).
+  [[nodiscard]] EngineCaps caps() const noexcept override {
+    return EngineCaps{.complete = true,
+                      .deadline = true,
+                      .budget = true,
+                      .native_task = true};
+  }
+  /// Staged pipeline task: one sub-task per stage (each stage's own native
+  /// task), advanced on kUnknown with work accumulated across stages.
+  [[nodiscard]] std::unique_ptr<EngineTask> make_task(
       const Query& query, const VerifyContext& context) const override;
 
   [[nodiscard]] const std::vector<std::string>& stages() const noexcept {

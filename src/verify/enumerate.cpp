@@ -1,12 +1,16 @@
 #include "verify/enumerate.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "nn/batch_eval.hpp"
 #include "util/error.hpp"
+#include "verify/task.hpp"
 
 namespace fannet::verify {
 
@@ -152,11 +156,20 @@ struct BlockEvent {
   bool overflow = false;
 };
 
-[[nodiscard]] VerifyResult parallel_find_first(const Query& q,
-                                               std::uint64_t volume,
-                                               std::size_t batch_lanes,
-                                               std::size_t threads) {
-  const std::uint64_t blocks = (volume + batch_lanes - 1) / batch_lanes;
+/// Scans linear point indices [range_start, range_end) for the lowest
+/// event, fanning `batch_lanes`-point blocks across `threads` workers
+/// claimed in ascending order (blocks past the best-so-far event block are
+/// skipped; every block below it was claimed earlier, so it is fully
+/// processed before the workers drain).  Serial when threads == 1 — same
+/// blocks, same events, no spawn.  Returns nullopt when the range is
+/// event-free.
+[[nodiscard]] std::optional<BlockEvent> scan_range(const Query& q,
+                                                   std::uint64_t range_start,
+                                                   std::uint64_t range_end,
+                                                   std::size_t batch_lanes,
+                                                   std::size_t threads) {
+  const std::uint64_t span = range_end - range_start;
+  const std::uint64_t blocks = (span + batch_lanes - 1) / batch_lanes;
   std::atomic<std::uint64_t> next_block{0};
   std::atomic<std::uint64_t> best_block{~static_cast<std::uint64_t>(0)};
   std::mutex best_mutex;
@@ -173,9 +186,9 @@ struct BlockEvent {
         const std::uint64_t blk = next_block.fetch_add(1);
         if (blk >= blocks) return;
         if (blk > best_block.load(std::memory_order_relaxed)) continue;
-        const std::uint64_t start = blk * batch_lanes;
+        const std::uint64_t start = range_start + blk * batch_lanes;
         const std::size_t count = static_cast<std::size_t>(
-            std::min<std::uint64_t>(batch_lanes, volume - start));
+            std::min<std::uint64_t>(batch_lanes, range_end - start));
         batch.clear();
         decode_point(q, start, delta);
         for (std::size_t t = 0; t < count; ++t) {
@@ -203,30 +216,130 @@ struct BlockEvent {
     }
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
-
-  VerifyResult result;
-  if (!have_best) {
-    result.verdict = Verdict::kRobust;
-    result.work = volume;
-    return result;
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
   }
+  if (first_error) std::rethrow_exception(first_error);
+  if (!have_best) return std::nullopt;
+  return best;
+}
+
+/// Final result for the lowest event: decode the point, reproduce the
+/// scalar walk's exception for overflow lanes (or, defensively, its label
+/// if the scalar path disagrees about the overflow), and package the
+/// counterexample with work = event index + 1.
+[[nodiscard]] VerifyResult event_result(const Query& q, BlockEvent best) {
   std::vector<int> delta;
   decode_point(q, best.index, delta);
-  if (best.overflow) {
-    // Reproduce the scalar walk's exception (or, defensively, its label if
-    // the scalar path disagrees about the overflow).
-    best.label = classify_under_noise(q, delta);
-  }
+  if (best.overflow) best.label = classify_under_noise(q, delta);
+  VerifyResult result;
   result.verdict = Verdict::kVulnerable;
   result.counterexample = make_cex(q, delta, best.label);
   result.work = best.index + 1;
   return result;
 }
+
+[[nodiscard]] VerifyResult parallel_find_first(const Query& q,
+                                               std::uint64_t volume,
+                                               std::size_t batch_lanes,
+                                               std::size_t threads) {
+  const std::optional<BlockEvent> best =
+      scan_range(q, 0, volume, batch_lanes, threads);
+  if (!best.has_value()) {
+    VerifyResult result;
+    result.verdict = Verdict::kRobust;
+    result.work = volume;
+    return result;
+  }
+  return event_result(q, *best);
+}
+
+/// Native resumable task: a linear cursor over the bounded box volume,
+/// scanning `max_work` points (rounded up to whole blocks) per step
+/// through `scan_range`.  Because blocks are fixed and chunks cover
+/// [cursor, end) contiguously, the first event found is the globally
+/// lowest one regardless of where step boundaries land — the determinism
+/// contract of verify/task.hpp falls out structurally.  Practically
+/// unenumerable boxes (bounded_volume() == 0) fall back to a serial
+/// scalar odometer slice, which the batched paths are bit-identical to.
+class EnumerateTask final : public EngineTask {
+ public:
+  EnumerateTask(Query query, const EnumerateOptions& options,
+                const Budget& budget)
+      : EngineTask(budget),
+        query_(std::move(query)),
+        batch_(nn::BatchEvaluator::resolve_batch(options.batch)),
+        threads_(options.threads == 0
+                     ? std::max<std::size_t>(
+                           1, std::thread::hardware_concurrency())
+                     : options.threads),
+        volume_(bounded_volume(query_)) {}
+
+ private:
+  bool step_impl(std::uint64_t max_work, VerifyResult& out) override {
+    if (volume_ == 0) return scalar_slice(max_work, out);
+    const std::uint64_t lanes = batch_;
+    const std::uint64_t blocks = (max_work + lanes - 1) / lanes;
+    const std::uint64_t end = std::min(volume_, cursor_ + blocks * lanes);
+    const std::uint64_t chunk_blocks = (end - cursor_ + lanes - 1) / lanes;
+    const std::size_t fan = static_cast<std::size_t>(
+        std::min<std::uint64_t>(threads_, chunk_blocks));
+    const std::optional<BlockEvent> event =
+        scan_range(query_, cursor_, end, batch_, fan);
+    if (event.has_value()) {
+      out = event_result(query_, *event);
+      return true;
+    }
+    cursor_ = end;
+    if (cursor_ < volume_) return false;
+    out.verdict = Verdict::kRobust;
+    out.counterexample.reset();
+    out.work = volume_;
+    return true;
+  }
+
+  /// Serial scalar odometer slice for unenumerable volumes; yields at
+  /// 64-point checkpoints so pause/cancel stay prompt.
+  bool scalar_slice(std::uint64_t max_work, VerifyResult& out) {
+    const Query& q = query_;  // const ref so the odometer helper resolves
+    if (!started_) {
+      delta_.assign(q.box.lo.begin(), q.box.lo.end());
+      started_ = true;
+    }
+    for (std::uint64_t i = 0; i < max_work; ++i) {
+      ++visited_;
+      const int label = classify_under_noise(q, delta_);
+      if (label != q.true_label) {
+        out.verdict = Verdict::kVulnerable;
+        out.counterexample = make_cex(q, delta_, label);
+        out.work = visited_;
+        return true;
+      }
+      if (!advance(q, delta_)) {
+        out.verdict = Verdict::kRobust;
+        out.work = visited_;
+        return true;
+      }
+      if ((i & 63u) == 63u && should_yield()) return false;
+    }
+    return false;
+  }
+
+  Query query_;
+  std::size_t batch_;
+  std::size_t threads_;
+  std::uint64_t volume_;
+  std::uint64_t cursor_ = 0;
+  // Scalar-fallback odometer state.
+  std::vector<int> delta_;
+  bool started_ = false;
+  std::uint64_t visited_ = 0;
+};
 
 }  // namespace
 
@@ -264,6 +377,13 @@ VerifyResult enumerate_find_first(const Query& query,
                                  },
                                  options);
   return result;
+}
+
+std::unique_ptr<EngineTask> make_enumerate_task(const Query& query,
+                                                const EnumerateOptions& options,
+                                                const Budget& budget) {
+  query.validate();
+  return std::make_unique<EnumerateTask>(query, options, budget);
 }
 
 std::vector<Counterexample> enumerate_collect(const Query& query,

@@ -24,10 +24,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
+#include "verify/budget.hpp"
 #include "verify/query.hpp"
 
 namespace fannet::verify {
+
+class EngineTask;
 
 /// Execution knobs; every setting produces bit-identical results.
 struct EnumerateOptions {
@@ -57,5 +61,14 @@ std::uint64_t enumerate_stream(
     const Query& query,
     const std::function<bool(const Counterexample&)>& sink,
     const EnumerateOptions& options = {});
+
+/// Native incremental task for the decision query (verify/task.hpp): each
+/// step scans the next `max_work` grid points (rounded up to whole
+/// evaluation blocks) of the linearized box, so the walk pauses, resumes,
+/// and honours `budget` deadlines at block granularity.  Verdict, witness,
+/// and `work` are bit-identical to `enumerate_find_first` for every step
+/// size, batch, and thread count.
+[[nodiscard]] std::unique_ptr<EngineTask> make_enumerate_task(
+    const Query& query, const EnumerateOptions& options, const Budget& budget);
 
 }  // namespace fannet::verify

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "verify/task.hpp"
 
 namespace fannet::verify {
 
@@ -365,6 +366,11 @@ std::optional<VerifyResult> QueryCache::lookup_by_key(std::string_view key) {
 }
 
 void QueryCache::insert_by_key(std::string key, const VerifyResult& result) {
+  // Budget-cut results are sound but not canonical (the witness may not be
+  // the lex-lowest and can vary run to run); refusing them here — not just
+  // in cached_verify — keeps every insertion path, disk tier included,
+  // free of starved verdicts.
+  if (result.resource_limited) return;
   const std::scoped_lock lock(mutex_);
   if (insert_locked(std::move(key), result, /*from_disk=*/false)) {
     ++stats_.insertions;
@@ -400,26 +406,36 @@ void QueryCache::clear() {
 }
 
 VerifyResult cached_verify(QueryCache* cache, const Query& query,
-                           const Engine& engine, const VerifyContext& context,
+                           const Engine& engine,
+                           const std::function<VerifyResult()>& decide,
                            bool* hit) {
   if (hit != nullptr) *hit = false;
-  if (cache == nullptr) return engine.verify_with(query, context);
+  if (cache == nullptr) return decide();
   // Serialize the canonical key once; the miss path reuses it for insert.
   std::string key = canonical_key(query, capability_class(engine));
   if (auto cached = cache->lookup_by_key(key)) {
     if (hit != nullptr) *hit = true;
     return *std::move(cached);
   }
-  VerifyResult result = engine.verify_with(query, context);
+  VerifyResult result = decide();
   // Budget-cut results (and a complete engine's kUnknown, which can only
   // mean a budget cut) are sound but not canonical — the witness may not
   // be the lex-lowest and can vary run to run — so never memoize them:
   // a starved run must not poison later, better-funded ones.
+  // (insert_by_key re-checks resource_limited for direct callers.)
   if (!result.resource_limited &&
       !(engine.complete() && result.verdict == Verdict::kUnknown)) {
     cache->insert_by_key(std::move(key), result);
   }
   return result;
+}
+
+VerifyResult cached_verify(QueryCache* cache, const Query& query,
+                           const Engine& engine, const VerifyContext& context,
+                           bool* hit) {
+  return cached_verify(
+      cache, query, engine,
+      [&] { return run_task(engine, query, context); }, hit);
 }
 
 VerifyResult cached_verify(QueryCache* cache, const Query& query,

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -68,6 +69,10 @@ class QueryCache {
 
   /// Memoizes `result` for (query, engine-capability-class); overwrites an
   /// existing entry.  New entries are appended to the disk tier.
+  /// Budget-cut results (`resource_limited` set) are refused for every
+  /// engine class: they are sound but not canonical — the witness may not
+  /// be the lex-lowest and can vary run to run — so a starved run must
+  /// never poison later, better-funded ones.
   void insert(const Query& query, const Engine& engine,
               const VerifyResult& result);
 
@@ -100,7 +105,8 @@ class QueryCache {
   /// serializes the canonical key once instead of per lookup-then-insert.
   friend VerifyResult cached_verify(QueryCache* cache, const Query& query,
                                     const Engine& engine,
-                                    const VerifyContext& context, bool* hit);
+                                    const std::function<VerifyResult()>& decide,
+                                    bool* hit);
   [[nodiscard]] std::optional<VerifyResult> lookup_by_key(
       std::string_view key);
   void insert_by_key(std::string key, const VerifyResult& result);
@@ -139,13 +145,25 @@ class QueryCache {
 [[nodiscard]] std::string capability_class(const Engine& engine);
 
 /// Probe-verify-insert in one step: returns the cached result when
-/// present, otherwise runs `engine.verify_with(query, context)` and
-/// memoizes the verdict.  `cache` may be null (plain verify).  When `hit`
-/// is non-null it is set to whether the cache answered.
+/// present, otherwise runs `decide()` — which must compute
+/// the query's verdict with `engine` (the scheduler's task drive loop, a
+/// plain `run_task`, ...) — and memoizes the verdict.  `cache` may be null
+/// (plain decide).  When `hit` is non-null it is set to whether the cache
+/// answered.
 ///
 /// A kUnknown from a *complete* engine is a resource artifact (e.g. bnb's
 /// box budget ran out), not a stable fact about the query, so it is never
 /// memoized — a later run with a larger budget must re-decide.
+/// (`resource_limited` results are additionally refused by the cache
+/// itself, for every engine class.)
+[[nodiscard]] VerifyResult cached_verify(
+    QueryCache* cache, const Query& query, const Engine& engine,
+    const std::function<VerifyResult()>& decide, bool* hit = nullptr);
+
+/// Convenience overload: decides a miss by driving the engine's resumable
+/// task to completion (`run_task(engine, query, context)`, verify/task.hpp)
+/// so every cached dispatch goes through the task substrate — one code
+/// path whether or not a scheduler is in the loop.
 [[nodiscard]] VerifyResult cached_verify(QueryCache* cache, const Query& query,
                                          const Engine& engine,
                                          const VerifyContext& context,

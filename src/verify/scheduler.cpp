@@ -1,6 +1,7 @@
 #include "verify/scheduler.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -8,13 +9,67 @@
 
 #include "util/stopwatch.hpp"
 #include "verify/query_cache.hpp"
+#include "verify/task.hpp"
 
 namespace fannet::verify {
+
+namespace {
+
+/// Per-batch tallies shared by the worker lanes of one run_* call.
+struct DriveTallies {
+  std::atomic<std::uint64_t> deadline_expired{0};
+  std::atomic<std::uint64_t> paused{0};
+  std::atomic<std::uint64_t> resumed{0};
+};
+
+/// Drives one engine task to completion, honouring the batch control and
+/// the context's budget.  This is the scheduler's only engine dispatch
+/// path: every step boundary is a checkpoint where pause / cancel /
+/// deadline take effect, and tasks guarantee bit-identical verdicts and
+/// witnesses across any interleaving of those checkpoints.
+VerifyResult drive_task(const Engine& engine, const Query& query,
+                        const VerifyContext& context, std::uint64_t step_work,
+                        BatchControl* control, DriveTallies& tallies) {
+  const std::unique_ptr<EngineTask> task = engine.make_task(query, context);
+  for (;;) {
+    if (control != nullptr) {
+      if (control->cancelled()) {
+        task->cancel();
+      } else if (control->paused()) {
+        task->pause();
+        tallies.paused.fetch_add(1, std::memory_order_relaxed);
+        const bool woken = control->wait_resumed(context.budget.deadline);
+        if (control->cancelled()) {
+          task->cancel();
+        } else {
+          // Resumed, or the deadline passed while parked (!woken): either
+          // way clear the pause so step() runs — an expired task finalizes
+          // itself there.
+          task->resume();
+          if (woken) tallies.resumed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    if (task->step(step_work) == TaskState::kDone) break;
+  }
+  VerifyResult result = task->result();
+  if (result.resource_limited && context.budget.deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *context.budget.deadline) {
+    tallies.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+}  // namespace
 
 Scheduler::Scheduler(SchedulerOptions options)
     : intra_query_threads_(options.intra_query_threads),
       batch_hint_(options.batch_hint),
-      cache_(options.cache) {
+      cache_(options.cache),
+      deadline_ms_(options.deadline_ms),
+      budget_(options.budget),
+      step_work_(options.step_work != 0 ? options.step_work
+                                        : EngineTask::kDefaultStepWork) {
   threads_ = options.threads != 0
                  ? options.threads
                  : std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -39,10 +94,22 @@ VerifyResult Scheduler::verify_one(const Query& query, const Engine& engine,
   // Solo dispatches are usually probe chains inside a parallel_for lane,
   // so the auto grant stays at 1; an explicit intra_query_threads setting
   // is honoured as-is.
-  const VerifyContext context{
+  VerifyContext context{
       .threads = intra_query_threads_ != 0 ? intra_query_threads_ : 1,
-      .batch_hint = batch_hint_};
-  return cached_verify(effective_cache(), query, engine, context, hit);
+      .batch_hint = batch_hint_,
+      .budget = budget_};
+  if (deadline_ms_ != 0) context.budget.deadline = Budget::after_ms(deadline_ms_);
+  DriveTallies tallies;
+  const VerifyResult result = cached_verify(
+      effective_cache(), query, engine,
+      [&] {
+        return drive_task(engine, query, context, step_work_,
+                          /*control=*/nullptr, tallies);
+      },
+      hit);
+  deadline_expired_total_.fetch_add(tallies.deadline_expired.load(),
+                                    std::memory_order_relaxed);
+  return result;
 }
 
 void Scheduler::parallel_for(std::size_t count,
@@ -83,18 +150,35 @@ void Scheduler::parallel_for(std::size_t count,
 
 std::vector<VerifyResult> Scheduler::run_all(std::span<const Query> queries,
                                              const Engine& engine,
-                                             BatchStats* stats) const {
+                                             BatchStats* stats,
+                                             BatchControl* control) const {
   const util::Stopwatch watch;
   QueryCache* const cache = effective_cache();
-  const VerifyContext context{.threads = intra_grant(queries.size()),
-                              .batch_hint = batch_hint_};
+  const VerifyContext base{.threads = intra_grant(queries.size()),
+                           .batch_hint = batch_hint_,
+                           .budget = budget_};
   std::vector<VerifyResult> results(queries.size());
   std::atomic<std::uint64_t> hits{0};
+  DriveTallies tallies;
   parallel_for(queries.size(), [&](std::size_t i) {
+    // Arm the per-query deadline at dispatch, not batch start: every query
+    // gets the full window regardless of where it lands in the batch.
+    VerifyContext context = base;
+    if (deadline_ms_ != 0) {
+      context.budget.deadline = Budget::after_ms(deadline_ms_);
+    }
     bool hit = false;
-    results[i] = cached_verify(cache, queries[i], engine, context, &hit);
+    results[i] = cached_verify(
+        cache, queries[i], engine,
+        [&] {
+          return drive_task(engine, queries[i], context, step_work_, control,
+                            tallies);
+        },
+        &hit);
     if (hit) hits.fetch_add(1, std::memory_order_relaxed);
   });
+  deadline_expired_total_.fetch_add(tallies.deadline_expired.load(),
+                                    std::memory_order_relaxed);
   if (stats != nullptr) {
     stats->queries = queries.size();
     stats->executed = queries.size();
@@ -104,20 +188,25 @@ std::vector<VerifyResult> Scheduler::run_all(std::span<const Query> queries,
     stats->cache_enabled = cache != nullptr;
     stats->cache_hits = hits.load();
     stats->cache_misses = queries.size() - stats->cache_hits;
+    stats->deadline_expired = tallies.deadline_expired.load();
+    stats->paused = tallies.paused.load();
+    stats->resumed = tallies.resumed.load();
     stats->wall_ms = watch.millis();
   }
   return results;
 }
 
 std::optional<Scheduler::Witness> Scheduler::run_until_witness(
-    std::span<const Query> queries, const Engine& engine,
-    BatchStats* stats) const {
+    std::span<const Query> queries, const Engine& engine, BatchStats* stats,
+    BatchControl* control) const {
   const util::Stopwatch watch;
   QueryCache* const cache = effective_cache();
   const std::size_t count = queries.size();
-  const VerifyContext context{.threads = intra_grant(count),
-                              .batch_hint = batch_hint_};
+  const VerifyContext base{.threads = intra_grant(count),
+                           .batch_hint = batch_hint_,
+                           .budget = budget_};
   std::vector<VerifyResult> results(count);
+  DriveTallies tallies;
 
   // Cancellation bound: the lowest index known to be vulnerable.  Indices
   // above it can no longer be the lowest witness and are skipped; indices
@@ -139,8 +228,18 @@ std::optional<Scheduler::Witness> Scheduler::run_until_witness(
       if (i >= count) return;
       if (i > bound.load(std::memory_order_acquire)) continue;  // cancelled
       try {
+        VerifyContext context = base;
+        if (deadline_ms_ != 0) {
+          context.budget.deadline = Budget::after_ms(deadline_ms_);
+        }
         bool hit = false;
-        results[i] = cached_verify(cache, queries[i], engine, context, &hit);
+        results[i] = cached_verify(
+            cache, queries[i], engine,
+            [&] {
+              return drive_task(engine, queries[i], context, step_work_,
+                                control, tallies);
+            },
+            &hit);
         if (hit) cache_hits.fetch_add(1, std::memory_order_relaxed);
       } catch (...) {
         const std::scoped_lock lock(error_mutex);
@@ -169,6 +268,8 @@ std::optional<Scheduler::Witness> Scheduler::run_until_witness(
     for (std::thread& t : pool) t.join();
   }
   if (first_error) std::rethrow_exception(first_error);
+  deadline_expired_total_.fetch_add(tallies.deadline_expired.load(),
+                                    std::memory_order_relaxed);
 
   if (stats != nullptr) {
     stats->queries = count;
@@ -178,6 +279,9 @@ std::optional<Scheduler::Witness> Scheduler::run_until_witness(
     stats->cache_enabled = cache != nullptr;
     stats->cache_hits = cache_hits.load();
     stats->cache_misses = stats->executed - stats->cache_hits;
+    stats->deadline_expired = tallies.deadline_expired.load();
+    stats->paused = tallies.paused.load();
+    stats->resumed = tallies.resumed.load();
     stats->wall_ms = watch.millis();
   }
 

@@ -23,15 +23,31 @@
 /// Engines are deterministic, so results are identical cache-on vs
 /// cache-off.
 ///
+/// Cache misses are decided by *driving the engine's resumable task*
+/// (`Engine::make_task`, DESIGN.md §12) in a step loop rather than one
+/// blocking `verify_with` call.  That is what makes the batch entry points
+/// deadline-aware and controllable: `SchedulerOptions::deadline_ms` arms a
+/// fresh per-query `Budget::after_ms` deadline at each dispatch (expiry →
+/// kUnknown with `resource_limited`, overshoot bounded by one step), and a
+/// `BatchControl` passed to run_all / run_until_witness can pause, resume,
+/// or cancel the whole in-flight batch between steps.  Because tasks
+/// checkpoint at step boundaries without changing what they compute,
+/// verdicts and witnesses are bit-identical to the uninterrupted run.
+///
 /// Exceptions thrown by a task are captured and rethrown on the calling
 /// thread after the pool drains (first one wins).
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <span>
 
+#include "verify/budget.hpp"
 #include "verify/engine.hpp"
 #include "verify/query.hpp"
 
@@ -65,6 +81,93 @@ struct SchedulerOptions {
   /// itself null unless a tool installed one — so caching is opt-in and
   /// existing call sites are unaffected.  The caller retains ownership.
   QueryCache* cache = nullptr;
+  /// Per-query wall-clock deadline in milliseconds; 0 = none.  Armed
+  /// afresh (`Budget::after_ms`) for every dispatched query at the moment
+  /// its task starts, so each query gets the full window regardless of
+  /// batch position.  An expired query finalizes to kUnknown with
+  /// `resource_limited` set (witness-in-hand results keep kVulnerable);
+  /// overshoot past the deadline is bounded by a single task step.  Time
+  /// spent parked under a `BatchControl` pause counts against the window.
+  std::uint64_t deadline_ms = 0;
+  /// Base resource budget threaded into every dispatch (box / conflict /
+  /// propagation caps, external cancel token).  `deadline_ms` layers the
+  /// per-query deadline on top of this; leave the deadline field unset
+  /// here unless one absolute time point should cover the whole batch.
+  Budget budget = {};
+  /// Work units per task step in the drive loop (boxes for bnb, grid
+  /// points for enumerate, CDCL conflicts for sat; see EngineTask::step).
+  /// 0 = EngineTask::kDefaultStepWork.  Smaller steps tighten deadline
+  /// overshoot and pause latency at slightly higher stepping overhead;
+  /// verdicts and witnesses are identical for every value.
+  std::uint64_t step_work = 0;
+};
+
+/// Cooperative control surface for an in-flight batch.  Pass one instance
+/// to `run_all` / `run_until_witness` and flip it from any other thread:
+///
+///   - `pause()`   parks every in-flight task at its next step boundary
+///                 (workers block; cache hits and already-finished queries
+///                 are unaffected);
+///   - `resume()`  wakes the parked tasks to continue exactly where they
+///                 stopped — verdicts and witnesses are bit-identical to a
+///                 never-paused run;
+///   - `cancel()`  finalizes every unfinished query to kUnknown with
+///                 `resource_limited` set (witness-in-hand results keep
+///                 kVulnerable) and lets the batch return promptly.
+///
+/// All methods are safe to call concurrently and repeatedly; cancel wins
+/// over pause.  One instance may be reused across sequential batches (but
+/// `cancel()` is sticky — construct a fresh control to run uncancelled).
+class BatchControl {
+ public:
+  void pause() {
+    const std::scoped_lock lock(mutex_);
+    paused_.store(true, std::memory_order_release);
+  }
+  void resume() {
+    {
+      const std::scoped_lock lock(mutex_);
+      paused_.store(false, std::memory_order_release);
+    }
+    cv_.notify_all();
+  }
+  void cancel() {
+    {
+      const std::scoped_lock lock(mutex_);
+      cancelled_.store(true, std::memory_order_release);
+    }
+    cv_.notify_all();
+  }
+  [[nodiscard]] bool paused() const noexcept {
+    return paused_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until the control is resumed or cancelled; with a deadline,
+  /// returns false once it passes (so an expired query can finalize while
+  /// the batch stays paused).  Called by the scheduler's drive loop —
+  /// not part of the public surface.
+  bool wait_resumed(
+      const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto ready = [this] {
+      return !paused_.load(std::memory_order_acquire) ||
+             cancelled_.load(std::memory_order_acquire);
+    };
+    if (!deadline.has_value()) {
+      cv_.wait(lock, ready);
+      return true;
+    }
+    return cv_.wait_until(lock, *deadline, ready);
+  }
+
+ private:
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> cancelled_{false};
+  std::mutex mutex_;  ///< guards the flag/notify race in wait_resumed
+  std::condition_variable cv_;
 };
 
 /// Per-batch accounting, filled by the run_* entry points.
@@ -80,6 +183,16 @@ struct BatchStats {
   /// `cache_hits + cache_misses == executed` always holds; check
   /// `cache_enabled` to tell "cache off" from "cache cold".
   std::uint64_t cache_misses = 0;
+  /// Queries whose per-dispatch deadline (`SchedulerOptions::deadline_ms`
+  /// or a batch-wide `budget.deadline`) expired before the task finished;
+  /// each finalized with `resource_limited` set.
+  std::uint64_t deadline_expired = 0;
+  /// Task pause transitions taken in the drive loop: one per in-flight
+  /// task per `BatchControl::pause()` it parked for.
+  std::uint64_t paused = 0;
+  /// Pause transitions that continued via `BatchControl::resume()` (as
+  /// opposed to ending in cancellation or deadline expiry).
+  std::uint64_t resumed = 0;
   double wall_ms = 0.0;
 };
 
@@ -104,9 +217,10 @@ class Scheduler {
   /// \param queries the batch; each must satisfy Query::validate().
   /// \param engine the decision strategy (from the engine registry).
   /// \param stats optional per-batch accounting, overwritten on return.
+  /// \param control optional pause/resume/cancel surface for the batch.
   [[nodiscard]] std::vector<VerifyResult> run_all(
       std::span<const Query> queries, const Engine& engine,
-      BatchStats* stats = nullptr) const;
+      BatchStats* stats = nullptr, BatchControl* control = nullptr) const;
 
   struct Witness {
     std::size_t index = 0;
@@ -120,7 +234,7 @@ class Scheduler {
   /// deterministic for any thread count.
   [[nodiscard]] std::optional<Witness> run_until_witness(
       std::span<const Query> queries, const Engine& engine,
-      BatchStats* stats = nullptr) const;
+      BatchStats* stats = nullptr, BatchControl* control = nullptr) const;
 
   /// Generic deterministic fan-out: calls fn(i) exactly once for every
   /// i in [0, count), across the pool.  Callers keep determinism by writing
@@ -139,6 +253,13 @@ class Scheduler {
   /// re-deriving it.
   [[nodiscard]] std::size_t intra_grant(std::size_t batch_size) const noexcept;
 
+  /// Total queries (across every run_* / verify_one call on this scheduler)
+  /// whose deadline expired.  Analyses surface this on their reports so a
+  /// sweep cut short by `deadline_ms` is visible, not silent.
+  [[nodiscard]] std::uint64_t deadline_expired_total() const noexcept {
+    return deadline_expired_total_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// The cache batches go through: the per-scheduler override when set,
   /// else the process-wide cache (re-read per call, so installing a global
@@ -149,6 +270,10 @@ class Scheduler {
   std::size_t intra_query_threads_ = 0;
   std::size_t batch_hint_ = 0;
   QueryCache* cache_ = nullptr;
+  std::uint64_t deadline_ms_ = 0;
+  Budget budget_;
+  std::uint64_t step_work_ = 0;
+  mutable std::atomic<std::uint64_t> deadline_expired_total_{0};
 };
 
 }  // namespace fannet::verify

@@ -16,7 +16,10 @@
 ///     timing;
 ///   - each unit's result is deterministic (engines are exact and
 ///     deterministic, DESIGN.md §2), so a shard payload is a pure function
-///     of the campaign configuration;
+///     of the campaign configuration.  Shard dispatches inherit the
+///     resumable task substrate (DESIGN.md §12) via Scheduler::verify_one,
+///     but never a wall-clock deadline: the analyses reject
+///     `deadline_ms` + `sweep` so journaled rows stay time-independent;
 ///   - aggregation (`SweepCampaign::absorb`) runs single-threaded in
 ///     ascending shard order after all execution, regardless of the
 ///     completion order the journal happens to record.

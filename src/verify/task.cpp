@@ -1,0 +1,113 @@
+#include "verify/task.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+#include "verify/engine.hpp"
+
+namespace fannet::verify {
+
+TaskState EngineTask::step(std::uint64_t max_work) {
+  const std::scoped_lock lock(step_mutex_);
+  if (state_.load(std::memory_order_acquire) == TaskState::kDone) {
+    return TaskState::kDone;
+  }
+  const bool cancelled = interrupted();
+  if (!cancelled && pause_requested_.load(std::memory_order_acquire)) {
+    state_.store(TaskState::kPaused, std::memory_order_release);
+    return TaskState::kPaused;
+  }
+  state_.store(TaskState::kRunning, std::memory_order_release);
+  bool done = false;
+  try {
+    done = step_impl(max_work == 0 ? 1 : max_work, result_);
+  } catch (...) {
+    // An engine exception poisons the task: result() will refuse, the
+    // exception itself propagates to the driving caller as verify() would.
+    poisoned_ = true;
+    state_.store(TaskState::kDone, std::memory_order_release);
+    throw;
+  }
+  if (!done && interrupted()) {
+    finalize_interrupted();
+    done = true;
+  }
+  const TaskState next =
+      done ? TaskState::kDone
+           : (pause_requested_.load(std::memory_order_acquire)
+                  ? TaskState::kPaused
+                  : TaskState::kRunning);
+  state_.store(next, std::memory_order_release);
+  return next;
+}
+
+void EngineTask::finalize_interrupted() {
+  // Witness-less fallback for interruption between native checkpoints:
+  // sound (nothing is claimed) and flagged so it is never memoized.
+  // Native tasks that hold a verified witness finalize inside step_impl
+  // before this runs.
+  result_.verdict = Verdict::kUnknown;
+  result_.counterexample.reset();
+  result_.resource_limited = true;
+}
+
+TaskState EngineTask::run(std::uint64_t step_work) {
+  for (;;) {
+    const TaskState s = step(step_work);
+    if (s != TaskState::kRunning) return s;
+  }
+}
+
+const VerifyResult& EngineTask::result() const {
+  if (poisoned_) {
+    throw Error("EngineTask::result: task failed with an exception");
+  }
+  if (state_.load(std::memory_order_acquire) != TaskState::kDone) {
+    throw Error("EngineTask::result: task is not done");
+  }
+  return result_;
+}
+
+namespace {
+
+/// Default adapter: the whole blocking verify_with call as one step.
+class GenericEngineTask final : public EngineTask {
+ public:
+  GenericEngineTask(const Engine& engine, Query query, VerifyContext context)
+      : EngineTask(context.budget),
+        engine_(engine),
+        query_(std::move(query)),
+        context_(context) {}
+
+ private:
+  bool step_impl(std::uint64_t /*max_work*/, VerifyResult& out) override {
+    if (interrupted()) {
+      out.verdict = Verdict::kUnknown;
+      out.resource_limited = true;
+      return true;
+    }
+    out = engine_.verify_with(query_, context_);
+    return true;
+  }
+
+  const Engine& engine_;
+  Query query_;
+  VerifyContext context_;
+};
+
+}  // namespace
+
+std::unique_ptr<EngineTask> make_generic_task(const Engine& engine,
+                                              const Query& query,
+                                              const VerifyContext& context) {
+  return std::make_unique<GenericEngineTask>(engine, query, context);
+}
+
+VerifyResult run_task(const Engine& engine, const Query& query,
+                      const VerifyContext& context) {
+  const std::unique_ptr<EngineTask> task = engine.make_task(query, context);
+  (void)task->run();
+  return task->result();
+}
+
+}  // namespace fannet::verify

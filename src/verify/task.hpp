@@ -1,0 +1,150 @@
+/// \file
+/// \brief Resumable cooperative engine tasks (DESIGN.md §12).
+///
+/// `EngineTask` turns a blocking `Engine::verify_with` call into an
+/// explicit state machine — kUninitialized → kRunning ⇄ kPaused → kDone —
+/// with a bounded `step(max_work)` surface, so a serving layer can hold
+/// thousands of in-flight P2 queries, time-slice them, pause and resume
+/// them, cancel them, and bound them with wall-clock deadlines.  Engines
+/// with real long-running loops (enumerate's grid walk, bnb's
+/// work-stealing frontier, the cascade's staged pipeline, sat's CDCL solve
+/// + witness minimization) provide native tasks that checkpoint their
+/// frontier/trail between steps; every other engine gets a generic
+/// one-step adapter via `Engine::make_task`'s default.
+///
+/// Determinism contract: a task paused and resumed at *any* step
+/// boundaries yields the bit-identical verdict and the same
+/// (lexicographically lowest) witness as an uninterrupted run, at any
+/// thread count — pausing only changes scheduling, never which points,
+/// boxes, or models decide the query (bench_tasks gates this in CI).
+///
+/// Threading contract: `step()` bodies are serialized by an internal
+/// mutex; `pause()`, `resume()`, `cancel()` and `state()` are lock-free
+/// flag flips safe from any thread at any time, including concurrently
+/// with a running step (the step observes the flag at its next checkpoint
+/// and yields).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "verify/budget.hpp"
+#include "verify/query.hpp"
+
+namespace fannet::verify {
+
+class Engine;
+struct VerifyContext;
+
+/// Lifecycle of an EngineTask (the Leviathan solver shape).
+enum class TaskState : std::uint8_t {
+  kUninitialized,  ///< created, no step taken yet
+  kRunning,        ///< mid-query; more steps needed
+  kPaused,         ///< a pause request took effect; resume() to continue
+  kDone,           ///< result() is available
+};
+
+/// One in-flight P2 query.  Create via `Engine::make_task`, drive with
+/// `step()` (or `run()`); read the final verdict with `result()`.
+class EngineTask {
+ public:
+  /// Default per-step work quota, in engine-native units (grid points for
+  /// enumerate, boxes for bnb, conflicts for sat).
+  static constexpr std::uint64_t kDefaultStepWork = 1024;
+
+  virtual ~EngineTask() = default;
+  EngineTask(const EngineTask&) = delete;
+  EngineTask& operator=(const EngineTask&) = delete;
+
+  [[nodiscard]] TaskState state() const noexcept {
+    return state_.load(std::memory_order_acquire);
+  }
+
+  /// Runs one bounded slice of the query (at most ~`max_work` engine work
+  /// units; `0` means one minimal slice) and returns the resulting state.
+  /// On kDone the verdict is final; kPaused honours a pending `pause()`;
+  /// kRunning means call again.  A pending `cancel()` or an expired
+  /// budget/deadline finalizes to kUnknown + `resource_limited` (or a
+  /// valid witness already in hand, also flagged).  Exceptions from the
+  /// engine propagate and poison the task (state kDone, no result).
+  TaskState step(std::uint64_t max_work = kDefaultStepWork);
+
+  /// Requests a pause; takes effect at the running step's next checkpoint
+  /// (the step returns early without losing progress).  Safe from any
+  /// thread; idempotent; a no-op once kDone.
+  void pause() noexcept { pause_requested_.store(true, std::memory_order_release); }
+
+  /// Clears a pause request so the next `step()` makes progress again.
+  void resume() noexcept { pause_requested_.store(false, std::memory_order_release); }
+
+  /// Requests cancellation: the next step (or the running one, at its next
+  /// checkpoint) finalizes to kUnknown + `resource_limited`.  Irrevocable.
+  void cancel() noexcept { cancel_requested_.store(true, std::memory_order_release); }
+
+  /// Steps until the task leaves kRunning; returns kDone or kPaused.
+  TaskState run(std::uint64_t step_work = kDefaultStepWork);
+
+  /// The final result; throws util::Error unless `state()` is kDone (or if
+  /// the task was poisoned by an engine exception).
+  [[nodiscard]] const VerifyResult& result() const;
+
+ protected:
+  explicit EngineTask(Budget budget) : budget_(std::move(budget)) {}
+
+  /// One bounded slice of engine work.  Accumulate into `out` (it persists
+  /// across steps); return true when the query is decided (`out` is then
+  /// the final result).  Poll `should_yield()` at internal checkpoints and
+  /// return false early to honour pause/cancel promptly; poll
+  /// `interrupted()` to map deadline/cancel expiry onto the engine's own
+  /// kUnknown + resource_limited path with bounded overshoot.
+  virtual bool step_impl(std::uint64_t max_work, VerifyResult& out) = 0;
+
+  /// True when the current step should stop at its next checkpoint
+  /// (pause or cancel requested, deadline passed).
+  [[nodiscard]] bool should_yield() const noexcept {
+    return pause_requested_.load(std::memory_order_acquire) ||
+           cancel_requested_.load(std::memory_order_acquire) ||
+           budget_.interrupted();
+  }
+
+  /// True when the budget demands finalization (deadline/cancel token), as
+  /// opposed to a mere pause.
+  [[nodiscard]] bool interrupted() const noexcept {
+    return cancel_requested_.load(std::memory_order_acquire) ||
+           budget_.interrupted();
+  }
+
+  [[nodiscard]] const Budget& budget() const noexcept { return budget_; }
+
+ private:
+  /// Marks the accumulated result resource-limited: kUnknown unless a
+  /// valid witness is already in hand (bnb/sat semantics).
+  void finalize_interrupted();
+
+  Budget budget_;
+  VerifyResult result_;
+  std::atomic<TaskState> state_{TaskState::kUninitialized};
+  std::atomic<bool> pause_requested_{false};
+  std::atomic<bool> cancel_requested_{false};
+  bool poisoned_ = false;  ///< an engine exception escaped a step
+  std::mutex step_mutex_;  ///< serializes step bodies
+};
+
+/// Runs `engine.make_task(query, context)` to completion and returns its
+/// result — the task-path equivalent of `engine.verify_with(query,
+/// context)`, used by `cached_verify` so every cached dispatch goes
+/// through the task substrate.
+[[nodiscard]] VerifyResult run_task(const Engine& engine, const Query& query,
+                                    const VerifyContext& context);
+
+/// Default `Engine::make_task` adapter: one step that runs the whole
+/// blocking `verify_with` call.  A pre-step deadline/cancel check still
+/// maps to kUnknown + resource_limited, but a started step runs to
+/// completion — engines that need bounded overshoot implement a native
+/// task instead.
+[[nodiscard]] std::unique_ptr<EngineTask> make_generic_task(
+    const Engine& engine, const Query& query, const VerifyContext& context);
+
+}  // namespace fannet::verify

@@ -115,8 +115,8 @@ TEST(SatEngine, VerifyWithThreadsContextBudgets) {
   const std::vector<i64> x{55, 70};
   const Query q = make_query(net, x, net.classify_noised(x, {}), 2);
   verify::VerifyContext ctx;
-  ctx.conflict_budget = 1;
-  ctx.propagation_budget = 1;
+  ctx.budget.conflicts = 1;
+  ctx.budget.propagations = 1;
   const VerifyResult limited = verify::engine("sat").verify_with(q, ctx);
   EXPECT_EQ(limited.verdict, Verdict::kUnknown);
   EXPECT_TRUE(limited.resource_limited);

@@ -189,7 +189,7 @@ TEST(Scheduler, IntraQueryGrantsKeepVerdictsAndWitnessesIdentical) {
   const std::vector<Query> batch = mixed_batch(3, 14);
   const Engine& cascade = engine("cascade");
   const auto serial = Scheduler({.threads = 1}).run_all(batch, cascade);
-  for (const SchedulerOptions opts :
+  for (const SchedulerOptions& opts :
        {SchedulerOptions{.threads = 8},                           // auto grant
         SchedulerOptions{.threads = 4, .intra_query_threads = 2},  // fixed
         SchedulerOptions{.threads = 2, .intra_query_threads = 8}}) {

@@ -8,7 +8,8 @@
 // warm-start (DESIGN.md §7).  Each run writes the same BENCH_*.json schema
 // the benches emit (docs/bench-format.md), under BENCH_cli_<command>.json.
 //
-// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+// Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 sweep shards
+// pending, 4 deadline expired on at least one query.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +41,7 @@ struct Options {
   std::size_t threads = 0;          // 0 = hardware concurrency
   std::size_t intra_threads = 0;    // 0 = leftover threads per query
   std::size_t batch = 0;            // SoA lanes; 0 = auto, 1 = scalar
+  std::uint64_t deadline_ms = 0;    // per-query deadline; 0 = none
   int start_range = 50;             // tolerance / boundary / weight-faults
   int range = 20;                   // bias / sensitivity probes + corpus
   int grid_lo = 5, grid_hi = 50, grid_step = 5;
@@ -80,6 +82,10 @@ flags
                        (tolerance, boundary, sensitivity, weight-faults);
                        0 = auto, 1 = the scalar reference path (default 0);
                        results are bit-identical for every value
+  --deadline-ms N      per-query wall-clock deadline in milliseconds
+                       (tolerance, boundary, sensitivity); an expired query
+                       resolves kUnknown — the run finishes, reports how
+                       many probes were cut, and exits 4 (0 = none, default)
   --start-range N      initial noise range for tolerance/boundary (default 50)
   --range N            noise range for bias/sensitivity probes and corpus
                        extraction (default 20); scan limit for weight-faults
@@ -106,7 +112,8 @@ flags
   --help               this text
 
 exit codes: 0 success (sweep: campaign complete), 1 runtime failure,
-2 usage error, 3 sweep ran fine but shards are still pending (--max-shards)
+2 usage error, 3 sweep ran fine but shards are still pending (--max-shards),
+4 analysis finished but --deadline-ms expired on at least one query
 )";
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -157,6 +164,10 @@ Options parse_args(int argc, char** argv) {
       }
     } else if (flag == "--batch") {
       if (!parse_size(value(), opts.batch)) usage_error("bad --batch");
+    } else if (flag == "--deadline-ms") {
+      std::size_t ms = 0;
+      if (!parse_size(value(), ms)) usage_error("bad --deadline-ms");
+      opts.deadline_ms = ms;
     } else if (flag == "--start-range") {
       if (!parse_int(value(), opts.start_range) || opts.start_range < 1) {
         usage_error("bad --start-range");
@@ -244,6 +255,7 @@ core::ToleranceReport run_tolerance(const core::CaseStudy& cs,
   config.threads = opts.threads;
   config.intra_query_threads = opts.intra_threads;
   config.batch = opts.batch;
+  config.deadline_ms = opts.deadline_ms;
   return core::Fannet(cs.qnet).analyze_tolerance(cs.test_x, cs.test_y, config);
 }
 
@@ -269,9 +281,16 @@ void print_tolerance_table(const core::ToleranceReport& report,
 
 int run_command(const Options& opts, util::BenchJson& json) {
   if (opts.command == "engines") {
-    core::TextTable t({"engine", "complete"});
+    // Capability columns mirror verify::EngineCaps: verdict class, whether
+    // VerifyContext::budget resource caps are honoured, whether a deadline /
+    // cancellation interrupts mid-flight, and whether the engine has a
+    // native incremental task (vs the generic one-shot adapter).
+    core::TextTable t({"engine", "verdicts", "budget", "deadline", "task"});
     for (const std::string& name : verify::registry().names()) {
-      t.add_row({name, verify::engine(name).complete() ? "yes" : "no"});
+      const verify::EngineCaps caps = verify::engine(name).caps();
+      t.add_row({name, caps.complete ? "complete" : "sound-only",
+                 caps.budget ? "yes" : "no", caps.deadline ? "yes" : "no",
+                 caps.native_task ? "native" : "generic"});
     }
     std::fputs(t.to_string().c_str(), stdout);
     return 0;
@@ -288,6 +307,13 @@ int run_command(const Options& opts, util::BenchJson& json) {
     usage_error("bad --analysis, expected tolerance | sensitivity | "
                 "weight-faults");
   }
+  if (opts.deadline_ms != 0 && opts.command != "tolerance" &&
+      opts.command != "boundary" && opts.command != "sensitivity") {
+    // sweep: journaled shard rows must be time-independent (the analyses
+    // reject the combination too); bias / weight-faults never dispatch
+    // through the deadline-aware scheduler path.
+    usage_error("--deadline-ms is not supported by " + opts.command);
+  }
   if (opts.command == "sweep" && opts.max_shards != 0 && opts.journal.empty()) {
     // Without a journal a capped run discards its results on exit, so every
     // invocation would redo the same first shards forever.
@@ -302,16 +328,22 @@ int run_command(const Options& opts, util::BenchJson& json) {
   const std::size_t threads = verify::Scheduler({.threads = opts.threads})
                                   .threads();
 
+  // Set by the deadline-aware analyses; turns exit 0 into exit 4 so
+  // scripted sweeps can tell a full answer from a time-cut one.
+  std::uint64_t deadline_expired = 0;
+
   if (opts.command == "tolerance") {
     const core::ToleranceReport report = run_tolerance(cs, opts);
     print_tolerance_table(report, opts);
     json.add("tolerance_analysis", watch.millis(), report.queries, threads);
+    deadline_expired = report.deadline_expired;
   } else if (opts.command == "boundary") {
     const core::ToleranceReport report = run_tolerance(cs, opts);
     const core::BoundaryReport boundary =
         core::analyze_boundary(report, opts.bucket_width, opts.start_range);
     std::fputs(core::format_boundary(boundary).c_str(), stdout);
     json.add("boundary_analysis", watch.millis(), report.queries, threads);
+    deadline_expired = report.deadline_expired;
   } else if (opts.command == "bias") {
     const auto corpus =
         fannet.extract_corpus(cs.test_x, cs.test_y, opts.range,
@@ -331,10 +363,12 @@ int run_command(const Options& opts, util::BenchJson& json) {
     config.threads = opts.threads;
     config.intra_query_threads = opts.intra_threads;
     config.batch = opts.batch;
+    config.deadline_ms = opts.deadline_ms;
     const core::NodeSensitivityReport report = core::analyze_sensitivity(
         fannet, cs.test_x, cs.test_y, opts.range, corpus, config);
     std::fputs(core::format_sensitivity(report).c_str(), stdout);
     json.add("sensitivity_analysis", watch.millis(), corpus.size(), threads);
+    deadline_expired = report.deadline_expired;
   } else if (opts.command == "weight-faults") {
     core::WeightFaultConfig config;
     config.max_percent = opts.range;
@@ -450,6 +484,17 @@ int run_command(const Options& opts, util::BenchJson& json) {
     json.add("sweep_units_executed", 0.0, progress.units_executed, 1);
     return progress.complete() ? 0 : 3;
   }
+  if (opts.deadline_ms != 0) {
+    json.add("deadline_expired", 0.0, deadline_expired, 1);
+    if (deadline_expired > 0) {
+      std::printf(
+          "\ndeadline: %llu probe(s) cut at %llu ms each — the report is a "
+          "time-budgeted approximation (exit 4)\n",
+          static_cast<unsigned long long>(deadline_expired),
+          static_cast<unsigned long long>(opts.deadline_ms));
+      return 4;
+    }
+  }
   return 0;
 }
 
@@ -482,8 +527,10 @@ int main(int argc, char** argv) {
 
     util::BenchJson json("cli_" + opts.command);
     const int status = run_command(opts, json);
-    // Exit 3 (sweep ran fine, shards pending) still reports and writes JSON.
-    if ((status == 0 || status == 3) && opts.command != "engines") {
+    // Exit 3 (sweep ran fine, shards pending) and exit 4 (deadline cut the
+    // analysis short) still report and write JSON.
+    if ((status == 0 || status == 3 || status == 4) &&
+        opts.command != "engines") {
       if (cache) {
         const auto stats = cache->stats();
         std::printf(
