@@ -1,16 +1,17 @@
-// Reduced Ordered Binary Decision Diagram (ROBDD) package.
-//
-// The paper contrasts BDD-based model checkers (PSPACE-complete, memory
-// bound) with SAT-based ones when motivating its choice of nuXmv; this
-// package is the BDD side of that comparison and backs the symbolic
-// reachability engine in mc/bddmc.
-//
-// Classic Bryant construction: a global unique table guarantees canonicity
-// (two equivalent functions are the same node), an operation cache memoizes
-// ite(), and quantification/composition are built on ite.  Nodes are
-// reference-less and owned by the manager; Bdd handles are cheap value
-// types.  Garbage collection is intentionally absent — the models checked
-// here are small and the manager's arena dies with it (documented trade-off).
+/// \file
+/// \brief Reduced Ordered Binary Decision Diagram (ROBDD) package.
+///
+/// The paper contrasts BDD-based model checkers (PSPACE-complete, memory
+/// bound) with SAT-based ones when motivating its choice of nuXmv; this
+/// package is the BDD side of that comparison and backs the symbolic
+/// reachability engine in mc/bddmc.
+///
+/// Classic Bryant construction: a global unique table guarantees canonicity
+/// (two equivalent functions are the same node), an operation cache memoizes
+/// ite(), and quantification/composition are built on ite.  Nodes are
+/// reference-less and owned by the manager; Bdd handles are cheap value
+/// types.  Garbage collection is intentionally absent — the models checked
+/// here are small and the manager's arena dies with it (documented trade-off).
 #pragma once
 
 #include <cstdint>

@@ -1,12 +1,13 @@
-// Word-level boolean circuit builder (AIG) — the bit-blasting layer.
-//
-// The SMV compiler lowers bounded-integer models onto this netlist
-// representation: an And-Inverter Graph with structural hashing and constant
-// folding, plus two's-complement word operations (add, negate, multiply by
-// constant via shift-add, signed comparison, mux).  The netlist then exports
-// to CNF (Tseitin encoding, consumed by the CDCL solver for BMC) or to BDDs
-// (consumed by the symbolic reachability engine) — the two backends the
-// paper weighs against each other when picking nuXmv.
+/// \file
+/// \brief Word-level boolean circuit builder (AIG) — the bit-blasting layer.
+///
+/// The SMV compiler lowers bounded-integer models onto this netlist
+/// representation: an And-Inverter Graph with structural hashing and constant
+/// folding, plus two's-complement word operations (add, negate, multiply by
+/// constant via shift-add, signed comparison, mux).  The netlist then exports
+/// to CNF (Tseitin encoding, consumed by the CDCL solver for BMC) or to BDDs
+/// (consumed by the symbolic reachability engine) — the two backends the
+/// paper weighs against each other when picking nuXmv.
 #pragma once
 
 #include <cstdint>

@@ -1,4 +1,5 @@
-// Lowers a circuit cone to BDDs (the symbolic model-checking path).
+/// \file
+/// \brief Lowers a circuit cone to BDDs (the symbolic model-checking path).
 #pragma once
 
 #include <vector>

@@ -1,9 +1,10 @@
-// Tseitin encoding of circuit cones into the CDCL solver.
-//
-// Each AND node gets a solver variable constrained by the three standard
-// clauses; encoding is lazy and cone-restricted, so only logic reachable
-// from asserted/queried literals enters the CNF.  Complemented edges map to
-// negated solver literals for free.
+/// \file
+/// \brief Tseitin encoding of circuit cones into the CDCL solver.
+///
+/// Each AND node gets a solver variable constrained by the three standard
+/// clauses; encoding is lazy and cone-restricted, so only logic reachable
+/// from asserted/queried literals enters the CNF.  Complemented edges map to
+/// negated solver literals for free.
 #pragma once
 
 #include <vector>

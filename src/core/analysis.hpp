@@ -1,5 +1,6 @@
-// Training-bias, input-node-sensitivity and classification-boundary
-// analyses over the adversarial-noise-vector corpus (paper §V-C.2–4).
+/// \file
+/// \brief Training-bias, input-node-sensitivity and classification-boundary
+/// analyses over the adversarial-noise-vector corpus (paper §V-C.2–4).
 #pragma once
 
 #include <cstdint>

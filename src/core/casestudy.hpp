@@ -1,7 +1,8 @@
-// The paper's Section-V case study, end to end:
-// synthetic Golub cohort -> 38/34 stratified split (~70% L1 in training)
-// -> mRMR top-5 genes -> integer scaling -> MATLAB-schedule training
-// -> fixed-point quantization.  Every bench and example builds on this.
+/// \file
+/// \brief The paper's Section-V case study, end to end:
+/// synthetic Golub cohort -> 38/34 stratified split (~70% L1 in training)
+/// -> mRMR top-5 genes -> integer scaling -> MATLAB-schedule training
+/// -> fixed-point quantization.  Every bench and example builds on this.
 #pragma once
 
 #include <cstdint>

@@ -1,11 +1,12 @@
-// The FANNet pipeline (paper Fig. 2): P1 validation, noise-tolerance
-// analysis, adversarial noise-vector extraction.
-//
-// Engine selection goes through the verify-engine registry (DESIGN.md
-// §4.5): `Engine` is a thin alias over registry names, kept for source
-// compatibility with the original enum API.  All registered engines are
-// exact on the integer grid and agree by construction (asserted by the
-// property tests); see verify/engine.hpp for the built-in strategies.
+/// \file
+/// \brief The FANNet pipeline (paper Fig. 2): P1 validation, noise-tolerance
+/// analysis, adversarial noise-vector extraction.
+///
+/// Engine selection goes through the verify-engine registry (DESIGN.md
+/// §4.5): `Engine` is a thin alias over registry names, kept for source
+/// compatibility with the original enum API.  All registered engines are
+/// exact on the integer grid and agree by construction (asserted by the
+/// property tests); see verify/engine.hpp for the built-in strategies.
 #pragma once
 
 #include <cstdint>

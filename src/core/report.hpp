@@ -1,6 +1,7 @@
-// Report formatting shared by the bench harnesses and examples: aligned
-// text tables (what the bench binaries print, mirroring the paper's
-// figures/numbers) plus CSV export for plotting.
+/// \file
+/// \brief Report formatting shared by the bench harnesses and examples: aligned
+/// text tables (what the bench binaries print, mirroring the paper's
+/// figures/numbers) plus CSV export for plotting.
 #pragma once
 
 #include <string>

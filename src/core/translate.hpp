@@ -1,22 +1,23 @@
-// Behavior Extraction: trained network -> SMV model (paper Fig. 2, left).
-//
-// translate_sample() emits, for one test input X with true label Sx, the
-// state machine the paper hands to nuXmv:
-//
-//   VAR    phase : {s_init, s_eval};  d1..dN : -R..R;   -- noise, percent
-//   ASSIGN next(phase) := s_eval;  next(d_i) := -R..R;  -- fresh every cycle
-//   DEFINE X_i := x_i*(100+d_i);  n_j := <affine>;  a_j := relu-case;
-//          o_k := <affine>;  OC := <argmax case>;
-//   INVARSPEC phase = s_eval -> OC = Sx                 -- property P2
-//
-// The whole encoding is integer-only: the common scale factors of
-// nn::QuantizedNetwork replace division (DESIGN.md §4.1), so any backend
-// (explicit, BMC, BDD) answers exactly the same query as the exact-integer
-// verification engines — the property tests assert this agreement.
-//
-// make_fig3_label_fsm() / make_fig3_noise_fsm() build the paper's Fig.-3
-// state machines whose reachable-state/transition counts the statespace
-// bench reproduces (3/6 and, for 6 nodes with [0,1]% noise, 65/4160).
+/// \file
+/// \brief Behavior Extraction: trained network -> SMV model (paper Fig. 2, left).
+///
+/// translate_sample() emits, for one test input X with true label Sx, the
+/// state machine the paper hands to nuXmv:
+///
+///   VAR    phase : {s_init, s_eval};  d1..dN : -R..R;   -- noise, percent
+///   ASSIGN next(phase) := s_eval;  next(d_i) := -R..R;  -- fresh every cycle
+///   DEFINE X_i := x_i*(100+d_i);  n_j := <affine>;  a_j := relu-case;
+///          o_k := <affine>;  OC := <argmax case>;
+///   INVARSPEC phase = s_eval -> OC = Sx                 -- property P2
+///
+/// The whole encoding is integer-only: the common scale factors of
+/// nn::QuantizedNetwork replace division (DESIGN.md §4.1), so any backend
+/// (explicit, BMC, BDD) answers exactly the same query as the exact-integer
+/// verification engines — the property tests assert this agreement.
+///
+/// make_fig3_label_fsm() / make_fig3_noise_fsm() build the paper's Fig.-3
+/// state machines whose reachable-state/transition counts the statespace
+/// bench reproduces (3/6 and, for 6 nodes with [0,1]% noise, 65/4160).
 #pragma once
 
 #include "nn/quantized.hpp"

@@ -1,8 +1,9 @@
-// Dataset container and train/test splitting for the leukemia case study.
-//
-// Label convention (fixed across the whole repository, matching the paper's
-// Fig. 3/4):  L0 = AML (minority), L1 = ALL (majority).  The training-bias
-// analysis depends on this orientation: the paper's training set is ~70% L1.
+/// \file
+/// \brief Dataset container and train/test splitting for the leukemia case study.
+///
+/// Label convention (fixed across the whole repository, matching the paper's
+/// Fig. 3/4):  L0 = AML (minority), L1 = ALL (majority).  The training-bias
+/// analysis depends on this orientation: the paper's training set is ~70% L1.
 #pragma once
 
 #include <cstdint>

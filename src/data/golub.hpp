@@ -1,14 +1,15 @@
-// Synthetic Golub leukemia microarray generator.
-//
-// The paper trains on the classic Golub et al. dataset (leukemia_big.csv:
-// 72 samples x 7129 genes, 47 ALL / 25 AML).  That file is not
-// redistributable here, so this generator produces a statistically matched
-// stand-in (DESIGN.md §1): log-scale baseline expression per gene, a planted
-// subset of differentially expressed ("informative") genes with
-// class-conditional mean shifts, and per-sample measurement noise.  All
-// downstream code paths — mRMR over 7129 genes, integer scaling, the ~70%-L1
-// training split that produces the paper's training-bias finding — behave as
-// with the real data.
+/// \file
+/// \brief Synthetic Golub leukemia microarray generator.
+///
+/// The paper trains on the classic Golub et al. dataset (leukemia_big.csv:
+/// 72 samples x 7129 genes, 47 ALL / 25 AML).  That file is not
+/// redistributable here, so this generator produces a statistically matched
+/// stand-in (DESIGN.md §1): log-scale baseline expression per gene, a planted
+/// subset of differentially expressed ("informative") genes with
+/// class-conditional mean shifts, and per-sample measurement noise.  All
+/// downstream code paths — mRMR over 7129 genes, integer scaling, the ~70%-L1
+/// training split that produces the paper's training-bias finding — behave as
+/// with the real data.
 #pragma once
 
 #include <cstdint>

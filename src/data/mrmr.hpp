@@ -1,10 +1,11 @@
-// Minimum-Redundancy Maximum-Relevance (mRMR) feature selection.
-//
-// The paper selects the "top five most significant genes" of the 7129 with
-// mRMR (Peng et al.).  This is the textbook algorithm: greedy selection
-// maximizing relevance I(gene; class) minus (MID) or divided by (MIQ) the
-// mean redundancy I(gene; selected gene), with mutual information estimated
-// on the standard 3-level discretization (mean +/- 0.5 sigma thresholds).
+/// \file
+/// \brief Minimum-Redundancy Maximum-Relevance (mRMR) feature selection.
+///
+/// The paper selects the "top five most significant genes" of the 7129 with
+/// mRMR (Peng et al.).  This is the textbook algorithm: greedy selection
+/// maximizing relevance I(gene; class) minus (MID) or divided by (MIQ) the
+/// mean redundancy I(gene; selected gene), with mutual information estimated
+/// on the standard 3-level discretization (mean +/- 0.5 sigma thresholds).
 #pragma once
 
 #include <cstdint>

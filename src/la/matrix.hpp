@@ -1,7 +1,8 @@
-// Small dense row-major matrix used for network parameters.
-//
-// Deliberately minimal: the networks in the paper are tiny (5-20-2), so this
-// favours clarity and bounds-checked access over BLAS-style performance.
+/// \file
+/// \brief Small dense row-major matrix used for network parameters.
+///
+/// Deliberately minimal: the networks in the paper are tiny (5-20-2), so this
+/// favours clarity and bounds-checked access over BLAS-style performance.
 #pragma once
 
 #include <cstddef>

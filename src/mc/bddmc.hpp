@@ -1,11 +1,12 @@
-// BDD-based symbolic model checking over SMV models.
-//
-// Builds a monolithic transition-relation BDD from the bit-blasted step
-// function (current/next state bits interleaved in the variable order,
-// choice oracles quantified out) and runs an image-computation fixpoint.
-// This is the PSPACE-style engine the paper weighs against SAT-based model
-// checking; the ablation bench measures exactly the blow-up that made the
-// authors pick an SMT-based tool.
+/// \file
+/// \brief BDD-based symbolic model checking over SMV models.
+///
+/// Builds a monolithic transition-relation BDD from the bit-blasted step
+/// function (current/next state bits interleaved in the variable order,
+/// choice oracles quantified out) and runs an image-computation fixpoint.
+/// This is the PSPACE-style engine the paper weighs against SAT-based model
+/// checking; the ablation bench measures exactly the blow-up that made the
+/// authors pick an SMT-based tool.
 #pragma once
 
 #include <optional>

@@ -1,10 +1,11 @@
-// SAT-based bounded model checking and k-induction over SMV models.
-//
-// The model is bit-blasted (mc/compile) and unrolled incrementally into one
-// CDCL solver instance; depth d asks "can a legal path of length d reach a
-// state violating the property?" under an assumption literal, so learned
-// clauses carry across depths.  k-induction upgrades bounded refutation to
-// unbounded proof for the invariants FANNet checks (P1/P2 in Fig. 2).
+/// \file
+/// \brief SAT-based bounded model checking and k-induction over SMV models.
+///
+/// The model is bit-blasted (mc/compile) and unrolled incrementally into one
+/// CDCL solver instance; depth d asks "can a legal path of length d reach a
+/// state violating the property?" under an assumption literal, so learned
+/// clauses carry across depths.  k-induction upgrades bounded refutation to
+/// unbounded proof for the invariants FANNet checks (P1/P2 in Fig. 2).
 #pragma once
 
 #include <cstdint>

@@ -1,12 +1,13 @@
-// SMV -> circuit compiler (bit-blasting bounded-integer models).
-//
-// Every SMV variable becomes a two's-complement word sized to its declared
-// domain; expressions compile to word/bit logic; nondeterministic choices
-// ({...} sets, lo..hi ranges, unassigned variables) become fresh oracle
-// inputs constrained to their legal values.  The same step function feeds
-// both the SAT-based bounded model checker (via Tseitin) and the BDD-based
-// symbolic engine (via BddConverter) — the two backend families the paper
-// compares when motivating its choice of model checker.
+/// \file
+/// \brief SMV -> circuit compiler (bit-blasting bounded-integer models).
+///
+/// Every SMV variable becomes a two's-complement word sized to its declared
+/// domain; expressions compile to word/bit logic; nondeterministic choices
+/// ({...} sets, lo..hi ranges, unassigned variables) become fresh oracle
+/// inputs constrained to their legal values.  The same step function feeds
+/// both the SAT-based bounded model checker (via Tseitin) and the BDD-based
+/// symbolic engine (via BddConverter) — the two backend families the paper
+/// compares when motivating its choice of model checker.
 #pragma once
 
 #include <optional>

@@ -1,12 +1,13 @@
-// Model-checking backends as pluggable verify::Engine strategies.
-//
-// Both adapters run the paper's original tool path: Behavior Extraction
-// (core/translate) turns the query into an SMV model, then a model checker
-// decides the INVARSPEC.  They are registered in the engine registry as
-// "explicit-mc" and "bmc" so every consumer reaches them through the same
-// seam as the exact-integer engines; the registry seeds them via
-// verify::detail::register_translation_engines (defined here, in the MC
-// layer, because the translation lives above src/verify).
+/// \file
+/// \brief Model-checking backends as pluggable verify::Engine strategies.
+///
+/// Both adapters run the paper's original tool path: Behavior Extraction
+/// (core/translate) turns the query into an SMV model, then a model checker
+/// decides the INVARSPEC.  They are registered in the engine registry as
+/// "explicit-mc" and "bmc" so every consumer reaches them through the same
+/// seam as the exact-integer engines; the registry seeds them via
+/// verify::detail::register_translation_engines (defined here, in the MC
+/// layer, because the translation lives above src/verify).
 #pragma once
 
 #include "verify/engine.hpp"

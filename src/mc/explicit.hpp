@@ -1,10 +1,11 @@
-// Explicit-state model checking of SMV modules.
-//
-// Enumerative reachability over concrete states (vectors of bounded ints).
-// This backend produces the paper's Fig.-3 numbers — reachable-state and
-// transition counts of the NN-with-noise FSM — and doubles as a second
-// oracle for INVARSPEC queries at small noise ranges.  BFS order guarantees
-// shortest counterexample traces.
+/// \file
+/// \brief Explicit-state model checking of SMV modules.
+///
+/// Enumerative reachability over concrete states (vectors of bounded ints).
+/// This backend produces the paper's Fig.-3 numbers — reachable-state and
+/// transition counts of the NN-with-noise FSM — and doubles as a second
+/// oracle for INVARSPEC queries at small noise ranges.  BFS order guarantees
+/// shortest counterexample traces.
 #pragma once
 
 #include <cstdint>

@@ -1,16 +1,17 @@
-// SAT-backed P2 decision engine ("sat" in the verify::EngineRegistry).
-//
-// Bit-blasts the quantized forward pass and the argmax property to CNF
-// through the existing SMV translation + Tseitin path (core/translate ->
-// mc/compile -> circuit/tseitin) and decides the query with the CDCL solver,
-// inprocessing enabled.  A kSat answer is refined to the lexicographically
-// lowest witness (query dimension order, bias last — the same canonical
-// order the bnb engine returns) by per-dimension binary search over frozen
-// threshold literals, so verdicts *and* witnesses are bit-identical to the
-// exact-integer complete engines.  Per-query conflict/propagation budgets
-// map onto kUnknown with resource_limited set — the engine never hangs.
-// With a ProofLog attached, robust (UNSAT) verdicts carry a DRAT transcript
-// checkable by sat::check_proof.
+/// \file
+/// \brief SAT-backed P2 decision engine ("sat" in the verify::EngineRegistry).
+///
+/// Bit-blasts the quantized forward pass and the argmax property to CNF
+/// through the existing SMV translation + Tseitin path (core/translate ->
+/// mc/compile -> circuit/tseitin) and decides the query with the CDCL solver,
+/// inprocessing enabled.  A kSat answer is refined to the lexicographically
+/// lowest witness (query dimension order, bias last — the same canonical
+/// order the bnb engine returns) by per-dimension binary search over frozen
+/// threshold literals, so verdicts *and* witnesses are bit-identical to the
+/// exact-integer complete engines.  Per-query conflict/propagation budgets
+/// map onto kUnknown with resource_limited set — the engine never hangs.
+/// With a ProofLog attached, robust (UNSAT) verdicts carry a DRAT transcript
+/// checkable by sat::check_proof.
 #pragma once
 
 #include <cstdint>

@@ -1,33 +1,34 @@
-// Batched structure-of-arrays forward evaluation (DESIGN.md §10).
-//
-// Every FANNet analysis bottoms out in thousands of independent forward
-// passes over ONE set of weights (enumerate screens, tolerance descents,
-// sensitivity probes, weight-fault candidate scans).  `BatchEvaluator`
-// evaluates N samples simultaneously with activations stored
-// [neuron][sample]: the inner int64 multiply-accumulate runs over the
-// sample lanes with stride 1, so plain -O2/-O3 auto-vectorizes it (no
-// intrinsics; the FANNET_VERIFY_VECTORIZE CMake knob makes CI prove the
-// loop still vectorizes).
-//
-// Results are bit-identical to the scalar path (quantized.hpp's
-// `eval_output`/`classify`, the reference oracle), including overflow
-// behavior and lower-index argmax ties:
-//
-//   - Fast path: before each layer the evaluator bounds every neuron's
-//     accumulation as |b_j|*bias_mult_max + (Σ_i |w_ji|)*max|act| in
-//     saturating 128-bit arithmetic.  When every bound fits int64 the layer
-//     runs as a wrap-free uint64 MAC kernel: two's-complement wraparound
-//     arithmetic equals the true __int128 sum mod 2^64, which is exact
-//     whenever the true sum fits int64 — and the bound just proved it does.
-//   - Exact path: when some bound does not fit, the layer falls back to the
-//     scalar algebra (__int128 accumulation per lane) and lanes whose
-//     narrowing would throw are flagged `overflowed` instead.  A flagged
-//     lane means "the scalar evaluation of this sample throws
-//     ArithmeticError"; callers that must reproduce the exact exception
-//     re-run the scalar path for that one lane (rare by construction).
-//
-// The evaluator is immutable after construction and safe to share across
-// threads; each thread stages lanes into its own `Batch`.
+/// \file
+/// \brief Batched structure-of-arrays forward evaluation (DESIGN.md §10).
+///
+/// Every FANNet analysis bottoms out in thousands of independent forward
+/// passes over ONE set of weights (enumerate screens, tolerance descents,
+/// sensitivity probes, weight-fault candidate scans).  `BatchEvaluator`
+/// evaluates N samples simultaneously with activations stored
+/// [neuron][sample]: the inner int64 multiply-accumulate runs over the
+/// sample lanes with stride 1, so plain -O2/-O3 auto-vectorizes it (no
+/// intrinsics; the FANNET_VERIFY_VECTORIZE CMake knob makes CI prove the
+/// loop still vectorizes).
+///
+/// Results are bit-identical to the scalar path (quantized.hpp's
+/// `eval_output`/`classify`, the reference oracle), including overflow
+/// behavior and lower-index argmax ties:
+///
+///   - Fast path: before each layer the evaluator bounds every neuron's
+///     accumulation as |b_j|*bias_mult_max + (Σ_i |w_ji|)*max|act| in
+///     saturating 128-bit arithmetic.  When every bound fits int64 the layer
+///     runs as a wrap-free uint64 MAC kernel: two's-complement wraparound
+///     arithmetic equals the true __int128 sum mod 2^64, which is exact
+///     whenever the true sum fits int64 — and the bound just proved it does.
+///   - Exact path: when some bound does not fit, the layer falls back to the
+///     scalar algebra (__int128 accumulation per lane) and lanes whose
+///     narrowing would throw are flagged `overflowed` instead.  A flagged
+///     lane means "the scalar evaluation of this sample throws
+///     ArithmeticError"; callers that must reproduce the exact exception
+///     re-run the scalar path for that one lane (rare by construction).
+///
+/// The evaluator is immutable after construction and safe to share across
+/// threads; each thread stages lanes into its own `Batch`.
 #pragma once
 
 #include <cstdint>

@@ -1,9 +1,10 @@
-// Feed-forward fully-connected networks (the paper's Fig. 3a architecture).
-//
-// A Network is a stack of affine layers, each optionally followed by ReLU.
-// The paper's "max-pool" output stage is the classification argmax over the
-// final layer (see DESIGN.md §4.5); classify() implements it with the shared
-// tie-breaking rule (ties resolve to the lower label index).
+/// \file
+/// \brief Feed-forward fully-connected networks (the paper's Fig. 3a architecture).
+///
+/// A Network is a stack of affine layers, each optionally followed by ReLU.
+/// The paper's "max-pool" output stage is the classification argmax over the
+/// final layer (see DESIGN.md §4.5); classify() implements it with the shared
+/// tie-breaking rule (ties resolve to the lower label index).
 #pragma once
 
 #include <cstdint>

@@ -71,6 +71,7 @@ QuantizedNetwork QuantizedNetwork::quantize(const Network& net,
       }
     }
     ql.bias.reserve(l.out_dim());
+    // fannet-lint: allow(float-in-exact) quantize() is the float->fixed boundary
     for (double b : l.bias) {
       ql.bias.push_back(util::Fixed::from_double(b).raw());
     }
@@ -175,6 +176,7 @@ int QuantizedNetwork::classify_noised(std::span<const i64> x,
 Network QuantizedNetwork::dequantize() const {
   std::vector<Layer> layers;
   layers.reserve(layers_.size());
+  // fannet-lint: allow(float-in-exact) dequantize() is the fixed->float boundary
   const double s = static_cast<double>(util::Fixed::kScale);
   for (const QLayer& ql : layers_) {
     Layer l;
@@ -182,10 +184,12 @@ Network QuantizedNetwork::dequantize() const {
     l.weights = la::MatrixD(ql.out_dim(), ql.in_dim());
     for (std::size_t r = 0; r < ql.out_dim(); ++r) {
       for (std::size_t c = 0; c < ql.in_dim(); ++c) {
+        // fannet-lint: allow(float-in-exact) boundary conversion, not math
         l.weights(r, c) = static_cast<double>(ql.weights(r, c)) / s;
       }
     }
     l.bias.reserve(ql.out_dim());
+    // fannet-lint: allow(float-in-exact) boundary conversion, not math
     for (i64 b : ql.bias) l.bias.push_back(static_cast<double>(b) / s);
     layers.push_back(std::move(l));
   }

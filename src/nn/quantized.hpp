@@ -1,22 +1,23 @@
-// Exact integer evaluation of a quantized network (DESIGN.md §4.1).
-//
-// The formal engines never touch floating point.  Weights are quantized to
-// Fixed (scale S = 10^4); inputs are integers x_i; noise is an integer
-// percent delta_i.  Everything is then evaluated over plain integers:
-//
-//   scaled input      X_i  = x_i * (100 + delta_i)            (scale R0)
-//   first layer       N^1  = Wq^1 X + Bq^1 * input_norm * bias_factor
-//   deeper layers     N^l  = Wq^l A^{l-1} + Bq^l * R_{l-1}
-//   running scale     R_0  = input_norm * 100,   R_l = S * R_{l-1}
-//   ReLU              A^l  = max(0, N^l)
-//
-// where N^l equals the real pre-activation of the quantized-weight network
-// multiplied by R_l, `input_norm` is the training-time normalizer (inputs
-// were divided by it before training) and `bias_factor` = 100 + delta_bias
-// carries noise on the paper's bias *input node* (Fig. 3a; DESIGN.md §4.3).
-// Because scales are positive, argmax over N^L equals argmax over the real
-// outputs — classification is exact.  All accumulation is __int128 with a
-// checked narrowing back to int64.
+/// \file
+/// \brief Exact integer evaluation of a quantized network (DESIGN.md §4.1).
+///
+/// The formal engines never touch floating point.  Weights are quantized to
+/// Fixed (scale S = 10^4); inputs are integers x_i; noise is an integer
+/// percent delta_i.  Everything is then evaluated over plain integers:
+///
+///   scaled input      X_i  = x_i * (100 + delta_i)            (scale R0)
+///   first layer       N^1  = Wq^1 X + Bq^1 * input_norm * bias_factor
+///   deeper layers     N^l  = Wq^l A^{l-1} + Bq^l * R_{l-1}
+///   running scale     R_0  = input_norm * 100,   R_l = S * R_{l-1}
+///   ReLU              A^l  = max(0, N^l)
+///
+/// where N^l equals the real pre-activation of the quantized-weight network
+/// multiplied by R_l, `input_norm` is the training-time normalizer (inputs
+/// were divided by it before training) and `bias_factor` = 100 + delta_bias
+/// carries noise on the paper's bias *input node* (Fig. 3a; DESIGN.md §4.3).
+/// Because scales are positive, argmax over N^L equals argmax over the real
+/// outputs — classification is exact.  All accumulation is __int128 with a
+/// checked narrowing back to int64.
 #pragma once
 
 #include <atomic>

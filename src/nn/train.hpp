@@ -1,8 +1,9 @@
-// Full-batch gradient-descent training (the MATLAB substitute).
-//
-// The paper's network is trained with plain gradient descent, MSE loss on
-// one-hot targets, learning rate 0.5 for the first 40 epochs and 0.2 for the
-// remaining 40 (paper §V-A, footnote 1).  That schedule is the default here.
+/// \file
+/// \brief Full-batch gradient-descent training (the MATLAB substitute).
+///
+/// The paper's network is trained with plain gradient descent, MSE loss on
+/// one-hot targets, learning rate 0.5 for the first 40 epochs and 0.2 for the
+/// remaining 40 (paper §V-A, footnote 1).  That schedule is the default here.
 #pragma once
 
 #include <cstdint>

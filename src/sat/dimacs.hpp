@@ -1,4 +1,5 @@
-// DIMACS CNF import/export for the SAT solver (interoperability + tests).
+/// \file
+/// \brief DIMACS CNF import/export for the SAT solver (interoperability + tests).
 #pragma once
 
 #include <string>

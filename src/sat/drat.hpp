@@ -1,21 +1,22 @@
-// DRAT proof logging and a bounded in-tree checker (DESIGN.md §11).
-//
-// The CDCL solver (and every inprocessing pass) can log its reasoning into a
-// ProofLog: each clause it derives — learnt clauses, vivified/strengthened
-// clauses, variable-elimination resolvents, equivalent-literal rewrites,
-// failed-assumption conflict clauses — is an *addition* line, and each clause
-// it discards is a *deletion* line.  Every addition the solver produces has
-// the RUP property (reverse unit propagation: asserting the negation of the
-// clause and propagating over the formula plus the previously derived
-// clauses yields a conflict), so the log is a valid DRUP/DRAT proof and
-// `check_proof` validates it clause by clause with plain unit propagation —
-// no trust in the solver.  An UNSAT answer is *certified* when the check
-// reaches a conflict from the formula, the verified derivations, and the
-// solve's assumptions alone.
-//
-// The checker is bounded: a propagation budget turns a pathological log into
-// an honest kBudget answer instead of a hang, mirroring the solver's own
-// kUnknown-on-resource-limit convention.
+/// \file
+/// \brief DRAT proof logging and a bounded in-tree checker (DESIGN.md §11).
+///
+/// The CDCL solver (and every inprocessing pass) can log its reasoning into a
+/// ProofLog: each clause it derives — learnt clauses, vivified/strengthened
+/// clauses, variable-elimination resolvents, equivalent-literal rewrites,
+/// failed-assumption conflict clauses — is an *addition* line, and each clause
+/// it discards is a *deletion* line.  Every addition the solver produces has
+/// the RUP property (reverse unit propagation: asserting the negation of the
+/// clause and propagating over the formula plus the previously derived
+/// clauses yields a conflict), so the log is a valid DRUP/DRAT proof and
+/// `check_proof` validates it clause by clause with plain unit propagation —
+/// no trust in the solver.  An UNSAT answer is *certified* when the check
+/// reaches a conflict from the formula, the verified derivations, and the
+/// solve's assumptions alone.
+///
+/// The checker is bounded: a propagation budget turns a pathological log into
+/// an honest kBudget answer instead of a hang, mirroring the solver's own
+/// kUnknown-on-resource-limit convention.
 #pragma once
 
 #include <cstdint>

@@ -1,13 +1,14 @@
-// Inprocessing configuration and statistics for the CDCL solver.
-//
-// Each simplification pass is individually toggleable so the differential
-// fuzz oracle (tests/test_sat_fuzz.cpp) can diff every on/off combination
-// against the plain solver, and so callers can trade preprocessing effort
-// against search effort per workload.  All passes run at decision level 0,
-// preserve satisfiability (bounded variable elimination and equivalent-
-// literal substitution preserve it *projected onto the remaining variables*;
-// full models are rebuilt by model reconstruction, DESIGN.md §11), and log
-// every derived/deleted clause to the attached ProofLog.
+/// \file
+/// \brief Inprocessing configuration and statistics for the CDCL solver.
+///
+/// Each simplification pass is individually toggleable so the differential
+/// fuzz oracle (tests/test_sat_fuzz.cpp) can diff every on/off combination
+/// against the plain solver, and so callers can trade preprocessing effort
+/// against search effort per workload.  All passes run at decision level 0,
+/// preserve satisfiability (bounded variable elimination and equivalent-
+/// literal substitution preserve it *projected onto the remaining variables*;
+/// full models are rebuilt by model reconstruction, DESIGN.md §11), and log
+/// every derived/deleted clause to the attached ProofLog.
 #pragma once
 
 #include <cstdint>

@@ -1,17 +1,18 @@
-// CDCL SAT solver (the SAT substrate behind bounded model checking and the
-// "sat" verify engine).
-//
-// A from-scratch conflict-driven clause-learning solver with the standard
-// modern architecture: two-watched-literal propagation with blockers, first
-// unique-implication-point conflict analysis with clause minimization, EVSIDS
-// variable activity, phase saving, Luby-sequence restarts, activity-driven
-// learnt-clause deletion, and incremental solving under assumptions.  On top
-// of the search core sit an optional inprocessing suite (vivification,
-// subsumption/self-subsumption, bounded variable elimination with model
-// reconstruction, SCC equivalent-literal substitution — sat/inprocess.hpp)
-// and optional DRAT proof logging (sat/drat.hpp) so every kUnsat answer can
-// be independently certified.  The design follows MiniSat's; everything is
-// implemented here from the published algorithms.
+/// \file
+/// \brief CDCL SAT solver (the SAT substrate behind bounded model checking and the
+/// "sat" verify engine).
+///
+/// A from-scratch conflict-driven clause-learning solver with the standard
+/// modern architecture: two-watched-literal propagation with blockers, first
+/// unique-implication-point conflict analysis with clause minimization, EVSIDS
+/// variable activity, phase saving, Luby-sequence restarts, activity-driven
+/// learnt-clause deletion, and incremental solving under assumptions.  On top
+/// of the search core sit an optional inprocessing suite (vivification,
+/// subsumption/self-subsumption, bounded variable elimination with model
+/// reconstruction, SCC equivalent-literal substitution — sat/inprocess.hpp)
+/// and optional DRAT proof logging (sat/drat.hpp) so every kUnsat answer can
+/// be independently certified.  The design follows MiniSat's; everything is
+/// implemented here from the published algorithms.
 #pragma once
 
 #include <cstdint>
@@ -98,6 +99,13 @@ class Solver {
   /// later solve resumes incrementally.  This is how callers map
   /// wall-clock deadlines, cancellation tokens, and cooperative yields
   /// onto the solver without a watchdog thread.  Pass nullptr to detach.
+  ///
+  /// Threading contract: the solver itself is externally synchronized (one
+  /// thread at a time), so `set_stop` must happen-before the `solve` that
+  /// polls it and the callback runs on the solving thread.  Cross-thread
+  /// interruption is expressed *inside* the callback — it reads atomics
+  /// (a CancelToken, a task's yield flag) that other threads write; the
+  /// std::function object itself is never mutated concurrently.
   void set_stop(std::function<bool()> stop) { stop_ = std::move(stop); }
 
   /// Selects the inprocessing passes to run at the start of each solve in

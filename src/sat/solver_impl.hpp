@@ -1,6 +1,7 @@
-// Internal definition of Solver::Impl — the CDCL engine state shared by the
-// search core (sat/solver.cpp) and the inprocessing passes
-// (sat/inprocess.cpp).  Not part of the public API.
+/// \file
+/// \brief Internal definition of Solver::Impl — the CDCL engine state shared by the
+/// search core (sat/solver.cpp) and the inprocessing passes
+/// (sat/inprocess.cpp).  Not part of the public API.
 #pragma once
 
 #include <memory>

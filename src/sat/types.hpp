@@ -1,8 +1,9 @@
-// Core SAT types: variables, literals, ternary assignment values.
-//
-// Follows the MiniSat conventions: variables are dense 0-based ints and a
-// literal packs (variable, sign) into one int so it can index watch lists
-// directly.
+/// \file
+/// \brief Core SAT types: variables, literals, ternary assignment values.
+///
+/// Follows the MiniSat conventions: variables are dense 0-based ints and a
+/// literal packs (variable, sign) into one int so it can index watch lists
+/// directly.
 #pragma once
 
 #include <cstdint>

@@ -1,21 +1,22 @@
-// SMV-subset abstract syntax (the nuXmv-frontend substitute).
-//
-// The subset covers exactly what FANNet's Behavior Extraction emits and what
-// the paper's Fig.-2/Fig.-3 models need:
-//
-//   MODULE main
-//   VAR      x : -5..5;   b : boolean;   phase : {init, eval};
-//   DEFINE   n1 := 3*x + 7; ...
-//   ASSIGN   init(x) := 0;   next(x) := {-5..5};      -- nondeterministic
-//   INIT / TRANS / INVAR  <boolean constraints>       -- optional
-//   INVARSPEC <boolean property>
-//   LTLSPEC G <boolean property>                      -- G-only fragment
-//
-// Expressions form an arena of nodes inside the Module (indices, no
-// pointers), which keeps the printer, evaluator and bit-blasting compiler
-// simple and cache-friendly.  Enum symbols are required to be unique across
-// the module so they resolve without type inference (nuXmv shares this
-// behaviour for the models we emit).
+/// \file
+/// \brief SMV-subset abstract syntax (the nuXmv-frontend substitute).
+///
+/// The subset covers exactly what FANNet's Behavior Extraction emits and what
+/// the paper's Fig.-2/Fig.-3 models need:
+///
+///   MODULE main
+///   VAR      x : -5..5;   b : boolean;   phase : {init, eval};
+///   DEFINE   n1 := 3*x + 7; ...
+///   ASSIGN   init(x) := 0;   next(x) := {-5..5};      -- nondeterministic
+///   INIT / TRANS / INVAR  <boolean constraints>       -- optional
+///   INVARSPEC <boolean property>
+///   LTLSPEC G <boolean property>                      -- G-only fragment
+///
+/// Expressions form an arena of nodes inside the Module (indices, no
+/// pointers), which keeps the printer, evaluator and bit-blasting compiler
+/// simple and cache-friendly.  Enum symbols are required to be unique across
+/// the module so they resolve without type inference (nuXmv shares this
+/// behaviour for the models we emit).
 #pragma once
 
 #include <cstdint>

@@ -1,9 +1,10 @@
-// Concrete-state evaluation of SMV expressions (explicit model checking).
-//
-// A State assigns one i64 to every declared variable (booleans as 0/1,
-// enums as symbol indices).  eval() computes expressions over a state (and
-// optionally a next-state for TRANS constraints); choices() enumerates the
-// nondeterministic alternatives of an init()/next() right-hand side.
+/// \file
+/// \brief Concrete-state evaluation of SMV expressions (explicit model checking).
+///
+/// A State assigns one i64 to every declared variable (booleans as 0/1,
+/// enums as symbol indices).  eval() computes expressions over a state (and
+/// optionally a next-state for TRANS constraints); choices() enumerates the
+/// nondeterministic alternatives of an init()/next() right-hand side.
 #pragma once
 
 #include <optional>

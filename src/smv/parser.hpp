@@ -1,9 +1,10 @@
-// Recursive-descent parser for the SMV subset (see ast.hpp for the grammar).
-//
-// Operator precedence follows the NuSMV manual for the operators we accept
-// (highest to lowest): unary !/-  >  *  >  +/-  >  comparisons  >  &  >
-// |/xor  >  <->  >  ->.  The printer fully parenthesizes, so print/parse
-// round-trips are exact.
+/// \file
+/// \brief Recursive-descent parser for the SMV subset (see ast.hpp for the grammar).
+///
+/// Operator precedence follows the NuSMV manual for the operators we accept
+/// (highest to lowest): unary !/-  >  *  >  +/-  >  comparisons  >  &  >
+/// |/xor  >  <->  >  ->.  The printer fully parenthesizes, so print/parse
+/// round-trips are exact.
 #pragma once
 
 #include <string>

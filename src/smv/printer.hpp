@@ -1,9 +1,10 @@
-// Pretty-printer emitting nuXmv-compatible SMV text.
-//
-// This is the artifact FANNet's Behavior Extraction hands to the model
-// checker in the paper (Fig. 2, "Translation of Network ... in SMV
-// Language"); examples/smv_export writes it to disk.  Expressions are fully
-// parenthesized so print -> parse round-trips reproduce the AST exactly.
+/// \file
+/// \brief Pretty-printer emitting nuXmv-compatible SMV text.
+///
+/// This is the artifact FANNet's Behavior Extraction hands to the model
+/// checker in the paper (Fig. 2, "Translation of Network ... in SMV
+/// Language"); examples/smv_export writes it to disk.  Expressions are fully
+/// parenthesized so print -> parse round-trips reproduce the AST exactly.
 #pragma once
 
 #include <string>

@@ -1,12 +1,13 @@
-// Machine-readable benchmark output (DESIGN.md §6).
-//
-// Every bench binary appends its headline measurements to a BenchJson and
-// writes BENCH_<bench>.json next to its working directory, so the perf
-// trajectory is diffable PR-over-PR without scraping stdout.  Schema:
-//
-//   { "bench": "<bench>",
-//     "records": [ { "name": "...", "wall_ms": 12.3,
-//                    "work": 4567, "threads": 8 }, ... ] }
+/// \file
+/// \brief Machine-readable benchmark output (DESIGN.md §6).
+///
+/// Every bench binary appends its headline measurements to a BenchJson and
+/// writes BENCH_<bench>.json next to its working directory, so the perf
+/// trajectory is diffable PR-over-PR without scraping stdout.  Schema:
+///
+///   { "bench": "<bench>",
+///     "records": [ { "name": "...", "wall_ms": 12.3,
+///                    "work": 4567, "threads": 8 }, ... ] }
 #pragma once
 
 #include <cstdint>

@@ -1,10 +1,11 @@
-// Overflow-checked 64/128-bit integer arithmetic.
-//
-// The formal-analysis path of FANNet is exact by construction: every network
-// quantity is an integer (see DESIGN.md §4.1).  Exactness is only meaningful
-// if overflow is impossible or detected, so all arithmetic in that path goes
-// through these helpers.  They throw ArithmeticError instead of silently
-// wrapping.
+/// \file
+/// \brief Overflow-checked 64/128-bit integer arithmetic.
+///
+/// The formal-analysis path of FANNet is exact by construction: every network
+/// quantity is an integer (see DESIGN.md §4.1).  Exactness is only meaningful
+/// if overflow is impossible or detected, so all arithmetic in that path goes
+/// through these helpers.  They throw ArithmeticError instead of silently
+/// wrapping.
 #pragma once
 
 #include <cstdint>

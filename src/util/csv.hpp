@@ -1,8 +1,9 @@
-// Minimal CSV reading/writing for datasets and experiment reports.
-//
-// The dialect is deliberately small (comma separator, optional quoting with
-// "" escapes, \n or \r\n record ends) — enough for the Golub-style matrices
-// and the bench output files, with malformed input reported as ParseError.
+/// \file
+/// \brief Minimal CSV reading/writing for datasets and experiment reports.
+///
+/// The dialect is deliberately small (comma separator, optional quoting with
+/// "" escapes, \n or \r\n record ends) — enough for the Golub-style matrices
+/// and the bench output files, with malformed input reported as ParseError.
 #pragma once
 
 #include <iosfwd>

@@ -1,8 +1,9 @@
-// Error types shared across the FANNet library.
-//
-// Per the C++ Core Guidelines (E.2/E.14) we signal errors that callers cannot
-// reasonably ignore with exceptions derived from std::runtime_error, using a
-// distinct type per failure domain so call sites can discriminate.
+/// \file
+/// \brief Error types shared across the FANNet library.
+///
+/// Per the C++ Core Guidelines (E.2/E.14) we signal errors that callers cannot
+/// reasonably ignore with exceptions derived from std::runtime_error, using a
+/// distinct type per failure domain so call sites can discriminate.
 #pragma once
 
 #include <stdexcept>

@@ -1,11 +1,12 @@
-// Exact fixed-point numbers used to quantize network weights.
-//
-// A Fixed stores value = raw / kScale with raw an int64 and kScale a
-// compile-time power of ten.  Addition/subtraction/comparison are exact;
-// multiplication by an *integer* is exact; conversion from double rounds once
-// at quantization time and is the only inexact operation in the formal path
-// (DESIGN.md §4.1).  Fixed*Fixed is intentionally absent: the formal encoding
-// never multiplies two quantized weights together.
+/// \file
+/// \brief Exact fixed-point numbers used to quantize network weights.
+///
+/// A Fixed stores value = raw / kScale with raw an int64 and kScale a
+/// compile-time power of ten.  Addition/subtraction/comparison are exact;
+/// multiplication by an *integer* is exact; conversion from double rounds once
+/// at quantization time and is the only inexact operation in the formal path
+/// (DESIGN.md §4.1).  Fixed*Fixed is intentionally absent: the formal encoding
+/// never multiplies two quantized weights together.
 #pragma once
 
 #include <cmath>

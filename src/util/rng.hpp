@@ -1,10 +1,11 @@
-// Deterministic pseudo-random number generation (xoshiro256**).
-//
-// Every stochastic component of the reproduction (synthetic dataset, weight
-// initialization, property-test case generation) draws from this generator so
-// that a seed pins the whole experiment.  xoshiro256** is small, fast and has
-// well-studied statistical quality; seeding goes through splitmix64 as its
-// authors recommend.
+/// \file
+/// \brief Deterministic pseudo-random number generation (xoshiro256**).
+///
+/// Every stochastic component of the reproduction (synthetic dataset, weight
+/// initialization, property-test case generation) draws from this generator so
+/// that a seed pins the whole experiment.  xoshiro256** is small, fast and has
+/// well-studied statistical quality; seeding goes through splitmix64 as its
+/// authors recommend.
 #pragma once
 
 #include <cmath>

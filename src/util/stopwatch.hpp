@@ -1,4 +1,5 @@
-// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+/// \file
+/// \brief Monotonic wall-clock stopwatch used by the benchmark harnesses.
 #pragma once
 
 #include <chrono>

@@ -1,0 +1,122 @@
+/// \file
+/// \brief Annotated synchronization primitives (DESIGN.md §13).
+///
+/// Thin zero-cost wrappers over the standard primitives that carry Clang
+/// Thread Safety attributes (util/thread_annotations.hpp), so `clang++
+/// -Wthread-safety -Werror` can prove the repo's locking discipline at
+/// compile time.  Libstdc++'s `std::mutex`/`std::scoped_lock` are not
+/// annotated, which is the only reason these exist — behavior is identical,
+/// and off-Clang every attribute expands to nothing.
+///
+///   - `Mutex`      annotated `std::mutex` (a "mutex" capability);
+///   - `MutexLock`  annotated scoped lock (the `std::scoped_lock` shape);
+///   - `CondVar`    condition variable over `Mutex` (wait requires the
+///                  mutex held, exactly like the standard contract);
+///   - `FirstError` first-exception-wins capture slot shared by every
+///                  worker-pool join point (scheduler, bnb, enumerate).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace fannet::util {
+
+/// `std::mutex` as an annotated capability.  Prefer `MutexLock` over
+/// calling lock()/unlock() directly.
+class FANNET_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FANNET_ACQUIRE() { mutex_.lock(); }
+  void unlock() FANNET_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() FANNET_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock over one `Mutex` (the `std::scoped_lock` idiom, annotated).
+class FANNET_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) FANNET_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() FANNET_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable paired with `Mutex`.  The wait entry points require
+/// the mutex held (they release it while blocked and re-acquire before
+/// returning, per the standard contract — the analysis sees "held
+/// throughout", which is the caller-visible truth).
+class CondVar {
+ public:
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  template <typename Predicate>
+  void wait(Mutex& mutex, Predicate ready) FANNET_REQUIRES(mutex) {
+    cv_.wait(mutex, ready);
+  }
+
+  /// Returns false when `deadline` passed with `ready()` still false.
+  template <typename Clock, typename Duration, typename Predicate>
+  bool wait_until(Mutex& mutex,
+                  const std::chrono::time_point<Clock, Duration>& deadline,
+                  Predicate ready) FANNET_REQUIRES(mutex) {
+    return cv_.wait_until(mutex, deadline, ready);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+/// First-exception-wins capture slot for fork-join worker pools: every
+/// worker funnels its catch-all through `capture`, the join point rethrows
+/// via `rethrow_if_set`.  Replaces the per-call-site mutex + exception_ptr
+/// pairs so the discipline is written (and machine-checked) once.
+class FirstError {
+ public:
+  /// Records the current in-flight exception if none is held yet.
+  /// Call from inside a catch block.
+  void capture() {
+    const MutexLock lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+
+  /// True once an exception has been captured (workers poll this to drain
+  /// early; a stale false just delays the drain one iteration).
+  [[nodiscard]] bool set() const {
+    const MutexLock lock(mutex_);
+    return error_ != nullptr;
+  }
+
+  /// Rethrows the captured exception, if any.  Call after the pool joined.
+  void rethrow_if_set() const {
+    std::exception_ptr error;
+    {
+      const MutexLock lock(mutex_);
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  mutable Mutex mutex_;
+  std::exception_ptr error_ FANNET_GUARDED_BY(mutex_);
+};
+
+}  // namespace fannet::util

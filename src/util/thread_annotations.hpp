@@ -1,0 +1,69 @@
+/// \file
+/// \brief Clang Thread Safety Analysis macro shim (DESIGN.md §13).
+///
+/// FANNet's determinism contract rests on a small set of locking
+/// disciplines (which fields a mutex guards, which functions require it
+/// held).  These macros expose Clang's thread-safety attributes so that
+/// discipline is *machine-checked* at compile time under
+/// `clang++ -Wthread-safety -Werror` (the CI `static-analysis` job), and
+/// expand to nothing under GCC and other compilers — zero runtime and zero
+/// ABI cost either way.
+///
+/// Use the annotated wrappers in util/sync.hpp (`util::Mutex`,
+/// `util::MutexLock`) instead of raw `std::mutex`/`std::scoped_lock`:
+/// libstdc++'s standard types carry no attributes, so the analysis only
+/// sees acquisitions that go through the annotated wrappers.
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define FANNET_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FANNET_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex"); required before
+/// ACQUIRE/RELEASE/GUARDED_BY can reference instances of it.
+#define FANNET_CAPABILITY(x) FANNET_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (util::MutexLock).
+#define FANNET_SCOPED_CAPABILITY FANNET_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define FANNET_GUARDED_BY(x) FANNET_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given mutex.
+#define FANNET_PT_GUARDED_BY(x) FANNET_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that acquires the capability (and does not release it).
+#define FANNET_ACQUIRE(...) \
+  FANNET_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability.
+#define FANNET_RELEASE(...) \
+  FANNET_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that may acquire the capability; the boolean is the success
+/// return value.
+#define FANNET_TRY_ACQUIRE(...) \
+  FANNET_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function callable only while holding the listed capabilities.
+#define FANNET_REQUIRES(...) \
+  FANNET_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function callable only while *not* holding the listed capabilities
+/// (deadlock guard for self-recursive acquisition).
+#define FANNET_EXCLUDES(...) FANNET_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the given capability.
+#define FANNET_RETURN_CAPABILITY(x) FANNET_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function.  Every use must
+/// carry a comment justifying why the access is race-free anyway (e.g. a
+/// release/acquire publication protocol the lock-based analysis cannot
+/// model); fannet-lint does not police this, reviewers do.
+#define FANNET_NO_THREAD_SAFETY_ANALYSIS \
+  FANNET_THREAD_ANNOTATION(no_thread_safety_analysis)

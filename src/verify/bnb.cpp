@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <deque>
-#include <exception>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -13,6 +11,8 @@
 
 #include "nn/batch_eval.hpp"
 #include "util/error.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "verify/interval.hpp"
 #include "verify/symbolic.hpp"
 #include "verify/task.hpp"
@@ -66,7 +66,7 @@ class Frontier {
   void push(std::size_t w, NoiseBox box) {
     in_flight_.fetch_add(1, std::memory_order_acq_rel);
     Lane& lane = lanes_[w];
-    const std::scoped_lock lock(lane.mutex);
+    const util::MutexLock lock(lane.mutex);
     lane.deque.push_back(std::move(box));
   }
 
@@ -84,7 +84,7 @@ class Frontier {
       }
       {
         Lane& lane = lanes_[w];
-        const std::scoped_lock lock(lane.mutex);
+        const util::MutexLock lock(lane.mutex);
         if (!lane.deque.empty()) {
           out = std::move(lane.deque.back());
           lane.deque.pop_back();
@@ -109,8 +109,8 @@ class Frontier {
 
  private:
   struct Lane {
-    std::mutex mutex;
-    std::deque<NoiseBox> deque;
+    util::Mutex mutex;
+    std::deque<NoiseBox> deque FANNET_GUARDED_BY(mutex);
   };
 
   /// Steal-half: moves the older half of the first non-empty victim lane
@@ -121,7 +121,7 @@ class Frontier {
       Lane& victim = lanes_[(w + off) % n];
       std::deque<NoiseBox> loot;
       {
-        const std::scoped_lock lock(victim.mutex);
+        const util::MutexLock lock(victim.mutex);
         const std::size_t have = victim.deque.size();
         if (have == 0) continue;
         const auto take = static_cast<std::ptrdiff_t>((have + 1) / 2);
@@ -130,7 +130,7 @@ class Frontier {
         victim.deque.erase(victim.deque.begin(), victim.deque.begin() + take);
       }
       Lane& mine = lanes_[w];
-      const std::scoped_lock lock(mine.mutex);
+      const util::MutexLock lock(mine.mutex);
       for (NoiseBox& box : loot) mine.deque.push_back(std::move(box));
       return true;
     }
@@ -151,7 +151,7 @@ class TopK {
   explicit TopK(std::size_t k) : k_(k) {}
 
   void offer(const std::vector<int>& point, int mis_label) {
-    const std::scoped_lock lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (set_.size() == k_) {
       const auto last = std::prev(set_.end());
       if (!(point < last->first)) return;
@@ -168,21 +168,26 @@ class TopK {
                std::optional<std::vector<int>>& bound) const {
     const std::uint64_t v = version_.load(std::memory_order_acquire);
     if (v != seen_version) {
-      const std::scoped_lock lock(mutex_);
+      const util::MutexLock lock(mutex_);
       seen_version = version_.load(std::memory_order_relaxed);
       if (set_.size() == k_) bound = std::prev(set_.end())->first;
     }
     return bound.has_value();
   }
 
+  /// Moves the set out.  Callers invoke this after the worker pool joined,
+  /// but taking the lock anyway is free there and keeps the guarded-field
+  /// rule exception-free.
   [[nodiscard]] std::map<std::vector<int>, int> take() {
+    const util::MutexLock lock(mutex_);
     return std::move(set_);
   }
 
  private:
   std::size_t k_;
-  mutable std::mutex mutex_;
-  std::map<std::vector<int>, int> set_;  // full noise vector -> mis_label
+  mutable util::Mutex mutex_;
+  /// full noise vector -> mis_label
+  std::map<std::vector<int>, int> set_ FANNET_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> version_{0};
 };
 
@@ -198,9 +203,8 @@ struct Search {
   std::atomic<bool> quit{false};
   std::atomic<bool> exhausted{false};
   std::atomic<bool> sink_stopped{false};
-  std::mutex sink_mutex;
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  util::Mutex sink_mutex;
+  util::FirstError error;
 
   /// Deadline/cancel source (BnbOptions::budget); polled per box and every
   /// ~256 drain points.  Always non-null once the search is set up.
@@ -245,8 +249,7 @@ class Worker {
       try {
         process(std::move(box));
       } catch (...) {
-        const std::scoped_lock lock(s_.error_mutex);
-        if (!s_.first_error) s_.first_error = std::current_exception();
+        s_.error.capture();
         s_.quit.store(true, std::memory_order_release);
       }
       s_.frontier.done();
@@ -266,7 +269,7 @@ class Worker {
       s_.topk->offer(point, mis_label);
       return;
     }
-    const std::scoped_lock lock(s_.sink_mutex);
+    const util::MutexLock lock(s_.sink_mutex);
     if (s_.sink_stopped.load(std::memory_order_relaxed)) return;
     if (!(*s_.sink)(make_cex(s_.query, point, mis_label))) {
       s_.sink_stopped.store(true, std::memory_order_relaxed);
@@ -484,7 +487,7 @@ SearchOutcome run_search(const Query& query, const BnbOptions& options,
     }
     for (std::thread& t : pool) t.join();
   }
-  if (search.first_error) std::rethrow_exception(search.first_error);
+  search.error.rethrow_if_set();
 
   SearchOutcome outcome;
   if (topk.has_value()) outcome.found = topk->take();
@@ -558,7 +561,7 @@ class BnbTask final : public EngineTask {
       }
       for (std::thread& t : pool) t.join();
     }
-    if (search_->first_error) std::rethrow_exception(search_->first_error);
+    search_->error.rethrow_if_set();
 
     const bool finished = search_->quit.load(std::memory_order_acquire) ||
                           search_->frontier.drained();

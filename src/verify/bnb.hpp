@@ -1,42 +1,43 @@
-// Complete branch-and-bound over the integer noise box, parallelized with
-// a work-stealing shared frontier.
-//
-// Longest-edge bisection with symbolic-bound pruning; singleton boxes are
-// evaluated exactly, so on the integer noise grid this is a *decision
-// procedure* (sound and complete, DESIGN.md §4.4) while typically visiting
-// orders of magnitude fewer points than enumeration.  The streaming variant
-// implements the paper's P3 adversarial-noise-vector extraction loop —
-// boxes that provably contain no counterexample are skipped wholesale.
-//
-// Parallel execution (`BnbOptions::threads`) fans the box frontier across
-// per-worker deques: owners pop depth-first from their own back, idle
-// workers steal the oldest half of a victim's deque (the shallow boxes,
-// which split into the most further work).  Results stay deterministic for
-// any thread count:
-//
-//   - `bnb_verify` returns the *lexicographically lowest* counterexample
-//     in the box (full noise vector: input deltas, then the bias delta) —
-//     a pure function of the query, independent of exploration order — by
-//     continuing the search with every box at-or-above the best witness
-//     pruned, mirroring the lowest-index-witness guarantee of
-//     `Scheduler::run_until_witness`;
-//   - `bnb_collect` returns the `max_count` lexicographically smallest
-//     counterexamples in ascending order, via the same bound generalized
-//     to a top-K frontier prune;
-//   - `bnb_stream` delivers the complete counterexample set (sink calls
-//     are serialized; delivery *order* is unspecified beyond the
-//     single-worker case, but the delivered set is the whole box's).
-//
-// `VerifyResult::work` (boxes processed) is bit-deterministic only for
-// serial runs: with multiple workers the frontier prune depends on when
-// the best-so-far witness lands, so the box count — never the verdict or
-// the witness — varies run to run.  One carve-out: the guarantees above
-// hold for searches that complete within `max_boxes`.  Because the box
-// *count* is scheduling-dependent under multiple workers, a budget within
-// ~a tree-size of the actual tree can be exhausted in one run and not in
-// another, and an exhausted result (flagged `resource_limited`) is
-// kUnknown or a possibly-non-minimal witness.  Size budgets as a
-// runaway backstop (the default is 100M boxes), not as a tight cap.
+/// \file
+/// \brief Complete branch-and-bound over the integer noise box, parallelized with
+/// a work-stealing shared frontier.
+///
+/// Longest-edge bisection with symbolic-bound pruning; singleton boxes are
+/// evaluated exactly, so on the integer noise grid this is a *decision
+/// procedure* (sound and complete, DESIGN.md §4.4) while typically visiting
+/// orders of magnitude fewer points than enumeration.  The streaming variant
+/// implements the paper's P3 adversarial-noise-vector extraction loop —
+/// boxes that provably contain no counterexample are skipped wholesale.
+///
+/// Parallel execution (`BnbOptions::threads`) fans the box frontier across
+/// per-worker deques: owners pop depth-first from their own back, idle
+/// workers steal the oldest half of a victim's deque (the shallow boxes,
+/// which split into the most further work).  Results stay deterministic for
+/// any thread count:
+///
+///   - `bnb_verify` returns the *lexicographically lowest* counterexample
+///     in the box (full noise vector: input deltas, then the bias delta) —
+///     a pure function of the query, independent of exploration order — by
+///     continuing the search with every box at-or-above the best witness
+///     pruned, mirroring the lowest-index-witness guarantee of
+///     `Scheduler::run_until_witness`;
+///   - `bnb_collect` returns the `max_count` lexicographically smallest
+///     counterexamples in ascending order, via the same bound generalized
+///     to a top-K frontier prune;
+///   - `bnb_stream` delivers the complete counterexample set (sink calls
+///     are serialized; delivery *order* is unspecified beyond the
+///     single-worker case, but the delivered set is the whole box's).
+///
+/// `VerifyResult::work` (boxes processed) is bit-deterministic only for
+/// serial runs: with multiple workers the frontier prune depends on when
+/// the best-so-far witness lands, so the box count — never the verdict or
+/// the witness — varies run to run.  One carve-out: the guarantees above
+/// hold for searches that complete within `max_boxes`.  Because the box
+/// *count* is scheduling-dependent under multiple workers, a budget within
+/// ~a tree-size of the actual tree can be exhausted in one run and not in
+/// another, and an exhausted result (flagged `resource_limited`) is
+/// kUnknown or a possibly-non-minimal witness.  Size budgets as a
+/// runaway backstop (the default is 100M boxes), not as a tight cap.
 #pragma once
 
 #include <cstdint>

@@ -57,14 +57,24 @@ struct Budget {
     return std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
   }
 
+  /// True when the wall-clock deadline exists and has passed (the cancel
+  /// token is not consulted).  This is the only clock read the verify layer
+  /// performs outside util::Stopwatch — callers that need "did the deadline
+  /// fire?" accounting go through here instead of reading the clock
+  /// themselves, so fannet-lint can enforce time-independence everywhere
+  /// else (docs/static-analysis.md).
+  [[nodiscard]] bool deadline_passed() const noexcept {
+    return deadline.has_value() &&
+           std::chrono::steady_clock::now() >= *deadline;
+  }
+
   /// True when the wall-clock deadline has passed or the cancel token
   /// fired — the "stop now, finalize kUnknown + resource_limited" signal
   /// engines poll between work chunks.  Checks the (cheap) token before
   /// taking a clock reading.
   [[nodiscard]] bool interrupted() const noexcept {
     if (cancel != nullptr && cancel->cancelled()) return true;
-    return deadline.has_value() &&
-           std::chrono::steady_clock::now() >= *deadline;
+    return deadline_passed();
   }
 
   /// True when nothing in this budget can ever fire.

@@ -161,7 +161,7 @@ std::unique_ptr<EngineTask> Engine::make_task(
 
 void EngineRegistry::add(std::unique_ptr<Engine> engine) {
   if (engine == nullptr) throw InvalidArgument("EngineRegistry::add: null");
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const std::string key(engine->name());
   if (!engines_.emplace(key, std::move(engine)).second) {
     throw InvalidArgument("EngineRegistry::add: duplicate engine '" + key +
@@ -170,7 +170,7 @@ void EngineRegistry::add(std::unique_ptr<Engine> engine) {
 }
 
 const Engine& EngineRegistry::get(std::string_view name) const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = engines_.find(name);
   if (it == engines_.end()) {
     std::ostringstream msg;
@@ -183,12 +183,12 @@ const Engine& EngineRegistry::get(std::string_view name) const {
 }
 
 bool EngineRegistry::contains(std::string_view name) const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return engines_.find(name) != engines_.end();
 }
 
 std::vector<std::string> EngineRegistry::names() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(engines_.size());
   for (const auto& [key, unused] : engines_) out.push_back(key);

@@ -32,6 +32,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "verify/budget.hpp"
 #include "verify/query.hpp"
 
@@ -138,8 +140,12 @@ class EngineRegistry {
   [[nodiscard]] std::vector<std::string> names() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Engine>, std::less<>> engines_;
+  mutable util::Mutex mutex_;
+  /// Entries are never removed, so the Engine references handed out by
+  /// get() stay valid without the lock; the map structure itself is
+  /// touched only under mutex_.
+  std::map<std::string, std::unique_ptr<Engine>, std::less<>> engines_
+      FANNET_GUARDED_BY(mutex_);
 };
 
 /// The process-wide registry, pre-seeded with every built-in engine on

@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "nn/batch_eval.hpp"
 #include "util/error.hpp"
+#include "util/sync.hpp"
 #include "verify/task.hpp"
 
 namespace fannet::verify {
@@ -172,10 +172,10 @@ struct BlockEvent {
   const std::uint64_t blocks = (span + batch_lanes - 1) / batch_lanes;
   std::atomic<std::uint64_t> next_block{0};
   std::atomic<std::uint64_t> best_block{~static_cast<std::uint64_t>(0)};
-  std::mutex best_mutex;
+  util::Mutex best_mutex;
   bool have_best = false;
   BlockEvent best;
-  std::exception_ptr first_error;
+  util::FirstError error;
 
   const auto worker = [&] {
     try {
@@ -199,7 +199,7 @@ struct BlockEvent {
         for (std::size_t t = 0; t < count; ++t) {
           const bool overflow = batch.overflowed(t);
           if (!overflow && batch.label(t) == q.true_label) continue;
-          const std::scoped_lock lock(best_mutex);
+          const util::MutexLock lock(best_mutex);
           const std::uint64_t index = start + t;
           if (!have_best || index < best.index) {
             have_best = true;
@@ -210,8 +210,7 @@ struct BlockEvent {
         }
       }
     } catch (...) {
-      const std::scoped_lock lock(best_mutex);
-      if (!first_error) first_error = std::current_exception();
+      error.capture();
       next_block.store(blocks);  // drain the other workers
     }
   };
@@ -224,7 +223,7 @@ struct BlockEvent {
     for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
   }
-  if (first_error) std::rethrow_exception(first_error);
+  error.rethrow_if_set();
   if (!have_best) return std::nullopt;
   return best;
 }

@@ -1,26 +1,27 @@
-// Exhaustive integer-grid enumeration — the ground-truth oracle.
-//
-// Walks every integer noise vector in the box with exact arithmetic.  Cost
-// is the box volume, so this is the reference the property tests validate
-// the clever engines against, and the collector that materializes the full
-// adversarial-noise-vector corpus (the paper's P3 loop) for small ranges.
-//
-// Internally the walk is batched: noise vectors are staged into an SoA
-// `nn::BatchEvaluator` batch and evaluated through one vectorized MAC
-// kernel (DESIGN.md §10).  Results — verdicts, witnesses, sink calls, the
-// visited count, and ArithmeticError overflow behavior — are bit-identical
-// to the scalar walk for every batch size and thread count:
-//
-//   - lanes are scanned in odometer order, so the first counterexample and
-//     the visited count match the scalar scan (lanes staged past a stop
-//     are discarded uncounted);
-//   - a lane the batched kernel flags as overflowing is re-run through the
-//     scalar path, which throws the genuine exception at exactly the point
-//     the scalar walk would have;
-//   - the parallel decision walk (enumerate_find_first with threads > 1)
-//     splits the box into fixed blocks claimed in ascending order and
-//     keeps the lowest-index event, so verdict, witness, and `work` are
-//     pure functions of the query.
+/// \file
+/// \brief Exhaustive integer-grid enumeration — the ground-truth oracle.
+///
+/// Walks every integer noise vector in the box with exact arithmetic.  Cost
+/// is the box volume, so this is the reference the property tests validate
+/// the clever engines against, and the collector that materializes the full
+/// adversarial-noise-vector corpus (the paper's P3 loop) for small ranges.
+///
+/// Internally the walk is batched: noise vectors are staged into an SoA
+/// `nn::BatchEvaluator` batch and evaluated through one vectorized MAC
+/// kernel (DESIGN.md §10).  Results — verdicts, witnesses, sink calls, the
+/// visited count, and ArithmeticError overflow behavior — are bit-identical
+/// to the scalar walk for every batch size and thread count:
+///
+///   - lanes are scanned in odometer order, so the first counterexample and
+///     the visited count match the scalar scan (lanes staged past a stop
+///     are discarded uncounted);
+///   - a lane the batched kernel flags as overflowing is re-run through the
+///     scalar path, which throws the genuine exception at exactly the point
+///     the scalar walk would have;
+///   - the parallel decision walk (enumerate_find_first with threads > 1)
+///     splits the box into fixed blocks claimed in ascending order and
+///     keeps the lowest-index event, so verdict, witness, and `work` are
+///     pure functions of the query.
 #pragma once
 
 #include <functional>

@@ -1,10 +1,11 @@
-// Interval bound propagation (IBP) — sound, incomplete, exact integers.
-//
-// Propagates per-neuron [lo, hi] bounds (int128, no rounding anywhere)
-// through the quantized network for a whole noise box at once.  If the
-// output margins certify the true label it answers kRobust; otherwise
-// kUnknown (IBP loses the correlations that the symbolic engine keeps —
-// the ablation bench quantifies the difference).
+/// \file
+/// \brief Interval bound propagation (IBP) — sound, incomplete, exact integers.
+///
+/// Propagates per-neuron [lo, hi] bounds (int128, no rounding anywhere)
+/// through the quantized network for a whole noise box at once.  If the
+/// output margins certify the true label it answers kRobust; otherwise
+/// kUnknown (IBP loses the correlations that the symbolic engine keeps —
+/// the ablation bench quantifies the difference).
 #pragma once
 
 #include "verify/query.hpp"

@@ -1,17 +1,18 @@
-// Common query interface of the NN verification engines.
-//
-// Every engine answers the same decision problem (the paper's P2 property,
-// Fig. 2): given a quantized network, a base input x with true label Sx and
-// a box of integer-percent noise values, does some noise vector in the box
-// flip the classification away from Sx?  Engines differ in strategy:
-//
-//   enumerate  exhaustive integer-grid search       exact    complete
-//   interval   interval bound propagation (IBP)     exact    sound-only
-//   symbolic   affine bounds in the noise deltas    exact    sound-only
-//   bnb        branch-and-bound input splitting     exact    complete
-//
-// The noise dimensions are the network inputs in order, optionally followed
-// by one extra dimension for the paper's bias input node (DESIGN.md §4.3).
+/// \file
+/// \brief Common query interface of the NN verification engines.
+///
+/// Every engine answers the same decision problem (the paper's P2 property,
+/// Fig. 2): given a quantized network, a base input x with true label Sx and
+/// a box of integer-percent noise values, does some noise vector in the box
+/// flip the classification away from Sx?  Engines differ in strategy:
+///
+///   enumerate  exhaustive integer-grid search       exact    complete
+///   interval   interval bound propagation (IBP)     exact    sound-only
+///   symbolic   affine bounds in the noise deltas    exact    sound-only
+///   bnb        branch-and-bound input splitting     exact    complete
+///
+/// The noise dimensions are the network inputs in order, optionally followed
+/// by one extra dimension for the paper's bias input node (DESIGN.md §4.3).
 #pragma once
 
 #include <cstdint>

@@ -302,6 +302,10 @@ QueryCache::QueryCache(QueryCacheOptions options)
     throw InvalidArgument("QueryCache: capacity must be >= 1");
   }
   if (!options_.disk_path.empty()) {
+    // No concurrency can exist during construction; the lock is held so
+    // the guarded-field discipline (load_disk_tier -> insert_locked) is
+    // one rule with no constructor carve-out.
+    const util::MutexLock lock(mutex_);
     load_disk_tier();
     disk_ = std::make_unique<DiskTier>();
     disk_->append.open(options_.disk_path, std::ios::app);
@@ -354,7 +358,7 @@ bool QueryCache::insert_locked(std::string key, const VerifyResult& result,
 }
 
 std::optional<VerifyResult> QueryCache::lookup_by_key(std::string_view key) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -371,7 +375,7 @@ void QueryCache::insert_by_key(std::string key, const VerifyResult& result) {
   // in cached_verify — keeps every insertion path, disk tier included,
   // free of starved verdicts.
   if (result.resource_limited) return;
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (insert_locked(std::move(key), result, /*from_disk=*/false)) {
     ++stats_.insertions;
   }
@@ -388,19 +392,19 @@ void QueryCache::insert(const Query& query, const Engine& engine,
 }
 
 QueryCache::Stats QueryCache::stats() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   Stats snapshot = stats_;
   snapshot.entries = lru_.size();
   return snapshot;
 }
 
 std::size_t QueryCache::size() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return lru_.size();
 }
 
 void QueryCache::clear() {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   index_.clear();
   lru_.clear();
 }

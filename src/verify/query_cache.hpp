@@ -23,12 +23,13 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "verify/engine.hpp"
 #include "verify/query.hpp"
 
@@ -111,21 +112,25 @@ class QueryCache {
       std::string_view key);
   void insert_by_key(std::string key, const VerifyResult& result);
 
-  /// Inserts under `key`, assuming `mutex_` is held; returns true if the
-  /// entry is new.  `from_disk` suppresses the disk append.
+  /// Inserts under `key`; returns true if the entry is new.  `from_disk`
+  /// suppresses the disk append.
   bool insert_locked(std::string key, const VerifyResult& result,
-                     bool from_disk);
-  void load_disk_tier();
+                     bool from_disk) FANNET_REQUIRES(mutex_);
+  void load_disk_tier() FANNET_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   QueryCacheOptions options_;
-  Lru lru_;  ///< front = most recently used
-  std::unordered_map<std::string_view, Lru::iterator> index_;
-  Stats stats_;
+  /// front = most recently used
+  Lru lru_ FANNET_GUARDED_BY(mutex_);
+  /// Keys view into lru_ entries; mutated in lockstep with it.
+  std::unordered_map<std::string_view, Lru::iterator> index_
+      FANNET_GUARDED_BY(mutex_);
+  Stats stats_ FANNET_GUARDED_BY(mutex_);
   /// Append stream for the disk tier, kept open for the cache's lifetime.
-  /// (Type-erased to keep <fstream> out of this header.)
+  /// (Type-erased to keep <fstream> out of this header.)  The stream is
+  /// written on the insert path, so it shares the cache mutex.
   struct DiskTier;
-  std::unique_ptr<DiskTier> disk_;
+  std::unique_ptr<DiskTier> disk_ FANNET_PT_GUARDED_BY(mutex_);
 };
 
 /// Canonical cache key for (query, capability class): a stable byte string

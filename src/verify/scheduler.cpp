@@ -1,13 +1,11 @@
 #include "verify/scheduler.hpp"
 
 #include <atomic>
-#include <chrono>
-#include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/stopwatch.hpp"
+#include "util/sync.hpp"
 #include "verify/query_cache.hpp"
 #include "verify/task.hpp"
 
@@ -53,8 +51,7 @@ VerifyResult drive_task(const Engine& engine, const Query& query,
     if (task->step(step_work) == TaskState::kDone) break;
   }
   VerifyResult result = task->result();
-  if (result.resource_limited && context.budget.deadline.has_value() &&
-      std::chrono::steady_clock::now() >= *context.budget.deadline) {
+  if (result.resource_limited && context.budget.deadline_passed()) {
     tallies.deadline_expired.fetch_add(1, std::memory_order_relaxed);
   }
   return result;
@@ -122,8 +119,7 @@ void Scheduler::parallel_for(std::size_t count,
   }
 
   std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  util::FirstError error;
 
   const auto worker = [&] {
     for (;;) {
@@ -132,8 +128,7 @@ void Scheduler::parallel_for(std::size_t count,
       try {
         fn(i);
       } catch (...) {
-        const std::scoped_lock lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        error.capture();
         // Drain the remaining work so the pool exits promptly.
         next.store(count, std::memory_order_relaxed);
         return;
@@ -145,7 +140,7 @@ void Scheduler::parallel_for(std::size_t count,
   pool.reserve(workers);
   for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  error.rethrow_if_set();
 }
 
 std::vector<VerifyResult> Scheduler::run_all(std::span<const Query> queries,
@@ -217,8 +212,7 @@ std::optional<Scheduler::Witness> Scheduler::run_until_witness(
   std::atomic<std::uint64_t> total_work{0};
   std::atomic<std::size_t> num_executed{0};
   std::atomic<std::uint64_t> cache_hits{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  util::FirstError error;
 
   const std::size_t workers = std::min(std::max<std::size_t>(1, threads_),
                                        std::max<std::size_t>(1, count));
@@ -242,8 +236,7 @@ std::optional<Scheduler::Witness> Scheduler::run_until_witness(
             &hit);
         if (hit) cache_hits.fetch_add(1, std::memory_order_relaxed);
       } catch (...) {
-        const std::scoped_lock lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        error.capture();
         next.store(count, std::memory_order_relaxed);
         return;
       }
@@ -267,7 +260,7 @@ std::optional<Scheduler::Witness> Scheduler::run_until_witness(
     for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
   }
-  if (first_error) std::rethrow_exception(first_error);
+  error.rethrow_if_set();
   deadline_expired_total_.fetch_add(tallies.deadline_expired.load(),
                                     std::memory_order_relaxed);
 

@@ -40,13 +40,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <span>
 
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "verify/budget.hpp"
 #include "verify/engine.hpp"
 #include "verify/query.hpp"
@@ -121,19 +121,19 @@ struct SchedulerOptions {
 class BatchControl {
  public:
   void pause() {
-    const std::scoped_lock lock(mutex_);
+    const util::MutexLock lock(mutex_);
     paused_.store(true, std::memory_order_release);
   }
   void resume() {
     {
-      const std::scoped_lock lock(mutex_);
+      const util::MutexLock lock(mutex_);
       paused_.store(false, std::memory_order_release);
     }
     cv_.notify_all();
   }
   void cancel() {
     {
-      const std::scoped_lock lock(mutex_);
+      const util::MutexLock lock(mutex_);
       cancelled_.store(true, std::memory_order_release);
     }
     cv_.notify_all();
@@ -150,24 +150,29 @@ class BatchControl {
   /// the batch stays paused).  Called by the scheduler's drive loop —
   /// not part of the public surface.
   bool wait_resumed(
-      const std::optional<std::chrono::steady_clock::time_point>& deadline) {
-    std::unique_lock<std::mutex> lock(mutex_);
+      const std::optional<std::chrono::steady_clock::time_point>& deadline)
+      FANNET_EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
     const auto ready = [this] {
       return !paused_.load(std::memory_order_acquire) ||
              cancelled_.load(std::memory_order_acquire);
     };
     if (!deadline.has_value()) {
-      cv_.wait(lock, ready);
+      cv_.wait(mutex_, ready);
       return true;
     }
-    return cv_.wait_until(lock, *deadline, ready);
+    return cv_.wait_until(mutex_, *deadline, ready);
   }
 
  private:
+  /// The flags stay atomic so `paused()` / `cancelled()` are lock-free
+  /// polls from the drive loop; the mutex exists for the flag/notify race
+  /// in wait_resumed (a flip between the predicate check and the wait must
+  /// not be missed), so every *write* happens under it.
   std::atomic<bool> paused_{false};
   std::atomic<bool> cancelled_{false};
-  std::mutex mutex_;  ///< guards the flag/notify race in wait_resumed
-  std::condition_variable cv_;
+  util::Mutex mutex_;  ///< guards the flag/notify race in wait_resumed
+  util::CondVar cv_;
 };
 
 /// Per-batch accounting, filled by the run_* entry points.

@@ -4,11 +4,11 @@
 #include <fstream>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <optional>
 
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
+#include "util/sync.hpp"
 #include "verify/scheduler.hpp"
 
 namespace fannet::verify {
@@ -366,7 +366,7 @@ SweepProgress SweepRunner::run(SweepCampaign& campaign) const {
   }
 
   std::vector<SweepRows> fresh(to_run.size());
-  std::mutex journal_mutex;
+  util::Mutex journal_mutex;
   const Scheduler scheduler({.threads = options_.threads});
   scheduler.parallel_for(to_run.size(), [&](std::size_t i) {
     const std::size_t shard = to_run[i];
@@ -376,7 +376,7 @@ SweepProgress SweepRunner::run(SweepCampaign& campaign) const {
       // in flight, and its torn line is discarded on the next load.  A
       // failed write (disk full, I/O error) is a hard error — silently
       // losing durability would defeat the journal's purpose.
-      const std::scoped_lock lock(journal_mutex);
+      const util::MutexLock lock(journal_mutex);
       append << format_shard(shard, shard_begin(shard), shard_end(shard),
                              fresh[i])
              << '\n';

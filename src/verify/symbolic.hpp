@@ -1,14 +1,15 @@
-// Symbolic (affine) bound propagation over the noise deltas.
-//
-// Each neuron carries a pair of exact integer affine forms
-//     value  in  [ lo.c0 + Σ lo.coeff[d]·δ_d ,  hi.c0 + Σ hi.coeff[d]·δ_d ]
-// over the noise dimensions δ.  The first layer is *exactly* affine in δ
-// (the noise enters multiplicatively against constants), so no precision is
-// lost there; unstable ReLUs concretize (lower form → 0, upper form → its
-// box maximum) the way DeepPoly/Neurify relax, but with integer-exact
-// arithmetic so soundness needs no floating-point care.  Margins are bounded
-// at the *form* level (O_y − O_k cancels shared coefficients), which is what
-// makes this engine a much stronger pruner than plain IBP.
+/// \file
+/// \brief Symbolic (affine) bound propagation over the noise deltas.
+///
+/// Each neuron carries a pair of exact integer affine forms
+///     value  in  [ lo.c0 + Σ lo.coeff[d]·δ_d ,  hi.c0 + Σ hi.coeff[d]·δ_d ]
+/// over the noise dimensions δ.  The first layer is *exactly* affine in δ
+/// (the noise enters multiplicatively against constants), so no precision is
+/// lost there; unstable ReLUs concretize (lower form → 0, upper form → its
+/// box maximum) the way DeepPoly/Neurify relax, but with integer-exact
+/// arithmetic so soundness needs no floating-point care.  Margins are bounded
+/// at the *form* level (O_y − O_k cancels shared coefficients), which is what
+/// makes this engine a much stronger pruner than plain IBP.
 #pragma once
 
 #include "verify/query.hpp"

@@ -8,7 +8,7 @@
 namespace fannet::verify {
 
 TaskState EngineTask::step(std::uint64_t max_work) {
-  const std::scoped_lock lock(step_mutex_);
+  const util::MutexLock lock(step_mutex_);
   if (state_.load(std::memory_order_acquire) == TaskState::kDone) {
     return TaskState::kDone;
   }
@@ -58,12 +58,17 @@ TaskState EngineTask::run(std::uint64_t step_work) {
   }
 }
 
-const VerifyResult& EngineTask::result() const {
-  if (poisoned_) {
-    throw Error("EngineTask::result: task failed with an exception");
-  }
+// NO_THREAD_SAFETY_ANALYSIS: result_/poisoned_ are guarded by step_mutex_
+// for writers, but this read path is race-free without it — both are
+// written only before state_ publishes kDone (release), and read here only
+// after observing kDone (acquire).  The lock-based analysis cannot model
+// that publication protocol.
+const VerifyResult& EngineTask::result() const FANNET_NO_THREAD_SAFETY_ANALYSIS {
   if (state_.load(std::memory_order_acquire) != TaskState::kDone) {
     throw Error("EngineTask::result: task is not done");
+  }
+  if (poisoned_) {
+    throw Error("EngineTask::result: task failed with an exception");
   }
   return result_;
 }

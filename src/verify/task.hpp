@@ -28,8 +28,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "verify/budget.hpp"
 #include "verify/query.hpp"
 
@@ -87,7 +88,9 @@ class EngineTask {
   TaskState run(std::uint64_t step_work = kDefaultStepWork);
 
   /// The final result; throws util::Error unless `state()` is kDone (or if
-  /// the task was poisoned by an engine exception).
+  /// the task was poisoned by an engine exception).  Safe without the step
+  /// mutex: kDone is published with release order after the last write to
+  /// the result, and read here with acquire.
   [[nodiscard]] const VerifyResult& result() const;
 
  protected:
@@ -121,15 +124,18 @@ class EngineTask {
  private:
   /// Marks the accumulated result resource-limited: kUnknown unless a
   /// valid witness is already in hand (bnb/sat semantics).
-  void finalize_interrupted();
+  void finalize_interrupted() FANNET_REQUIRES(step_mutex_);
 
   Budget budget_;
-  VerifyResult result_;
+  /// Written only inside a step (under step_mutex_); readable lock-free
+  /// after kDone via the state_ release/acquire pair (see result()).
+  VerifyResult result_ FANNET_GUARDED_BY(step_mutex_);
   std::atomic<TaskState> state_{TaskState::kUninitialized};
   std::atomic<bool> pause_requested_{false};
   std::atomic<bool> cancel_requested_{false};
-  bool poisoned_ = false;  ///< an engine exception escaped a step
-  std::mutex step_mutex_;  ///< serializes step bodies
+  /// An engine exception escaped a step; same publication rule as result_.
+  bool poisoned_ FANNET_GUARDED_BY(step_mutex_) = false;
+  util::Mutex step_mutex_;  ///< serializes step bodies
 };
 
 /// Runs `engine.make_task(query, context)` to completion and returns its

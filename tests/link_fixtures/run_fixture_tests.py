@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/check_links.py.
+
+The `clean/` tree must pass; the `broken/` tree must fail reporting exactly
+its three dead links — the missing file, the dead in-page anchor, and the
+dead cross-file anchor.  The last two are regression coverage for the bug
+where ``#fragment`` anchors were never validated at all.
+
+Usage: run_fixture_tests.py [--checker PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+EXPECTED_DEAD = {
+    "index.md:3: (missing.md)",
+    "index.md:4: (#no-such-heading)",
+    "index.md:5: (other.md#no-such-section)",
+}
+
+
+def run(checker: pathlib.Path, tree: str) -> subprocess.CompletedProcess:
+    return subprocess.run([sys.executable, str(checker), str(HERE / tree)],
+                          capture_output=True, text=True, check=False)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--checker",
+                        default=str(HERE.parent.parent / "tools" /
+                                    "check_links.py"))
+    args = parser.parse_args()
+    checker = pathlib.Path(args.checker).resolve()
+    if not checker.is_file():
+        print(f"checker not found: {checker}", file=sys.stderr)
+        return 2
+
+    failures = []
+
+    clean = run(checker, "clean")
+    if clean.returncode != 0:
+        failures.append(f"clean tree should pass, exit {clean.returncode}:\n"
+                        f"{clean.stdout}")
+
+    broken = run(checker, "broken")
+    if broken.returncode != 1:
+        failures.append(f"broken tree should exit 1, got {broken.returncode}")
+    reported = {line.removeprefix("dead link: ")
+                for line in broken.stdout.splitlines()
+                if line.startswith("dead link: ")}
+    if reported != EXPECTED_DEAD:
+        failures.append("broken tree: expected dead links "
+                        f"{sorted(EXPECTED_DEAD)}, got {sorted(reported)}")
+
+    for f in failures:
+        print("FAIL:", f)
+    if failures:
+        return 1
+    print("OK: link-checker fixtures behaved as expected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,3 @@
+// Fixture: floating-point arithmetic in an exact TU — violates
+// float-in-exact when scanned with --exact.
+double midpoint(double lo, double hi) { return (lo + hi) * 0.5; }

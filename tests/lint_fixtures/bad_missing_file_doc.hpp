@@ -1,0 +1,4 @@
+// Fixture: header without a Doxygen file block — violates missing-file-doc.
+#pragma once
+
+inline int identity(int x) { return x; }

@@ -1,0 +1,10 @@
+// Fixture: direct clock reads — violates raw-clock.
+#include <chrono>
+#include <ctime>
+
+long now_ticks() {
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+long wall_seconds() { return static_cast<long>(std::time(nullptr)); }

@@ -1,0 +1,9 @@
+// Fixture: raw RNG primitives — violates raw-rng.
+#include <cstdlib>
+#include <random>
+
+int roll() {
+  std::random_device dev;
+  std::mt19937 gen(dev());
+  return static_cast<int>(gen() % 6) + rand() % 6;
+}

@@ -1,0 +1,8 @@
+// Fixture: a waiver without a reason — violates unjustified-waiver.
+#include <chrono>
+
+long now_ticks() {
+  // fannet-lint: allow(raw-clock)
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}

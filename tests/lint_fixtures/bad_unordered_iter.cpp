@@ -1,0 +1,11 @@
+// Fixture: iterating an unordered container — violates unordered-iter.
+#include <unordered_map>
+
+int sum_values() {
+  std::unordered_map<int, int> scores;
+  scores.emplace(1, 10);
+  int total = 0;
+  for (const auto& [key, value] : scores) total += value;
+  int first = scores.begin()->second;
+  return total + first;
+}

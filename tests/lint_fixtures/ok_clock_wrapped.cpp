@@ -1,0 +1,10 @@
+// Fixture: timing goes through the sanctioned wrapper — clean.
+// (The wrapper include is faked; the linter only reads this TU.)
+struct Stopwatch {
+  double millis() const { return 0; }
+};
+
+double elapsed() {
+  const Stopwatch watch;
+  return watch.millis();
+}

@@ -1,0 +1,5 @@
+/// \file
+/// \brief Fixture: header with a Doxygen \file block — clean.
+#pragma once
+
+inline int identity(int x) { return x; }

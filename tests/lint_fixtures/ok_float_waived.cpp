@@ -1,0 +1,9 @@
+// Fixture: float at a conversion boundary with a justified waiver — clean
+// even when scanned with --exact.
+long long quantize(long long scale_raw) {
+  // fannet-lint: allow(float-in-exact) conversion boundary in the fixture
+  const double scaled = static_cast<double>(scale_raw) / 65536.0;
+  return static_cast<long long>(scaled);
+}
+
+int integer_only(int a, int b) { return a * b + (a ^ b); }

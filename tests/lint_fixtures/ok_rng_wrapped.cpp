@@ -1,0 +1,11 @@
+// Fixture: randomness through a seeded PRNG wrapper — clean.
+struct Rng {
+  explicit Rng(unsigned long seed) : state_(seed) {}
+  unsigned long next() { return state_ = state_ * 6364136223846793005UL + 1; }
+  unsigned long state_;
+};
+
+unsigned long draw() {
+  Rng rng(42);
+  return rng.next();
+}

@@ -1,0 +1,15 @@
+// Fixture: unordered containers used for lookup only — clean.
+#include <string>
+#include <unordered_map>
+
+int lookup(const std::unordered_map<int, int>& table, int key) {
+  if (const auto it = table.find(key); it != table.end()) return it->second;
+  return -1;
+}
+
+int local_lookup(int key) {
+  std::unordered_map<int, int> memo;
+  memo.emplace(key, key * 2);
+  const auto it = memo.find(key);
+  return it == memo.end() ? -1 : it->second;
+}

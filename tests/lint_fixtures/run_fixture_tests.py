@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/fannet_lint.py.
+
+Runs the linter on each fixture in this directory and asserts the exact set
+of rule IDs it reports (and its exit status).  The `ok_*` fixtures must come
+back clean; each `bad_*` fixture must trip exactly its rule — no more, no
+less — so both false negatives and false positives fail the suite.
+
+Usage: run_fixture_tests.py [--lint PATH]  (default: ../../tools/fannet_lint.py)
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+#: fixture file -> (extra linter args, expected set of rule IDs)
+CASES: dict[str, tuple[list[str], set[str]]] = {
+    "ok_unordered_lookup.cpp": ([], set()),
+    "bad_unordered_iter.cpp": ([], {"unordered-iter"}),
+    "ok_clock_wrapped.cpp": ([], set()),
+    "bad_raw_clock.cpp": ([], {"raw-clock"}),
+    "ok_rng_wrapped.cpp": ([], set()),
+    "bad_raw_rng.cpp": ([], {"raw-rng"}),
+    "ok_float_waived.cpp": (["--exact"], set()),
+    "bad_float_exact.cpp": (["--exact"], {"float-in-exact"}),
+    "ok_file_doc.hpp": ([], set()),
+    "bad_missing_file_doc.hpp": ([], {"missing-file-doc"}),
+    "bad_unjustified_waiver.cpp": ([], {"unjustified-waiver", "raw-clock"}),
+}
+
+_RULE_RE = re.compile(r"\[([a-z-]+)\]")
+
+
+def run_case(lint: pathlib.Path, fixture: str, extra: list[str],
+             expected: set[str]) -> list[str]:
+    """Returns a list of failure descriptions (empty = pass)."""
+    proc = subprocess.run(
+        [sys.executable, str(lint), "--root", str(HERE), *extra, fixture],
+        cwd=HERE, capture_output=True, text=True, check=False)
+    reported = set(_RULE_RE.findall(proc.stdout))
+    failures = []
+    if reported != expected:
+        failures.append(f"{fixture}: expected rules {sorted(expected) or '{}'}"
+                        f", linter reported {sorted(reported) or '{}'}")
+    want_exit = 1 if expected else 0
+    if proc.returncode != want_exit:
+        failures.append(f"{fixture}: expected exit {want_exit}, "
+                        f"got {proc.returncode}\nstderr: {proc.stderr}")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--lint",
+                        default=str(HERE.parent.parent / "tools" /
+                                    "fannet_lint.py"))
+    args = parser.parse_args()
+    lint = pathlib.Path(args.lint).resolve()
+    if not lint.is_file():
+        print(f"linter not found: {lint}", file=sys.stderr)
+        return 2
+
+    missing = sorted(set(CASES) - {p.name for p in HERE.iterdir()})
+    if missing:
+        print(f"fixtures missing on disk: {missing}", file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    for fixture, (extra, expected) in sorted(CASES.items()):
+        failures.extend(run_case(lint, fixture, extra, expected))
+
+    for f in failures:
+        print("FAIL:", f)
+    if failures:
+        return 1
+    print(f"OK: {len(CASES)} lint fixtures behaved as expected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,10 +3,12 @@
 
 Scans every tracked *.md file for inline Markdown links/images
 (``[text](target)``) and fails when a *relative* target does not exist on
-disk.  External schemes (http/https/mailto) and pure in-page anchors
-(``#section``) are skipped; a relative target's ``#fragment`` suffix is
-stripped before the existence check.  Fenced code blocks are ignored so
-example snippets cannot false-positive.
+disk.  Anchors are validated too: a pure in-page anchor (``#section``) must
+match a heading in the same file, and a relative target's ``#fragment``
+must match a heading in the target Markdown file (GitHub-style slugs:
+lowercase, punctuation dropped, spaces become hyphens).  External schemes
+(http/https/mailto) are skipped.  Fenced code blocks are ignored so example
+snippets cannot false-positive.
 
 Usage: python3 tools/check_links.py [repo-root]   (default: repo of this file)
 Exit codes: 0 all links resolve, 1 dead links found (each is listed).
@@ -16,10 +18,17 @@ import os
 import re
 import sys
 
-SKIP_DIRS = {".git", "build", ".claude"}
+# link_fixtures holds deliberately-broken Markdown for the fixture tests;
+# those runs point the checker *inside* it, so skipping it here only
+# affects whole-repo scans.
+SKIP_DIRS = {".git", "build", ".claude", "link_fixtures"}
 # [text](target) with no nesting; target ends at the first unescaped ')'.
 LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 FENCE = re.compile(r"^\s*(```|~~~)")
+HEADING = re.compile(r"^\s{0,3}(#{1,6})\s+(.*)$")
+# Explicit HTML anchors (<a id="..."> / <a name="...">) also satisfy a
+# fragment.
+HTML_ANCHOR = re.compile(r"<a\s+(?:id|name)=\"([^\"]+)\"")
 
 
 def markdown_files(root):
@@ -43,6 +52,54 @@ def links_in(path):
                 yield number, match.group(1)
 
 
+def slugify(heading):
+    """GitHub's heading-to-anchor rule: strip inline markup ticks, lowercase,
+    drop everything but word characters/spaces/hyphens, hyphenate spaces."""
+    text = heading.strip().replace("`", "")
+    # Drop trailing ATX closers ("## title ##").
+    text = re.sub(r"\s+#+\s*$", "", text)
+    # Strip link syntax, keeping the text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_in(path, cache={}):
+    """The set of valid fragment targets in a Markdown file (slugged
+    headings with GitHub's -1, -2 duplicate suffixes, plus explicit HTML
+    anchors)."""
+    if path in cache:
+        return cache[path]
+    anchors = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in HTML_ANCHOR.finditer(line):
+                anchors.add(match.group(1))
+            heading = HEADING.match(line)
+            if not heading:
+                continue
+            slug = slugify(heading.group(2))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+    cache[path] = anchors
+    return anchors
+
+
+def fragment_ok(fragment, md_path):
+    # GitHub matches anchors case-insensitively in practice (slugs are
+    # already lowercase); normalize the link side the same way.
+    return fragment.lower() in anchors_in(md_path)
+
+
 def main():
     root = os.path.abspath(
         sys.argv[1]
@@ -55,21 +112,26 @@ def main():
         for line, target in links_in(path):
             if target.startswith(("http://", "https://", "mailto:")):
                 continue
-            if target.startswith("#"):  # in-page anchor
-                continue
             checked += 1
-            relative = target.split("#", 1)[0]
+            if target.startswith("#"):  # in-page anchor
+                if not fragment_ok(target[1:], path):
+                    dead.append((os.path.relpath(path, root), line, target))
+                continue
+            relative, _, fragment = target.partition("#")
             resolved = os.path.normpath(
                 os.path.join(os.path.dirname(path), relative)
             )
             if not os.path.exists(resolved):
                 dead.append((os.path.relpath(path, root), line, target))
+            elif fragment and resolved.endswith(".md"):
+                if not fragment_ok(fragment, resolved):
+                    dead.append((os.path.relpath(path, root), line, target))
     if dead:
         for path, line, target in dead:
             print(f"dead link: {path}:{line}: ({target})")
         print(f"{len(dead)} dead link(s) out of {checked} checked")
         return 1
-    print(f"all {checked} relative links resolve")
+    print(f"all {checked} relative links and anchors resolve")
     return 0
 
 

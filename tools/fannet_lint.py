@@ -1,0 +1,366 @@
+#!/usr/bin/env python3
+"""fannet-lint: project-specific invariant checker for the FANNet tree.
+
+Machine-checks the determinism and exactness conventions that DESIGN.md
+section 13 promises and that generic tooling cannot express:
+
+  unordered-iter    no iteration over std::unordered_map / std::unordered_set
+                    (hash order is implementation-defined; iterating one in
+                    verdict- or report-producing code breaks bit-identical
+                    output).  Lookups are fine, iteration is not.
+  raw-clock         no direct clock reads (std::chrono::*_clock::now,
+                    clock_gettime, gettimeofday, time(...)) outside the two
+                    sanctioned wrappers: util::Stopwatch and verify::Budget.
+                    Verdicts and journal rows must be time-independent.
+  raw-rng           no rand()/srand()/std::random_device/std::mt19937 outside
+                    util/rng.hpp: all randomness flows through util::Rng so
+                    seeds are explicit and runs are reproducible.
+  float-in-exact    no floating-point types or literals in exact-engine
+                    translation units: the exact pipeline (enumerate,
+                    interval, bnb, symbolic, SMV evaluation, circuits) is
+                    integer-only by construction, which is what makes its
+                    verdicts exact.
+  missing-file-doc  every header must open with a Doxygen `\\file` block so
+                    the generated docs cover the whole public surface.
+
+Waivers: a finding is suppressed by a justified allow-comment on the same
+line or the line directly above:
+
+    // fannet-lint: allow(<rule-id>) <reason>
+
+The reason text is mandatory; a bare allow() is itself reported as a
+violation (unjustified-waiver).  Waivers are for boundary code whose job is
+the exception (e.g. the quantize/dequantize conversions that bridge float
+training data into the fixed-point world).
+
+Usage:
+    fannet_lint.py [--root DIR] [--exact] [PATH...]
+
+With no PATH arguments, scans `src` under --root (default: the repository
+root containing this script).  Exit status: 0 clean, 1 violations found,
+2 usage error.  --exact forces every scanned file to be treated as an
+exact-engine TU (used by the lint fixture tests).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import Iterator, NamedTuple
+
+# --- configuration -----------------------------------------------------------
+
+#: Files allowed to read clocks directly: the two sanctioned wrappers.
+CLOCK_ALLOW = {
+    "src/util/stopwatch.hpp",
+    "src/verify/budget.hpp",
+}
+
+#: Files allowed to touch raw RNG primitives: the seeded-PRNG wrapper.
+RNG_ALLOW = {
+    "src/util/rng.hpp",
+}
+
+#: Exact-engine translation units: integer-only by construction.
+EXACT_TUS = {
+    "src/verify/enumerate.cpp",
+    "src/verify/enumerate.hpp",
+    "src/verify/interval.cpp",
+    "src/verify/interval.hpp",
+    "src/verify/bnb.cpp",
+    "src/verify/bnb.hpp",
+    "src/verify/symbolic.cpp",
+    "src/verify/symbolic.hpp",
+    "src/smv/eval.cpp",
+    "src/smv/eval.hpp",
+    "src/circuit/circuit.cpp",
+    "src/circuit/tseitin.cpp",
+    # The quantized NN layer is integer-only except for the two conversion
+    # boundaries (quantize/dequantize), which carry justified waivers.
+    "src/nn/quantized.cpp",
+    "src/nn/quantized.hpp",
+}
+
+CPP_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+
+RULE_IDS = (
+    "unordered-iter",
+    "raw-clock",
+    "raw-rng",
+    "float-in-exact",
+    "missing-file-doc",
+    "unjustified-waiver",
+)
+
+# --- comment / string stripping ---------------------------------------------
+
+_STRING_RE = re.compile(
+    r'"(?:[^"\\\n]|\\.)*"'   # string literal
+    r"|'(?:[^'\\\n]|\\.)*'"  # char literal
+)
+
+
+def strip_code(text: str) -> list[str]:
+    """Returns the file's lines with comments and string/char literals
+    blanked out (replaced by spaces), preserving line numbering so findings
+    point at the right line."""
+    # Blank string/char literals first so // inside strings survives.
+    text = _STRING_RE.sub(lambda m: " " * len(m.group(0)), text)
+    out: list[str] = []
+    in_block = False
+    for line in text.split("\n"):
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                out.append("")
+                continue
+            line = " " * (end + 2) + line[end + 2:]
+            in_block = False
+        # Strip block comments that open (and maybe close) on this line.
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
+        cut = line.find("//")
+        if cut >= 0:
+            line = line[:cut]
+        out.append(line)
+    return out
+
+
+# --- waiver handling ---------------------------------------------------------
+
+_WAIVER_RE = re.compile(r"fannet-lint:\s*allow\((?P<rule>[a-z-]+)\)(?P<reason>.*)")
+
+
+class Waiver(NamedTuple):
+    rule: str
+    justified: bool
+
+
+def waivers_by_line(raw_lines: list[str]) -> dict[int, Waiver]:
+    """Maps 0-based line numbers to the waiver written on that line."""
+    found: dict[int, Waiver] = {}
+    for i, line in enumerate(raw_lines):
+        m = _WAIVER_RE.search(line)
+        if m:
+            found[i] = Waiver(m.group("rule"), bool(m.group("reason").strip()))
+    return found
+
+
+def waived(waivers: dict[int, Waiver], line: int, rule: str) -> bool:
+    """True when line (0-based) carries or follows a justified waiver for
+    `rule`."""
+    for at in (line, line - 1):
+        w = waivers.get(at)
+        if w is not None and w.rule == rule and w.justified:
+            return True
+    return False
+
+
+# --- findings ----------------------------------------------------------------
+
+class Finding(NamedTuple):
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --- rules -------------------------------------------------------------------
+
+_UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s+(\w+)\s*[;={(]",
+    re.DOTALL,
+)
+_RANGE_FOR_UNORDERED_RE = re.compile(r"for\s*\([^;()]*:\s*[^;()]*unordered_")
+
+
+def check_unordered_iter(rel: str, stripped: list[str]) -> Iterator[Finding]:
+    joined = "\n".join(stripped)
+    names = set(_UNORDERED_DECL_RE.findall(joined))
+    patterns = [
+        (re.compile(rf"for\s*\([^;()]*:\s*(?:\w+\.)*{re.escape(n)}\s*\)"), n)
+        for n in names
+    ] + [
+        # .begin()/.cbegin() flags iteration; a bare .end() does not — the
+        # `it != m.end()` half of the find-lookup idiom is fine.
+        (re.compile(rf"\b{re.escape(n)}\s*\.\s*c?begin\s*\("), n)
+        for n in names
+    ]
+    for i, line in enumerate(stripped):
+        if _RANGE_FOR_UNORDERED_RE.search(line):
+            yield Finding(rel, i + 1, "unordered-iter",
+                          "range-for over an unordered container "
+                          "(hash order is not deterministic)")
+            continue
+        for pat, name in patterns:
+            if pat.search(line):
+                yield Finding(rel, i + 1, "unordered-iter",
+                              f"iteration over unordered container '{name}' "
+                              "(hash order is not deterministic)")
+                break
+
+
+_CLOCK_RE = re.compile(
+    r"(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
+    r"|\bclock_gettime\s*\(|\bgettimeofday\s*\(|\bstd::time\s*\(|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+)
+
+
+def check_raw_clock(rel: str, stripped: list[str]) -> Iterator[Finding]:
+    if rel in CLOCK_ALLOW:
+        return
+    for i, line in enumerate(stripped):
+        if _CLOCK_RE.search(line):
+            yield Finding(rel, i + 1, "raw-clock",
+                          "direct clock read outside util::Stopwatch / "
+                          "verify::Budget (verdicts must be time-independent)")
+
+
+_RNG_RE = re.compile(
+    r"std::random_device|std::mt19937|std::minstd_rand"
+    r"|\bs?rand\s*\(|\brandom_shuffle\b"
+)
+
+
+def check_raw_rng(rel: str, stripped: list[str]) -> Iterator[Finding]:
+    if rel in RNG_ALLOW:
+        return
+    for i, line in enumerate(stripped):
+        if _RNG_RE.search(line):
+            yield Finding(rel, i + 1, "raw-rng",
+                          "raw RNG primitive outside util::Rng "
+                          "(seeds must be explicit and runs reproducible)")
+
+
+_FLOAT_RE = re.compile(
+    r"\b(?:float|double)\b"
+    r"|\b\d+\.\d*(?:[eE][+-]?\d+)?[fFlL]?\b"
+    r"|\b\d+[eE][+-]?\d+[fFlL]?\b"
+    r"|\b\d+\.\d*f\b"
+)
+
+
+def check_float_in_exact(rel: str, stripped: list[str],
+                         force_exact: bool) -> Iterator[Finding]:
+    if not force_exact and rel not in EXACT_TUS:
+        return
+    for i, line in enumerate(stripped):
+        if _FLOAT_RE.search(line):
+            yield Finding(rel, i + 1, "float-in-exact",
+                          "floating-point type or literal in an exact-engine "
+                          "TU (the exact pipeline is integer-only)")
+
+
+_FILE_DOC_RE = re.compile(r"[\\@]file\b")
+
+
+def check_missing_file_doc(rel: str, raw_lines: list[str]) -> Iterator[Finding]:
+    if not rel.endswith((".hpp", ".hh", ".h")):
+        return
+    head = raw_lines[:10]
+    if any(_FILE_DOC_RE.search(line) for line in head
+           if line.lstrip().startswith(("///", "//!", "/**", "*"))):
+        return
+    yield Finding(rel, 1, "missing-file-doc",
+                  "header does not open with a Doxygen \\file block")
+
+
+# --- driver ------------------------------------------------------------------
+
+def lint_file(path: pathlib.Path, rel: str, force_exact: bool) -> list[Finding]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.split("\n")
+    stripped = strip_code(raw)
+    waivers = waivers_by_line(raw_lines)
+
+    findings: list[Finding] = []
+    for f in (*check_unordered_iter(rel, stripped),
+              *check_raw_clock(rel, stripped),
+              *check_raw_rng(rel, stripped),
+              *check_float_in_exact(rel, stripped, force_exact),
+              *check_missing_file_doc(rel, raw_lines)):
+        if not waived(waivers, f.line - 1, f.rule):
+            findings.append(f)
+    # A waiver without a reason is itself a violation: every suppression
+    # must say why.
+    for i, w in sorted(waivers.items()):
+        if not w.justified:
+            findings.append(Finding(rel, i + 1, "unjustified-waiver",
+                                    f"allow({w.rule}) without a reason"))
+        elif w.rule not in RULE_IDS:
+            findings.append(Finding(rel, i + 1, "unjustified-waiver",
+                                    f"allow({w.rule}) names an unknown rule"))
+    return findings
+
+
+def collect_files(root: pathlib.Path, paths: list[str]) -> list[pathlib.Path]:
+    if not paths:
+        paths = ["src"]
+    files: list[pathlib.Path] = []
+    for p in paths:
+        candidate = pathlib.Path(p)
+        if not candidate.is_absolute():
+            candidate = root / candidate
+        if candidate.is_dir():
+            files.extend(sorted(f for f in candidate.rglob("*")
+                                if f.suffix in CPP_SUFFIXES and f.is_file()))
+        elif candidate.is_file():
+            files.append(candidate)
+        else:
+            raise FileNotFoundError(str(candidate))
+    return files
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="fannet_lint.py",
+                                     description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--exact", action="store_true",
+                        help="treat every scanned file as an exact-engine TU "
+                             "(fixture testing)")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to scan (default: src)")
+    args = parser.parse_args(argv)
+
+    root = (pathlib.Path(args.root).resolve() if args.root
+            else pathlib.Path(__file__).resolve().parent.parent)
+    try:
+        files = collect_files(root, args.paths)
+    except FileNotFoundError as err:
+        print(f"fannet_lint: no such file or directory: {err}",
+              file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for path in files:
+        try:
+            rel = path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        findings.extend(lint_file(path, rel, args.exact))
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"fannet_lint: {len(findings)} violation(s) in "
+              f"{len({f.path for f in findings})} file(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
