@@ -1,0 +1,204 @@
+// fannet_serve under load: 8 concurrent clients drive the paper's Fig.-4
+// verify workload (every test sample x every grid range) through a live
+// in-process server, twice.  The cold pass measures end-to-end QPS and p99
+// request latency with an empty cache; the warm pass replays the identical
+// workload against the now-hot shared cache.
+//
+// This bench is a CI gate, not just a report.  It exits non-zero when:
+//   - any served verdict/counterexample differs from a direct
+//     verify::Scheduler execution of the same query (bit-identity), or
+//   - the warm replay saves less than 30% wall time over the cold pass
+//     (the shared cache is the service's reason to exist).
+//
+// Results land in BENCH_serve.json for PR-over-PR tracking.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../tests/serve_harness.hpp"
+#include "core/fannet.hpp"
+#include "util/benchjson.hpp"
+#include "util/stopwatch.hpp"
+#include "verify/engine.hpp"
+#include "verify/scheduler.hpp"
+
+namespace {
+
+using namespace fannet;
+using serve::harness::ServeClient;
+
+constexpr std::size_t kClients = 8;
+
+struct WorkItem {
+  std::string request;        // serialized verify frame
+  verify::Query query;        // the same query for the direct run
+  std::string served_verdict; // filled by the client threads
+  std::vector<int> served_deltas;
+  double latency_ms = 0.0;
+};
+
+/// One timed pass: kClients threads drain the work list through one
+/// connection each.  Returns wall ms; per-item latencies/verdicts are
+/// written into `items`.
+double run_pass(std::uint16_t port, std::vector<WorkItem>& items) {
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  const util::Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      ServeClient client(port, 120000);
+      if (!client.connected()) {
+        failed.store(true);
+        return;
+      }
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= items.size()) return;
+        const util::Stopwatch timer;
+        const ServeClient::Reply reply = client.call(items[i].request);
+        items[i].latency_ms = timer.millis();
+        if (reply.final_type() != "result") {
+          failed.store(true);
+          return;
+        }
+        const serve::Json& body = *reply.final->find("body");
+        items[i].served_verdict = body.find("verdict")->as_string();
+        items[i].served_deltas.clear();
+        if (const serve::Json* cex = body.find("counterexample")) {
+          for (const serve::Json& d : cex->find("deltas")->as_array()) {
+            items[i].served_deltas.push_back(static_cast<int>(d.as_int()));
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  if (failed.load()) {
+    std::fprintf(stderr, "bench_serve: a client pass failed\n");
+    std::exit(1);
+  }
+  return wall.millis();
+}
+
+double p99(std::vector<double> latencies) {
+  std::sort(latencies.begin(), latencies.end());
+  return latencies[latencies.size() * 99 / 100];
+}
+
+}  // namespace
+
+int main() {
+  const core::CaseStudy& study = serve::harness::shared_case_study();
+  const core::Fannet fannet(study.qnet);
+
+  // The Fig.-4 sweep as independent verify requests: every test sample at
+  // every grid range.
+  std::vector<WorkItem> items;
+  std::uint64_t id = 0;
+  for (std::size_t s = 0; s < study.test_x.rows(); ++s) {
+    const auto row = study.test_x.row(s);
+    const std::vector<util::i64> x(row.begin(), row.end());
+    for (int range = 5; range <= 50; range += 5) {
+      WorkItem item;
+      item.request =
+          serve::harness::verify_request(++id, x, study.test_y[s], range);
+      item.query = fannet.make_query(
+          x, study.test_y[s],
+          verify::NoiseBox::symmetric(x.size(), range), false);
+      items.push_back(std::move(item));
+    }
+  }
+  std::printf("workload: %zu verify requests, %zu concurrent clients\n\n",
+              items.size(), kClients);
+
+  serve::ServeOptions options;
+  options.port = 0;
+  options.max_inflight = 64;  // throughput run: admission must not throttle
+  verify::QueryCache cache;
+  options.cache = &cache;
+  serve::Server server(serve::harness::test_fleet(), options);
+  server.start();
+
+  const double cold_ms = run_pass(server.port(), items);
+  std::vector<double> cold_latencies;
+  for (const WorkItem& item : items) cold_latencies.push_back(item.latency_ms);
+  std::vector<std::string> cold_verdicts;
+  for (const WorkItem& item : items) cold_verdicts.push_back(item.served_verdict);
+
+  const double warm_ms = run_pass(server.port(), items);
+  std::vector<double> warm_latencies;
+  for (const WorkItem& item : items) warm_latencies.push_back(item.latency_ms);
+
+  const serve::ServerStats stats = server.stats();
+  server.stop();
+
+  // --- gate 1: served results are bit-identical to direct execution -------
+  std::vector<verify::Query> queries;
+  for (const WorkItem& item : items) queries.push_back(item.query);
+  const std::vector<verify::VerifyResult> direct =
+      verify::Scheduler(verify::SchedulerOptions{})
+          .run_all(queries, verify::engine("cascade"));
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const char* expected =
+        direct[i].verdict == verify::Verdict::kVulnerable ? "vulnerable"
+        : direct[i].verdict == verify::Verdict::kRobust   ? "robust"
+                                                          : "unknown";
+    bool same = items[i].served_verdict == expected;
+    if (same && direct[i].counterexample.has_value()) {
+      same = items[i].served_deltas == direct[i].counterexample->deltas;
+    }
+    if (!same) {
+      ++mismatches;
+      std::fprintf(stderr,
+                   "bit-identity MISMATCH at item %zu: served %s, direct %s\n",
+                   i, items[i].served_verdict.c_str(), expected);
+    }
+    // The warm pass must also agree with the cold pass.
+    if (items[i].served_verdict != cold_verdicts[i]) {
+      ++mismatches;
+      std::fprintf(stderr, "warm/cold verdict drift at item %zu\n", i);
+    }
+  }
+
+  // --- gate 2: the warm replay shows the shared cache working --------------
+  const double saving = 100.0 * (1.0 - warm_ms / cold_ms);
+
+  const double cold_qps = 1000.0 * static_cast<double>(items.size()) / cold_ms;
+  const double warm_qps = 1000.0 * static_cast<double>(items.size()) / warm_ms;
+  std::printf("cold: %8.1f ms wall, %7.1f qps, p99 %6.2f ms\n", cold_ms,
+              cold_qps, p99(cold_latencies));
+  std::printf("warm: %8.1f ms wall, %7.1f qps, p99 %6.2f ms\n", warm_ms,
+              warm_qps, p99(warm_latencies));
+  std::printf("warm-cache wall saving: %.1f%% (gate: >= 30%%)\n", saving);
+  std::printf("server cache: %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses));
+
+  util::BenchJson json("serve");
+  json.add("cold_wall", cold_ms, items.size(), kClients);
+  json.add("warm_wall", warm_ms, items.size(), kClients);
+  json.add("cold_p99_latency", p99(cold_latencies), items.size(), kClients);
+  json.add("warm_p99_latency", p99(warm_latencies), items.size(), kClients);
+  json.add("warm_saving_percent", saving, items.size(), kClients);
+  const std::string path = json.write(".");
+  std::printf("wrote %s\n", path.c_str());
+
+  if (mismatches != 0) {
+    std::fprintf(stderr, "bench_serve: %zu bit-identity mismatches\n",
+                 mismatches);
+    return 1;
+  }
+  if (saving < 30.0) {
+    std::fprintf(stderr,
+                 "bench_serve: warm-cache saving %.1f%% below the 30%% gate\n",
+                 saving);
+    return 1;
+  }
+  std::puts("\nbench_serve: all gates passed");
+  return 0;
+}

@@ -1,0 +1,432 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace fannet::serve {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t offset, const std::string& what) {
+  throw ParseError("json: " + what + " at byte " + std::to_string(offset));
+}
+
+/// Recursive-descent parser over a bounded string_view.  The depth budget
+/// decrements on every container; the frame-size cap bounds everything
+/// else.
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Json parse_document() {
+    Json v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail(pos_, "trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(pos_, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value(std::size_t depth) {
+    if (depth > max_depth_) fail(pos_, "nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Json::string(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail(pos_, "bad literal");
+        return Json::boolean(true);
+      case 'f':
+        if (!consume_literal("false")) fail(pos_, "bad literal");
+        return Json::boolean(false);
+      case 'n':
+        if (!consume_literal("null")) fail(pos_, "bad literal");
+        return Json::null();
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object(std::size_t depth) {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == '}') {
+        ++pos_;
+        return obj;
+      }
+      fail(pos_, "expected ',' or '}'");
+    }
+  }
+
+  Json parse_array(std::size_t depth) {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == ']') {
+        ++pos_;
+        return arr;
+      }
+      fail(pos_, "expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail(pos_, "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail(pos_ - 1, "raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail(pos_, "unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          const std::uint32_t cp = parse_hex4();
+          // Protocol payloads are ASCII in practice; encode the code point
+          // as UTF-8 (surrogate pairs collapse to U+FFFD — the serving
+          // schema never carries them, and replacing beats rejecting).
+          encode_utf8(cp, out);
+          break;
+        }
+        default:
+          fail(pos_ - 1, "bad escape");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail(pos_, "truncated \\u escape");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail(pos_ - 1, "bad \\u escape digit");
+      }
+    }
+    return v;
+  }
+
+  static void encode_utf8(std::uint32_t cp, std::string& out) {
+    if (cp >= 0xD800 && cp <= 0xDFFF) cp = 0xFFFD;
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool has_digits = false;
+    while (pos_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      has_digits = true;
+    }
+    if (!has_digits) fail(start, "bad number");
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      bool frac = false;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        frac = true;
+      }
+      if (!frac) fail(pos_, "bad number fraction");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      bool exp = false;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        exp = true;
+      }
+      if (!exp) fail(pos_, "bad number exponent");
+    }
+    const std::string_view lexeme = text_.substr(start, pos_ - start);
+    if (integral) {
+      std::int64_t v = 0;
+      const auto [ptr, ec] =
+          std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(), v);
+      if (ec == std::errc() && ptr == lexeme.data() + lexeme.size()) {
+        return Json::integer(v);
+      }
+      // Integral but outside int64: fall through to double (lossy but
+      // in-grammar; the typed accessors reject it where exactness matters).
+    }
+    double d = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(), d);
+    if (ec != std::errc() || ptr != lexeme.data() + lexeme.size() ||
+        !std::isfinite(d)) {
+      fail(start, "unrepresentable number");
+    }
+    return Json::number(d);
+  }
+
+  std::string_view text_;
+  std::size_t max_depth_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::integer(std::int64_t v) {
+  Json j;
+  j.type_ = Type::kInt;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.type_ = Type::kDouble;
+  j.double_ = v;
+  return j;
+}
+
+Json Json::string(std::string v) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::array(Array v) {
+  Json j;
+  j.type_ = Type::kArray;
+  j.array_ = std::move(v);
+  return j;
+}
+
+Json Json::object(Object v) {
+  Json j;
+  j.type_ = Type::kObject;
+  j.object_ = std::move(v);
+  return j;
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) throw ParseError("json: not a bool");
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  if (type_ != Type::kInt) throw ParseError("json: not an exact integer");
+  return int_;
+}
+
+double Json::as_double() const {
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  if (type_ != Type::kDouble) throw ParseError("json: not a number");
+  return double_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) throw ParseError("json: not a string");
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (type_ != Type::kArray) throw ParseError("json: not an array");
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (type_ != Type::kObject) throw ParseError("json: not an object");
+  return object_;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::set(std::string key, Json value) {
+  if (type_ != Type::kObject) throw ParseError("json: set() on non-object");
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::push_back(Json value) {
+  if (type_ != Type::kArray) throw ParseError("json: push_back on non-array");
+  array_.push_back(std::move(value));
+}
+
+std::string escape_json(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string Json::dump() const {
+  switch (type_) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return bool_ ? "true" : "false";
+    case Type::kInt:
+      return std::to_string(int_);
+    case Type::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", double_);
+      return buf;
+    }
+    case Type::kString:
+      return '"' + escape_json(string_) + '"';
+    case Type::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += array_[i].dump();
+      }
+      out += ']';
+      return out;
+    }
+    case Type::kObject: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += '"' + escape_json(object_[i].first) + "\":";
+        out += object_[i].second.dump();
+      }
+      out += '}';
+      return out;
+    }
+  }
+  return "null";  // unreachable
+}
+
+Json parse_json(std::string_view text, std::size_t max_depth) {
+  return Parser(text, max_depth).parse_document();
+}
+
+}  // namespace fannet::serve

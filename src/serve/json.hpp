@@ -1,0 +1,116 @@
+/// \file
+/// \brief Minimal JSON value type for the serving protocol (DESIGN.md §14).
+///
+/// `fannet_serve` speaks length-prefixed JSON frames (serve/protocol.hpp),
+/// so the serve layer needs to *parse* untrusted JSON — every other JSON
+/// surface in the repo (BENCH_*.json, the cache/journal JSON-lines tiers)
+/// only writes it, or reads back its own narrow fixed schema.  This is a
+/// deliberately small recursive-descent parser with the properties a
+/// network-facing decoder must have:
+///
+///   - hard nesting-depth and input-size discipline (the caller bounds the
+///     input via the frame-size cap; the parser bounds recursion), so a
+///     fuzzer cannot stack-overflow it;
+///   - integers are kept exact: a number without fraction/exponent that
+///     fits int64 stays an int64 (query inputs are exact integers — going
+///     through double would silently corrupt values above 2^53);
+///   - objects preserve insertion order in a flat vector (lookup is linear
+///     — protocol objects are tiny), so nothing here iterates an unordered
+///     container and serialization round-trips byte-stably;
+///   - malformed input throws util::ParseError with a byte offset, and the
+///     server maps that to a structured error frame, never a crash.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fannet::serve {
+
+/// One parsed JSON value (null / bool / int64 / double / string / array /
+/// object).  Value-semantic tree; cheap to move, deep to copy.
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,     ///< number with no fraction/exponent, exactly representable
+    kDouble,  ///< any other number
+    kString,
+    kArray,
+    kObject,
+  };
+
+  /// Ordered key/value storage: preserves input order, deterministic to
+  /// re-serialize, and never iterates in hash order.
+  using Object = std::vector<std::pair<std::string, Json>>;
+  using Array = std::vector<Json>;
+
+  Json() = default;  // null
+  static Json null() { return Json(); }
+  static Json boolean(bool v);
+  static Json integer(std::int64_t v);
+  static Json number(double v);
+  static Json string(std::string v);
+  static Json array(Array v = {});
+  static Json object(Object v = {});
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_int() const noexcept { return type_ == Type::kInt; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  /// Typed accessors; each throws util::ParseError on a type mismatch so
+  /// schema validation reads as straight-line code in the protocol layer.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;  ///< kInt only (exactness)
+  [[nodiscard]] double as_double() const;     ///< any number
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object field lookup (linear scan — protocol objects are tiny);
+  /// nullptr when absent or when this value is not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+
+  /// Serializes back to compact JSON (no whitespace).  Doubles use
+  /// round-trippable formatting; strings are escaped per RFC 8259.
+  [[nodiscard]] std::string dump() const;
+
+  /// Appends a field to an object / element to an array (builder surface
+  /// for the response writers).  Throws util::ParseError on wrong type.
+  void set(std::string key, Json value);
+  void push_back(Json value);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+/// Throws util::ParseError (with a byte offset) on malformed input, on
+/// nesting deeper than `max_depth`, and on numbers outside the grammar.
+[[nodiscard]] Json parse_json(std::string_view text, std::size_t max_depth = 64);
+
+/// RFC 8259 string escaping (shared with the hand-built response writers).
+[[nodiscard]] std::string escape_json(std::string_view s);
+
+}  // namespace fannet::serve

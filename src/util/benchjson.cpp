@@ -1,5 +1,7 @@
 #include "util/benchjson.hpp"
 
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -45,11 +47,30 @@ std::string BenchJson::to_json() const {
 }
 
 std::string BenchJson::write(const std::string& directory) const {
+  // Write-temp-then-rename: a bench killed mid-write (CI timeout, ^C) must
+  // never leave a torn BENCH_*.json behind for the comparison tooling to
+  // choke on.  rename(2) within one directory is atomic, so readers see
+  // either the old complete file or the new complete file.
   const std::string path = directory + "/BENCH_" + bench_ + ".json";
-  std::ofstream out(path);
-  if (!out) throw Error("BenchJson::write: cannot open " + path);
-  out << to_json();
-  if (!out) throw Error("BenchJson::write: short write to " + path);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw Error("BenchJson::write: cannot open " + tmp);
+    out << to_json();
+    out.flush();
+    if (!out) {
+      out.close();
+      (void)std::remove(tmp.c_str());
+      throw Error("BenchJson::write: short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    (void)std::remove(tmp.c_str());
+    throw Error("BenchJson::write: rename to " + path + " failed: " +
+                ec.message());
+  }
   return path;
 }
 

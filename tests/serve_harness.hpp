@@ -1,0 +1,386 @@
+// In-process client harness for the fannet_serve integration tests and
+// bench_serve: a TestServer that binds an ephemeral loopback port with a
+// test-tuned configuration, a ServeClient speaking the length-prefixed JSON
+// protocol with a hard receive deadline (a wedged server fails a test, it
+// never hangs the suite), and fault-injection entry points — torn frames,
+// partial prefix writes, abrupt RST closes — so the fuzz and race suites
+// attack the same code path production clients use.
+//
+// The model fleet is built once per test binary (the case-study pipeline
+// trains a network; doing that per test would dominate suite wall time) and
+// copied into each TestServer.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/casestudy.hpp"
+#include "core/fannet.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/stopwatch.hpp"
+#include "verify/query_cache.hpp"
+
+namespace fannet::serve::harness {
+
+/// The small-cohort case study, built once per test binary.
+inline const core::CaseStudy& shared_case_study() {
+  static const core::CaseStudy study =
+      core::build_case_study(core::small_case_study_config());
+  return study;
+}
+
+/// A fresh copy of the one-model test fleet (name "casestudy", same key the
+/// daemon registers), backed by the shared case study.
+inline std::vector<ServeModel> test_fleet() {
+  const core::CaseStudy& study = shared_case_study();
+  std::vector<ServeModel> fleet;
+  fleet.push_back(ServeModel{.name = "casestudy",
+                             .net = study.qnet,
+                             .inputs = study.test_x,
+                             .labels = study.test_y});
+  return fleet;
+}
+
+/// A correctly-classified test sample (P2 queries against it are meaningful
+/// for every range) — index into shared_case_study().test_x.
+inline std::size_t good_sample_index() {
+  static const std::size_t index = [] {
+    const core::CaseStudy& study = shared_case_study();
+    const core::Fannet fannet(study.qnet);
+    const auto bad = fannet.validate_p1(study.test_x, study.test_y);
+    for (std::size_t s = 0; s < study.test_x.rows(); ++s) {
+      bool is_bad = false;
+      for (const std::size_t b : bad) is_bad = is_bad || (b == s);
+      if (!is_bad) return s;
+    }
+    return std::size_t{0};
+  }();
+  return index;
+}
+
+/// An in-process server on an ephemeral port with test-tuned defaults:
+/// small worker pool, tight task-step granularity (fast cancel/deadline
+/// latency), its own QueryCache.  Construction starts the server; the
+/// destructor drains it, so a test that throws still joins every thread.
+class TestServer {
+ public:
+  explicit TestServer(ServeOptions options = test_options())
+      : cache_(options.cache == nullptr
+                   ? std::make_unique<verify::QueryCache>()
+                   : nullptr) {
+    if (options.cache == nullptr) options.cache = cache_.get();
+    server_ = std::make_unique<Server>(test_fleet(), options);
+    server_->start();
+  }
+
+  /// The defaults every suite shares; tweak fields before passing to the
+  /// constructor for saturation / deadline / no-cache scenarios.
+  static ServeOptions test_options() {
+    ServeOptions options;
+    options.port = 0;        // ephemeral
+    options.threads = 4;
+    options.step_work = 1024;  // tight cancel/deadline latency
+    options.stall_ms = 2000;
+    return options;
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return server_->port(); }
+  [[nodiscard]] Server& server() { return *server_; }
+  [[nodiscard]] ServerStats stats() const { return server_->stats(); }
+  void stop() { server_->stop(); }
+
+ private:
+  std::unique_ptr<verify::QueryCache> cache_;
+  std::unique_ptr<Server> server_;
+};
+
+/// One client connection to a loopback port.  Every receive is bounded by
+/// `recv_timeout_ms`; a server that stops responding turns into a test
+/// failure (std::nullopt), never a hung suite.
+class ServeClient {
+ public:
+  explicit ServeClient(std::uint16_t port,
+                       std::uint64_t recv_timeout_ms = 30000)
+      : timeout_ms_(recv_timeout_ms) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    // Short kernel timeout so recv_exact can poll its overall deadline.
+    timeval tv{};
+    tv.tv_usec = 100 * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~ServeClient() { close(); }
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ServeClient(ServeClient&& other) noexcept
+      : fd_(std::exchange(other.fd_, -1)), timeout_ms_(other.timeout_ms_) {}
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  // --- send side ------------------------------------------------------------
+
+  /// One well-formed frame (4-byte big-endian length + payload).
+  [[nodiscard]] bool send_frame(std::string_view payload) {
+    return fd_ >= 0 && write_frame(fd_, payload);
+  }
+
+  /// Raw bytes, no framing — the fault-injection primitive.
+  [[nodiscard]] bool send_raw(std::string_view bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// A bare length prefix claiming `claimed` payload bytes (send fewer — or
+  /// none — afterwards to tear the frame).
+  [[nodiscard]] bool send_prefix(std::uint32_t claimed) {
+    unsigned char prefix[4] = {
+        static_cast<unsigned char>(claimed >> 24),
+        static_cast<unsigned char>(claimed >> 16),
+        static_cast<unsigned char>(claimed >> 8),
+        static_cast<unsigned char>(claimed)};
+    return send_raw(std::string_view(reinterpret_cast<const char*>(prefix), 4));
+  }
+
+  /// Half-close: no more requests, but responses still flow back.
+  void shutdown_write() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+  }
+
+  /// Graceful close (FIN).
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  /// Abrupt close (RST via zero-linger) — the "client process died" fault.
+  void close_abrupt() {
+    if (fd_ >= 0) {
+      linger lg{};
+      lg.l_onoff = 1;
+      lg.l_linger = 0;
+      ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  // --- receive side ---------------------------------------------------------
+
+  /// One frame payload, or nullopt on EOF / connection error / overall
+  /// deadline (`recv_timeout_ms`).
+  [[nodiscard]] std::optional<std::string> recv_payload() {
+    util::Stopwatch watch;
+    unsigned char prefix[4];
+    if (!recv_exact(prefix, 4, watch)) return std::nullopt;
+    const std::uint32_t length = (static_cast<std::uint32_t>(prefix[0]) << 24) |
+                                 (static_cast<std::uint32_t>(prefix[1]) << 16) |
+                                 (static_cast<std::uint32_t>(prefix[2]) << 8) |
+                                 static_cast<std::uint32_t>(prefix[3]);
+    if (length == 0 || length > kDefaultMaxFrameBytes) return std::nullopt;
+    std::string payload(length, '\0');
+    if (!recv_exact(payload.data(), length, watch)) return std::nullopt;
+    return payload;
+  }
+
+  /// One frame parsed as JSON; nullopt on close/timeout/non-JSON.
+  [[nodiscard]] std::optional<Json> recv_json() {
+    const std::optional<std::string> payload = recv_payload();
+    if (!payload) return std::nullopt;
+    try {
+      return parse_json(*payload);
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+
+  /// All frames the server emits for one request: any number of `progress`
+  /// frames, then the final `result` / `error` / `pong` frame.
+  struct Reply {
+    std::vector<Json> progress;
+    std::optional<Json> final;  ///< nullopt: closed/timed out mid-request
+
+    [[nodiscard]] std::string final_type() const {
+      if (!final) return "";
+      const Json* type = final->find("type");
+      return type != nullptr && type->is_string() ? type->as_string() : "";
+    }
+    [[nodiscard]] std::string error_code() const {
+      if (!final) return "";
+      const Json* code = final->find("code");
+      return code != nullptr && code->is_string() ? code->as_string() : "";
+    }
+  };
+
+  /// Sends one request frame and collects its reply.
+  [[nodiscard]] Reply call(std::string_view request) {
+    Reply reply;
+    if (!send_frame(request)) return reply;
+    return collect();
+  }
+
+  /// Collects frames for an already-sent request.
+  [[nodiscard]] Reply collect() {
+    Reply reply;
+    for (;;) {
+      std::optional<Json> frame = recv_json();
+      if (!frame) return reply;
+      const Json* type = frame->find("type");
+      if (type != nullptr && type->is_string() &&
+          type->as_string() == "progress") {
+        reply.progress.push_back(*std::move(frame));
+        continue;
+      }
+      reply.final = *std::move(frame);
+      return reply;
+    }
+  }
+
+ private:
+  [[nodiscard]] bool recv_exact(void* buffer, std::size_t want,
+                                const util::Stopwatch& watch) {
+    std::size_t got = 0;
+    while (got < want) {
+      const ssize_t n = ::recv(fd_, static_cast<char*>(buffer) + got,
+                               want - got, 0);
+      if (n > 0) {
+        got += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n == 0) return false;  // EOF
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (watch.millis() > static_cast<double>(timeout_ms_)) return false;
+        continue;
+      }
+      return false;
+    }
+    return true;
+  }
+
+  int fd_ = -1;
+  std::uint64_t timeout_ms_;
+};
+
+// --- request builders -------------------------------------------------------
+
+inline Json int_array(const std::vector<util::i64>& values) {
+  Json array = Json::array();
+  for (const util::i64 v : values) array.push_back(Json::integer(v));
+  return array;
+}
+
+/// Skeleton all builders share: {"id":id,"type":type,"model":"casestudy"}.
+inline Json request_base(std::uint64_t id, std::string_view type) {
+  Json request = Json::object();
+  request.set("id", Json::integer(static_cast<std::int64_t>(id)));
+  request.set("type", Json::string(std::string(type)));
+  request.set("model", Json::string("casestudy"));
+  return request;
+}
+
+inline Json box_json(int range) {
+  Json box = Json::object();
+  box.set("range", Json::integer(range));
+  return box;
+}
+
+inline std::string verify_request(std::uint64_t id,
+                                  const std::vector<util::i64>& x, int label,
+                                  int range, std::string_view engine = "",
+                                  std::uint64_t deadline_ms = 0) {
+  Json request = request_base(id, "verify");
+  request.set("x", int_array(x));
+  request.set("true_label", Json::integer(label));
+  request.set("box", box_json(range));
+  if (!engine.empty()) request.set("engine", Json::string(std::string(engine)));
+  if (deadline_ms != 0) {
+    request.set("deadline_ms",
+                Json::integer(static_cast<std::int64_t>(deadline_ms)));
+  }
+  return request.dump();
+}
+
+inline std::string batch_request(std::uint64_t id,
+                                 const std::vector<util::i64>& x, int label,
+                                 const std::vector<int>& ranges,
+                                 std::size_t progress_every = 0,
+                                 std::string_view engine = "",
+                                 std::uint64_t deadline_ms = 0) {
+  Json request = request_base(id, "batch");
+  request.set("x", int_array(x));
+  request.set("true_label", Json::integer(label));
+  Json items = Json::array();
+  for (const int range : ranges) items.push_back(box_json(range));
+  request.set("items", std::move(items));
+  if (progress_every != 0) {
+    request.set("progress_every",
+                Json::integer(static_cast<std::int64_t>(progress_every)));
+  }
+  if (!engine.empty()) request.set("engine", Json::string(std::string(engine)));
+  if (deadline_ms != 0) {
+    request.set("deadline_ms",
+                Json::integer(static_cast<std::int64_t>(deadline_ms)));
+  }
+  return request.dump();
+}
+
+inline std::string simple_request(std::uint64_t id, std::string_view type) {
+  Json request = Json::object();
+  request.set("id", Json::integer(static_cast<std::int64_t>(id)));
+  request.set("type", Json::string(std::string(type)));
+  return request.dump();
+}
+
+/// The base input of the canonical correctly-classified sample.
+inline std::vector<util::i64> good_sample_x() {
+  const core::CaseStudy& study = shared_case_study();
+  const auto row = study.test_x.row(good_sample_index());
+  return {row.begin(), row.end()};
+}
+
+inline int good_sample_label() {
+  return shared_case_study().test_y[good_sample_index()];
+}
+
+}  // namespace fannet::serve::harness

@@ -1,0 +1,192 @@
+// Protocol fuzz suite: seeded random malformed input against a live
+// in-process server.  The invariant under attack — every byte sequence a
+// client can send produces either a structured error frame or a clean
+// close, never a crash, hang, or wedged accept loop — is exactly what the
+// ASan/UBSan CI jobs check this binary under.  Deterministic seed, so a
+// failure reproduces byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve_harness.hpp"
+#include "util/rng.hpp"
+
+namespace fannet::serve {
+namespace {
+
+using harness::ServeClient;
+using harness::TestServer;
+
+std::string error_code_of(const Json& frame) {
+  const Json* code = frame.find("code");
+  return code != nullptr && code->is_string() ? code->as_string() : "";
+}
+
+bool is_error_frame(const Json& frame) {
+  const Json* type = frame.find("type");
+  return type != nullptr && type->is_string() && type->as_string() == "error";
+}
+
+/// The server must still answer a fresh, well-formed connection — the
+/// health probe every fuzz round ends with.
+void expect_alive(TestServer& server) {
+  ServeClient probe(server.port(), 10000);
+  ASSERT_TRUE(probe.connected()) << "server stopped accepting";
+  const ServeClient::Reply reply =
+      probe.call(harness::simple_request(99, "ping"));
+  ASSERT_EQ(reply.final_type(), "pong") << "server stopped answering";
+}
+
+TEST(ServeFuzz, RandomMalformedFramesAlwaysErrorOrCloseCleanly) {
+  ServeOptions options = TestServer::test_options();
+  options.stall_ms = 300;  // fuzz rounds that stall mid-frame resolve fast
+  TestServer server(options);
+  util::Rng rng(0x20260808);
+
+  const std::string valid = harness::verify_request(
+      1, harness::good_sample_x(), harness::good_sample_label(), 3);
+
+  for (int iter = 0; iter < 160; ++iter) {
+    ServeClient client(server.port(), 8000);
+    ASSERT_TRUE(client.connected()) << "iter " << iter;
+    const std::int64_t attack = rng.uniform_int(0, 6);
+    switch (attack) {
+      case 0: {  // raw garbage, no framing discipline at all
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniform_int(1, 64));
+        std::string bytes(n, '\0');
+        for (char& b : bytes) {
+          b = static_cast<char>(rng.uniform_int(0, 255));
+        }
+        (void)client.send_raw(bytes);
+        client.shutdown_write();
+        // Whatever the garbage decoded to, the reply stream must terminate:
+        // frames (if any) then EOF — bounded by the client deadline.
+        while (client.recv_payload().has_value()) {
+        }
+        break;
+      }
+      case 1: {  // zero-length frame
+        ASSERT_TRUE(client.send_prefix(0));
+        const std::optional<Json> frame = client.recv_json();
+        ASSERT_TRUE(frame.has_value()) << "iter " << iter;
+        EXPECT_EQ(error_code_of(*frame), "bad_frame");
+        EXPECT_FALSE(client.recv_payload().has_value());
+        break;
+      }
+      case 2: {  // length prefix above the frame cap
+        ASSERT_TRUE(client.send_prefix(static_cast<std::uint32_t>(
+            kDefaultMaxFrameBytes +
+            static_cast<std::size_t>(rng.uniform_int(1, 1 << 20)))));
+        const std::optional<Json> frame = client.recv_json();
+        ASSERT_TRUE(frame.has_value()) << "iter " << iter;
+        EXPECT_EQ(error_code_of(*frame), "oversized");
+        EXPECT_FALSE(client.recv_payload().has_value());
+        break;
+      }
+      case 3: {  // torn frame: claim more than is ever sent, then vanish
+        const std::uint32_t claimed =
+            static_cast<std::uint32_t>(rng.uniform_int(1, 4096));
+        ASSERT_TRUE(client.send_prefix(claimed));
+        const std::size_t sent =
+            static_cast<std::size_t>(rng.uniform_int(0, claimed - 1));
+        (void)client.send_raw(std::string(sent, 'x'));
+        if (rng.bernoulli(0.5)) {
+          client.close_abrupt();
+        } else {
+          client.close();
+        }
+        break;
+      }
+      case 4: {  // well-framed, but the payload is not JSON
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniform_int(1, 128));
+        std::string payload(n, '\0');
+        for (char& b : payload) {
+          b = static_cast<char>(rng.uniform_int(1, 255));
+        }
+        ASSERT_TRUE(client.send_frame(payload));
+        const std::optional<Json> frame = client.recv_json();
+        ASSERT_TRUE(frame.has_value()) << "iter " << iter;
+        EXPECT_TRUE(is_error_frame(*frame)) << frame->dump();
+        break;
+      }
+      case 5: {  // a valid request with random bytes corrupted
+        std::string mutated = valid;
+        const int flips = static_cast<int>(rng.uniform_int(1, 8));
+        for (int f = 0; f < flips; ++f) {
+          const std::size_t at = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()) - 1));
+          mutated[at] = static_cast<char>(rng.uniform_int(1, 255));
+        }
+        ASSERT_TRUE(client.send_frame(mutated));
+        // Corruption may still parse into a legal request: any single
+        // frame (result or error) is acceptable; a hang is not.
+        const ServeClient::Reply reply = client.collect();
+        EXPECT_TRUE(reply.final.has_value()) << "iter " << iter;
+        break;
+      }
+      case 6: {  // a valid request dribbled one byte at a time (reassembly)
+        unsigned char prefix[4] = {
+            static_cast<unsigned char>(valid.size() >> 24),
+            static_cast<unsigned char>(valid.size() >> 16),
+            static_cast<unsigned char>(valid.size() >> 8),
+            static_cast<unsigned char>(valid.size())};
+        std::string wire(reinterpret_cast<const char*>(prefix), 4);
+        wire += valid;
+        bool ok = true;
+        for (const char b : wire) {
+          ok = ok && client.send_raw(std::string_view(&b, 1));
+        }
+        ASSERT_TRUE(ok);
+        const ServeClient::Reply reply = client.collect();
+        ASSERT_TRUE(reply.final.has_value()) << "iter " << iter;
+        EXPECT_EQ(reply.final_type(), "result");
+        break;
+      }
+      default:
+        break;
+    }
+    if (iter % 20 == 19) expect_alive(server);
+  }
+  expect_alive(server);
+}
+
+TEST(ServeFuzz, MidFrameStallIsCutOffWithTimeoutError) {
+  ServeOptions options = TestServer::test_options();
+  options.stall_ms = 200;
+  TestServer server(options);
+
+  ServeClient client(server.port(), 10000);
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_prefix(100));
+  ASSERT_TRUE(client.send_raw("stall"));  // 5 of the claimed 100 bytes, then idle
+  const std::optional<Json> frame = client.recv_json();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(error_code_of(*frame), "timeout");
+  EXPECT_FALSE(client.recv_payload().has_value());
+  // The slowloris defense only cuts the stalled connection, never the server.
+  expect_alive(server);
+}
+
+TEST(ServeFuzz, DeeplyNestedJsonIsRejectedNotStackOverflowed) {
+  TestServer server;
+  ServeClient client(server.port(), 10000);
+  ASSERT_TRUE(client.connected());
+  std::string deep = "{\"id\":1,\"type\":\"ping\",\"junk\":";
+  for (int i = 0; i < 500; ++i) deep += '[';
+  deep += '1';
+  for (int i = 0; i < 500; ++i) deep += ']';
+  deep += '}';
+  ASSERT_TRUE(client.send_frame(deep));
+  const std::optional<Json> frame = client.recv_json();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(is_error_frame(*frame)) << frame->dump();
+  expect_alive(server);
+}
+
+}  // namespace
+}  // namespace fannet::serve

@@ -1,0 +1,157 @@
+// Concurrency suite for the serve layer, aimed at the TSan CI job (the
+// workflow filter includes every Serve* suite): N clients hammer one server
+// with a mix of cache-hitting, cache-missing, and deadline-expiring
+// requests.  The properties under test: the shared cache answers across
+// racing connections with identical verdicts, a deadline expires only the
+// request that carried it, concurrent mid-execution disconnects cancel
+// cleanly, and teardown joins every session thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve_harness.hpp"
+#include "util/stopwatch.hpp"
+
+namespace fannet::serve {
+namespace {
+
+using harness::ServeClient;
+using harness::TestServer;
+
+std::string body_verdict(const Json& frame) {
+  const Json* body = frame.find("body");
+  if (body == nullptr) return "";
+  const Json* verdict = body->find("verdict");
+  return verdict != nullptr && verdict->is_string() ? verdict->as_string()
+                                                    : "";
+}
+
+bool body_flag(const Json& frame, std::string_view key) {
+  const Json* body = frame.find("body");
+  if (body == nullptr) return false;
+  const Json* value = body->find(key);
+  return value != nullptr && value->is_bool() && value->as_bool();
+}
+
+TEST(ServeRace, ConcurrentClientsShareCacheAndIsolateDeadlines) {
+  // Saturation is covered by ServeAdmission; here the cap is lifted so the
+  // cache/deadline interleavings run unthrottled (a client's next request
+  // can race the release of its previous heavy slot).
+  ServeOptions options = TestServer::test_options();
+  options.max_inflight = 64;
+  TestServer server(options);
+  const std::vector<util::i64> x = harness::good_sample_x();
+  const int label = harness::good_sample_label();
+  const std::string shared = harness::verify_request(1, x, label, 9);
+
+  constexpr int kClients = 8;
+  constexpr int kRepeats = 4;
+  std::atomic<int> failures{0};
+  // Only the sharing cohort (clients 0..3) writes here.
+  std::vector<std::string> shared_verdicts(4 * kRepeats);
+  std::vector<std::thread> clients;
+
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ServeClient client(server.port(), 30000);
+      if (!client.connected()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int r = 0; r < kRepeats; ++r) {
+        if (c < 4) {
+          // Cache-sharing cohort: everyone sends the identical query.
+          const ServeClient::Reply reply = client.call(shared);
+          if (reply.final_type() != "result" ||
+              body_flag(*reply.final, "resource_limited")) {
+            failures.fetch_add(1);
+            return;
+          }
+          shared_verdicts[c * kRepeats + r] = body_verdict(*reply.final);
+        } else if (c < 6) {
+          // Cache-missing cohort: a distinct range per (client, repeat).
+          const int range = 2 + (c - 4) * kRepeats + r;
+          const ServeClient::Reply reply = client.call(
+              harness::verify_request(10 + r, x, label, range));
+          if (reply.final_type() != "result") {
+            failures.fetch_add(1);
+            return;
+          }
+        } else {
+          // Deadline cohort: enumerate over an astronomically large box
+          // with a tiny budget — must come back unknown/resource_limited
+          // without slowing anyone else down.
+          const ServeClient::Reply reply = client.call(harness::verify_request(
+              20 + r, x, label, 40, "enumerate", 30));
+          if (reply.final_type() != "result" ||
+              body_verdict(*reply.final) != "unknown" ||
+              !body_flag(*reply.final, "resource_limited")) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The shared query's verdict is one verdict, everywhere.
+  for (const std::string& verdict : shared_verdicts) {
+    EXPECT_EQ(verdict, shared_verdicts.front());
+    EXPECT_FALSE(verdict.empty());
+  }
+
+  const ServerStats stats = server.stats();
+  // Each sharing client's 2nd..4th repeats are guaranteed warm (its own
+  // first completed on the same connection before they were sent); the
+  // cross-client first round may race the fill either way.
+  EXPECT_GE(stats.cache_hits, 4u * (kRepeats - 1));
+  EXPECT_GE(stats.cache_misses, 1u);
+  EXPECT_GE(stats.deadline_expired, 2u * kRepeats);
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kClients * kRepeats));
+  EXPECT_EQ(stats.results, static_cast<std::uint64_t>(kClients * kRepeats));
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(ServeRace, ConcurrentAbruptDisconnectsCancelWithoutWedging) {
+  TestServer server;
+  const std::vector<util::i64> x = harness::good_sample_x();
+  const int label = harness::good_sample_label();
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      ServeClient client(server.port(), 30000);
+      if (!client.connected()) return;
+      // Unbounded-without-cancellation work, then vanish mid-execution.
+      (void)client.send_frame(
+          harness::verify_request(1, x, label, 40, "enumerate"));
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      client.close_abrupt();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  const util::Stopwatch watch;
+  while (server.stats().cancelled_disconnect < kClients &&
+         watch.millis() < 15000.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.stats().cancelled_disconnect,
+            static_cast<std::uint64_t>(kClients));
+
+  // Server is still healthy and stops without hanging on cancelled work.
+  ServeClient probe(server.port(), 10000);
+  ASSERT_TRUE(probe.connected());
+  EXPECT_EQ(probe.call(harness::simple_request(9, "ping")).final_type(),
+            "pong");
+  server.stop();
+}
+
+}  // namespace
+}  // namespace fannet::serve

@@ -1,9 +1,13 @@
 // Unit tests for the util substrate: checked arithmetic, fixed point,
-// deterministic RNG, CSV I/O.
+// deterministic RNG, CSV I/O, bench-record JSON output.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <limits>
+#include <sstream>
 
+#include "util/benchjson.hpp"
 #include "util/checked.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -283,6 +287,54 @@ TEST(Csv, FileRoundTrip) {
 
 TEST(Csv, MissingFileThrows) {
   EXPECT_THROW(read_csv_file("/nonexistent/definitely/not.csv"), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// BenchJson
+// ---------------------------------------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(BenchJson, WriteIsAtomicTempPlusRename) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "fannet_benchjson_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  BenchJson first("atomicity");
+  first.add("warm", 1.5, 10, 2);
+  const std::string path = first.write(dir.string());
+  EXPECT_EQ(slurp(path), first.to_json());
+  // The staging file must never survive a successful write.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // A rewrite replaces the whole file in one rename — the result is always
+  // exactly one complete document, never a mix of old and new bytes.
+  BenchJson second("atomicity");
+  second.add("cold", 2.0, 20, 4);
+  second.add("warm", 0.5, 10, 4);
+  EXPECT_EQ(second.write(dir.string()), path);
+  EXPECT_EQ(slurp(path), second.to_json());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BenchJson, WriteToBadDirectoryThrowsAndLeavesNothing) {
+  // A regular file used as the target directory: fails with ENOTDIR for
+  // any euid (a nonexistent path may be auto-created by CI sandboxes).
+  const std::filesystem::path blocker =
+      std::filesystem::temp_directory_path() / "fannet_benchjson_blocker";
+  { std::ofstream out(blocker); out << "occupied"; }
+  BenchJson json("unwritable");
+  json.add("r", 1.0, 1, 1);
+  EXPECT_THROW(json.write(blocker.string()), Error);
+  std::filesystem::remove(blocker);
 }
 
 }  // namespace
